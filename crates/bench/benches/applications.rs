@@ -1,0 +1,100 @@
+//! Criterion benchmarks of the image-processing applications: the SAT turns
+//! `O(r²)`-per-pixel filtering into `O(1)`-per-pixel, so the box filter's
+//! time must be radius-independent while direct convolution grows with `r²`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_exec::{Device, DeviceOptions, GlobalBuffer};
+use hmm_model::MachineConfig;
+use sat_bench::workload;
+use sat_core::scan::inclusive_scan;
+use sat_core::{Matrix, SumTable};
+use sat_image::boxfilter::{box_filter, clamped_window};
+use sat_image::gaussian::gaussian_blur;
+use sat_image::ncc::ncc_best_match;
+use sat_image::threshold::adaptive_threshold;
+use sat_image::variance::local_variance;
+
+/// Direct (non-SAT) box filter for comparison.
+fn direct_box(img: &Matrix<f64>, r: usize) -> Matrix<f64> {
+    let (rows, cols) = (img.rows(), img.cols());
+    Matrix::from_fn(rows, cols, |i, j| {
+        let rect = clamped_window(rows, cols, i, j, r);
+        let mut acc = 0.0;
+        for u in rect.r0..=rect.r1 {
+            for v in rect.c0..=rect.c1 {
+                acc += img.get(u, v);
+            }
+        }
+        acc
+    })
+}
+
+fn bench_box_filter(c: &mut Criterion) {
+    let n = 512;
+    let img = workload(n);
+    let table = SumTable::build(&img);
+    let mut group = c.benchmark_group("box_filter");
+    group.throughput(Throughput::Elements((n * n) as u64));
+    for r in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("sat", r), &r, |b, &r| {
+            b.iter(|| box_filter(&table, r));
+        });
+        // Direct convolution only for small radii (it is the point).
+        if r <= 4 {
+            group.bench_with_input(BenchmarkId::new("direct", r), &r, |b, &r| {
+                b.iter(|| direct_box(&img, r));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_threshold_and_variance(c: &mut Criterion) {
+    let n = 512;
+    let img = workload(n);
+    let mut group = c.benchmark_group("applications");
+    group.throughput(Throughput::Elements((n * n) as u64));
+    group.bench_function("adaptive_threshold", |b| {
+        b.iter(|| adaptive_threshold(&img, 8, 0.15));
+    });
+    group.bench_function("local_variance", |b| {
+        b.iter(|| local_variance(&img, 4));
+    });
+    group.bench_function("gaussian_blur_sigma4", |b| {
+        b.iter(|| gaussian_blur(&img, 4.0, 3));
+    });
+    group.finish();
+}
+
+fn bench_ncc_and_scan(c: &mut Criterion) {
+    let img = workload(256);
+    let template = Matrix::from_fn(16, 16, |i, j| ((i * 5 + j * 3) % 97) as f64);
+    let mut group = c.benchmark_group("matching");
+    group.bench_function("ncc_256_t16", |b| {
+        b.iter(|| ncc_best_match(&img, &template));
+    });
+    group.finish();
+
+    let dev = Device::new(
+        DeviceOptions::new(MachineConfig::with_width(32))
+            .workers(0)
+            .record_stats(false),
+    );
+    let len = 1 << 20;
+    let data: Vec<f64> = (0..len).map(|i| (i % 97) as f64).collect();
+    let input = GlobalBuffer::from_vec(data);
+    let output = GlobalBuffer::filled(0.0f64, len);
+    let mut group = c.benchmark_group("scan");
+    group.throughput(Throughput::Elements(len as u64));
+    group.bench_function("inclusive_1M", |b| {
+        b.iter(|| inclusive_scan(&dev, &input, &output, len));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_box_filter, bench_threshold_and_variance, bench_ncc_and_scan
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benchmarks of the sequential CPU baselines (Table II's bottom
+//! rows): 2R2W(CPU) — two raster prefix passes — versus 4R1W(CPU) — one
+//! Formula-(1) pass. The paper found 4R1W(CPU) faster thanks to access
+//! locality; these benches verify the same relation holds in this
+//! implementation on this host.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sat_bench::workload;
+use sat_core::seq;
+
+fn bench_cpu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu_sat");
+    for n in [512usize, 1024, 2048] {
+        group.throughput(Throughput::Elements((n * n) as u64));
+        let input = workload(n);
+        group.bench_with_input(BenchmarkId::new("2R2W(CPU)", n), &input, |b, input| {
+            b.iter(|| {
+                let mut a = input.clone();
+                seq::sat_2r2w_cpu(&mut a);
+                a
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("4R1W(CPU)", n), &input, |b, input| {
+            b.iter(|| {
+                let mut a = input.clone();
+                seq::sat_4r1w_cpu(&mut a);
+                a
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_prefix_passes(c: &mut Criterion) {
+    let n = 2048;
+    let input = workload(n);
+    let mut group = c.benchmark_group("prefix_pass");
+    group.throughput(Throughput::Elements((n * n) as u64));
+    group.bench_function("column_raster", |b| {
+        b.iter(|| {
+            let mut a = input.clone();
+            seq::column_prefix_inplace(&mut a);
+            a
+        });
+    });
+    group.bench_function("row", |b| {
+        b.iter(|| {
+            let mut a = input.clone();
+            seq::row_prefix_inplace(&mut a);
+            a
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cpu, bench_prefix_passes
+}
+criterion_main!(benches);

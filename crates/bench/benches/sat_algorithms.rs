@@ -1,0 +1,108 @@
+//! Criterion wall-clock benchmarks of every SAT algorithm on the virtual
+//! GPU (host time of this library's executor — the per-size *rankings* on
+//! the machine model are produced by the `table2` binary; these benches
+//! track the implementation's real cost and catch regressions).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_exec::{Device, DeviceOptions, GlobalBuffer};
+use hmm_model::cost::SatAlgorithm;
+use hmm_model::MachineConfig;
+use sat_bench::workload;
+use sat_core::par;
+
+fn device() -> Device {
+    // Stats off: measure the algorithms, not the accounting.
+    Device::new(
+        DeviceOptions::new(MachineConfig::with_width(32))
+            .workers(0)
+            .record_stats(false),
+    )
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let dev = device();
+    let mut group = c.benchmark_group("sat");
+    for n in [256usize, 512, 1024] {
+        group.throughput(Throughput::Elements((n * n) as u64));
+        let input = workload(n);
+        for alg in SatAlgorithm::ALL {
+            // 4R1W is quadratic in launches; bench only the smallest size.
+            if alg == SatAlgorithm::FourR1W && n > 256 {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(alg.name(), n),
+                &input,
+                |b, input| {
+                    b.iter(|| match alg {
+                        SatAlgorithm::TwoR2W => {
+                            let buf = GlobalBuffer::from_vec(input.as_slice().to_vec());
+                            par::sat_2r2w(&dev, &buf, n, n);
+                            buf
+                        }
+                        SatAlgorithm::FourR4W => {
+                            let buf = GlobalBuffer::from_vec(input.as_slice().to_vec());
+                            let tmp = GlobalBuffer::filled(0.0f64, n * n);
+                            par::sat_4r4w(&dev, &buf, &tmp, n, n);
+                            buf
+                        }
+                        SatAlgorithm::FourR1W => {
+                            let buf = GlobalBuffer::from_vec(input.as_slice().to_vec());
+                            par::sat_4r1w(&dev, &buf, n, n);
+                            buf
+                        }
+                        SatAlgorithm::TwoR1W => {
+                            let buf = GlobalBuffer::from_vec(input.as_slice().to_vec());
+                            let s = GlobalBuffer::filled(0.0f64, n * n);
+                            par::sat_2r1w(&dev, &buf, &s, n, n);
+                            s
+                        }
+                        SatAlgorithm::OneR1W => {
+                            let buf = GlobalBuffer::from_vec(input.as_slice().to_vec());
+                            let s = GlobalBuffer::filled(0.0f64, n * n);
+                            par::sat_1r1w(&dev, &buf, &s, n, n);
+                            s
+                        }
+                        SatAlgorithm::HybridR1W => {
+                            let buf = GlobalBuffer::from_vec(input.as_slice().to_vec());
+                            let s = GlobalBuffer::filled(0.0f64, n * n);
+                            par::sat_hybrid(&dev, &buf, &s, n, n, 0.5);
+                            s
+                        }
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_stats_overhead(c: &mut Criterion) {
+    // How much the transaction accounting costs (Table I instrumentation).
+    let n = 512;
+    let input = workload(n);
+    let mut group = c.benchmark_group("stats_overhead");
+    for (name, stats) in [("off", false), ("on", true)] {
+        let dev = Device::new(
+            DeviceOptions::new(MachineConfig::with_width(32))
+                .workers(0)
+                .record_stats(stats),
+        );
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let buf = GlobalBuffer::from_vec(input.as_slice().to_vec());
+                let s = GlobalBuffer::filled(0.0f64, n * n);
+                par::sat_1r1w(&dev, &buf, &s, n, n);
+                s
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_algorithms, bench_stats_overhead
+}
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Criterion benchmarks of the substrate layers: the block transpose
+//! (Figure 7), the launch machinery, and the discrete-event simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_exec::{Device, DeviceOptions, GlobalBuffer, TileLayout};
+use hmm_model::MachineConfig;
+use hmm_sim::AsyncHmm;
+use sat_bench::workload;
+use sat_core::transpose::transpose_with_layout;
+
+fn device(stats: bool) -> Device {
+    Device::new(
+        DeviceOptions::new(MachineConfig::with_width(32))
+            .workers(0)
+            .record_stats(stats),
+    )
+}
+
+fn bench_transpose(c: &mut Criterion) {
+    let dev = device(false);
+    let mut group = c.benchmark_group("transpose");
+    for n in [512usize, 1024] {
+        group.throughput(Throughput::Elements((n * n) as u64));
+        let input = workload(n);
+        for layout in [TileLayout::Diagonal, TileLayout::RowMajor] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{layout:?}"), n),
+                &input,
+                |b, input| {
+                    let src = GlobalBuffer::from_vec(input.as_slice().to_vec());
+                    let dst = GlobalBuffer::filled(0.0f64, n * n);
+                    b.iter(|| transpose_with_layout(&dev, &src, &dst, n, n, layout));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_launch_overhead(c: &mut Criterion) {
+    // Fixed cost of one kernel launch with an empty body — the analogue of
+    // the CUDA kernel-call overhead that dominates the wavefront algorithms.
+    let mut group = c.benchmark_group("launch");
+    for workers in [0usize, 2] {
+        let dev = Device::new(
+            DeviceOptions::new(MachineConfig::with_width(32))
+                .workers(workers)
+                .record_stats(false),
+        );
+        group.bench_function(format!("empty_kernel_w{workers}"), |b| {
+            b.iter(|| dev.launch(1, |_ctx| {}));
+        });
+        group.bench_function(format!("grid1000_w{workers}"), |b| {
+            b.iter(|| dev.launch(1000, |_ctx| {}));
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    // Replay cost of the discrete-event machine per traced transaction.
+    let n = 512;
+    let dev = Device::new(
+        DeviceOptions::new(MachineConfig::with_width(32))
+            .workers(0)
+            .record_trace(true),
+    );
+    let input = workload(n);
+    let buf = GlobalBuffer::from_vec(input.as_slice().to_vec());
+    let s = GlobalBuffer::filled(0.0f64, n * n);
+    sat_core::par::sat_1r1w(&dev, &buf, &s, n, n);
+    let trace = dev.take_trace();
+    let sim = AsyncHmm::new(*dev.config());
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Elements(trace.total_ops() as u64));
+    group.bench_function("replay_1r1w_512", |b| {
+        b.iter(|| sim.simulate(&trace));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_transpose, bench_launch_overhead, bench_simulator
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Regenerate **Figure 4** (the DMM/UMM pipeline worked example) and the
+//! timing-chart behaviour behind **Figure 5**: latency hiding as a function
+//! of resident warps, measured on the discrete-event machine.
+//!
+//! ```sh
+//! cargo run --release -p sat-bench --bin fig4_pipeline
+//! ```
+
+use gpu_exec::{LaunchTrace, TraceOp};
+use hmm_model::pipeline::{Machine, Pipeline};
+use hmm_model::{AccessKind, MachineConfig, MemSpace, WarpAccess};
+use hmm_sim::AsyncHmm;
+
+fn main() {
+    let w = 4;
+    let latency = 10u64;
+    println!("FIGURE 4 — two warps accessing {{7,5,15,0}} and {{10,11,12,9}}, w = {w}, L = {latency}\n");
+    let w0 = WarpAccess::dense(&[7, 5, 15, 0], w);
+    let w1 = WarpAccess::dense(&[10, 11, 12, 9], w);
+    println!(
+        "  W0: banks {:?}  groups {:?}",
+        [7, 5, 15, 0].map(|a: usize| a % w),
+        [7, 5, 15, 0].map(|a: usize| a / w)
+    );
+    println!(
+        "  W1: banks {:?}  groups {:?}\n",
+        [10, 11, 12, 9].map(|a: usize| a % w),
+        [10, 11, 12, 9].map(|a: usize| a / w)
+    );
+    for (name, machine) in [("DMM", Machine::Dmm), ("UMM", Machine::Umm)] {
+        let p = Pipeline::new(machine, w, latency);
+        let t = p.independent_time(&[w0.clone(), w1.clone()]);
+        println!(
+            "  {name}: W0 occupies {} stage(s), W1 {} — total {} stages, completes in L + {} − 1 = {} time units",
+            machine.stages(&w0, w),
+            machine.stages(&w1, w),
+            t.stages,
+            t.stages,
+            t.completion_time
+        );
+    }
+
+    println!("\nFIGURE 5 — latency hiding vs resident warps (UMM, L = 100)");
+    println!("each warp issues 32 dependent coalesced transactions;");
+    println!("time/transaction → 1 when warps ≥ L (full hiding), → L when warps = 1\n");
+    println!("{:>8} {:>14} {:>18}", "warps", "time units", "units/transaction");
+    let cfg = MachineConfig::with_width(32).latency(100).num_dmms(1);
+    let sim = AsyncHmm::new(cfg);
+    for warps in [1usize, 2, 4, 8, 16, 32, 64, 100, 128, 256] {
+        let launch = LaunchTrace {
+            blocks: (0..warps)
+                .map(|_| {
+                    vec![
+                        TraceOp {
+                            space: MemSpace::Global,
+                            kind: AccessKind::Read,
+                            ops: 32,
+                            stages: 1,
+                        };
+                        32
+                    ]
+                })
+                .collect(),
+        };
+        let t = sim.simulate_launch(&launch);
+        let per = t.time as f64 / (warps * 32) as f64;
+        println!("{:>8} {:>14} {:>18.2}", warps, t.time, per);
+    }
+
+    println!("\nbank-conflict penalty on the DMM (32 warps x 32 column accesses of a w x w tile):");
+    println!("{:>12} {:>14}", "layout", "time units");
+    for (name, stages) in [("diagonal", 1u32), ("row-major", 32u32)] {
+        let launch = LaunchTrace {
+            blocks: (0..32)
+                .map(|_| {
+                    vec![
+                        TraceOp {
+                            space: MemSpace::Shared,
+                            kind: AccessKind::Read,
+                            ops: 32,
+                            stages,
+                        };
+                        32
+                    ]
+                })
+                .collect(),
+        };
+        let t = AsyncHmm::new(MachineConfig::with_width(32).num_dmms(1)).simulate_launch(&launch);
+        println!("{:>12} {:>14}", name, t.time);
+    }
+}

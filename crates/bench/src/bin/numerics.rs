@@ -1,0 +1,90 @@
+//! Floating-point accuracy of the SAT algorithms (an experiment the paper
+//! does not run — its evaluation uses 64-bit matrices throughout — but one
+//! that matters to adopters filtering `f32` images).
+//!
+//! ```sh
+//! cargo run --release -p sat-bench --bin numerics [-- --n 1024]
+//! ```
+//!
+//! All algorithms compute the same sums in different association orders.
+//! The raster baselines accumulate `O(n)`-long carry chains; the block
+//! algorithms sum `w × w` tiles first and combine partial sums — a
+//! pairwise-flavoured order with provably smaller error growth. Measured
+//! here as the maximum relative error of the `f32` SAT against an exact
+//! `f64` reference.
+
+use gpu_exec::{Device, DeviceOptions, GlobalBuffer};
+use hmm_model::cost::SatAlgorithm;
+use hmm_model::MachineConfig;
+use sat_bench::flag_value;
+use sat_core::{compute_sat, par, seq, Matrix};
+
+/// Max |f32 − f64| over all entries, normalised by the largest |f64| SAT
+/// value (entry-wise relative error is meaningless where sums cancel to
+/// near zero).
+fn max_rel_error(sat32: &Matrix<f32>, sat64: &Matrix<f64>) -> f64 {
+    let scale = sat64
+        .as_slice()
+        .iter()
+        .fold(0.0f64, |m, &v| m.max(v.abs()))
+        .max(1.0);
+    let mut worst = 0.0f64;
+    for (a, b) in sat32.as_slice().iter().zip(sat64.as_slice()) {
+        worst = worst.max((*a as f64 - b).abs());
+    }
+    worst / scale
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = flag_value(&args, "--n")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1024);
+    let dev = Device::new(DeviceOptions::new(MachineConfig::with_width(32)).record_stats(false));
+
+    // An adversarial-ish workload: non-representable fractions with sign
+    // structure, so every addition rounds and cancellation amplifies the
+    // order differences (integer-valued inputs would stay exact below 2²⁴).
+    let img32 = Matrix::from_fn(n, n, |i, j| {
+        let v = ((i * 2654435761usize) ^ (j * 40503)) % 10_000;
+        (v as f32) / 3.0 - 1666.6667
+    });
+    let img64 = img32.map(|v| v as f64);
+    let reference = seq::sat_reference(&img64);
+
+    println!("f32 SAT accuracy vs f64 reference, n = {n} (values in [−5000, 5000))\n");
+    println!("{:<14} {:>16}", "algorithm", "max rel error");
+
+    // Sequential baselines.
+    {
+        let mut a = img32.clone();
+        seq::sat_2r2w_cpu(&mut a);
+        println!("{:<14} {:>16.3e}", "2R2W(CPU)", max_rel_error(&a, &reference));
+    }
+    {
+        let mut a = img32.clone();
+        seq::sat_4r1w_cpu(&mut a);
+        println!("{:<14} {:>16.3e}", "4R1W(CPU)", max_rel_error(&a, &reference));
+    }
+    // Device algorithms (block summation orders).
+    for alg in [
+        SatAlgorithm::TwoR2W,
+        SatAlgorithm::FourR4W,
+        SatAlgorithm::TwoR1W,
+        SatAlgorithm::OneR1W,
+        SatAlgorithm::HybridR1W,
+    ] {
+        let sat = compute_sat(&dev, alg, &img32);
+        println!("{:<14} {:>16.3e}", alg.name(), max_rel_error(&sat, &reference));
+    }
+    // The log-step algorithm (pairwise association — the most accurate).
+    {
+        let buf = GlobalBuffer::from_vec(img32.as_slice().to_vec());
+        let tmp = GlobalBuffer::filled(0.0f32, n * n);
+        par::sat_kogge_stone(&dev, &buf, &tmp, n, n);
+        let sat = Matrix::from_vec(n, n, buf.into_vec());
+        println!("{:<14} {:>16.3e}", "Kogge-Stone", max_rel_error(&sat, &reference));
+    }
+    println!("\nThe block algorithms' tile-first summation behaves like pairwise");
+    println!("summation across blocks; the raster baselines carry O(n)-long chains.");
+}

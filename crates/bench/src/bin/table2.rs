@@ -1,0 +1,169 @@
+//! Regenerate **Table II**: running time of every SAT algorithm for
+//! matrices from 1K × 1K to 18K × 18K, the best hybrid ratio per size, and
+//! the sequential CPU baselines with their speed-up factors.
+//!
+//! ```sh
+//! cargo run --release -p sat-bench --bin table2 \
+//!     [-- --measured-max 2048] [--cpu-max 4096] [--json t2.jsonl]
+//! ```
+//!
+//! GPU times are global-memory-access costs on the GTX-780-Ti-calibrated
+//! machine profile, expressed in milliseconds (2 ns per 32-word
+//! transaction): **measured** from real executions up to `--measured-max`
+//! (default 2048) and from the validated closed forms beyond. CPU times are
+//! real wall-clock of this host up to `--cpu-max`, extrapolated ∝ n² above
+//! (marked `~`). The reproduction targets are the *shapes*: which algorithm
+//! is fastest per column, where the 2R1W → hybrid and 2R1W → 1R1W
+//! crossovers fall, how the best `r` decays, and the >100× GPU/CPU gap.
+
+use hmm_model::cost::{GlobalCost, SatAlgorithm};
+use hmm_model::MachineConfig;
+use sat_bench::{
+    bench_device, cpu_baseline_seconds, flag_value, maybe_write_json, record_for, size_label,
+    table2_sizes, CpuBaseline,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let measured_max: usize = flag_value(&args, "--measured-max")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2048);
+    let cpu_max: usize = flag_value(&args, "--cpu-max")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4096);
+    let cfg = MachineConfig::gtx780ti();
+    let gc = GlobalCost::new(cfg);
+    let dev = bench_device(cfg);
+    let sizes = table2_sizes();
+
+    println!("TABLE II — SAT running time (ms) per matrix size");
+    println!(
+        "GPU model: w = {}, Λ = {}; measured counters for n ≤ {} (else closed form, marked *)\n",
+        cfg.width,
+        cfg.window_overhead(),
+        measured_max
+    );
+
+    print!("{:<12}", "algorithm");
+    for &n in &sizes {
+        print!("{:>9}", size_label(n));
+    }
+    println!();
+    println!("{}", "-".repeat(12 + 9 * sizes.len()));
+
+    let short = |alg: SatAlgorithm| match alg {
+        SatAlgorithm::HybridR1W => "hybrid",
+        other => other.name(),
+    };
+    let mut records = Vec::new();
+    let mut best: Vec<(f64, &'static str)> = vec![(f64::INFINITY, ""); sizes.len()];
+    for alg in SatAlgorithm::ALL {
+        print!("{:<12}", alg.name());
+        for (k, &n) in sizes.iter().enumerate() {
+            let rec = record_for(cfg, &dev, alg, n, measured_max);
+            let marker = if rec.measured { "" } else { "*" };
+            print!("{:>8.2}{marker}", rec.cost_ms);
+            if rec.cost_ms < best[k].0 {
+                best[k] = (rec.cost_ms, short(alg));
+            }
+            records.push(rec);
+        }
+        println!();
+    }
+
+    print!("{:<12}", "fastest");
+    for b in &best {
+        print!("{:>9}", b.1);
+    }
+    println!();
+
+    print!("{:<12}", "best r");
+    for &n in &sizes {
+        print!("{:>9.4}", gc.optimal_r(n));
+    }
+    println!();
+
+    // CPU baselines: measured wall-clock up to cpu_max, ∝ n² beyond.
+    println!("\nCPU baselines (this host, single core; ~ marks n² extrapolation):");
+    let mut cpu_ms = vec![0.0f64; sizes.len()];
+    for baseline in [CpuBaseline::TwoR2W, CpuBaseline::FourR1W] {
+        print!("{:<12}", baseline.name());
+        let mut anchor: Option<(usize, f64)> = None;
+        for (k, &n) in sizes.iter().enumerate() {
+            // Always measure at least the smallest size so extrapolation
+            // has an anchor.
+            let ms = match anchor {
+                Some((an, ams)) if n > cpu_max => {
+                    let ms = ams * (n * n) as f64 / (an * an) as f64;
+                    print!("{:>8.1}~", ms);
+                    ms
+                }
+                _ => {
+                    let ms = cpu_baseline_seconds(baseline, n) * 1e3;
+                    anchor = Some((n, ms));
+                    print!("{:>9.1}", ms);
+                    ms
+                }
+            };
+            if baseline == CpuBaseline::FourR1W {
+                cpu_ms[k] = ms;
+            }
+        }
+        println!();
+    }
+
+    print!("{:<12}", "speed-up");
+    for (k, _) in sizes.iter().enumerate() {
+        print!("{:>8.0}x", cpu_ms[k] / best[k].0);
+    }
+    println!();
+
+    // The paper measured its CPU baseline on a 2008 Xeon X7460 whose single
+    // core is ~5x slower than a current one; the >100x claim is against
+    // those timings (Table II, 4R1W(CPU) row, milliseconds):
+    const PAPER_CPU_MS: [f64; 13] = [
+        18.0, 73.2, 165.0, 293.0, 459.0, 660.0, 904.0, 1160.0, 1830.0, 2660.0, 3600.0, 4590.0,
+        5950.0,
+    ];
+    print!("{:<12}", "paper CPU");
+    for ms in PAPER_CPU_MS {
+        print!("{:>9.0}", ms);
+    }
+    println!();
+    print!("{:<12}", "vs paper");
+    for (k, _) in sizes.iter().enumerate() {
+        print!("{:>8.0}x", PAPER_CPU_MS[k] / best[k].0);
+    }
+    println!("   (paper claims >100x for n >= 5K)");
+
+    println!("\npaper shape checks:");
+    let idx = |n: usize| sizes.iter().position(|&s| s == n).expect("size present");
+    let col = |alg: SatAlgorithm, n: usize| -> f64 {
+        records
+            .iter()
+            .find(|r| r.algorithm == alg.name() && r.n == n)
+            .expect("record exists")
+            .cost_ms
+    };
+    let c1 = (1..=18).filter(|&k| sizes.contains(&(k * 1024))).find(|&k| {
+        col(SatAlgorithm::OneR1W, k * 1024) < col(SatAlgorithm::TwoR1W, k * 1024)
+    });
+    println!(
+        "  1R1W overtakes 2R1W at n = {} (paper: 7K)",
+        c1.map(|k| format!("{k}K")).unwrap_or_else(|| "never".into())
+    );
+    let c2 = (1..=18).filter(|&k| sizes.contains(&(k * 1024))).find(|&k| {
+        best[idx(k * 1024)].1 == "hybrid"
+    });
+    println!(
+        "  hybrid becomes fastest at n = {} (paper: 5K)",
+        c2.map(|k| format!("{k}K")).unwrap_or_else(|| "never".into())
+    );
+    println!(
+        "  best r at 6K = {:.3}, at 18K = {:.4} (paper: 0.123 → 0.0725, decreasing)",
+        gc.optimal_r(6 * 1024),
+        gc.optimal_r(18 * 1024)
+    );
+
+    maybe_write_json(&args, &records);
+}

@@ -1,0 +1,283 @@
+//! # sat-bench — harness regenerating every table and figure of the paper
+//!
+//! Binaries (run with `cargo run --release -p sat-bench --bin <name>`):
+//!
+//! * `table1` — Table I: per-algorithm access counts, barrier steps and
+//!   global memory access cost — predicted closed forms next to counters
+//!   measured from real executions;
+//! * `table2` — Table II: running time per algorithm for 1K…18K matrices
+//!   (measured counters up to a configurable size, the validated analytic
+//!   model beyond), plus the best hybrid ratio per size and the CPU
+//!   baselines with their speed-up factors;
+//! * `r_sweep` — the hybrid's cost as a function of `r` (Figure 12 /
+//!   Table II bottom rows);
+//! * `fig4_pipeline` — the Figure 4 worked pipeline examples and the
+//!   latency-hiding curves behind Figure 5's timing chart;
+//! * `ablation` — design-choice ablations: diagonal vs row-major shared
+//!   tiles, latency sensitivity, width sensitivity, 2R1W recursion depth.
+//!
+//! All binaries print human-readable tables and (with `--json PATH`) write
+//! machine-readable records used to regenerate `EXPERIMENTS.md`.
+
+use std::time::Instant;
+
+use gpu_exec::{Device, DeviceOptions, GlobalBuffer};
+use hmm_model::cost::{CostCounters, GlobalCost, SatAlgorithm};
+use hmm_model::MachineConfig;
+use sat_core::{par, seq, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// Nanoseconds per HMM time unit (one coalesced 32-word transaction).
+///
+/// Calibrated so the model's 1R1W cost at 18K × 18K lands on the paper's
+/// measured 53.8 ms on the GTX 780 Ti (≈ 2 ns per 32-word read+write
+/// round trip at effective bandwidth). Only used to express costs in
+/// milliseconds; rankings and crossovers are unit-free.
+pub const NS_PER_UNIT: f64 = 2.0;
+
+/// Convert a cost in HMM time units to milliseconds.
+pub fn units_to_ms(units: f64) -> f64 {
+    units * NS_PER_UNIT * 1e-6
+}
+
+/// One (algorithm, size) measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AlgoRecord {
+    /// Algorithm name as in the paper.
+    pub algorithm: String,
+    /// Matrix side `n`.
+    pub n: usize,
+    /// Whether counters come from a real execution (vs the closed form).
+    pub measured: bool,
+    /// Global memory access cost in time units.
+    pub cost_units: f64,
+    /// The cost expressed in milliseconds ([`NS_PER_UNIT`]).
+    pub cost_ms: f64,
+    /// Reads per element.
+    pub reads_per_elt: f64,
+    /// Writes per element.
+    pub writes_per_elt: f64,
+    /// Barrier synchronisation steps.
+    pub barriers: f64,
+    /// Hybrid ratio used (0 for the other algorithms).
+    pub hybrid_r: f64,
+    /// Host wall-clock of the real execution, if any (seconds).
+    pub host_seconds: Option<f64>,
+}
+
+/// Deterministic workload: integer-valued `f64` image (exact arithmetic).
+pub fn workload(n: usize) -> Matrix<f64> {
+    Matrix::from_fn(n, n, |i, j| {
+        ((i.wrapping_mul(2654435761) ^ j.wrapping_mul(40503)) % 256) as f64
+    })
+}
+
+/// Run one algorithm for real on a device, returning its counters and host
+/// wall-clock. The caller supplies fresh input each call.
+pub fn run_real(dev: &Device, alg: SatAlgorithm, r: f64, n: usize) -> (CostCounters, f64) {
+    let a = workload(n);
+    dev.reset_stats();
+    let start = Instant::now();
+    match alg {
+        SatAlgorithm::TwoR2W => {
+            let buf = GlobalBuffer::from_vec(a.into_vec());
+            par::sat_2r2w(dev, &buf, n, n);
+        }
+        SatAlgorithm::FourR4W => {
+            let buf = GlobalBuffer::from_vec(a.into_vec());
+            let tmp = GlobalBuffer::filled(0.0f64, n * n);
+            par::sat_4r4w(dev, &buf, &tmp, n, n);
+        }
+        SatAlgorithm::FourR1W => {
+            let buf = GlobalBuffer::from_vec(a.into_vec());
+            par::sat_4r1w(dev, &buf, n, n);
+        }
+        SatAlgorithm::TwoR1W => {
+            let buf = GlobalBuffer::from_vec(a.into_vec());
+            let s = GlobalBuffer::filled(0.0f64, n * n);
+            par::sat_2r1w(dev, &buf, &s, n, n);
+        }
+        SatAlgorithm::OneR1W => {
+            let buf = GlobalBuffer::from_vec(a.into_vec());
+            let s = GlobalBuffer::filled(0.0f64, n * n);
+            par::sat_1r1w(dev, &buf, &s, n, n);
+        }
+        SatAlgorithm::HybridR1W => {
+            let buf = GlobalBuffer::from_vec(a.into_vec());
+            let s = GlobalBuffer::filled(0.0f64, n * n);
+            par::sat_hybrid(dev, &buf, &s, n, n, r);
+        }
+    }
+    (dev.stats(), start.elapsed().as_secs_f64())
+}
+
+/// Produce the record for `(alg, n)`: measured when `n ≤ measured_max`
+/// (4R1W is additionally capped — its `2n − 1` launches are prohibitive),
+/// closed-form otherwise.
+pub fn record_for(
+    cfg: MachineConfig,
+    dev: &Device,
+    alg: SatAlgorithm,
+    n: usize,
+    measured_max: usize,
+) -> AlgoRecord {
+    let gc = GlobalCost::new(cfg);
+    let r = match alg {
+        SatAlgorithm::HybridR1W => gc.optimal_r(n),
+        _ => 0.0,
+    };
+    let four_r1w_cap = 1024;
+    let measurable = n <= measured_max && (alg != SatAlgorithm::FourR1W || n <= four_r1w_cap);
+    if measurable {
+        let (s, secs) = run_real(dev, alg, r, n);
+        let cost = s.global_cost(&cfg);
+        AlgoRecord {
+            algorithm: alg.name().to_string(),
+            n,
+            measured: true,
+            cost_units: cost,
+            cost_ms: units_to_ms(cost),
+            reads_per_elt: s.reads_per_element(n),
+            writes_per_elt: s.writes_per_element(n),
+            barriers: s.barrier_steps as f64,
+            hybrid_r: r,
+            host_seconds: Some(secs),
+        }
+    } else {
+        let row = gc.table_one_row(alg, n);
+        let n2 = (n * n) as f64;
+        AlgoRecord {
+            algorithm: alg.name().to_string(),
+            n,
+            measured: false,
+            cost_units: row.cost,
+            cost_ms: units_to_ms(row.cost),
+            reads_per_elt: (row.coalesced_reads + row.stride_reads) / n2,
+            writes_per_elt: (row.coalesced_writes + row.stride_writes) / n2,
+            barriers: row.barrier_steps,
+            hybrid_r: r,
+            host_seconds: None,
+        }
+    }
+}
+
+/// Wall-clock one CPU baseline (seconds) at size `n`.
+pub fn cpu_baseline_seconds(alg: CpuBaseline, n: usize) -> f64 {
+    let mut a = workload(n);
+    let start = Instant::now();
+    match alg {
+        CpuBaseline::TwoR2W => seq::sat_2r2w_cpu(&mut a),
+        CpuBaseline::FourR1W => seq::sat_4r1w_cpu(&mut a),
+    }
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(a.get(n - 1, n - 1));
+    secs
+}
+
+/// The two sequential baselines of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuBaseline {
+    /// Two raster-order prefix-sum passes.
+    TwoR2W,
+    /// One Formula-(1) pass (the paper's fastest CPU algorithm).
+    FourR1W,
+}
+
+impl CpuBaseline {
+    /// Name as printed in Table II.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CpuBaseline::TwoR2W => "2R2W(CPU)",
+            CpuBaseline::FourR1W => "4R1W(CPU)",
+        }
+    }
+}
+
+/// A statistics-recording device with the given profile for measured runs.
+pub fn bench_device(cfg: MachineConfig) -> Device {
+    Device::new(DeviceOptions::new(cfg).workers(0))
+}
+
+/// Parse `--flag value`-style options from `args`, returning the value.
+pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// The paper's Table II sizes: 1K…8K in 1K steps, then 10K…18K in 2K steps.
+pub fn table2_sizes() -> Vec<usize> {
+    let mut v: Vec<usize> = (1..=8).map(|k| k * 1024).collect();
+    v.extend((5..=9).map(|k| 2 * k * 1024));
+    v
+}
+
+/// Human-readable size label (e.g. 2048 → "2K").
+pub fn size_label(n: usize) -> String {
+    if n % 1024 == 0 {
+        format!("{}K", n / 1024)
+    } else {
+        n.to_string()
+    }
+}
+
+/// Write records as JSON lines if `--json PATH` was given.
+pub fn maybe_write_json<T: Serialize>(args: &[String], records: &[T]) {
+    if let Some(path) = flag_value(args, "--json") {
+        let mut out = String::new();
+        for r in records {
+            out.push_str(&serde_json::to_string(r).expect("serializable record"));
+            out.push('\n');
+        }
+        std::fs::write(&path, out).expect("writing JSON output");
+        eprintln!("wrote {} records to {path}", records.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_paper() {
+        let s = table2_sizes();
+        assert_eq!(s.len(), 13);
+        assert_eq!(s[0], 1024);
+        assert_eq!(*s.last().unwrap(), 18 * 1024);
+        assert_eq!(size_label(10 * 1024), "10K");
+        assert_eq!(size_label(100), "100");
+    }
+
+    #[test]
+    fn record_measured_and_analytic_agree_roughly() {
+        let cfg = MachineConfig::with_width(16);
+        let dev = bench_device(cfg);
+        let n = 256;
+        for alg in [SatAlgorithm::TwoR1W, SatAlgorithm::OneR1W] {
+            let m = record_for(cfg, &dev, alg, n, usize::MAX);
+            let a = record_for(cfg, &dev, alg, n, 0);
+            assert!(m.measured);
+            assert!(!a.measured);
+            let ratio = m.cost_units / a.cost_units;
+            assert!((0.8..1.25).contains(&ratio), "{alg:?}: {ratio}");
+        }
+    }
+
+    #[test]
+    fn cpu_baselines_run() {
+        for b in [CpuBaseline::TwoR2W, CpuBaseline::FourR1W] {
+            assert!(cpu_baseline_seconds(b, 128) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let args: Vec<String> = ["--json", "out.json", "--sizes", "1,2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(flag_value(&args, "--json").as_deref(), Some("out.json"));
+        assert_eq!(flag_value(&args, "--sizes").as_deref(), Some("1,2"));
+        assert_eq!(flag_value(&args, "--nope"), None);
+    }
+}

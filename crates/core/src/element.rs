@@ -1,0 +1,75 @@
+//! The scalar element types a summed area table can be computed over.
+
+use std::fmt::Debug;
+
+/// Element type of a matrix whose SAT we compute.
+///
+/// The SAT needs addition and (for rectangle-sum queries and for the fringe
+/// derivations of the 1R1W algorithm) subtraction. Integer implementations
+/// use wrapping arithmetic, so every algorithm computes the same function on
+/// every input even when intermediate sums overflow — the group structure of
+/// `(Z/2^k, +)` keeps all identities exact. Floating point implementations
+/// use IEEE arithmetic; different algorithms may round differently, so
+/// comparisons of `f32`/`f64` SATs use tolerances (or integer-valued inputs,
+/// which stay exact below the mantissa limit).
+pub trait SatElement:
+    Copy + Default + Send + Sync + PartialEq + Debug + 'static
+{
+    /// The additive identity.
+    const ZERO: Self;
+
+    /// Associative, commutative addition.
+    #[must_use]
+    fn add(self, rhs: Self) -> Self;
+
+    /// Inverse of [`add`](Self::add): `a.add(b).sub(b) == a`.
+    #[must_use]
+    fn sub(self, rhs: Self) -> Self;
+}
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl SatElement for $t {
+            const ZERO: Self = 0.0;
+            #[inline]
+            fn add(self, rhs: Self) -> Self { self + rhs }
+            #[inline]
+            fn sub(self, rhs: Self) -> Self { self - rhs }
+        }
+    )*};
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl SatElement for $t {
+            const ZERO: Self = 0;
+            #[inline]
+            fn add(self, rhs: Self) -> Self { self.wrapping_add(rhs) }
+            #[inline]
+            fn sub(self, rhs: Self) -> Self { self.wrapping_sub(rhs) }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+impl_int!(i32, i64, u32, u64, u8, u16, i8, i16);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_round_trip() {
+        assert_eq!(3.5f64.add(2.25).sub(2.25), 3.5);
+        assert_eq!(7i64.add(-9).sub(-9), 7);
+        assert_eq!(250u8.add(10), 4); // wrapping
+        assert_eq!(4u8.sub(10), 250);
+    }
+
+    #[test]
+    fn zero_is_identity() {
+        assert_eq!(f32::ZERO.add(1.5), 1.5);
+        assert_eq!(i32::ZERO, 0);
+        assert_eq!(42u64.add(u64::ZERO), 42);
+    }
+}

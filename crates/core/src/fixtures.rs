@@ -1,0 +1,113 @@
+//! Worked-example data from the paper (Figure 3).
+//!
+//! The paper develops every algorithm on one running example: a `9 × 9`
+//! matrix (block width `w = 3` in Figures 8–11), its column-wise prefix sums,
+//! and its summed area table. These fixtures are the golden values for the
+//! crate's tests and examples.
+
+use crate::matrix::Matrix;
+
+/// The `9 × 9` input matrix of Figure 3.
+pub fn fig3_input() -> Matrix<i64> {
+    Matrix::from_vec(
+        9,
+        9,
+        vec![
+            0, 0, 0, 1, 1, 1, 0, 0, 0, //
+            0, 0, 1, 1, 1, 1, 1, 0, 0, //
+            0, 1, 1, 1, 2, 1, 1, 1, 0, //
+            1, 1, 1, 2, 2, 2, 1, 1, 1, //
+            1, 1, 2, 2, 3, 2, 2, 1, 1, //
+            1, 1, 1, 2, 2, 2, 1, 1, 1, //
+            0, 1, 1, 1, 2, 1, 1, 1, 0, //
+            0, 0, 1, 1, 1, 1, 1, 0, 0, //
+            0, 0, 0, 1, 1, 1, 0, 0, 0, //
+        ],
+    )
+}
+
+/// The column-wise prefix sums of [`fig3_input`] (the middle matrix of
+/// Figure 3 — the state after the first pass of the 2R2W algorithm).
+pub fn fig3_column_prefix() -> Matrix<i64> {
+    Matrix::from_vec(
+        9,
+        9,
+        vec![
+            0, 0, 0, 1, 1, 1, 0, 0, 0, //
+            0, 0, 1, 2, 2, 2, 1, 0, 0, //
+            0, 1, 2, 3, 4, 3, 2, 1, 0, //
+            1, 2, 3, 5, 6, 5, 3, 2, 1, //
+            2, 3, 5, 7, 9, 7, 5, 3, 2, //
+            3, 4, 6, 9, 11, 9, 6, 4, 3, //
+            3, 5, 7, 10, 13, 10, 7, 5, 3, //
+            3, 5, 8, 11, 14, 11, 8, 5, 3, //
+            3, 5, 8, 12, 15, 12, 8, 5, 3, //
+        ],
+    )
+}
+
+/// The summed area table of [`fig3_input`] (the right matrix of Figure 3).
+pub fn fig3_sat() -> Matrix<i64> {
+    Matrix::from_vec(
+        9,
+        9,
+        vec![
+            0, 0, 0, 1, 2, 3, 3, 3, 3, //
+            0, 0, 1, 3, 5, 7, 8, 8, 8, //
+            0, 1, 3, 6, 10, 13, 15, 16, 16, //
+            1, 3, 6, 11, 17, 22, 25, 27, 28, //
+            2, 5, 10, 17, 26, 33, 38, 41, 43, //
+            3, 7, 13, 22, 33, 42, 48, 52, 55, //
+            3, 8, 15, 25, 38, 48, 55, 60, 63, //
+            3, 8, 16, 27, 41, 52, 60, 65, 68, //
+            3, 8, 16, 28, 43, 55, 63, 68, 71, //
+        ],
+    )
+}
+
+/// The block width used with the Figure 3 example throughout Figures 8–11.
+pub const FIG_BLOCK_WIDTH: usize = 3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_shapes() {
+        assert_eq!(fig3_input().rows(), 9);
+        assert!(fig3_input().is_square());
+        assert_eq!(fig3_sat().rows(), 9);
+        assert_eq!(fig3_column_prefix().cols(), 9);
+    }
+
+    #[test]
+    fn column_prefix_is_prefix_of_input() {
+        let a = fig3_input();
+        let p = fig3_column_prefix();
+        for j in 0..9 {
+            let mut acc = 0;
+            for i in 0..9 {
+                acc += a.get(i, j);
+                assert_eq!(p.get(i, j), acc, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn sat_is_row_prefix_of_column_prefix() {
+        let p = fig3_column_prefix();
+        let s = fig3_sat();
+        for i in 0..9 {
+            let mut acc = 0;
+            for j in 0..9 {
+                acc += p.get(i, j);
+                assert_eq!(s.get(i, j), acc, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn total_sum_is_71() {
+        assert_eq!(fig3_sat().get(8, 8), 71);
+    }
+}

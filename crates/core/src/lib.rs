@@ -1,0 +1,220 @@
+//! # sat-core — summed area tables on the asynchronous Hierarchical Memory Machine
+//!
+//! A Rust reproduction of *"Parallel Algorithms for the Summed Area Table on
+//! the Asynchronous Hierarchical Memory Machine, with GPU implementations"*
+//! (Kasagi, Nakano, Ito — ICPP 2014).
+//!
+//! The **summed area table** (SAT, Crow 1984) of a matrix `A` is the matrix
+//! `S` with `S(i,j) = Σ A(u,v)` over `u ≤ i, v ≤ j`; once built, any
+//! rectangle sum of `A` costs four lookups ([`SumTable`]). This crate
+//! implements every SAT algorithm the paper analyses, as kernels for the
+//! [`gpu_exec`] virtual GPU (a faithful executor of the paper's
+//! *asynchronous HMM* machine model):
+//!
+//! | algorithm | global traffic per element | barriers | module |
+//! |---|---|---|---|
+//! | [`par::sat_2r2w`] | 2R + 2W, half stride | 1 | [`par::two_r2w`] |
+//! | [`par::sat_4r4w`] | 4R + 4W, coalesced | 3 | [`par::four_r4w`] |
+//! | [`par::sat_4r1w`] | 4R + 1W, stride | 2n−2 | [`par::four_r1w`] |
+//! | [`par::sat_2r1w`] | 2R + 1W, coalesced | 2k+2 | [`par::two_r1w`] |
+//! | [`par::sat_1r1w`] | **1R + 1W**, coalesced (optimal) | 2n/w−2 | [`par::one_r1w`] |
+//! | [`par::sat_hybrid`] | (1+r²)R + 1W | mixed | [`par::hybrid`] |
+//!
+//! plus the sequential CPU baselines ([`seq`]), the coalesced block
+//! transpose via the diagonal arrangement ([`transpose`]), rectangle-sum
+//! queries ([`rect`]), and the worked-example fixtures of the paper's
+//! Figure 3 ([`fixtures`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gpu_exec::{Device, DeviceOptions};
+//! use hmm_model::{cost::SatAlgorithm, MachineConfig};
+//! use sat_core::{compute_sat, Matrix, Rect, SumTable};
+//!
+//! let dev = Device::new(DeviceOptions::new(MachineConfig::with_width(4)));
+//! // Any shape works; inputs are zero-padded to block multiples internally.
+//! let image = Matrix::from_fn(30, 22, |i, j| (i + j) as i64);
+//! let sat = compute_sat(&dev, SatAlgorithm::OneR1W, &image);
+//! let table = SumTable::from_sat(sat);
+//! assert_eq!(
+//!     table.sum(Rect::new(0, 0, 29, 21)),
+//!     (0..30).flat_map(|i| (0..22).map(move |j| (i + j) as i64)).sum::<i64>(),
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod element;
+pub mod fixtures;
+pub mod matrix;
+pub mod par;
+pub mod rect;
+pub mod scan;
+pub mod seq;
+pub mod transpose;
+
+pub use element::SatElement;
+pub use matrix::Matrix;
+pub use rect::{Rect, SumTable};
+
+use gpu_exec::{Device, GlobalBuffer};
+use hmm_model::cost::SatAlgorithm;
+
+/// Ratio used for [`SatAlgorithm::HybridR1W`] when going through
+/// [`compute_sat`]: the cost model's optimum for the padded size.
+fn default_hybrid_ratio(dev: &Device, n: usize) -> f64 {
+    hmm_model::cost::GlobalCost::new(*dev.config()).optimal_r(n)
+}
+
+/// Compute the SAT of an arbitrary-shaped matrix with the chosen algorithm.
+///
+/// The input is zero-padded to a square multiple of the device width (the
+/// paper's algorithms assume that shape; padding does not disturb the SAT of
+/// the original region), computed on the device, and cropped back.
+/// [`SatAlgorithm::HybridR1W`] uses the cost model's optimal ratio; use
+/// [`compute_sat_hybrid`] to pick `r` yourself.
+pub fn compute_sat<T: SatElement>(
+    dev: &Device,
+    algorithm: SatAlgorithm,
+    a: &Matrix<T>,
+) -> Matrix<T> {
+    let r = match algorithm {
+        SatAlgorithm::HybridR1W => {
+            let (rows, cols) = padded_dims(dev, a);
+            default_hybrid_ratio(dev, rows.max(cols))
+        }
+        _ => 0.0,
+    };
+    compute_sat_inner(dev, algorithm, a, r)
+}
+
+/// [`compute_sat`] with an explicit hybrid ratio `r ∈ [0, 1]`.
+pub fn compute_sat_hybrid<T: SatElement>(dev: &Device, a: &Matrix<T>, r: f64) -> Matrix<T> {
+    compute_sat_inner(dev, SatAlgorithm::HybridR1W, a, r)
+}
+
+fn padded_dims<T: SatElement>(dev: &Device, a: &Matrix<T>) -> (usize, usize) {
+    let w = dev.width();
+    (
+        a.rows().max(1).next_multiple_of(w),
+        a.cols().max(1).next_multiple_of(w),
+    )
+}
+
+fn compute_sat_inner<T: SatElement>(
+    dev: &Device,
+    algorithm: SatAlgorithm,
+    a: &Matrix<T>,
+    r: f64,
+) -> Matrix<T> {
+    if a.rows() == 0 || a.cols() == 0 {
+        return a.clone();
+    }
+    let (rows, cols) = padded_dims(dev, a);
+    let padded = a.zero_padded_to(rows, cols);
+    let out = match algorithm {
+        SatAlgorithm::TwoR2W => {
+            let buf = GlobalBuffer::from_vec(padded.into_vec());
+            par::sat_2r2w(dev, &buf, rows, cols);
+            buf.into_vec()
+        }
+        SatAlgorithm::FourR4W => {
+            let buf = GlobalBuffer::from_vec(padded.into_vec());
+            let tmp = GlobalBuffer::filled(T::ZERO, rows * cols);
+            par::sat_4r4w(dev, &buf, &tmp, rows, cols);
+            buf.into_vec()
+        }
+        SatAlgorithm::FourR1W => {
+            let buf = GlobalBuffer::from_vec(padded.into_vec());
+            par::sat_4r1w(dev, &buf, rows, cols);
+            buf.into_vec()
+        }
+        SatAlgorithm::TwoR1W => {
+            let buf = GlobalBuffer::from_vec(padded.into_vec());
+            let s = GlobalBuffer::filled(T::ZERO, rows * cols);
+            par::sat_2r1w(dev, &buf, &s, rows, cols);
+            s.into_vec()
+        }
+        SatAlgorithm::OneR1W => {
+            let buf = GlobalBuffer::from_vec(padded.into_vec());
+            let s = GlobalBuffer::filled(T::ZERO, rows * cols);
+            par::sat_1r1w(dev, &buf, &s, rows, cols);
+            s.into_vec()
+        }
+        SatAlgorithm::HybridR1W => {
+            let buf = GlobalBuffer::from_vec(padded.into_vec());
+            let s = GlobalBuffer::filled(T::ZERO, rows * cols);
+            par::sat_hybrid(dev, &buf, &s, rows, cols, r);
+            s.into_vec()
+        }
+    };
+    Matrix::from_vec(rows, cols, out).cropped(a.rows(), a.cols())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_exec::DeviceOptions;
+    use hmm_model::MachineConfig;
+
+    use crate::seq::sat_reference;
+
+    fn dev(w: usize) -> Device {
+        Device::new(DeviceOptions::new(MachineConfig::with_width(w)).workers(2))
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_padded_shapes() {
+        let dev = dev(4);
+        for (rows, cols) in [(1, 1), (5, 3), (9, 9), (17, 20), (32, 32)] {
+            let a = Matrix::from_fn(rows, cols, |i, j| ((i * 3 + j * 7) % 13) as i64 - 6);
+            let want = sat_reference(&a);
+            for alg in SatAlgorithm::ALL {
+                let got = compute_sat(&dev, alg, &a);
+                assert_eq!(got, want, "{alg:?} {rows}x{cols}");
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_with_explicit_ratio() {
+        let dev = dev(4);
+        let a = Matrix::from_fn(20, 20, |i, j| (i * j) as i64 % 9);
+        let want = sat_reference(&a);
+        for r in [0.0, 0.4, 1.0] {
+            assert_eq!(compute_sat_hybrid(&dev, &a, r), want, "r={r}");
+        }
+    }
+
+    #[test]
+    fn empty_matrix_passthrough() {
+        let dev = dev(4);
+        let a: Matrix<i64> = Matrix::zeros(0, 0);
+        let got = compute_sat(&dev, SatAlgorithm::OneR1W, &a);
+        assert_eq!(got.rows(), 0);
+    }
+
+    #[test]
+    fn doc_example() {
+        let dev = dev(4);
+        let image = Matrix::from_fn(30, 22, |i, j| (i + j) as i64);
+        let sat = compute_sat(&dev, SatAlgorithm::OneR1W, &image);
+        let table = SumTable::from_sat(sat);
+        let total: i64 = (0..30)
+            .flat_map(|i| (0..22).map(move |j| (i + j) as i64))
+            .sum();
+        assert_eq!(table.sum(Rect::new(0, 0, 29, 21)), total);
+    }
+
+    #[test]
+    fn floats_agree_within_tolerance() {
+        let dev = dev(4);
+        let a = Matrix::from_fn(16, 16, |i, j| ((i * 7 + j) % 5) as f64 * 0.25);
+        let want = sat_reference(&a);
+        for alg in SatAlgorithm::ALL {
+            let got = compute_sat(&dev, alg, &a);
+            assert!(got.max_abs_diff(&want) < 1e-9, "{alg:?}");
+        }
+    }
+}

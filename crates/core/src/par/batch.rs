@@ -1,0 +1,206 @@
+//! Batched 1R1W: amortise the wavefront's latency across many images.
+//!
+//! 1R1W's weakness is its `2m − 1` barrier-separated stages whose corner
+//! launches are too narrow to hide latency (§VII). When *several* matrices
+//! need SATs (video frames, depth + depth² for shadow maps, image stacks),
+//! the stages can be **fused across the batch**: stage `d` of every image
+//! runs in one launch, so the launch count stays `2m − 1` while each launch
+//! is `B×` wider. The corner stages of a 16-image batch hold 16 blocks
+//! instead of one — enough to hide the latency the hybrid algorithm exists
+//! to dodge. (The alternative the paper's hybrid embodies is still better
+//! for a *single* matrix; this is the batch counterpart.)
+
+use gpu_exec::{Device, GlobalBuffer, SharedTile};
+
+use crate::element::SatElement;
+use crate::par::common::{default_tile, load_block, tile_sat, Grid};
+
+/// Batched **1R1W**: compute `outputs[k]` = SAT of `inputs[k]` for every
+/// `k`, all matrices `rows × cols`, with the block wavefront fused across
+/// the batch (`rows/w + cols/w − 1` launches in total, independent of the
+/// batch size).
+pub fn sat_1r1w_batch<T: SatElement>(
+    dev: &Device,
+    inputs: &[&GlobalBuffer<T>],
+    outputs: &[&GlobalBuffer<T>],
+    rows: usize,
+    cols: usize,
+) {
+    assert_eq!(inputs.len(), outputs.len(), "one output per input");
+    if inputs.is_empty() {
+        return;
+    }
+    let grid = Grid::new(rows, cols, dev.width());
+    for (a, s) in inputs.iter().zip(outputs) {
+        assert!(
+            a.len() >= rows * cols && s.len() >= rows * cols,
+            "buffers too small"
+        );
+    }
+    let w = grid.w;
+    let batch = inputs.len();
+    for d in 0..grid.diagonals() {
+        let blocks: Vec<(usize, usize)> = grid.diagonal_blocks(d).collect();
+        let per_image = blocks.len();
+        dev.launch(per_image * batch, |ctx| {
+            let id = ctx.block_id();
+            let (img, which) = (id / per_image, id % per_image);
+            let ga = ctx.view(inputs[img]);
+            let gs = ctx.view(outputs[img]);
+            let (bi, bj) = blocks[which];
+            let (r0, c0) = grid.origin(bi, bj);
+            let mut tile: SharedTile<T> = default_tile(ctx);
+            load_block(ctx, &ga, grid, bi, bj, &mut tile);
+            tile_sat(ctx, &mut tile);
+            let mut top = vec![T::ZERO; w];
+            if bi > 0 {
+                gs.read_contig(grid.addr(r0 - 1, c0), &mut top, &mut ctx.rec);
+            }
+            let mut left = vec![T::ZERO; w];
+            if bj > 0 {
+                gs.read_strided(grid.addr(r0, c0 - 1), grid.cols, &mut left, &mut ctx.rec);
+            }
+            let corner = if bi > 0 && bj > 0 {
+                gs.read(grid.addr(r0 - 1, c0 - 1), &mut ctx.rec)
+            } else {
+                T::ZERO
+            };
+            let mut row = vec![T::ZERO; w];
+            for (i, l) in left.iter().enumerate() {
+                tile.read_row(i, &mut row, &mut ctx.rec);
+                let li = l.sub(corner);
+                for j in 0..w {
+                    row[j] = row[j].add(top[j]).add(li);
+                }
+                gs.write_contig(grid.addr(r0 + i, c0), &row, &mut ctx.rec);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_exec::{Device, DeviceOptions};
+    use hmm_model::MachineConfig;
+    use hmm_sim::AsyncHmm;
+
+    use crate::matrix::Matrix;
+    use crate::seq::sat_reference;
+
+    fn dev(w: usize) -> Device {
+        Device::new(DeviceOptions::new(MachineConfig::with_width(w)).workers(2))
+    }
+
+    fn images(batch: usize, rows: usize, cols: usize) -> Vec<Matrix<i64>> {
+        (0..batch)
+            .map(|k| {
+                Matrix::from_fn(rows, cols, |i, j| {
+                    ((i * 31 + j * 7 + k * 13) % 29) as i64 - 14
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_per_image_results() {
+        let (w, rows, cols) = (4usize, 16usize, 24usize);
+        let d = dev(w);
+        let imgs = images(5, rows, cols);
+        let ins: Vec<GlobalBuffer<i64>> = imgs
+            .iter()
+            .map(|m| GlobalBuffer::from_vec(m.as_slice().to_vec()))
+            .collect();
+        let outs: Vec<GlobalBuffer<i64>> = (0..5)
+            .map(|_| GlobalBuffer::filled(0i64, rows * cols))
+            .collect();
+        sat_1r1w_batch(
+            &d,
+            &ins.iter().collect::<Vec<_>>(),
+            &outs.iter().collect::<Vec<_>>(),
+            rows,
+            cols,
+        );
+        for (img, out) in imgs.iter().zip(outs) {
+            assert_eq!(out.into_vec(), sat_reference(img).into_vec());
+        }
+    }
+
+    #[test]
+    fn launch_count_is_batch_independent() {
+        let (w, n) = (4usize, 16usize);
+        let m = n / w;
+        for batch in [1usize, 4, 8] {
+            let d = dev(w);
+            let imgs = images(batch, n, n);
+            let ins: Vec<GlobalBuffer<i64>> = imgs
+                .iter()
+                .map(|mx| GlobalBuffer::from_vec(mx.as_slice().to_vec()))
+                .collect();
+            let outs: Vec<GlobalBuffer<i64>> = (0..batch)
+                .map(|_| GlobalBuffer::filled(0i64, n * n))
+                .collect();
+            d.reset_stats();
+            sat_1r1w_batch(
+                &d,
+                &ins.iter().collect::<Vec<_>>(),
+                &outs.iter().collect::<Vec<_>>(),
+                n,
+                n,
+            );
+            assert_eq!(d.launches() as usize, 2 * m - 1, "batch={batch}");
+        }
+    }
+
+    #[test]
+    fn batching_hides_latency_in_simulation() {
+        // Simulated time per image must drop with batching: the fused
+        // corner stages finally have enough blocks to fill the pipeline.
+        let (w, n) = (8usize, 64usize);
+        let cfg = MachineConfig::with_width(w).latency(200).num_dmms(64);
+        let mut per_image = Vec::new();
+        for batch in [1usize, 8] {
+            let d = Device::new(
+                DeviceOptions::new(cfg).workers(0).record_trace(true),
+            );
+            let imgs = images(batch, n, n);
+            let ins: Vec<GlobalBuffer<i64>> = imgs
+                .iter()
+                .map(|mx| GlobalBuffer::from_vec(mx.as_slice().to_vec()))
+                .collect();
+            let outs: Vec<GlobalBuffer<i64>> = (0..batch)
+                .map(|_| GlobalBuffer::filled(0i64, n * n))
+                .collect();
+            sat_1r1w_batch(
+                &d,
+                &ins.iter().collect::<Vec<_>>(),
+                &outs.iter().collect::<Vec<_>>(),
+                n,
+                n,
+            );
+            let sim = AsyncHmm::new(cfg).simulate(&d.take_trace());
+            per_image.push(sim.total_time as f64 / batch as f64);
+        }
+        assert!(
+            per_image[1] < per_image[0] * 0.7,
+            "batched {} vs single {} time units per image",
+            per_image[1],
+            per_image[0]
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let d = dev(4);
+        sat_1r1w_batch::<i64>(&d, &[], &[], 8, 8);
+        assert_eq!(d.launches(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one output per input")]
+    fn mismatched_batch_rejected() {
+        let d = dev(4);
+        let a = GlobalBuffer::filled(0i64, 64);
+        sat_1r1w_batch(&d, &[&a], &[], 8, 8);
+    }
+}

@@ -1,0 +1,185 @@
+//! The **4R1W** SAT algorithm (§VI): element-wise anti-diagonal wavefront.
+//!
+//! Formula (1) of the paper,
+//!
+//! ```text
+//! s(i,j) = a(i,j) + s(i−1,j) + s(i,j−1) − s(i−1,j−1),
+//! ```
+//!
+//! evaluated stage by stage along anti-diagonals (Figure 10): stage `d`
+//! computes every `s(i, d−i)` from values finished in stages `d−1` and
+//! `d−2`. Per element: 4 reads + 1 write — but every access runs along an
+//! anti-diagonal (pitch `n − 1`), so **all operations are stride**, and the
+//! wavefront needs `2n − 1` barrier-separated launches. Lemma 5 prices this
+//! at `5n² + 2nL`: the worst algorithm on the GPU despite doing the least
+//! writing — the paper's cautionary tale, and the direct inspiration for the
+//! *block-wise* wavefront of 1R1W.
+
+use gpu_exec::{Device, GlobalBuffer};
+
+use crate::element::SatElement;
+use crate::par::common::Grid;
+
+/// **4R1W**: the SAT of the `rows × cols` matrix in `buf`, in place, by
+/// `rows + cols − 1` anti-diagonal launches.
+pub fn sat_4r1w<T: SatElement>(dev: &Device, buf: &GlobalBuffer<T>, rows: usize, cols: usize) {
+    let grid = Grid::new(rows, cols, dev.width());
+    let w = grid.w;
+    for d in 0..(rows + cols - 1) {
+        // Elements (i, d−i) with both coordinates in range.
+        let lo = d.saturating_sub(cols - 1);
+        let hi = d.min(rows - 1);
+        let len = hi - lo + 1;
+        let launches = len.div_ceil(w);
+        dev.launch(launches, |ctx| {
+            let g = ctx.view(buf);
+            let start = lo + ctx.block_id() * w;
+            let lanes = w.min(hi + 1 - start);
+            // Gather lanes for each operand of Formula (1); lane t handles
+            // element (i, j) = (start + t, d − start − t).
+            let addr = |i: usize, j: usize| grid.addr(i, j);
+            let own: Vec<usize> = (0..lanes).map(|t| addr(start + t, d - start - t)).collect();
+            let mut s = vec![T::ZERO; lanes];
+            g.read_gather(&own, &mut s, ctx.rec());
+            // s(i−1, j): lanes with i ≥ 1.
+            let up: Vec<usize> = (0..lanes)
+                .filter(|&t| start + t >= 1)
+                .map(|t| addr(start + t - 1, d - start - t))
+                .collect();
+            if !up.is_empty() {
+                let mut vals = vec![T::ZERO; up.len()];
+                g.read_gather(&up, &mut vals, ctx.rec());
+                let off = lanes - up.len(); // lanes missing "up" come first
+                for (k, v) in vals.into_iter().enumerate() {
+                    s[off + k] = s[off + k].add(v);
+                }
+            }
+            // s(i, j−1): lanes with j ≥ 1.
+            let left: Vec<usize> = (0..lanes)
+                .filter(|&t| d - start - t >= 1)
+                .map(|t| addr(start + t, d - start - t - 1))
+                .collect();
+            if !left.is_empty() {
+                let mut vals = vec![T::ZERO; left.len()];
+                g.read_gather(&left, &mut vals, ctx.rec());
+                for (k, v) in vals.into_iter().enumerate() {
+                    s[k] = s[k].add(v); // lanes missing "left" come last
+                }
+            }
+            // s(i−1, j−1): lanes with i ≥ 1 and j ≥ 1.
+            let diag: Vec<(usize, usize)> = (0..lanes)
+                .filter(|&t| start + t >= 1 && d - start - t >= 1)
+                .map(|t| (t, addr(start + t - 1, d - start - t - 1)))
+                .collect();
+            if !diag.is_empty() {
+                let addrs: Vec<usize> = diag.iter().map(|&(_, a)| a).collect();
+                let mut vals = vec![T::ZERO; addrs.len()];
+                g.read_gather(&addrs, &mut vals, ctx.rec());
+                for ((t, _), v) in diag.into_iter().zip(vals) {
+                    s[t] = s[t].sub(v);
+                }
+            }
+            g.write_scatter(&own, &s, ctx.rec());
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_exec::{Device, DeviceOptions};
+    use hmm_model::MachineConfig;
+
+    use crate::fixtures::{fig3_input, fig3_sat, FIG_BLOCK_WIDTH};
+    use crate::matrix::Matrix;
+    use crate::seq::sat_reference;
+
+    fn dev(w: usize) -> Device {
+        Device::new(DeviceOptions::new(MachineConfig::with_width(w)).workers(2))
+    }
+
+    #[test]
+    fn fig3_full_sat() {
+        let dev = dev(FIG_BLOCK_WIDTH);
+        let buf = GlobalBuffer::from_vec(fig3_input().into_vec());
+        sat_4r1w(&dev, &buf, 9, 9);
+        assert_eq!(buf.into_vec(), fig3_sat().into_vec());
+    }
+
+    #[test]
+    fn fig10_stage_wavefront_prefix_is_correct_midway() {
+        // Figure 10 illustrates stage 7 of the wavefront on the 9 × 9
+        // example: after stages 0..=6 every element with i + j ≤ 6 holds its
+        // final SAT value while later anti-diagonals still hold input data.
+        // (Computed with the sequential recurrence, which the device kernel
+        // is verified against in the other tests of this module.)
+        let n = 9;
+        let mut v = fig3_input().into_vec();
+        for d in 0..=6usize {
+            let lo = d.saturating_sub(n - 1);
+            let hi = d.min(n - 1);
+            for i in lo..=hi {
+                let j = d - i;
+                let mut x = v[i * n + j];
+                if i >= 1 {
+                    x = x.add(v[(i - 1) * n + j]);
+                }
+                if j >= 1 {
+                    x = x.add(v[i * n + j - 1]);
+                }
+                if i >= 1 && j >= 1 {
+                    x = x.sub(v[(i - 1) * n + j - 1]);
+                }
+                v[i * n + j] = x;
+            }
+        }
+        let sat = fig3_sat();
+        let input = fig3_input();
+        for i in 0..n {
+            for j in 0..n {
+                if i + j <= 6 {
+                    assert_eq!(v[i * n + j], sat.get(i, j), "finished ({i},{j})");
+                } else {
+                    assert_eq!(v[i * n + j], input.get(i, j), "untouched ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference() {
+        for (w, rows, cols) in [(4, 8, 8), (8, 16, 16), (3, 12, 12), (4, 8, 16), (4, 16, 8)] {
+            let dev = dev(w);
+            let a = Matrix::from_fn(rows, cols, |i, j| ((i * 7 + j * 3) % 19) as i64 - 9);
+            let buf = GlobalBuffer::from_vec(a.as_slice().to_vec());
+            sat_4r1w(&dev, &buf, rows, cols);
+            assert_eq!(
+                buf.into_vec(),
+                sat_reference(&a).into_vec(),
+                "w={w} {rows}x{cols}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_interior_accesses_are_stride_and_barriers_are_2n_minus_2() {
+        let (w, n) = (8usize, 32usize);
+        let dev = dev(w);
+        let buf = GlobalBuffer::filled(1i64, n * n);
+        dev.reset_stats();
+        sat_4r1w(&dev, &buf, n, n);
+        let s = dev.stats();
+        assert_eq!(s.barrier_steps, (2 * n - 2) as u64);
+        let n2 = (n * n) as u64;
+        // 1 own-read + 1 write per element is exact; neighbour reads are
+        // skipped on the two boundary edges.
+        let reads = s.coalesced_reads + s.stride_reads;
+        let writes = s.coalesced_writes + s.stride_writes;
+        assert_eq!(writes, n2);
+        // own n² + up (n² − n) + left (n² − n) + diagonal (n − 1)².
+        assert_eq!(reads, 4 * n2 - 4 * (n as u64) + 1);
+        // Stride dominates: coalesced ops only appear in degenerate 1-lane
+        // warps at diagonal tips.
+        assert!(s.stride_reads > 3 * n2);
+    }
+}

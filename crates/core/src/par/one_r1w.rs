@@ -1,0 +1,383 @@
+//! The **1R1W** SAT algorithm (§VI) — the paper's contribution, optimal in
+//! global memory accesses.
+//!
+//! 4R1W's anti-diagonal wavefront is lifted from elements to `w × w`
+//! **blocks** (Figure 11): stage `d` computes the final SAT values of every
+//! block on block-anti-diagonal `bi + bj = d`. A block needs three kinds of
+//! fringe data, and *all of them can be read from the already-finished SAT
+//! values of its neighbours* (the paper's "pairwise subtraction"):
+//!
+//! * `T[j] = S(bi·w−1, bj·w+j)` — the bottom row of the block above
+//!   (stage `d−1`): the sum of column `bj·w+j` over all rows above, *plus*
+//!   everything above-left;
+//! * `Lᵢ = S(bi·w+i, bj·w−1)` — the rightmost column of the block to the
+//!   left (stage `d−1`);
+//! * `c = S(bi·w−1, bj·w−1)` — the bottom-right corner of the diagonal
+//!   neighbour (stage `d−2`).
+//!
+//! With the block's local SAT `ℓ` (computed in shared memory with the
+//! diagonal arrangement) the global value is simply
+//!
+//! ```text
+//! S(bi·w+i, bj·w+j) = ℓ(i,j) + T[j] + Lᵢ − c .
+//! ```
+//!
+//! Per element this costs exactly **1 read + 1 write** plus `O(w)` fringe
+//! reads per block — optimal, since every input must be read and every
+//! output written (Theorem 6). The price is `2·(n/w) − 1` barrier-separated
+//! stages, whose latency dominates for small matrices — hence the hybrid
+//! `(1+r²)R1W`.
+
+use gpu_exec::{Device, GlobalBuffer, SharedTile};
+
+use crate::element::SatElement;
+use crate::par::common::{default_tile, load_block, tile_sat, Grid};
+
+/// **1R1W**: compute into `s` the SAT of the `rows × cols` matrix in `a`,
+/// by `rows/w + cols/w − 1` block-wavefront launches.
+pub fn sat_1r1w<T: SatElement>(
+    dev: &Device,
+    a: &GlobalBuffer<T>,
+    s: &GlobalBuffer<T>,
+    rows: usize,
+    cols: usize,
+) {
+    let grid = Grid::new(rows, cols, dev.width());
+    assert!(
+        a.len() >= rows * cols && s.len() >= rows * cols,
+        "buffers too small"
+    );
+    for d in 0..grid.diagonals() {
+        one_r1w_stage(dev, a, s, grid, d);
+    }
+}
+
+/// One wavefront stage: finish every block with `bi + bj = d`. Exposed for
+/// the hybrid algorithm, which runs these stages only over its middle
+/// region. Requires all blocks with smaller `bi + bj` to hold final SAT
+/// values in `s`.
+pub fn one_r1w_stage<T: SatElement>(
+    dev: &Device,
+    a: &GlobalBuffer<T>,
+    s: &GlobalBuffer<T>,
+    grid: Grid,
+    d: usize,
+) {
+    let blocks: Vec<(usize, usize)> = grid.diagonal_blocks(d).collect();
+    let w = grid.w;
+    dev.launch(blocks.len(), |ctx| {
+        let ga = ctx.view(a);
+        let gs = ctx.view(s);
+        let (bi, bj) = blocks[ctx.block_id()];
+        let (r0, c0) = grid.origin(bi, bj);
+        let mut tile: SharedTile<T> = default_tile(ctx);
+        load_block(ctx, &ga, grid, bi, bj, &mut tile);
+        tile_sat(ctx, &mut tile);
+        // Fringes from finished neighbours, by pairwise subtraction.
+        let mut top = vec![T::ZERO; w];
+        if bi > 0 {
+            // Bottom row of the block above — coalesced.
+            gs.read_contig(grid.addr(r0 - 1, c0), &mut top, &mut ctx.rec);
+        }
+        let mut left = vec![T::ZERO; w];
+        if bj > 0 {
+            // Rightmost column of the block to the left — stride w reads
+            // (the O(n²/w) lower-order term of Theorem 6).
+            gs.read_strided(grid.addr(r0, c0 - 1), grid.cols, &mut left, &mut ctx.rec);
+        }
+        let corner = if bi > 0 && bj > 0 {
+            gs.read(grid.addr(r0 - 1, c0 - 1), &mut ctx.rec)
+        } else {
+            T::ZERO
+        };
+        // Emit final values row by row — coalesced.
+        let mut row = vec![T::ZERO; w];
+        for (i, l) in left.iter().enumerate() {
+            tile.read_row(i, &mut row, &mut ctx.rec);
+            let li = l.sub(corner);
+            for j in 0..w {
+                row[j] = row[j].add(top[j]).add(li);
+            }
+            gs.write_contig(grid.addr(r0 + i, c0), &row, &mut ctx.rec);
+        }
+    });
+}
+
+/// **1R1W with a column mirror** — removes the last stride access.
+///
+/// Plain [`sat_1r1w`] reads each block's *left fringe* from the right
+/// column of its left neighbour: a stride access (`w` transactions). This
+/// variant maintains an auxiliary `mc × rows` array `M` with
+/// `M[bj][r] = S(r, (bj+1)·w − 1)` — every finished block appends its right
+/// column *transposed* (one coalesced write), and the next block column
+/// reads its left fringe from `M` with one coalesced read. Total: `+rows·mc`
+/// coalesced writes, `−rows·mc` stride reads; every access of the whole
+/// algorithm is now coalesced. The `ablation` benchmark quantifies the
+/// trade.
+pub fn sat_1r1w_mirror<T: SatElement>(
+    dev: &Device,
+    a: &GlobalBuffer<T>,
+    s: &GlobalBuffer<T>,
+    rows: usize,
+    cols: usize,
+) {
+    let grid = Grid::new(rows, cols, dev.width());
+    assert!(
+        a.len() >= rows * cols && s.len() >= rows * cols,
+        "buffers too small"
+    );
+    let mirror = GlobalBuffer::filled(T::ZERO, grid.mc * rows);
+    for d in 0..grid.diagonals() {
+        one_r1w_stage_mirror(dev, a, s, &mirror, grid, d);
+    }
+}
+
+/// One mirror-variant wavefront stage (see [`sat_1r1w_mirror`]).
+fn one_r1w_stage_mirror<T: SatElement>(
+    dev: &Device,
+    a: &GlobalBuffer<T>,
+    s: &GlobalBuffer<T>,
+    mirror: &GlobalBuffer<T>,
+    grid: Grid,
+    d: usize,
+) {
+    let blocks: Vec<(usize, usize)> = grid.diagonal_blocks(d).collect();
+    let w = grid.w;
+    dev.launch(blocks.len(), |ctx| {
+        let ga = ctx.view(a);
+        let gs = ctx.view(s);
+        let gm = ctx.view(mirror);
+        let (bi, bj) = blocks[ctx.block_id()];
+        let (r0, c0) = grid.origin(bi, bj);
+        let mut tile: SharedTile<T> = default_tile(ctx);
+        load_block(ctx, &ga, grid, bi, bj, &mut tile);
+        tile_sat(ctx, &mut tile);
+        let mut top = vec![T::ZERO; w];
+        if bi > 0 {
+            gs.read_contig(grid.addr(r0 - 1, c0), &mut top, &mut ctx.rec);
+        }
+        let mut left = vec![T::ZERO; w];
+        if bj > 0 {
+            // The mirrored right column of the left neighbour — coalesced.
+            gm.read_contig((bj - 1) * grid.rows + r0, &mut left, &mut ctx.rec);
+        }
+        let corner = if bi > 0 && bj > 0 {
+            gs.read(grid.addr(r0 - 1, c0 - 1), &mut ctx.rec)
+        } else {
+            T::ZERO
+        };
+        let mut row = vec![T::ZERO; w];
+        let mut right_col = vec![T::ZERO; w];
+        for i in 0..w {
+            tile.read_row(i, &mut row, &mut ctx.rec);
+            let li = left[i].sub(corner);
+            for j in 0..w {
+                row[j] = row[j].add(top[j]).add(li);
+            }
+            right_col[i] = row[w - 1];
+            gs.write_contig(grid.addr(r0 + i, c0), &row, &mut ctx.rec);
+        }
+        // Publish this block's right column, transposed — coalesced.
+        gm.write_contig(bj * grid.rows + r0, &right_col, &mut ctx.rec);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_exec::{BlockOrder, Device, DeviceOptions};
+    use hmm_model::MachineConfig;
+
+    use crate::fixtures::{fig3_input, fig3_sat, FIG_BLOCK_WIDTH};
+    use crate::matrix::Matrix;
+    use crate::seq::sat_reference;
+
+    fn dev(w: usize) -> Device {
+        Device::new(DeviceOptions::new(MachineConfig::with_width(w)).workers(2))
+    }
+
+    fn run(devw: usize, a: &Matrix<i64>) -> Vec<i64> {
+        let dev = dev(devw);
+        let (rows, cols) = (a.rows(), a.cols());
+        let buf = GlobalBuffer::from_vec(a.as_slice().to_vec());
+        let out = GlobalBuffer::filled(0i64, rows * cols);
+        sat_1r1w(&dev, &buf, &out, rows, cols);
+        out.into_vec()
+    }
+
+    #[test]
+    fn fig3_full_sat() {
+        assert_eq!(run(FIG_BLOCK_WIDTH, &fig3_input()), fig3_sat().into_vec());
+    }
+
+    #[test]
+    fn fig11_one_r1w_stage3() {
+        // Figure 11: at stage 3 (w = 3, m = 3) blocks Λ(1,2) and Λ(2,1) are
+        // finished from Λ(0,2), Λ(1,1), Λ(2,0). Run stages 0..=2, then stage
+        // 3, and check both blocks hold their final SAT values while the
+        // last block (2,2) is still untouched.
+        let n = 9;
+        let dev = dev(FIG_BLOCK_WIDTH);
+        let a = GlobalBuffer::from_vec(fig3_input().into_vec());
+        let s = GlobalBuffer::filled(0i64, n * n);
+        let grid = Grid::square(n, FIG_BLOCK_WIDTH);
+        for d in 0..=3 {
+            one_r1w_stage(&dev, &a, &s, grid, d);
+        }
+        let got = s.into_vec();
+        let sat = fig3_sat();
+        // Finished diagonals: every block with bi + bj ≤ 3.
+        for bi in 0..3 {
+            for bj in 0..3 {
+                for i in 0..3 {
+                    for j in 0..3 {
+                        let (r, c) = (bi * 3 + i, bj * 3 + j);
+                        if bi + bj <= 3 {
+                            assert_eq!(got[r * 9 + c], sat.get(r, c), "({r},{c})");
+                        } else {
+                            assert_eq!(got[r * 9 + c], 0, "untouched ({r},{c})");
+                        }
+                    }
+                }
+            }
+        }
+        // The Figure 11 highlight: Λ(1,2) = rows 3–5 × cols 6–8.
+        assert_eq!(got[3 * 9 + 6], 25);
+        assert_eq!(got[4 * 9 + 7], 41);
+        assert_eq!(got[5 * 9 + 8], 55);
+    }
+
+    #[test]
+    fn matches_reference_various_sizes() {
+        for (w, n) in [(4, 4), (4, 8), (4, 16), (8, 64), (3, 27), (5, 35), (4, 68)] {
+            let a = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 23) as i64 - 11);
+            assert_eq!(run(w, &a), sat_reference(&a).into_vec(), "w={w} n={n}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_rectangles() {
+        for (w, rows, cols) in [(4, 4, 24), (4, 24, 4), (4, 8, 32), (3, 6, 15), (5, 20, 45)] {
+            let a = Matrix::from_fn(rows, cols, |i, j| ((i * 11 + j * 5) % 17) as i64 - 8);
+            assert_eq!(
+                run(w, &a),
+                sat_reference(&a).into_vec(),
+                "w={w} {rows}x{cols}"
+            );
+        }
+    }
+
+    #[test]
+    fn exactly_one_read_one_write_per_element_plus_fringe() {
+        // Theorem 6: n² + O(n²/w) reads, n² writes.
+        let (w, n) = (8usize, 64usize);
+        let m = n / w;
+        let dev = dev(w);
+        let a = GlobalBuffer::filled(1i64, n * n);
+        let s = GlobalBuffer::filled(0i64, n * n);
+        dev.reset_stats();
+        sat_1r1w(&dev, &a, &s, n, n);
+        let st = dev.stats();
+        let n2 = (n * n) as u64;
+        let blocks = (m * m) as u64;
+        let wu = w as u64;
+        // Reads: block loads (n²) + top fringes + left fringes + corners.
+        let interior_pairs = ((m - 1) * m) as u64; // blocks with bi>0, resp. bj>0
+        let corners = ((m - 1) * (m - 1)) as u64;
+        assert_eq!(
+            st.coalesced_reads + st.stride_reads,
+            n2 + interior_pairs * wu * 2 + corners
+        );
+        assert_eq!(st.coalesced_writes + st.stride_writes, n2);
+        // The only stride accesses are the left-fringe columns.
+        assert_eq!(st.stride_reads, interior_pairs * wu);
+        assert_eq!(st.stride_writes, 0);
+        // Barriers: 2m − 1 launches.
+        assert_eq!(st.barrier_steps, (2 * m - 2) as u64);
+        let _ = blocks;
+    }
+
+    #[test]
+    fn order_independent_within_a_stage() {
+        // Asynchronous HMM correctness: blocks within one stage may run in
+        // any order on any worker.
+        let (w, n) = (4usize, 32usize);
+        let a = Matrix::from_fn(n, n, |i, j| ((i * 7 + j) % 13) as i64 - 6);
+        let want = sat_reference(&a);
+        for seed in [1u64, 7, 99] {
+            let dev = Device::new(
+                DeviceOptions::new(MachineConfig::with_width(w))
+                    .workers(3)
+                    .order(BlockOrder::Shuffled(seed)),
+            );
+            let ab = GlobalBuffer::from_vec(a.as_slice().to_vec());
+            let sb = GlobalBuffer::filled(0i64, n * n);
+            sat_1r1w(&dev, &ab, &sb, n, n);
+            assert_eq!(sb.into_vec(), want.as_slice(), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn mirror_variant_matches_reference() {
+        for (w, rows, cols) in [(4, 16, 16), (4, 8, 32), (3, 27, 9), (8, 64, 64)] {
+            let a = Matrix::from_fn(rows, cols, |i, j| ((i * 31 + j * 17) % 23) as i64 - 11);
+            let dev = dev(w);
+            let ab = GlobalBuffer::from_vec(a.as_slice().to_vec());
+            let sb = GlobalBuffer::filled(0i64, rows * cols);
+            sat_1r1w_mirror(&dev, &ab, &sb, rows, cols);
+            assert_eq!(
+                sb.into_vec(),
+                sat_reference(&a).into_vec(),
+                "w={w} {rows}x{cols}"
+            );
+        }
+    }
+
+    #[test]
+    fn mirror_variant_is_fully_coalesced() {
+        let (w, n) = (8usize, 64usize);
+        let m = n / w;
+        let dev = dev(w);
+        let a = GlobalBuffer::filled(1i64, n * n);
+        let s = GlobalBuffer::filled(0i64, n * n);
+        dev.reset_stats();
+        sat_1r1w_mirror(&dev, &a, &s, n, n);
+        let st = dev.stats();
+        assert_eq!(st.stride_ops(), 0, "no stride access remains");
+        // Trade: + n·m/w coalesced mirror writes per column… i.e. n·m total
+        // extra writes, versus the plain variant's n·(m−1) stride reads.
+        let n2 = (n * n) as u64;
+        assert_eq!(
+            st.coalesced_writes + st.stride_writes,
+            n2 + (n * m) as u64
+        );
+    }
+
+    #[test]
+    fn mirror_under_race_detector_and_shuffle() {
+        let (w, n) = (4usize, 32usize);
+        let a = Matrix::from_fn(n, n, |i, j| ((i * 3 + j * 7) % 13) as i64);
+        let dev = Device::new(
+            DeviceOptions::new(MachineConfig::with_width(w))
+                .workers(3)
+                .order(BlockOrder::Shuffled(5)),
+        );
+        let ab = GlobalBuffer::from_vec_checked(a.as_slice().to_vec());
+        let sb = GlobalBuffer::from_vec_checked(vec![0i64; n * n]);
+        sat_1r1w_mirror(&dev, &ab, &sb, n, n);
+        assert_eq!(sb.into_vec(), sat_reference(&a).into_vec());
+    }
+
+    #[test]
+    fn hazard_free_under_race_detector() {
+        // Every stage only reads SAT values finished in earlier launches;
+        // the race detector would panic otherwise.
+        let (w, n) = (4usize, 16usize);
+        let a = Matrix::from_fn(n, n, |i, j| (i + j) as i64);
+        let dev = dev(w);
+        let ab = GlobalBuffer::from_vec(a.as_slice().to_vec());
+        let sb = GlobalBuffer::from_vec_checked(vec![0i64; n * n]);
+        sat_1r1w(&dev, &ab, &sb, n, n);
+        assert_eq!(sb.into_vec(), sat_reference(&a).into_vec());
+    }
+}

@@ -1,0 +1,427 @@
+//! The **2R1W** SAT algorithm (§V) — the previous state of the art
+//! (Nehab, Maximo, Lima & Hoppe 2011), reformulated block-wise.
+//!
+//! The `rows × cols` matrix is partitioned into `w × w` blocks (`mr × mc`
+//! of them). Three phases, separated by barriers:
+//!
+//! 1. **Block sums** — every block is read once; its per-column sums, its
+//!    per-row sums and its total are written to three small matrices `R`
+//!    (`mr × cols`), `Cᵗ` (`mc × rows`, stored transposed so phase 2 stays
+//!    coalesced) and `Q` (`mr × mc`).
+//! 2. **Fringe prefixes** — column-wise prefix sums over `R` and `Cᵗ`, and
+//!    the SAT of `Q` (computed in shared memory when `Q` fits a block,
+//!    *recursively by 2R1W itself* otherwise — the paper's recursion depth
+//!    `k`).
+//! 3. **Fix-up** (Figures 8, 9) — every block is read again; the prefix row
+//!    `R[bi−1]` is added to its top row, `Cᵗ[bj−1]` to its leftmost column,
+//!    and `SAT(Q)[bi−1][bj−1]` to its top-left corner; the SAT of the
+//!    augmented block, computed in shared memory with the diagonal
+//!    arrangement, *is* the global SAT of the block and is written out.
+//!
+//! Per element: 2 coalesced reads + 1 coalesced write (+ `O(1/w)` fringe
+//! traffic); `2k + 2` barriers (Lemma 4).
+
+use gpu_exec::{Device, GlobalBuffer, SharedTile};
+
+use crate::element::SatElement;
+use crate::par::common::{default_tile, load_block, store_block, tile_sat, Grid};
+
+/// **2R1W**: compute into `s` the SAT of the `rows × cols` matrix in `a`.
+pub fn sat_2r1w<T: SatElement>(
+    dev: &Device,
+    a: &GlobalBuffer<T>,
+    s: &GlobalBuffer<T>,
+    rows: usize,
+    cols: usize,
+) {
+    let grid = Grid::new(rows, cols, dev.width());
+    assert!(
+        a.len() >= rows * cols && s.len() >= rows * cols,
+        "buffers too small"
+    );
+    let (w, mr, mc) = (grid.w, grid.mr, grid.mc);
+    if mr == 1 && mc == 1 {
+        single_block_sat(dev, a, s, grid);
+        return;
+    }
+    let rp = GlobalBuffer::filled(T::ZERO, mr * cols);
+    let ctp = GlobalBuffer::filled(T::ZERO, mc * rows);
+    let q = GlobalBuffer::filled(T::ZERO, mr * mc);
+    step1_block_sums(dev, a, &rp, &ctp, &q, grid);
+    if mr <= w && mc <= w {
+        step2_fused_with_block_qsat(dev, &rp, &ctp, &q, grid);
+        step3_fixup(dev, a, s, &rp, &ctp, &q, grid, mc);
+    } else {
+        // Recursion: zero-pad Q to multiples of w and call 2R1W on it.
+        // Padding does not change SAT values inside the original region.
+        let mrp = mr.next_multiple_of(w);
+        let mcp = mc.next_multiple_of(w);
+        let qa = GlobalBuffer::filled(T::ZERO, mrp * mcp);
+        step2_prefixes_and_pad(dev, &rp, &ctp, &q, &qa, grid, mcp);
+        let qs = GlobalBuffer::filled(T::ZERO, mrp * mcp);
+        sat_2r1w(dev, &qa, &qs, mrp, mcp);
+        step3_fixup(dev, a, s, &rp, &ctp, &qs, grid, mcp);
+    }
+}
+
+/// SAT of a single `w × w` matrix: load → shared SAT → store. One launch.
+fn single_block_sat<T: SatElement>(
+    dev: &Device,
+    a: &GlobalBuffer<T>,
+    s: &GlobalBuffer<T>,
+    grid: Grid,
+) {
+    dev.launch(1, |ctx| {
+        let ga = ctx.view(a);
+        let gs = ctx.view(s);
+        let mut tile: SharedTile<T> = default_tile(ctx);
+        load_block(ctx, &ga, grid, 0, 0, &mut tile);
+        tile_sat(ctx, &mut tile);
+        store_block(ctx, &gs, grid, 0, 0, &tile);
+    });
+}
+
+/// Phase 1: per block, write column sums to `R[bi]`, row sums to `Cᵗ[bj]`
+/// and the block total to `Q[bi][bj]`.
+fn step1_block_sums<T: SatElement>(
+    dev: &Device,
+    a: &GlobalBuffer<T>,
+    rp: &GlobalBuffer<T>,
+    ctp: &GlobalBuffer<T>,
+    q: &GlobalBuffer<T>,
+    grid: Grid,
+) {
+    let (w, mc) = (grid.w, grid.mc);
+    dev.launch(grid.blocks(), |ctx| {
+        let ga = ctx.view(a);
+        let gr = ctx.view(rp);
+        let gc = ctx.view(ctp);
+        let gq = ctx.view(q);
+        let (bi, bj) = grid.block_of(ctx.block_id());
+        let (r0, c0) = grid.origin(bi, bj);
+        let mut col_sums = vec![T::ZERO; w];
+        let mut row_sums = vec![T::ZERO; w];
+        let mut row = vec![T::ZERO; w];
+        let mut total = T::ZERO;
+        for (i, slot) in row_sums.iter_mut().enumerate() {
+            ga.read_contig(grid.addr(r0 + i, c0), &mut row, &mut ctx.rec);
+            let mut rs = T::ZERO;
+            for t in 0..w {
+                col_sums[t] = col_sums[t].add(row[t]);
+                rs = rs.add(row[t]);
+            }
+            *slot = rs;
+            total = total.add(rs);
+        }
+        gr.write_contig(bi * grid.cols + c0, &col_sums, &mut ctx.rec);
+        gc.write_contig(bj * grid.rows + r0, &row_sums, &mut ctx.rec);
+        gq.write(bi * mc + bj, total, &mut ctx.rec);
+    });
+}
+
+/// Inclusive column-wise prefix over a `levels × pitch` fringe matrix, one
+/// task per `w`-column chunk (shared by phase-2 variants).
+fn fringe_prefix_task<T: SatElement>(
+    ctx: &mut gpu_exec::BlockCtx<'_>,
+    buf: &GlobalBuffer<T>,
+    pitch: usize,
+    levels: usize,
+    chunk: usize,
+) {
+    let w = ctx.width();
+    let g = ctx.view(buf);
+    let c0 = chunk * w;
+    let mut acc = vec![T::ZERO; w];
+    let mut row = vec![T::ZERO; w];
+    for level in 0..levels {
+        g.read_contig(level * pitch + c0, &mut row, &mut ctx.rec);
+        for t in 0..w {
+            acc[t] = acc[t].add(row[t]);
+        }
+        g.write_contig(level * pitch + c0, &acc, &mut ctx.rec);
+    }
+}
+
+/// Phase 2 when `Q` fits one block (`mr, mc ≤ w`): a single fused launch
+/// running the `R` prefix tasks, the `Cᵗ` prefix tasks and the
+/// in-shared-memory SAT of `Q` (in place).
+fn step2_fused_with_block_qsat<T: SatElement>(
+    dev: &Device,
+    rp: &GlobalBuffer<T>,
+    ctp: &GlobalBuffer<T>,
+    q: &GlobalBuffer<T>,
+    grid: Grid,
+) {
+    let (mr, mc) = (grid.mr, grid.mc);
+    dev.launch(mc + mr + 1, |ctx| {
+        let id = ctx.block_id();
+        if id < mc {
+            fringe_prefix_task(ctx, rp, grid.cols, mr, id);
+        } else if id < mc + mr {
+            fringe_prefix_task(ctx, ctp, grid.rows, mc, id - mc);
+        } else {
+            // SAT of the mr × mc matrix Q inside one zero-padded tile.
+            let gq = ctx.view(q);
+            let mut tile: SharedTile<T> = default_tile(ctx);
+            let mut row = vec![T::ZERO; mc];
+            for i in 0..mr {
+                gq.read_contig(i * mc, &mut row, &mut ctx.rec);
+                for (j, &v) in row.iter().enumerate() {
+                    tile.set(i, j, v);
+                }
+            }
+            tile_sat(ctx, &mut tile);
+            for i in 0..mr {
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v = tile.get(i, j);
+                }
+                gq.write_contig(i * mc, &row, &mut ctx.rec);
+            }
+        }
+    });
+}
+
+/// Phase 2 when `Q` needs recursion (`max(mr, mc) > w`): prefix tasks for
+/// `R` and `Cᵗ`, fused with the tasks that zero-pad `Q` into the
+/// `mrp × mcp` buffer the recursive call consumes.
+fn step2_prefixes_and_pad<T: SatElement>(
+    dev: &Device,
+    rp: &GlobalBuffer<T>,
+    ctp: &GlobalBuffer<T>,
+    q: &GlobalBuffer<T>,
+    qa: &GlobalBuffer<T>,
+    grid: Grid,
+    mcp: usize,
+) {
+    let (mr, mc) = (grid.mr, grid.mc);
+    dev.launch(mc + mr + mr, |ctx| {
+        let id = ctx.block_id();
+        if id < mc {
+            fringe_prefix_task(ctx, rp, grid.cols, mr, id);
+        } else if id < mc + mr {
+            fringe_prefix_task(ctx, ctp, grid.rows, mc, id - mc);
+        } else {
+            // Copy row (id − mc − mr) of Q into the padded buffer.
+            let bi = id - mc - mr;
+            let gq = ctx.view(q);
+            let gqa = ctx.view(qa);
+            let mut row = vec![T::ZERO; mc];
+            gq.read_contig(bi * mc, &mut row, &mut ctx.rec);
+            gqa.write_contig(bi * mcp, &row, &mut ctx.rec);
+        }
+    });
+}
+
+/// Phase 3 (Figures 8 & 9): augment each block with its fringes and compute
+/// its SAT in shared memory. `q_pitch` is the row pitch of the (possibly
+/// padded) SAT-of-Q buffer.
+#[allow(clippy::too_many_arguments)]
+fn step3_fixup<T: SatElement>(
+    dev: &Device,
+    a: &GlobalBuffer<T>,
+    s: &GlobalBuffer<T>,
+    rp: &GlobalBuffer<T>,
+    ctp: &GlobalBuffer<T>,
+    qsat: &GlobalBuffer<T>,
+    grid: Grid,
+    q_pitch: usize,
+) {
+    let w = grid.w;
+    dev.launch(grid.blocks(), |ctx| {
+        let ga = ctx.view(a);
+        let gs = ctx.view(s);
+        let gr = ctx.view(rp);
+        let gc = ctx.view(ctp);
+        let gq = ctx.view(qsat);
+        let (bi, bj) = grid.block_of(ctx.block_id());
+        let (r0, c0) = grid.origin(bi, bj);
+        let mut tile: SharedTile<T> = default_tile(ctx);
+        load_block(ctx, &ga, grid, bi, bj, &mut tile);
+        let mut buf = vec![T::ZERO; w];
+        let mut fringe = vec![T::ZERO; w];
+        if bi > 0 {
+            // Sum of everything above, per column: R's prefix row bi − 1.
+            gr.read_contig((bi - 1) * grid.cols + c0, &mut fringe, &mut ctx.rec);
+            tile.read_row(0, &mut buf, &mut ctx.rec);
+            for t in 0..w {
+                buf[t] = buf[t].add(fringe[t]);
+            }
+            tile.write_row(0, &buf, &mut ctx.rec);
+        }
+        if bj > 0 {
+            // Sum of everything to the left, per row: Cᵗ's prefix row bj − 1.
+            gc.read_contig((bj - 1) * grid.rows + r0, &mut fringe, &mut ctx.rec);
+            tile.read_col(0, &mut buf, &mut ctx.rec);
+            for t in 0..w {
+                buf[t] = buf[t].add(fringe[t]);
+            }
+            tile.write_col(0, &buf, &mut ctx.rec);
+        }
+        if bi > 0 && bj > 0 {
+            // Sum of all blocks above-left: SAT(Q)[bi−1][bj−1].
+            let corner = gq.read((bi - 1) * q_pitch + (bj - 1), &mut ctx.rec);
+            tile.set(0, 0, tile.get(0, 0).add(corner));
+        }
+        tile_sat(ctx, &mut tile);
+        store_block(ctx, &gs, grid, bi, bj, &tile);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_exec::{Device, DeviceOptions};
+    use hmm_model::MachineConfig;
+
+    use crate::fixtures::{fig3_input, fig3_sat, FIG_BLOCK_WIDTH};
+    use crate::matrix::Matrix;
+    use crate::seq::sat_reference;
+
+    fn dev(w: usize) -> Device {
+        Device::new(DeviceOptions::new(MachineConfig::with_width(w)).workers(2))
+    }
+
+    fn run(devw: usize, a: &Matrix<i64>) -> Vec<i64> {
+        let dev = dev(devw);
+        let (rows, cols) = (a.rows(), a.cols());
+        let buf = GlobalBuffer::from_vec(a.as_slice().to_vec());
+        let out = GlobalBuffer::filled(0i64, rows * cols);
+        sat_2r1w(&dev, &buf, &out, rows, cols);
+        out.into_vec()
+    }
+
+    #[test]
+    fn fig8_9_two_r1w_phases_on_fig3() {
+        // Figures 8–9 run 2R1W with w = 3 on the Figure 3 matrix; the final
+        // state must be the Figure 3 SAT, including the highlighted block
+        // (rows 3–5, columns 6–8) whose fix-up Figure 9 details.
+        let got = run(FIG_BLOCK_WIDTH, &fig3_input());
+        assert_eq!(got, fig3_sat().into_vec());
+        // Figure 9's block, read back explicitly.
+        let sat = fig3_sat();
+        for (i, row) in [[25, 27, 28], [38, 41, 43], [48, 52, 55]].iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(sat.get(3 + i, 6 + j), v);
+                assert_eq!(got[(3 + i) * 9 + 6 + j], v);
+            }
+        }
+    }
+
+    #[test]
+    fn fig8_intermediate_fringe_matrices() {
+        // Step 1 of Figure 8 (w = 3): the column-sums matrix R, row-sums
+        // matrix C and block-total matrix Q of the Figure 3 input.
+        let a = fig3_input();
+        let grid = Grid::square(9, 3);
+        let dev = dev(3);
+        let ab = GlobalBuffer::from_vec(a.as_slice().to_vec());
+        let rp = GlobalBuffer::filled(0i64, 3 * 9);
+        let ctp = GlobalBuffer::filled(0i64, 3 * 9);
+        let q = GlobalBuffer::filled(0i64, 9);
+        step1_block_sums(&dev, &ab, &rp, &ctp, &q, grid);
+        // R[bi][c] = Σ of column c within block row bi.
+        let r = rp.into_vec();
+        for bi in 0..3 {
+            for c in 0..9 {
+                let want: i64 = (0..3).map(|i| a.get(bi * 3 + i, c)).sum();
+                assert_eq!(r[bi * 9 + c], want, "R[{bi}][{c}]");
+            }
+        }
+        // Cᵗ[bj][r] = Σ of row r within block column bj.
+        let ct = ctp.into_vec();
+        for bj in 0..3 {
+            for row in 0..9 {
+                let want: i64 = (0..3).map(|j| a.get(row, bj * 3 + j)).sum();
+                assert_eq!(ct[bj * 9 + row], want, "Ct[{bj}][{row}]");
+            }
+        }
+        // Q[bi][bj] = block total; e.g. the centre block of Figure 3 sums
+        // the 3 × 3 region rows 3–5 × cols 3–5.
+        let qv = q.into_vec();
+        assert_eq!(qv[3 + 1], 19);
+        for bi in 0..3 {
+            for bj in 0..3 {
+                let want: i64 = (0..3)
+                    .flat_map(|i| (0..3).map(move |j| (i, j)))
+                    .map(|(i, j)| a.get(bi * 3 + i, bj * 3 + j))
+                    .sum();
+                assert_eq!(qv[bi * 3 + bj], want, "Q[{bi}][{bj}]");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_various_sizes() {
+        for (w, n) in [(4, 4), (4, 8), (4, 16), (8, 64), (3, 27), (5, 35)] {
+            let a = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 23) as i64 - 11);
+            assert_eq!(run(w, &a), sat_reference(&a).into_vec(), "w={w} n={n}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_rectangles() {
+        for (w, rows, cols) in [(4, 8, 24), (4, 24, 8), (4, 4, 32), (3, 9, 21), (4, 68, 12)] {
+            let a = Matrix::from_fn(rows, cols, |i, j| ((i * 7 + j * 29) % 19) as i64 - 9);
+            assert_eq!(
+                run(w, &a),
+                sat_reference(&a).into_vec(),
+                "w={w} {rows}x{cols}"
+            );
+        }
+    }
+
+    #[test]
+    fn recursion_kicks_in_when_q_exceeds_one_block() {
+        // w = 4, n = 68 → m = 17 > 4: Q is padded to 20 × 20 and solved by
+        // a recursive 2R1W call.
+        let (w, n) = (4usize, 68usize);
+        let a = Matrix::from_fn(n, n, |i, j| ((i ^ j) % 7) as i64 - 3);
+        assert_eq!(run(w, &a), sat_reference(&a).into_vec());
+    }
+
+    #[test]
+    fn recursion_on_rectangles() {
+        // Only one dimension exceeds a block: mr = 2, mc = 17 > 4.
+        let (w, rows, cols) = (4usize, 8usize, 68usize);
+        let a = Matrix::from_fn(rows, cols, |i, j| ((i * 3 + j) % 11) as i64 - 5);
+        assert_eq!(run(w, &a), sat_reference(&a).into_vec());
+    }
+
+    #[test]
+    fn barrier_steps_match_lemma4() {
+        // Non-recursive (m ≤ w): 3 launches = 2 barriers = 2k+2 with k = 0.
+        let (w, n) = (8usize, 64usize);
+        let dev = dev(w);
+        let a = GlobalBuffer::filled(1i64, n * n);
+        let s = GlobalBuffer::filled(0i64, n * n);
+        dev.reset_stats();
+        sat_2r1w(&dev, &a, &s, n, n);
+        assert_eq!(dev.stats().barrier_steps, 2);
+    }
+
+    #[test]
+    fn traffic_is_2_reads_1_write_per_element_plus_fringe() {
+        // Lemma 4's leading terms: 2 reads + 1 write per element plus
+        // O(1/w) fringe traffic, all coalesced.
+        let (w, n) = (16usize, 256usize);
+        let dev = dev(w);
+        let a = GlobalBuffer::filled(1i64, n * n);
+        let s = GlobalBuffer::filled(0i64, n * n);
+        dev.reset_stats();
+        sat_2r1w(&dev, &a, &s, n, n);
+        let st = dev.stats();
+        let reads = st.reads_per_element(n);
+        let writes = st.writes_per_element(n);
+        assert!((2.0..2.0 + 6.0 / w as f64).contains(&reads), "reads/elt = {reads}");
+        assert!((1.0..1.0 + 6.0 / w as f64).contains(&writes), "writes/elt = {writes}");
+        // Everything is coalesced (single-word accesses count as one-group).
+        assert_eq!(st.stride_ops(), 0);
+    }
+
+    #[test]
+    fn single_block_input() {
+        let w = 6;
+        let a = Matrix::from_fn(w, w, |i, j| (i * w + j) as i64);
+        assert_eq!(run(w, &a), sat_reference(&a).into_vec());
+    }
+}

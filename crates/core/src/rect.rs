@@ -1,0 +1,167 @@
+//! Rectangle-sum queries over a summed area table.
+//!
+//! This is why SATs exist (Crow 1984): once `S` is computed, the sum of any
+//! axis-aligned rectangle of the source matrix is four lookups:
+//!
+//! ```text
+//! Σ a[u][v] for r0 ≤ u ≤ r1, c0 ≤ v ≤ c1
+//!   = S(r1,c1) − S(r0−1,c1) − S(r1,c0−1) + S(r0−1,c0−1)
+//! ```
+
+use crate::element::SatElement;
+use crate::matrix::Matrix;
+
+/// An inclusive rectangle `[r0..=r1] × [c0..=c1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rect {
+    /// First row (inclusive).
+    pub r0: usize,
+    /// First column (inclusive).
+    pub c0: usize,
+    /// Last row (inclusive).
+    pub r1: usize,
+    /// Last column (inclusive).
+    pub c1: usize,
+}
+
+impl Rect {
+    /// A rectangle from inclusive corners.
+    ///
+    /// # Panics
+    /// Panics if the corners are not ordered.
+    pub fn new(r0: usize, c0: usize, r1: usize, c1: usize) -> Self {
+        assert!(r0 <= r1 && c0 <= c1, "rectangle corners must be ordered");
+        Rect { r0, c0, r1, c1 }
+    }
+
+    /// Number of cells covered.
+    pub fn area(&self) -> usize {
+        (self.r1 - self.r0 + 1) * (self.c1 - self.c0 + 1)
+    }
+}
+
+/// A summed area table ready to answer rectangle queries in `O(1)`.
+#[derive(Debug, Clone)]
+pub struct SumTable<T> {
+    sat: Matrix<T>,
+}
+
+impl<T: SatElement> SumTable<T> {
+    /// Wrap an already-computed SAT.
+    pub fn from_sat(sat: Matrix<T>) -> Self {
+        SumTable { sat }
+    }
+
+    /// Compute the SAT of `a` sequentially and wrap it.
+    pub fn build(a: &Matrix<T>) -> Self {
+        SumTable {
+            sat: crate::seq::sat_reference(a),
+        }
+    }
+
+    /// The underlying SAT matrix.
+    pub fn sat(&self) -> &Matrix<T> {
+        &self.sat
+    }
+
+    #[inline]
+    fn at(&self, i: isize, j: isize) -> T {
+        if i < 0 || j < 0 {
+            T::ZERO
+        } else {
+            self.sat.get(i as usize, j as usize)
+        }
+    }
+
+    /// Sum of the source matrix over `rect` — four lookups.
+    ///
+    /// # Panics
+    /// Panics (in debug builds, via matrix bounds checks) if the rectangle
+    /// exceeds the table.
+    pub fn sum(&self, rect: Rect) -> T {
+        let (r0, c0, r1, c1) = (
+            rect.r0 as isize,
+            rect.c0 as isize,
+            rect.r1 as isize,
+            rect.c1 as isize,
+        );
+        self.at(r1, c1)
+            .sub(self.at(r0 - 1, c1))
+            .sub(self.at(r1, c0 - 1))
+            .add(self.at(r0 - 1, c0 - 1))
+    }
+
+    /// Mean over `rect` for floating point tables.
+    pub fn mean(&self, rect: Rect) -> f64
+    where
+        T: Into<f64>,
+    {
+        let s: f64 = self.sum(rect).into();
+        s / rect.area() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::fig3_input;
+
+    fn brute<T: SatElement>(a: &Matrix<T>, r: Rect) -> T {
+        let mut acc = T::ZERO;
+        for i in r.r0..=r.r1 {
+            for j in r.c0..=r.c1 {
+                acc = acc.add(a.get(i, j));
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn all_rectangles_of_fig3() {
+        let a = fig3_input();
+        let t = SumTable::build(&a);
+        for r0 in 0..9 {
+            for c0 in 0..9 {
+                for r1 in r0..9 {
+                    for c1 in c0..9 {
+                        let r = Rect::new(r0, c0, r1, c1);
+                        assert_eq!(t.sum(r), brute(&a, r), "{r:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_rectangle_is_total() {
+        let a = fig3_input();
+        let t = SumTable::build(&a);
+        assert_eq!(t.sum(Rect::new(0, 0, 8, 8)), 71);
+    }
+
+    #[test]
+    fn single_cell() {
+        let a = fig3_input();
+        let t = SumTable::build(&a);
+        assert_eq!(t.sum(Rect::new(4, 4, 4, 4)), 3);
+    }
+
+    #[test]
+    fn mean_of_floats() {
+        let a = Matrix::from_fn(4, 4, |_, _| 2.0f64);
+        let t = SumTable::build(&a);
+        let m = t.mean(Rect::new(1, 1, 2, 3));
+        assert_eq!(m, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn unordered_rect_rejected() {
+        let _ = Rect::new(2, 0, 1, 5);
+    }
+
+    #[test]
+    fn area() {
+        assert_eq!(Rect::new(1, 2, 3, 5).area(), 12);
+    }
+}

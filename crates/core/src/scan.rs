@@ -1,0 +1,292 @@
+//! Device-side one-dimensional prefix sums (scan).
+//!
+//! The SAT is the two-dimensional prefix sum; the authors' companion work
+//! (Nakano, *"Optimal parallel algorithms for computing the sum, the
+//! prefix-sums, and the summed area table on the memory machine models"*)
+//! treats the 1-D primitive on the same models. This module provides it as
+//! a library feature with the same structure as the block SAT algorithms:
+//!
+//! 1. **block sums** — each `w²`-element chunk is reduced by one block
+//!    (coalesced reads);
+//! 2. **scan of the sums** — one block scans the chunk sums in shared
+//!    memory (recursively if they exceed one tile);
+//! 3. **fix-up** — each chunk is rescanned with its exclusive offset and
+//!    written out (coalesced reads + writes).
+//!
+//! Three launches (two barriers) per level; `3N + O(N/w²)` global
+//! operations (2 reads + 1 write per element), all coalesced — the 1-D
+//! analogue of 2R1W.
+
+use gpu_exec::{Device, GlobalBuffer};
+
+use crate::element::SatElement;
+
+/// Chunk length handled by one block: `w²` elements (`w` warp rows of `w`
+/// lanes — fits one shared tile).
+fn chunk_len(w: usize) -> usize {
+    w * w
+}
+
+/// Inclusive prefix sums of `input` into `output` (same length `len`),
+/// on the device. Lengths need not be multiples of anything.
+pub fn inclusive_scan<T: SatElement>(
+    dev: &Device,
+    input: &GlobalBuffer<T>,
+    output: &GlobalBuffer<T>,
+    len: usize,
+) {
+    assert!(input.len() >= len && output.len() >= len, "buffers too small");
+    if len == 0 {
+        return;
+    }
+    let w = dev.width();
+    let chunk = chunk_len(w);
+    let chunks = len.div_ceil(chunk);
+    if chunks == 1 {
+        scan_single_block(dev, input, output, len, T::ZERO);
+        return;
+    }
+    // Phase 1: per-chunk totals.
+    let sums = GlobalBuffer::filled(T::ZERO, chunks);
+    dev.launch(chunks, |ctx| {
+        let gi = ctx.view(input);
+        let gsum = ctx.view(&sums);
+        let c = ctx.block_id();
+        let start = c * chunk;
+        let end = (start + chunk).min(len);
+        let mut buf = vec![T::ZERO; w];
+        let mut acc = T::ZERO;
+        let mut pos = start;
+        while pos < end {
+            let lanes = w.min(end - pos);
+            gi.read_contig(pos, &mut buf[..lanes], &mut ctx.rec);
+            for &v in &buf[..lanes] {
+                acc = acc.add(v);
+            }
+            pos += lanes;
+        }
+        gsum.write(c, acc, &mut ctx.rec);
+    });
+    // Phase 2: scan the chunk sums (recursively — they are just another
+    // scan problem, `w²` times smaller).
+    let sums_scanned = GlobalBuffer::filled(T::ZERO, chunks);
+    inclusive_scan(dev, &sums, &sums_scanned, chunks);
+    // Phase 3: rescan each chunk with its exclusive offset.
+    dev.launch(chunks, |ctx| {
+        let gi = ctx.view(input);
+        let go = ctx.view(output);
+        let goff = ctx.view(&sums_scanned);
+        let c = ctx.block_id();
+        let start = c * chunk;
+        let end = (start + chunk).min(len);
+        let mut acc = if c > 0 {
+            goff.read(c - 1, &mut ctx.rec)
+        } else {
+            T::ZERO
+        };
+        let mut buf = vec![T::ZERO; w];
+        let mut pos = start;
+        while pos < end {
+            let lanes = w.min(end - pos);
+            gi.read_contig(pos, &mut buf[..lanes], &mut ctx.rec);
+            for v in &mut buf[..lanes] {
+                acc = acc.add(*v);
+                *v = acc;
+            }
+            go.write_contig(pos, &buf[..lanes], &mut ctx.rec);
+            pos += lanes;
+        }
+    });
+}
+
+/// Exclusive prefix sums (`output[i] = Σ input[..i]`, `output[0] = 0`).
+pub fn exclusive_scan<T: SatElement>(
+    dev: &Device,
+    input: &GlobalBuffer<T>,
+    output: &GlobalBuffer<T>,
+    len: usize,
+) {
+    inclusive_scan(dev, input, output, len);
+    // Shift right by one: out[i] = inclusive[i−1]. One extra coalesced
+    // pass, done chunk-parallel in reverse inside each block to stay
+    // in-place-safe per block.
+    if len == 0 {
+        return;
+    }
+    let w = dev.width();
+    let chunk = chunk_len(w);
+    let chunks = len.div_ceil(chunk);
+    // Read each chunk's shifted values before overwriting: blocks own
+    // disjoint output ranges, and the value crossing the chunk boundary is
+    // read before any block writes (same launch reads-before-writes within
+    // a block; the boundary element belongs to the *previous* chunk, which
+    // this launch does not modify before this block reads it — to stay
+    // race-free under the detector, each block first snapshots the single
+    // boundary word from the previous launch's output).
+    let boundaries = GlobalBuffer::filled(T::ZERO, chunks);
+    dev.launch(chunks, |ctx| {
+        let go = ctx.view(output);
+        let gb = ctx.view(&boundaries);
+        let c = ctx.block_id();
+        let v = if c == 0 {
+            T::ZERO
+        } else {
+            go.read(c * chunk - 1, &mut ctx.rec)
+        };
+        gb.write(c, v, &mut ctx.rec);
+    });
+    dev.launch(chunks, |ctx| {
+        let go = ctx.view(output);
+        let gb = ctx.view(&boundaries);
+        let c = ctx.block_id();
+        let start = c * chunk;
+        let end = (start + chunk).min(len);
+        let mut prev = gb.read(c, &mut ctx.rec);
+        let mut buf = vec![T::ZERO; w];
+        let mut pos = start;
+        while pos < end {
+            let lanes = w.min(end - pos);
+            go.read_contig(pos, &mut buf[..lanes], &mut ctx.rec);
+            for v in &mut buf[..lanes] {
+                std::mem::swap(&mut prev, v);
+            }
+            go.write_contig(pos, &buf[..lanes], &mut ctx.rec);
+            pos += lanes;
+        }
+    });
+}
+
+/// Scan of at most one chunk by a single block, with a seed offset.
+fn scan_single_block<T: SatElement>(
+    dev: &Device,
+    input: &GlobalBuffer<T>,
+    output: &GlobalBuffer<T>,
+    len: usize,
+    seed: T,
+) {
+    let w = dev.width();
+    dev.launch(1, |ctx| {
+        let gi = ctx.view(input);
+        let go = ctx.view(output);
+        let mut acc = seed;
+        let mut buf = vec![T::ZERO; w];
+        let mut pos = 0;
+        while pos < len {
+            let lanes = w.min(len - pos);
+            gi.read_contig(pos, &mut buf[..lanes], &mut ctx.rec);
+            for v in &mut buf[..lanes] {
+                acc = acc.add(*v);
+                *v = acc;
+            }
+            go.write_contig(pos, &buf[..lanes], &mut ctx.rec);
+            pos += lanes;
+        }
+    });
+}
+
+/// Host reference: inclusive prefix sums.
+pub fn inclusive_scan_host<T: SatElement>(input: &[T]) -> Vec<T> {
+    let mut acc = T::ZERO;
+    input
+        .iter()
+        .map(|&v| {
+            acc = acc.add(v);
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_exec::{Device, DeviceOptions};
+    use hmm_model::MachineConfig;
+
+    fn dev(w: usize) -> Device {
+        Device::new(DeviceOptions::new(MachineConfig::with_width(w)).workers(2))
+    }
+
+    fn data(len: usize) -> Vec<i64> {
+        (0..len).map(|i| ((i * 37 + 11) % 23) as i64 - 11).collect()
+    }
+
+    #[test]
+    fn inclusive_matches_host_across_sizes() {
+        let w = 4;
+        let dev = dev(w);
+        // Cross chunk boundaries (chunk = 16), recursion levels and odd
+        // tails.
+        for len in [0usize, 1, 3, 15, 16, 17, 100, 256, 257, 5000] {
+            let v = data(len);
+            let input = GlobalBuffer::from_vec(v.clone());
+            let output = GlobalBuffer::filled(0i64, len);
+            inclusive_scan(&dev, &input, &output, len);
+            assert_eq!(output.into_vec(), inclusive_scan_host(&v), "len={len}");
+        }
+    }
+
+    #[test]
+    fn exclusive_is_shifted_inclusive() {
+        let w = 4;
+        let dev = dev(w);
+        for len in [1usize, 16, 33, 250, 1030] {
+            let v = data(len);
+            let input = GlobalBuffer::from_vec(v.clone());
+            let output = GlobalBuffer::filled(0i64, len);
+            exclusive_scan(&dev, &input, &output, len);
+            let got = output.into_vec();
+            let inc = inclusive_scan_host(&v);
+            assert_eq!(got[0], 0, "len={len}");
+            for i in 1..len {
+                assert_eq!(got[i], inc[i - 1], "len={len} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_accesses_coalesced_except_chunk_offsets() {
+        let w = 8;
+        let dev = dev(w);
+        let len = 4096; // 64 chunks
+        let input = GlobalBuffer::from_vec(data(len));
+        let output = GlobalBuffer::filled(0i64, len);
+        dev.reset_stats();
+        inclusive_scan(&dev, &input, &output, len);
+        let s = dev.stats();
+        assert_eq!(s.stride_ops(), 0);
+        // 2 reads + 1 write per element plus chunk-level traffic.
+        let reads = s.coalesced_reads as f64 / len as f64;
+        let writes = s.coalesced_writes as f64 / len as f64;
+        assert!((2.0..2.1).contains(&reads), "{reads}");
+        assert!((1.0..1.1).contains(&writes), "{writes}");
+        // Three launches: chunk sums, single-block scan of the 64 sums,
+        // fix-up — i.e. two barriers.
+        assert_eq!(s.barrier_steps, 2);
+    }
+
+    #[test]
+    fn race_detector_clean() {
+        let w = 4;
+        let dev = dev(w);
+        let len = 1000;
+        let v = data(len);
+        let input = GlobalBuffer::from_vec_checked(v.clone());
+        let output = GlobalBuffer::from_vec_checked(vec![0i64; len]);
+        exclusive_scan(&dev, &input, &output, len);
+        let got = output.into_vec();
+        assert_eq!(got[999], inclusive_scan_host(&v)[998]);
+    }
+
+    #[test]
+    fn scan_of_ones_is_iota() {
+        let dev = dev(4);
+        let len = 777;
+        let input = GlobalBuffer::filled(1i64, len);
+        let output = GlobalBuffer::filled(0i64, len);
+        inclusive_scan(&dev, &input, &output, len);
+        let got = output.into_vec();
+        for (i, &v) in got.iter().enumerate() {
+            assert_eq!(v, i as i64 + 1);
+        }
+    }
+}

@@ -1,0 +1,468 @@
+//! The virtual GPU device: launch machinery, block contexts and statistics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hmm_model::cost::CostCounters;
+use hmm_model::MachineConfig;
+use parking_lot::Mutex;
+
+use crate::buffer::{GlobalBuffer, GlobalView};
+use crate::pool::Pool;
+use crate::recorder::TxnRecorder;
+use crate::shared::{SharedTile, TileLayout};
+use crate::trace::{LaunchTrace, RunTrace};
+
+/// In which order the blocks of a launch are dispatched to workers.
+///
+/// Algorithms for the asynchronous HMM must be correct under *any* block
+/// order; [`BlockOrder::Shuffled`] stress-tests that property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockOrder {
+    /// Blocks are claimed in increasing id order (still interleaved
+    /// arbitrarily across workers).
+    Forward,
+    /// Blocks are claimed in a pseudo-random permutation derived from the
+    /// seed and the launch number.
+    Shuffled(u64),
+}
+
+/// Construction options for a [`Device`].
+#[derive(Debug, Clone)]
+pub struct DeviceOptions {
+    /// Machine model parameters (width, latency, DMM count, shared capacity).
+    pub config: MachineConfig,
+    /// Background worker threads; `None` uses `config.num_dmms`, capped by
+    /// the host's available parallelism (the launching thread always helps,
+    /// so 0 extra workers is a valid sequential device).
+    pub workers: Option<usize>,
+    /// Record memory access statistics (coalescing, stages, barriers).
+    pub record_stats: bool,
+    /// Additionally log every transaction in program order for replay in
+    /// the `hmm-sim` machine simulator (implies statistics; costs memory
+    /// proportional to the number of transactions).
+    pub record_trace: bool,
+    /// Dispatch order of blocks.
+    pub order: BlockOrder,
+}
+
+impl DeviceOptions {
+    /// Options with the given machine configuration, statistics enabled and
+    /// forward block order.
+    pub fn new(config: MachineConfig) -> Self {
+        DeviceOptions {
+            config,
+            workers: None,
+            record_stats: true,
+            record_trace: false,
+            order: BlockOrder::Forward,
+        }
+    }
+
+    /// Set the number of background workers.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = Some(n);
+        self
+    }
+
+    /// Enable or disable statistics recording.
+    pub fn record_stats(mut self, on: bool) -> Self {
+        self.record_stats = on;
+        self
+    }
+
+    /// Enable or disable transaction-trace recording (see
+    /// [`DeviceOptions::record_trace`]).
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.record_trace = on;
+        if on {
+            self.record_stats = true;
+        }
+        self
+    }
+
+    /// Set the block dispatch order.
+    pub fn order(mut self, order: BlockOrder) -> Self {
+        self.order = order;
+        self
+    }
+}
+
+/// A virtual GPU executing kernels with asynchronous-HMM semantics.
+///
+/// See the [crate docs](crate) for the execution model. A `Device` is
+/// `Sync`-free by design: one launch at a time, like a single CUDA stream.
+pub struct Device {
+    cfg: MachineConfig,
+    record_stats: bool,
+    record_trace: bool,
+    order: BlockOrder,
+    pool: Pool,
+    stats: Mutex<CostCounters>,
+    trace: Mutex<RunTrace>,
+    launches: AtomicU64,
+    epoch: AtomicU64,
+}
+
+impl Device {
+    /// Create a device.
+    pub fn new(opts: DeviceOptions) -> Self {
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let workers = opts
+            .workers
+            .unwrap_or_else(|| opts.config.num_dmms.min(host).saturating_sub(1));
+        Device {
+            cfg: opts.config,
+            record_stats: opts.record_stats || opts.record_trace,
+            record_trace: opts.record_trace,
+            order: opts.order,
+            pool: Pool::new(workers),
+            stats: Mutex::new(CostCounters::new()),
+            trace: Mutex::new(RunTrace::default()),
+            launches: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// A device with default options for `config`.
+    pub fn with_config(config: MachineConfig) -> Self {
+        Self::new(DeviceOptions::new(config))
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Machine width `w`.
+    pub fn width(&self) -> usize {
+        self.cfg.width
+    }
+
+    /// Background worker count (the launcher thread participates too).
+    pub fn workers(&self) -> usize {
+        self.pool.extra_workers()
+    }
+
+    /// Launch `grid` blocks of `kernel`, returning when all blocks have
+    /// completed — the kernel boundary is the barrier synchronisation step
+    /// of the asynchronous HMM.
+    pub fn launch<F>(&self, grid: usize, kernel: F)
+    where
+        F: Fn(&mut BlockCtx<'_>) + Sync,
+    {
+        let launch_no = self.launches.fetch_add(1, Ordering::Relaxed);
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        let perm: Option<Vec<u32>> = match self.order {
+            BlockOrder::Forward => None,
+            BlockOrder::Shuffled(seed) => Some(permutation(grid, seed ^ launch_no)),
+        };
+        let launch_trace: Option<Mutex<LaunchTrace>> = self.record_trace.then(|| {
+            Mutex::new(LaunchTrace {
+                blocks: vec![Vec::new(); grid],
+            })
+        });
+        let wrapper = |idx: usize| {
+            let block_id = match &perm {
+                None => idx,
+                Some(p) => p[idx] as usize,
+            };
+            let mut ctx = BlockCtx {
+                dev: self,
+                block_id,
+                epoch,
+                shared_used: 0,
+                rec: if self.record_trace {
+                    TxnRecorder::new_tracing(self.cfg.width)
+                } else {
+                    TxnRecorder::new(self.cfg.width, self.record_stats)
+                },
+            };
+            kernel(&mut ctx);
+            if self.record_stats {
+                self.stats.lock().merge_parallel(&ctx.rec.take());
+            }
+            if let Some(lt) = &launch_trace {
+                lt.lock().blocks[block_id] = ctx.rec.take_trace();
+            }
+        };
+        self.pool.run(grid, &wrapper);
+        if let Some(lt) = launch_trace {
+            self.trace.lock().launches.push(lt.into_inner());
+        }
+    }
+
+    /// Reset the accumulated statistics (typically before timing a run).
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = CostCounters::new();
+        *self.trace.lock() = RunTrace::default();
+        self.launches.store(0, Ordering::Relaxed);
+    }
+
+    /// Drain the transaction trace recorded since the last reset (empty
+    /// unless the device was created with `record_trace`).
+    pub fn take_trace(&self) -> RunTrace {
+        std::mem::take(&mut self.trace.lock())
+    }
+
+    /// The statistics accumulated since the last reset. `barrier_steps` is
+    /// the number of kernel boundaries *between* launches (launches − 1),
+    /// matching the paper's counting.
+    pub fn stats(&self) -> CostCounters {
+        let mut c = *self.stats.lock();
+        c.barrier_steps = self.launches.load(Ordering::Relaxed).saturating_sub(1);
+        c
+    }
+
+    /// Number of launches since the last reset.
+    pub fn launches(&self) -> u64 {
+        self.launches.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-block execution context handed to kernels.
+pub struct BlockCtx<'a> {
+    dev: &'a Device,
+    block_id: usize,
+    epoch: u64,
+    shared_used: usize,
+    /// The block's transaction recorder. Pass `ctx.rec()` (or borrow this
+    /// field) to every memory accessor.
+    pub rec: TxnRecorder,
+}
+
+impl<'a> BlockCtx<'a> {
+    /// This block's id within the launch grid.
+    pub fn block_id(&self) -> usize {
+        self.block_id
+    }
+
+    /// Machine width `w`.
+    pub fn width(&self) -> usize {
+        self.dev.cfg.width
+    }
+
+    /// The device's machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.dev.cfg
+    }
+
+    /// The block's recorder (convenience for call sites:
+    /// `g.read_contig(base, &mut out, ctx.rec())`).
+    pub fn rec(&mut self) -> &mut TxnRecorder {
+        &mut self.rec
+    }
+
+    /// Obtain this block's view of a global buffer.
+    pub fn view<'b, T: Copy>(&self, buf: &'b GlobalBuffer<T>) -> GlobalView<'b, T> {
+        buf.make_view(self.epoch, self.block_id as u64)
+    }
+
+    /// Allocate a zeroed `w × w` shared-memory tile with the given bank
+    /// layout. Panics if the block exceeds the DMM's shared capacity —
+    /// the 48 KB limit of real GPUs that the paper's `O(w²)` assumption
+    /// models.
+    pub fn shared_tile<T: Copy + Default>(&mut self, layout: TileLayout) -> SharedTile<T> {
+        let w = self.dev.cfg.width;
+        let words = w * w;
+        self.shared_used += words;
+        assert!(
+            self.shared_used <= self.dev.cfg.shared_capacity,
+            "block {} exceeded shared memory capacity: {} words used, {} available",
+            self.block_id,
+            self.shared_used,
+            self.dev.cfg.shared_capacity
+        );
+        SharedTile::new(w, layout)
+    }
+}
+
+/// Deterministic pseudo-random permutation of `0..n` (Fisher–Yates driven by
+/// a splitmix64 stream; no external RNG dependency).
+fn permutation(n: usize, seed: u64) -> Vec<u32> {
+    assert!(n <= u32::MAX as usize, "grid too large to shuffle");
+    let mut v: Vec<u32> = (0..n as u32).collect();
+    let mut s = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = || {
+        s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..v.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        v.swap(i, j);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev4() -> Device {
+        Device::new(DeviceOptions::new(MachineConfig::with_width(4)).workers(2))
+    }
+
+    #[test]
+    fn launch_runs_every_block() {
+        let dev = dev4();
+        let out = GlobalBuffer::filled(0u64, 64);
+        dev.launch(64, |ctx| {
+            let g = ctx.view(&out);
+            let b = ctx.block_id();
+            g.write(b, b as u64 + 1, ctx.rec());
+        });
+        let v = out.into_vec();
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_and_count_barriers() {
+        let dev = dev4();
+        let buf = GlobalBuffer::filled(1.0f64, 32);
+        for _ in 0..3 {
+            dev.launch(8, |ctx| {
+                let g = ctx.view(&buf);
+                let base = ctx.block_id() * 4;
+                let mut v = [0.0; 4];
+                g.read_contig(base, &mut v, ctx.rec());
+                g.write_contig(base, &v, ctx.rec());
+            });
+        }
+        let s = dev.stats();
+        assert_eq!(s.coalesced_reads, 3 * 32);
+        assert_eq!(s.coalesced_writes, 3 * 32);
+        assert_eq!(s.barrier_steps, 2); // 3 launches = 2 barriers
+        assert_eq!(dev.launches(), 3);
+        dev.reset_stats();
+        assert_eq!(dev.stats().global_ops(), 0);
+        assert_eq!(dev.stats().barrier_steps, 0);
+    }
+
+    #[test]
+    fn stats_can_be_disabled() {
+        let dev = Device::new(
+            DeviceOptions::new(MachineConfig::with_width(4))
+                .workers(0)
+                .record_stats(false),
+        );
+        let buf = GlobalBuffer::filled(1u32, 16);
+        dev.launch(4, |ctx| {
+            let g = ctx.view(&buf);
+            let mut v = [0u32; 4];
+            g.read_contig(ctx.block_id() * 4, &mut v, ctx.rec());
+        });
+        assert_eq!(dev.stats().global_ops(), 0);
+    }
+
+    #[test]
+    fn shuffled_order_gives_same_result() {
+        for order in [BlockOrder::Forward, BlockOrder::Shuffled(42)] {
+            let dev = Device::new(
+                DeviceOptions::new(MachineConfig::with_width(4))
+                    .workers(3)
+                    .order(order),
+            );
+            let out = GlobalBuffer::filled(0usize, 100);
+            dev.launch(100, |ctx| {
+                let g = ctx.view(&out);
+                g.write(ctx.block_id(), ctx.block_id() * 7, ctx.rec());
+            });
+            let v = out.into_vec();
+            for (i, &x) in v.iter().enumerate() {
+                assert_eq!(x, i * 7, "{order:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_tiles_are_fresh_per_block() {
+        // Failure-injection for the reset-at-barrier semantics: even when a
+        // block writes its tile, the next block (possibly on the same
+        // worker) must observe zeros.
+        let dev = Device::new(DeviceOptions::new(MachineConfig::with_width(4)).workers(0));
+        let dirty = GlobalBuffer::filled(0u32, 64);
+        for _round in 0..2 {
+            dev.launch(64, |ctx| {
+                let g = ctx.view(&dirty);
+                let mut t: SharedTile<u32> = ctx.shared_tile(TileLayout::Diagonal);
+                let mut sum = 0;
+                for i in 0..4 {
+                    for j in 0..4 {
+                        sum += t.get(i, j);
+                    }
+                }
+                // Report any stale value, then pollute the tile.
+                g.write(ctx.block_id(), sum, ctx.rec());
+                for i in 0..4 {
+                    for j in 0..4 {
+                        t.set(i, j, 0xDEAD);
+                    }
+                }
+            });
+        }
+        assert!(dirty.into_vec().iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded shared memory capacity")]
+    fn shared_capacity_is_enforced() {
+        let cfg = MachineConfig::with_width(4).shared_capacity(2 * 16);
+        let dev = Device::new(DeviceOptions::new(cfg).workers(0));
+        dev.launch(1, |ctx| {
+            let _a: SharedTile<f64> = ctx.shared_tile(TileLayout::Diagonal);
+            let _b: SharedTile<f64> = ctx.shared_tile(TileLayout::Diagonal);
+            let _c: SharedTile<f64> = ctx.shared_tile(TileLayout::Diagonal); // 3rd tile: over
+        });
+    }
+
+    #[test]
+    fn race_checked_buffer_catches_bad_kernel() {
+        let dev = Device::new(DeviceOptions::new(MachineConfig::with_width(4)).workers(1));
+        let buf = GlobalBuffer::from_vec_checked(vec![0u32; 4]);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dev.launch(8, |ctx| {
+                let g = ctx.view(&buf);
+                // Every block writes word 0: a write-write race.
+                g.write(0, ctx.block_id() as u32, ctx.rec());
+            });
+        }));
+        assert!(r.is_err(), "race must be detected");
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        for n in [0usize, 1, 2, 17, 1000] {
+            let p = permutation(n, 0xABCD);
+            let mut seen = vec![false; n];
+            for &x in &p {
+                assert!(!seen[x as usize]);
+                seen[x as usize] = true;
+            }
+            assert!(seen.into_iter().all(|b| b));
+        }
+    }
+
+    #[test]
+    fn doc_example_compiles_and_runs() {
+        let cfg = MachineConfig::with_width(4);
+        let dev = Device::new(DeviceOptions::new(cfg));
+        let buf = GlobalBuffer::from_vec(vec![1.0f64; 64]);
+        dev.launch(4, |ctx| {
+            let g = ctx.view(&buf);
+            let base = ctx.block_id() * 16;
+            let mut vals = [0.0f64; 16];
+            g.read_contig(base, &mut vals, ctx.rec());
+            for v in &mut vals {
+                *v *= 2.0;
+            }
+            g.write_contig(base, &vals, ctx.rec());
+        });
+        assert!(buf.into_vec().iter().all(|&v| v == 2.0));
+    }
+}

@@ -1,0 +1,302 @@
+//! Per-block transaction recording.
+//!
+//! Every warp-shaped memory access performed by a kernel reports itself to
+//! the block's [`TxnRecorder`], which classifies it with the rules of
+//! [`hmm_model`] (coalesced vs. stride on the UMM, bank-conflict stages on
+//! the DMM) and accumulates [`CostCounters`]. Recording is cheap — the
+//! common patterns (contiguous, strided) are classified analytically without
+//! materialising address vectors — and can be disabled entirely, in which
+//! case accessors skip the bookkeeping.
+
+use hmm_model::cost::CostCounters;
+use hmm_model::{group_of, AccessKind, MemSpace};
+
+use crate::trace::{BlockTrace, TraceOp};
+
+/// Accumulates the memory access statistics of one block.
+///
+/// Created by the device for every block of a launch; merged into the
+/// device-wide counters when the block finishes.
+#[derive(Debug)]
+pub struct TxnRecorder {
+    w: usize,
+    enabled: bool,
+    counters: CostCounters,
+    trace: Option<BlockTrace>,
+}
+
+impl TxnRecorder {
+    /// A recorder for machine width `w`. When `enabled` is false all
+    /// `record_*` calls are no-ops.
+    pub fn new(w: usize, enabled: bool) -> Self {
+        TxnRecorder {
+            w,
+            enabled,
+            counters: CostCounters::new(),
+            trace: None,
+        }
+    }
+
+    /// A recorder that additionally logs every transaction in program order
+    /// (implies `enabled`), for replay in the `hmm-sim` machine simulator.
+    pub fn new_tracing(w: usize) -> Self {
+        TxnRecorder {
+            w,
+            enabled: true,
+            counters: CostCounters::new(),
+            trace: Some(Vec::new()),
+        }
+    }
+
+    /// Take the recorded transaction log (empty unless tracing).
+    pub fn take_trace(&mut self) -> BlockTrace {
+        self.trace.take().unwrap_or_default()
+    }
+
+    /// Machine width `w` (warp lanes per transaction).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.w
+    }
+
+    /// Whether recording is active.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The statistics accumulated so far.
+    pub fn counters(&self) -> &CostCounters {
+        &self.counters
+    }
+
+    /// Take the accumulated statistics, resetting this recorder.
+    pub fn take(&mut self) -> CostCounters {
+        std::mem::take(&mut self.counters)
+    }
+
+    #[inline]
+    fn record_global(&mut self, kind: AccessKind, ops: u64, stages: u64) {
+        self.counters.global_stages += stages;
+        let coalesced = stages <= 1;
+        match (kind, coalesced) {
+            (AccessKind::Read, true) => self.counters.coalesced_reads += ops,
+            (AccessKind::Write, true) => self.counters.coalesced_writes += ops,
+            (AccessKind::Read, false) => self.counters.stride_reads += ops,
+            (AccessKind::Write, false) => self.counters.stride_writes += ops,
+        }
+        if let Some(t) = &mut self.trace {
+            t.push(TraceOp {
+                space: MemSpace::Global,
+                kind,
+                ops: ops as u32,
+                stages: stages as u32,
+            });
+        }
+    }
+
+    /// Record a contiguous global access `[base, base + len)`, split into
+    /// `⌈len / w⌉` warp transactions.
+    pub fn record_contig(&mut self, kind: AccessKind, base: usize, len: usize) {
+        if !self.enabled || len == 0 {
+            return;
+        }
+        let w = self.w;
+        let mut start = base;
+        let end = base + len;
+        while start < end {
+            let lanes = w.min(end - start);
+            let stages = (group_of(start + lanes - 1, w) - group_of(start, w) + 1) as u64;
+            self.record_global(kind, lanes as u64, stages);
+            start += lanes;
+        }
+    }
+
+    /// Record a strided global access `base, base + stride, …` of `len`
+    /// lanes, split into warp transactions of `w` lanes.
+    pub fn record_strided(&mut self, kind: AccessKind, base: usize, stride: usize, len: usize) {
+        if !self.enabled || len == 0 {
+            return;
+        }
+        if stride == 1 {
+            return self.record_contig(kind, base, len);
+        }
+        let w = self.w;
+        let mut i = 0;
+        while i < len {
+            let lanes = w.min(len - i);
+            // Addresses are monotone, so distinct groups = number of
+            // quotient changes.
+            let mut stages = 1u64;
+            let mut prev = group_of(base + i * stride, w);
+            for t in 1..lanes {
+                let g = group_of(base + (i + t) * stride, w);
+                if g != prev {
+                    stages += 1;
+                    prev = g;
+                }
+            }
+            self.record_global(kind, lanes as u64, stages);
+            i += lanes;
+        }
+    }
+
+    /// Record a gather/scatter of arbitrary addresses, split into warp
+    /// transactions of `w` lanes.
+    pub fn record_gather(&mut self, kind: AccessKind, addrs: &[usize]) {
+        if !self.enabled || addrs.is_empty() {
+            return;
+        }
+        let w = self.w;
+        for chunk in addrs.chunks(w) {
+            let mut groups: Vec<usize> = chunk.iter().map(|&a| group_of(a, w)).collect();
+            groups.sort_unstable();
+            groups.dedup();
+            self.record_global(kind, chunk.len() as u64, groups.len() as u64);
+        }
+    }
+
+    /// Record a single-lane global access (a warp in which one thread
+    /// accesses memory: one operation, one stage, coalesced).
+    #[inline]
+    pub fn record_single(&mut self, kind: AccessKind) {
+        if !self.enabled {
+            return;
+        }
+        self.record_global(kind, 1, 1);
+    }
+
+    /// Record a shared-memory warp access with a precomputed stage count
+    /// (layouts know their bank-conflict degree analytically).
+    #[inline]
+    pub fn record_shared(&mut self, kind: AccessKind, ops: u64, stages: u64) {
+        if !self.enabled || ops == 0 {
+            return;
+        }
+        self.counters.shared_stages += stages;
+        match kind {
+            AccessKind::Read => self.counters.shared_reads += ops,
+            AccessKind::Write => self.counters.shared_writes += ops,
+        }
+        if let Some(t) = &mut self.trace {
+            t.push(TraceOp {
+                space: MemSpace::Shared,
+                kind,
+                ops: ops as u32,
+                stages: stages as u32,
+            });
+        }
+    }
+
+    /// `MemSpace`/`WarpAccess`-based recording, used by differential tests
+    /// to cross-check the analytic fast paths against the model crate.
+    pub fn record_warp_access(
+        &mut self,
+        space: MemSpace,
+        kind: AccessKind,
+        access: &hmm_model::WarpAccess,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.counters.record(space, kind, access, self.w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmm_model::WarpAccess;
+
+    /// The analytic fast paths must agree exactly with classification via
+    /// `hmm_model::WarpAccess`.
+    #[test]
+    fn contig_matches_model() {
+        for w in [4usize, 8, 32] {
+            for base in [0usize, 1, 3, w - 1, w, 2 * w + 1] {
+                for len in [1usize, 2, w - 1, w, w + 1, 3 * w, 3 * w + 2] {
+                    let mut fast = TxnRecorder::new(w, true);
+                    fast.record_contig(AccessKind::Read, base, len);
+                    let mut slow = TxnRecorder::new(w, true);
+                    let addrs: Vec<usize> = (0..len).map(|t| base + t).collect();
+                    for chunk in addrs.chunks(w) {
+                        slow.record_warp_access(
+                            MemSpace::Global,
+                            AccessKind::Read,
+                            &WarpAccess::dense(chunk, w),
+                        );
+                    }
+                    assert_eq!(
+                        fast.counters(),
+                        slow.counters(),
+                        "w={w} base={base} len={len}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strided_matches_model() {
+        for w in [4usize, 8] {
+            for stride in [1usize, 2, 3, w, w + 1, 5 * w] {
+                for len in [1usize, w, 2 * w + 3] {
+                    let mut fast = TxnRecorder::new(w, true);
+                    fast.record_strided(AccessKind::Write, 7, stride, len);
+                    let mut slow = TxnRecorder::new(w, true);
+                    let addrs: Vec<usize> = (0..len).map(|t| 7 + t * stride).collect();
+                    for chunk in addrs.chunks(w) {
+                        slow.record_warp_access(
+                            MemSpace::Global,
+                            AccessKind::Write,
+                            &WarpAccess::dense(chunk, w),
+                        );
+                    }
+                    assert_eq!(
+                        fast.counters(),
+                        slow.counters(),
+                        "w={w} stride={stride} len={len}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_matches_model() {
+        let w = 4;
+        let addrs = [7usize, 5, 15, 0, 10, 11, 12, 9];
+        let mut fast = TxnRecorder::new(w, true);
+        fast.record_gather(AccessKind::Read, &addrs);
+        // Figure 4: warp {7,5,15,0} → 3 groups; warp {10,11,12,9} → 2.
+        assert_eq!(fast.counters().global_stages, 5);
+        assert_eq!(fast.counters().stride_reads, 8);
+    }
+
+    #[test]
+    fn disabled_recorder_is_noop() {
+        let mut r = TxnRecorder::new(32, false);
+        r.record_contig(AccessKind::Read, 0, 100);
+        r.record_strided(AccessKind::Write, 0, 64, 32);
+        r.record_single(AccessKind::Read);
+        r.record_shared(AccessKind::Write, 32, 1);
+        assert_eq!(*r.counters(), CostCounters::new());
+    }
+
+    #[test]
+    fn single_is_coalesced() {
+        let mut r = TxnRecorder::new(32, true);
+        r.record_single(AccessKind::Write);
+        assert_eq!(r.counters().coalesced_writes, 1);
+        assert_eq!(r.counters().global_stages, 1);
+    }
+
+    #[test]
+    fn take_resets() {
+        let mut r = TxnRecorder::new(32, true);
+        r.record_single(AccessKind::Read);
+        let c = r.take();
+        assert_eq!(c.coalesced_reads, 1);
+        assert_eq!(*r.counters(), CostCounters::new());
+    }
+}

@@ -1,0 +1,204 @@
+//! Per-block shared memory tiles.
+//!
+//! Each block of a launch may allocate `w × w` tiles of *shared memory*
+//! (the DMM of its streaming multiprocessor). Tiles are zero-initialised at
+//! allocation and dropped when the block finishes — they cannot outlive a
+//! launch, which *is* the asynchronous HMM's reset-at-barrier semantics.
+//!
+//! A tile carries its bank [`TileLayout`]:
+//!
+//! * [`TileLayout::RowMajor`] — element `(i, j)` at offset `i·w + j`; a
+//!   column access is a `w`-way bank conflict (`w` DMM pipeline stages);
+//! * [`TileLayout::Diagonal`] — element `(i, j)` at offset
+//!   `i·w + (i + j) mod w`; both row and column access are conflict-free
+//!   (Lemma 1 / Figure 6 of the paper).
+//!
+//! The warp-shaped accessors report their DMM stage counts to the block's
+//! [`TxnRecorder`], so executions expose shared-memory bank conflicts the
+//! same way they expose global-memory coalescing.
+
+use hmm_model::{AccessKind, DiagonalLayout};
+
+use crate::recorder::TxnRecorder;
+
+/// Bank arrangement of a shared-memory tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TileLayout {
+    /// Row-major: column access conflicts on a single bank.
+    RowMajor,
+    /// Diagonal arrangement: row *and* column access conflict-free.
+    Diagonal,
+}
+
+/// A `w × w` shared-memory tile owned by one block.
+#[derive(Debug)]
+pub struct SharedTile<T> {
+    data: Vec<T>,
+    w: usize,
+    layout: TileLayout,
+}
+
+impl<T: Copy + Default> SharedTile<T> {
+    pub(crate) fn new(w: usize, layout: TileLayout) -> Self {
+        SharedTile {
+            data: vec![T::default(); w * w],
+            w,
+            layout,
+        }
+    }
+
+    /// Tile side length `w`.
+    pub fn width(&self) -> usize {
+        self.w
+    }
+
+    /// The tile's bank arrangement.
+    pub fn layout(&self) -> TileLayout {
+        self.layout
+    }
+
+    #[inline]
+    fn offset(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.w && j < self.w, "tile element out of range");
+        match self.layout {
+            TileLayout::RowMajor => i * self.w + j,
+            TileLayout::Diagonal => DiagonalLayout::new(self.w).addr(i, j),
+        }
+    }
+
+    /// Register-style scalar read (not a warp access; unrecorded).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        self.data[self.offset(i, j)]
+    }
+
+    /// Register-style scalar write (not a warp access; unrecorded).
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
+        let o = self.offset(i, j);
+        self.data[o] = v;
+    }
+
+    /// DMM pipeline stages of one full-warp row access under this layout.
+    fn row_stages(&self) -> u64 {
+        1 // rows touch all w banks exactly once in both layouts
+    }
+
+    /// DMM pipeline stages of one full-warp column access under this layout.
+    fn col_stages(&self) -> u64 {
+        match self.layout {
+            TileLayout::RowMajor => self.w as u64, // single-bank conflict
+            TileLayout::Diagonal => 1,             // Lemma 1
+        }
+    }
+
+    /// Warp read of logical row `i` into `out` (length `w`).
+    pub fn read_row(&self, i: usize, out: &mut [T], rec: &mut TxnRecorder) {
+        assert_eq!(out.len(), self.w, "row access is a full warp");
+        rec.record_shared(AccessKind::Read, self.w as u64, self.row_stages());
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = self.data[self.offset(i, j)];
+        }
+    }
+
+    /// Warp write of `vals` (length `w`) to logical row `i`.
+    pub fn write_row(&mut self, i: usize, vals: &[T], rec: &mut TxnRecorder) {
+        assert_eq!(vals.len(), self.w, "row access is a full warp");
+        rec.record_shared(AccessKind::Write, self.w as u64, self.row_stages());
+        for (j, &v) in vals.iter().enumerate() {
+            let o = self.offset(i, j);
+            self.data[o] = v;
+        }
+    }
+
+    /// Warp read of logical column `j` into `out` (length `w`).
+    pub fn read_col(&self, j: usize, out: &mut [T], rec: &mut TxnRecorder) {
+        assert_eq!(out.len(), self.w, "column access is a full warp");
+        rec.record_shared(AccessKind::Read, self.w as u64, self.col_stages());
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.data[self.offset(i, j)];
+        }
+    }
+
+    /// Warp write of `vals` (length `w`) to logical column `j`.
+    pub fn write_col(&mut self, j: usize, vals: &[T], rec: &mut TxnRecorder) {
+        assert_eq!(vals.len(), self.w, "column access is a full warp");
+        rec.record_shared(AccessKind::Write, self.w as u64, self.col_stages());
+        for (i, &v) in vals.iter().enumerate() {
+            let o = self.offset(i, j);
+            self.data[o] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec() -> TxnRecorder {
+        TxnRecorder::new(4, true)
+    }
+
+    #[test]
+    fn tiles_start_zeroed() {
+        let t: SharedTile<f64> = SharedTile::new(4, TileLayout::Diagonal);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(t.get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn logical_indexing_is_layout_independent() {
+        for layout in [TileLayout::RowMajor, TileLayout::Diagonal] {
+            let mut t: SharedTile<u32> = SharedTile::new(4, layout);
+            let mut r = rec();
+            for i in 0..4 {
+                let vals: Vec<u32> = (0..4).map(|j| (10 * i + j) as u32).collect();
+                t.write_row(i, &vals, &mut r);
+            }
+            for i in 0..4 {
+                for j in 0..4 {
+                    assert_eq!(t.get(i, j), (10 * i + j) as u32, "{layout:?}");
+                }
+            }
+            let mut col = [0u32; 4];
+            t.read_col(2, &mut col, &mut r);
+            assert_eq!(col, [2, 12, 22, 32]);
+        }
+    }
+
+    #[test]
+    fn diagonal_column_access_is_conflict_free() {
+        let mut t: SharedTile<u32> = SharedTile::new(4, TileLayout::Diagonal);
+        let mut r = rec();
+        t.write_col(1, &[1, 2, 3, 4], &mut r);
+        let mut out = [0u32; 4];
+        t.read_col(1, &mut out, &mut r);
+        assert_eq!(out, [1, 2, 3, 4]);
+        // write + read = 2 warp accesses, 1 stage each.
+        assert_eq!(r.counters().shared_stages, 2);
+        assert_eq!(r.counters().shared_reads, 4);
+        assert_eq!(r.counters().shared_writes, 4);
+    }
+
+    #[test]
+    fn row_major_column_access_pays_w_stages() {
+        let mut t: SharedTile<u32> = SharedTile::new(4, TileLayout::RowMajor);
+        let mut r = rec();
+        t.write_col(1, &[1, 2, 3, 4], &mut r);
+        assert_eq!(r.counters().shared_stages, 4);
+        let mut out = [0u32; 4];
+        t.read_row(0, &mut out, &mut r);
+        assert_eq!(r.counters().shared_stages, 4 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "full warp")]
+    fn partial_row_access_rejected() {
+        let t: SharedTile<u32> = SharedTile::new(4, TileLayout::Diagonal);
+        let mut out = [0u32; 2];
+        t.read_row(0, &mut out, &mut rec());
+    }
+}

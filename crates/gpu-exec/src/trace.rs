@@ -1,0 +1,84 @@
+//! Execution traces: the bridge from real kernel runs to the fine-grain
+//! HMM simulator.
+//!
+//! When a [`crate::Device`] is created with `record_trace`, every block logs
+//! the ordered sequence of warp operations it performs — memory space,
+//! direction, element count and pipeline stage count (bank conflicts /
+//! address groups are already resolved by the recorder). The resulting
+//! [`RunTrace`] preserves launch boundaries (barriers) and per-block program
+//! order, which is exactly the information the `hmm-sim` crate needs to
+//! replay the execution on a `d`-DMM + UMM machine with latency and
+//! round-robin warp dispatch — turning one real execution into a
+//! dependency-aware simulated time.
+
+use hmm_model::{AccessKind, MemSpace};
+
+/// One warp-level memory operation performed by a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceOp {
+    /// Shared (DMM) or global (UMM) memory.
+    pub space: MemSpace,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Element accesses carried by the transaction.
+    pub ops: u32,
+    /// Pipeline stages the transaction occupies (conflict/group resolved).
+    pub stages: u32,
+}
+
+/// Ordered operations of one block (the block's warps issue them in program
+/// order; the paper's kernels are warp-synchronous within a block).
+pub type BlockTrace = Vec<TraceOp>;
+
+/// All blocks of one kernel launch, indexed by block id.
+#[derive(Debug, Clone, Default)]
+pub struct LaunchTrace {
+    /// Per-block operation logs.
+    pub blocks: Vec<BlockTrace>,
+}
+
+/// A whole program: one [`LaunchTrace`] per kernel launch, in order. The
+/// boundaries between entries are the barrier synchronisation steps.
+#[derive(Debug, Clone, Default)]
+pub struct RunTrace {
+    /// Per-launch traces.
+    pub launches: Vec<LaunchTrace>,
+}
+
+impl RunTrace {
+    /// Total warp operations across all launches.
+    pub fn total_ops(&self) -> usize {
+        self.launches
+            .iter()
+            .flat_map(|l| &l.blocks)
+            .map(|b| b.len())
+            .sum()
+    }
+
+    /// Number of barrier steps (launches − 1).
+    pub fn barrier_steps(&self) -> usize {
+        self.launches.len().saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        let mut t = RunTrace::default();
+        assert_eq!(t.barrier_steps(), 0);
+        t.launches.push(LaunchTrace {
+            blocks: vec![vec![TraceOp {
+                space: MemSpace::Global,
+                kind: AccessKind::Read,
+                ops: 4,
+                stages: 1,
+            }]],
+        });
+        t.launches.push(LaunchTrace { blocks: vec![vec![], vec![]] });
+        assert_eq!(t.total_ops(), 1);
+        assert_eq!(t.barrier_steps(), 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! Concurrency stress tests for the virtual GPU runtime.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use gpu_exec::{BlockOrder, Device, DeviceOptions, GlobalBuffer, TileLayout};
+use hmm_model::MachineConfig;
+use proptest::prelude::*;
+
+fn dev(workers: usize) -> Device {
+    Device::new(DeviceOptions::new(MachineConfig::with_width(8)).workers(workers))
+}
+
+#[test]
+fn thousands_of_launches_reuse_the_pool() {
+    let dev = dev(3);
+    let buf = GlobalBuffer::filled(0u64, 64);
+    for round in 0..2000u64 {
+        dev.launch(4, |ctx| {
+            let g = ctx.view(&buf);
+            let base = ctx.block_id() * 16;
+            let mut v = [0u64; 16];
+            g.read_contig(base, &mut v, ctx.rec());
+            for x in &mut v {
+                *x += 1;
+            }
+            g.write_contig(base, &v, ctx.rec());
+        });
+        let _ = round;
+    }
+    assert!(buf.into_vec().into_iter().all(|v| v == 2000));
+}
+
+#[test]
+fn wide_launch_saturates_workers() {
+    let dev = dev(7);
+    let count = AtomicUsize::new(0);
+    dev.launch(100_000, |_ctx| {
+        count.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(count.load(Ordering::Relaxed), 100_000);
+}
+
+#[test]
+fn panics_are_contained_per_launch() {
+    let dev = dev(2);
+    for round in 0..20 {
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dev.launch(50, |ctx| {
+                if ctx.block_id() == 31 {
+                    panic!("round {round} boom");
+                }
+            });
+        }));
+        assert!(r.is_err());
+    }
+    // Device still fully functional.
+    let done = AtomicUsize::new(0);
+    dev.launch(10, |_| {
+        done.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(done.load(Ordering::Relaxed), 10);
+}
+
+#[test]
+fn shared_tiles_isolated_across_concurrent_blocks() {
+    // Each block fills its tile with its id and verifies no interference.
+    let dev = dev(4);
+    let failures = GlobalBuffer::filled(0u32, 512);
+    dev.launch(512, |ctx| {
+        let g = ctx.view(&failures);
+        let id = ctx.block_id() as u32;
+        let mut tile = ctx.shared_tile::<u32>(TileLayout::Diagonal);
+        for i in 0..8 {
+            for j in 0..8 {
+                tile.set(i, j, id.wrapping_mul(31).wrapping_add((i * 8 + j) as u32));
+            }
+        }
+        let mut bad = 0;
+        for i in 0..8 {
+            for j in 0..8 {
+                if tile.get(i, j) != id.wrapping_mul(31).wrapping_add((i * 8 + j) as u32) {
+                    bad += 1;
+                }
+            }
+        }
+        g.write(ctx.block_id(), bad, ctx.rec());
+    });
+    assert!(failures.into_vec().into_iter().all(|b| b == 0));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn scatter_then_gather_round_trips(
+        perm_seed in 0u64..1000,
+        workers in 0usize..4,
+        grid in 1usize..40,
+    ) {
+        // Blocks write a permutation-derived pattern; read-back must match
+        // regardless of scheduling.
+        let dev = Device::new(
+            DeviceOptions::new(MachineConfig::with_width(8))
+                .workers(workers)
+                .order(BlockOrder::Shuffled(perm_seed)),
+        );
+        let len = grid * 8;
+        let buf = GlobalBuffer::filled(0u64, len);
+        dev.launch(grid, |ctx| {
+            let g = ctx.view(&buf);
+            let b = ctx.block_id();
+            let vals: Vec<u64> = (0..8).map(|t| (b * 8 + t) as u64 * 3 + 1).collect();
+            g.write_contig(b * 8, &vals, ctx.rec());
+        });
+        let out = buf.into_vec();
+        for (i, &v) in out.iter().enumerate() {
+            prop_assert_eq!(v, i as u64 * 3 + 1);
+        }
+    }
+
+    #[test]
+    fn stats_totals_are_exact_under_concurrency(workers in 0usize..4, grid in 1usize..30) {
+        let dev = Device::new(
+            DeviceOptions::new(MachineConfig::with_width(8)).workers(workers),
+        );
+        let buf = GlobalBuffer::filled(1i64, grid * 8);
+        dev.reset_stats();
+        dev.launch(grid, |ctx| {
+            let g = ctx.view(&buf);
+            let mut v = [0i64; 8];
+            g.read_contig(ctx.block_id() * 8, &mut v, ctx.rec());
+            g.write_contig(ctx.block_id() * 8, &v, ctx.rec());
+        });
+        let s = dev.stats();
+        prop_assert_eq!(s.coalesced_reads, (grid * 8) as u64);
+        prop_assert_eq!(s.coalesced_writes, (grid * 8) as u64);
+        prop_assert_eq!(s.global_stages, (2 * grid) as u64);
+    }
+}

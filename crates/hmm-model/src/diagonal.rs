@@ -1,0 +1,173 @@
+//! The diagonal arrangement of a `w × w` matrix (Lemma 1, Figure 6).
+//!
+//! In a DMM's shared memory a row-major `w × w` matrix puts each *column* in
+//! a single bank, so column-wise warp access suffers a `w`-way bank conflict.
+//! The *diagonal arrangement* stores element `(i, j)` at physical address
+//! `i·w + ((i + j) mod w)`, i.e. row `i` is rotated right by `i` banks.
+//! Then
+//!
+//! * row `i` occupies addresses `{ i·w + k : k }` — all `w` banks, and
+//! * column `j` occupies addresses `{ i·w + (i+j) mod w : i }`, whose banks
+//!   `(i + j) mod w` are also pairwise distinct,
+//!
+//! so **both row-wise and column-wise access are conflict-free** (Lemma 1).
+//! The arrangement is used for the in-shared-memory SAT of a block and for
+//! the block transpose of Figure 7.
+
+use crate::warp::WarpAccess;
+
+/// Address mapping of the diagonal arrangement for a `w × w` matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiagonalLayout {
+    w: usize,
+}
+
+impl DiagonalLayout {
+    /// Layout for a `w × w` matrix.
+    pub fn new(w: usize) -> Self {
+        assert!(w > 0, "machine width must be positive");
+        DiagonalLayout { w }
+    }
+
+    /// The width `w`.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.w
+    }
+
+    /// Physical word offset of logical element `(i, j)`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `i` or `j` is out of range.
+    #[inline]
+    pub fn addr(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.w && j < self.w, "element out of range");
+        let w = self.w;
+        i * w + (i + j) % w
+    }
+
+    /// Inverse mapping: the logical `(i, j)` stored at physical offset `p`.
+    #[inline]
+    pub fn logical(&self, p: usize) -> (usize, usize) {
+        debug_assert!(p < self.w * self.w, "offset out of range");
+        let w = self.w;
+        let i = p / w;
+        let k = p % w;
+        // k = (i + j) mod w  ⇒  j = (k − i) mod w
+        let j = (k + w - i % w) % w;
+        (i, j)
+    }
+
+    /// Warp access pattern for reading/writing logical row `i`
+    /// (lane `t` touches element `(i, t)`).
+    pub fn row_access(&self, i: usize) -> WarpAccess {
+        let addrs: Vec<usize> = (0..self.w).map(|t| self.addr(i, t)).collect();
+        WarpAccess::dense(&addrs, self.w)
+    }
+
+    /// Warp access pattern for reading/writing logical column `j`
+    /// (lane `t` touches element `(t, j)`).
+    pub fn col_access(&self, j: usize) -> WarpAccess {
+        let addrs: Vec<usize> = (0..self.w).map(|t| self.addr(t, j)).collect();
+        WarpAccess::dense(&addrs, self.w)
+    }
+
+    /// Store a row-major `w × w` tile into `storage` (length ≥ `w²`) using
+    /// this layout.
+    pub fn scatter<T: Copy>(&self, row_major: &[T], storage: &mut [T]) {
+        let w = self.w;
+        assert!(row_major.len() >= w * w && storage.len() >= w * w);
+        for i in 0..w {
+            for j in 0..w {
+                storage[self.addr(i, j)] = row_major[i * w + j];
+            }
+        }
+    }
+
+    /// Read this layout's `storage` back into a row-major `w × w` tile.
+    pub fn gather<T: Copy>(&self, storage: &[T], row_major: &mut [T]) {
+        let w = self.w;
+        assert!(row_major.len() >= w * w && storage.len() >= w * w);
+        for i in 0..w {
+            for j in 0..w {
+                row_major[i * w + j] = storage[self.addr(i, j)];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_example_w4() {
+        // Figure 6: the diagonal arrangement of a 4 × 4 matrix stores row i
+        // rotated right by i: row 1 holds (1,3),(1,0),(1,1),(1,2) physically.
+        let d = DiagonalLayout::new(4);
+        assert_eq!(d.addr(0, 0), 0);
+        assert_eq!(d.addr(0, 3), 3);
+        assert_eq!(d.addr(1, 0), 4 + 1);
+        assert_eq!(d.addr(1, 3), 4);
+        assert_eq!(d.addr(3, 1), 12);
+        assert_eq!(d.addr(3, 0), 12 + 3);
+    }
+
+    #[test]
+    fn lemma1_row_and_column_conflict_free() {
+        for w in [1, 2, 3, 4, 8, 16, 32, 33] {
+            let d = DiagonalLayout::new(w);
+            for k in 0..w {
+                assert!(
+                    d.row_access(k).is_conflict_free(w),
+                    "row {k} conflicts at w={w}"
+                );
+                assert!(
+                    d.col_access(k).is_conflict_free(w),
+                    "column {k} conflicts at w={w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn row_major_column_access_conflicts_without_diagonal() {
+        // Sanity check of the motivation: without the diagonal arrangement a
+        // column access is a w-way bank conflict.
+        let w = 8;
+        let col: Vec<usize> = (0..w).map(|i| i * w + 3).collect();
+        let a = WarpAccess::dense(&col, w);
+        assert_eq!(a.dmm_stages(w), w);
+    }
+
+    #[test]
+    fn mapping_is_a_bijection() {
+        for w in [1, 2, 5, 32] {
+            let d = DiagonalLayout::new(w);
+            let mut seen = vec![false; w * w];
+            for i in 0..w {
+                for j in 0..w {
+                    let p = d.addr(i, j);
+                    assert!(!seen[p], "address {p} reused at w={w}");
+                    seen[p] = true;
+                    assert_eq!(d.logical(p), (i, j));
+                }
+            }
+            assert!(seen.into_iter().all(|b| b));
+        }
+    }
+
+    #[test]
+    fn scatter_gather_round_trip() {
+        let w = 6;
+        let d = DiagonalLayout::new(w);
+        let tile: Vec<u32> = (0..(w * w) as u32).collect();
+        let mut storage = vec![0u32; w * w];
+        d.scatter(&tile, &mut storage);
+        // Physically permuted (unless w == 1).
+        assert_ne!(storage, tile);
+        let mut back = vec![0u32; w * w];
+        d.gather(&storage, &mut back);
+        assert_eq!(back, tile);
+    }
+}

@@ -1,0 +1,260 @@
+//! Pipeline timing for memory access schedules.
+//!
+//! Both the DMM and the UMM process memory requests through an `L`-stage
+//! pipeline (Figure 4 of the paper): warps are dispatched in turn, each warp's
+//! access occupies one or more pipeline *stages* (bank-conflict splitting on
+//! the DMM, address-group splitting on the UMM), stages enter the pipeline
+//! back-to-back, and a request completes when it leaves the last pipeline
+//! stage. A schedule whose accesses occupy `p` stages in total therefore
+//! completes in `p + L − 1` time units — provided no thread has to wait for
+//! its own previous request.
+//!
+//! [`Pipeline::independent_time`] computes that closed form; [`Pipeline::simulate`]
+//! runs a dependency-aware round-robin simulation in which a warp may not
+//! issue a new access until its previous one has completed, exhibiting the
+//! latency-hiding behaviour the paper's algorithms rely on (enough warps keep
+//! the pipeline full; too few expose the latency `L`).
+
+use crate::warp::WarpAccess;
+
+/// Which stage-splitting rule to apply to each warp access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Machine {
+    /// Discrete Memory Machine: stages = worst per-bank multiplicity.
+    Dmm,
+    /// Unified Memory Machine: stages = distinct address groups.
+    Umm,
+}
+
+impl Machine {
+    /// Pipeline stages a single warp access occupies on this machine.
+    pub fn stages(&self, access: &WarpAccess, w: usize) -> usize {
+        match self {
+            Machine::Dmm => access.dmm_stages(w),
+            Machine::Umm => access.umm_stages(w),
+        }
+    }
+}
+
+/// Timing calculator for one memory machine.
+#[derive(Debug, Clone, Copy)]
+pub struct Pipeline {
+    /// Stage-splitting rule.
+    pub machine: Machine,
+    /// Width `w`.
+    pub width: usize,
+    /// Latency `L` (pipeline depth) in time units.
+    pub latency: u64,
+}
+
+/// Result of a pipeline simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineTiming {
+    /// Total pipeline stages occupied by all accesses.
+    pub stages: u64,
+    /// Time units until the last request completes.
+    pub completion_time: u64,
+}
+
+impl Pipeline {
+    /// Construct a pipeline for `machine` with the given width and latency.
+    pub fn new(machine: Machine, width: usize, latency: u64) -> Self {
+        assert!(width > 0, "machine width must be positive");
+        assert!(latency >= 1, "latency is at least one time unit");
+        Pipeline {
+            machine,
+            width,
+            latency,
+        }
+    }
+
+    /// Completion time of a set of *independent* warp accesses (no thread
+    /// issues twice): total occupied stages `p` give `p + L − 1` time units,
+    /// as in Figure 4 of the paper. Returns the stage count and the time.
+    pub fn independent_time(&self, accesses: &[WarpAccess]) -> PipelineTiming {
+        let stages: u64 = accesses
+            .iter()
+            .map(|a| self.machine.stages(a, self.width) as u64)
+            .sum();
+        let completion_time = if stages == 0 {
+            0
+        } else {
+            stages + self.latency - 1
+        };
+        PipelineTiming {
+            stages,
+            completion_time,
+        }
+    }
+
+    /// Dependency-aware simulation.
+    ///
+    /// `rounds_per_warp[i]` is the ordered list of accesses warp `i` issues;
+    /// a warp cannot issue access `k + 1` before access `k` has completed
+    /// (the paper: *"a thread cannot send a new memory access request until
+    /// the previous memory access request is completed"*). Warps are
+    /// dispatched in round-robin order; a warp with no pending or ready
+    /// access is skipped.
+    ///
+    /// Returns total stages and the completion time of the last request.
+    pub fn simulate(&self, rounds_per_warp: &[Vec<WarpAccess>]) -> PipelineTiming {
+        struct WarpState {
+            next: usize,
+            ready_at: u64,
+        }
+        let mut warps: Vec<WarpState> = rounds_per_warp
+            .iter()
+            .map(|_| WarpState {
+                next: 0,
+                ready_at: 0,
+            })
+            .collect();
+        let mut pending: usize = rounds_per_warp.iter().map(|r| r.len()).sum();
+        let mut stages_total: u64 = 0;
+        let mut pipe_free: u64 = 0; // first time unit the pipeline entrance is free
+        let mut finish: u64 = 0;
+        let mut rr = 0usize; // round-robin scan start
+
+        while pending > 0 {
+            // Earliest time any warp with work could issue.
+            let t = warps
+                .iter()
+                .enumerate()
+                .filter(|(i, w)| w.next < rounds_per_warp[*i].len())
+                .map(|(_, w)| w.ready_at.max(pipe_free))
+                .min()
+                .expect("pending > 0 implies some warp has work");
+            // Round-robin: first ready warp scanning from `rr`.
+            let n = warps.len();
+            let chosen = (0..n)
+                .map(|k| (rr + k) % n)
+                .find(|&i| {
+                    warps[i].next < rounds_per_warp[i].len() && warps[i].ready_at <= t
+                })
+                .expect("a warp is ready at the chosen time");
+            let access = &rounds_per_warp[chosen][warps[chosen].next];
+            let s = self.machine.stages(access, self.width) as u64;
+            warps[chosen].next += 1;
+            pending -= 1;
+            rr = (chosen + 1) % n;
+            if s == 0 {
+                // A warp in which no thread accesses memory is not dispatched.
+                continue;
+            }
+            stages_total += s;
+            let completes = t + s - 1 + self.latency;
+            pipe_free = t + s;
+            warps[chosen].ready_at = completes;
+            finish = finish.max(completes);
+        }
+        PipelineTiming {
+            stages: stages_total,
+            completion_time: finish,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W: usize = 4;
+
+    fn fig4_accesses() -> Vec<WarpAccess> {
+        vec![
+            WarpAccess::dense(&[7, 5, 15, 0], W),
+            WarpAccess::dense(&[10, 11, 12, 9], W),
+        ]
+    }
+
+    #[test]
+    fn fig4_dmm_takes_l_plus_2() {
+        // "the memory requests occupy three [DMM] stages, it takes
+        //  L + 3 − 1 time units to complete the memory access."
+        for latency in [1, 2, 5, 100] {
+            let p = Pipeline::new(Machine::Dmm, W, latency);
+            let t = p.independent_time(&fig4_accesses());
+            assert_eq!(t.stages, 3);
+            assert_eq!(t.completion_time, latency + 3 - 1);
+        }
+    }
+
+    #[test]
+    fn fig4_umm_takes_l_plus_4() {
+        // On the UMM the same warps occupy 3 + 2 = 5 stages:
+        // L + 5 − 1 time units.
+        for latency in [1, 2, 5, 100] {
+            let p = Pipeline::new(Machine::Umm, W, latency);
+            let t = p.independent_time(&fig4_accesses());
+            assert_eq!(t.stages, 5);
+            assert_eq!(t.completion_time, latency + 5 - 1);
+        }
+    }
+
+    #[test]
+    fn empty_schedule_is_instant() {
+        let p = Pipeline::new(Machine::Umm, W, 10);
+        let t = p.independent_time(&[]);
+        assert_eq!(t.stages, 0);
+        assert_eq!(t.completion_time, 0);
+    }
+
+    #[test]
+    fn latency_hiding_with_many_warps() {
+        // m warps each issuing r coalesced accesses in sequence. With
+        // m ≥ L the pipeline never starves: total ≈ m·r + L − 1.
+        let latency = 8u64;
+        let p = Pipeline::new(Machine::Umm, W, latency);
+        let m = 16usize; // m ≥ L: full hiding
+        let r = 10usize;
+        let rounds: Vec<Vec<WarpAccess>> = (0..m)
+            .map(|i| {
+                (0..r)
+                    .map(|k| WarpAccess::contiguous((i * r + k) * W, W, W))
+                    .collect()
+            })
+            .collect();
+        let t = p.simulate(&rounds);
+        assert_eq!(t.stages, (m * r) as u64);
+        assert_eq!(t.completion_time, (m * r) as u64 + latency - 1);
+    }
+
+    #[test]
+    fn latency_exposed_with_single_warp() {
+        // One warp issuing r dependent accesses pays the latency every time:
+        // r·L time units exactly (each access: 1 stage + (L−1) wait).
+        let latency = 8u64;
+        let p = Pipeline::new(Machine::Umm, W, latency);
+        let r = 5usize;
+        let rounds = vec![(0..r)
+            .map(|k| WarpAccess::contiguous(k * W, W, W))
+            .collect::<Vec<_>>()];
+        let t = p.simulate(&rounds);
+        assert_eq!(t.stages, r as u64);
+        assert_eq!(t.completion_time, r as u64 * latency);
+    }
+
+    #[test]
+    fn simulate_matches_independent_for_one_round() {
+        let p = Pipeline::new(Machine::Dmm, W, 6);
+        let accesses = fig4_accesses();
+        let rounds: Vec<Vec<WarpAccess>> =
+            accesses.iter().map(|a| vec![a.clone()]).collect();
+        let sim = p.simulate(&rounds);
+        let ind = p.independent_time(&accesses);
+        assert_eq!(sim.stages, ind.stages);
+        assert_eq!(sim.completion_time, ind.completion_time);
+    }
+
+    #[test]
+    fn empty_warps_are_not_dispatched() {
+        let p = Pipeline::new(Machine::Umm, W, 4);
+        let rounds = vec![
+            vec![WarpAccess::sparse(vec![None, None], W)],
+            vec![WarpAccess::contiguous(0, W, W)],
+        ];
+        let t = p.simulate(&rounds);
+        assert_eq!(t.stages, 1);
+        assert_eq!(t.completion_time, 4);
+    }
+}

@@ -1,0 +1,234 @@
+//! Warp-level memory accesses and their classification.
+//!
+//! Threads are partitioned into *warps* of `w` threads each; a warp sends up
+//! to one memory request per thread at a time. The two machine models differ
+//! in how a warp's requests map onto pipeline stages:
+//!
+//! * **DMM** (shared memory): requests are split into stages such that each
+//!   stage contains at most one request per *bank*; a warp whose requests hit
+//!   some bank `k` times needs `k` stages (a *`k`-way bank conflict*).
+//! * **UMM** (global memory): requests in the same *address group* are served
+//!   together; a warp touching `g` distinct groups needs `g` stages. A warp
+//!   touching a single group is *coalesced*.
+
+use crate::address::{bank_of, group_of, Addr};
+
+/// Which memory a transaction targets in the HMM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemSpace {
+    /// A DMM's shared memory (bank-conflict semantics, latency 1).
+    Shared,
+    /// The UMM's global memory (coalescing semantics, latency `L`).
+    Global,
+}
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// The set of addresses requested by one warp in one memory access round.
+///
+/// `lanes[t]` is the address requested by thread `t` of the warp, or `None`
+/// if that thread does not access memory this round. At most `w` lanes are
+/// meaningful; constructors enforce this.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarpAccess {
+    lanes: Vec<Option<Addr>>,
+}
+
+impl WarpAccess {
+    /// A warp access in which lane `t` requests `addrs[t]`.
+    ///
+    /// # Panics
+    /// Panics if more than `w` lanes are supplied — callers pass `w` from
+    /// their machine configuration.
+    pub fn dense(addrs: &[Addr], w: usize) -> Self {
+        assert!(
+            addrs.len() <= w,
+            "a warp has at most {w} lanes, got {}",
+            addrs.len()
+        );
+        WarpAccess {
+            lanes: addrs.iter().copied().map(Some).collect(),
+        }
+    }
+
+    /// A warp access with explicit per-lane participation.
+    pub fn sparse(lanes: Vec<Option<Addr>>, w: usize) -> Self {
+        assert!(
+            lanes.len() <= w,
+            "a warp has at most {w} lanes, got {}",
+            lanes.len()
+        );
+        WarpAccess { lanes }
+    }
+
+    /// The contiguous warp access `[base, base + len)`, the fully coalesced
+    /// pattern produced by `thread t accesses base + t`.
+    pub fn contiguous(base: Addr, len: usize, w: usize) -> Self {
+        assert!(len <= w, "a warp has at most {w} lanes, got {len}");
+        WarpAccess {
+            lanes: (0..len).map(|t| Some(base + t)).collect(),
+        }
+    }
+
+    /// The strided warp access `base, base + stride, base + 2·stride, …`
+    /// (`stride` in words). With `stride = n ≥ w` this is the column-access
+    /// pattern of a row-major `n × n` matrix — the worst case on the UMM.
+    pub fn strided(base: Addr, stride: usize, len: usize, w: usize) -> Self {
+        assert!(len <= w, "a warp has at most {w} lanes, got {len}");
+        WarpAccess {
+            lanes: (0..len).map(|t| Some(base + t * stride)).collect(),
+        }
+    }
+
+    /// Per-lane requested addresses.
+    pub fn lanes(&self) -> &[Option<Addr>] {
+        &self.lanes
+    }
+
+    /// Addresses actually requested (participating lanes only).
+    pub fn addrs(&self) -> impl Iterator<Item = Addr> + '_ {
+        self.lanes.iter().filter_map(|a| *a)
+    }
+
+    /// Number of participating lanes (= memory access *operations* this warp
+    /// performs, in the paper's counting).
+    pub fn ops(&self) -> usize {
+        self.lanes.iter().filter(|a| a.is_some()).count()
+    }
+
+    /// `true` if no lane participates (such a warp is not dispatched).
+    pub fn is_empty(&self) -> bool {
+        self.ops() == 0
+    }
+
+    /// Pipeline stages this access occupies on a DMM of width `w`: the
+    /// maximum number of requests destined for any single bank.
+    pub fn dmm_stages(&self, w: usize) -> usize {
+        let mut per_bank = vec![0usize; w];
+        for a in self.addrs() {
+            per_bank[bank_of(a, w)] += 1;
+        }
+        per_bank.into_iter().max().unwrap_or(0)
+    }
+
+    /// Pipeline stages this access occupies on a UMM of width `w`: the number
+    /// of distinct address groups touched.
+    pub fn umm_stages(&self, w: usize) -> usize {
+        let mut groups: Vec<usize> = self.addrs().map(|a| group_of(a, w)).collect();
+        groups.sort_unstable();
+        groups.dedup();
+        groups.len()
+    }
+
+    /// `true` if the access is *coalesced* on a UMM of width `w` (at most one
+    /// address group, i.e. a single pipeline stage).
+    pub fn is_coalesced(&self, w: usize) -> bool {
+        self.umm_stages(w) <= 1
+    }
+
+    /// `true` if the access is conflict-free on a DMM of width `w` (at most
+    /// one request per bank).
+    pub fn is_conflict_free(&self, w: usize) -> bool {
+        self.dmm_stages(w) <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W: usize = 4;
+
+    #[test]
+    fn fig4_warp_w0_dmm() {
+        // Figure 4: warp W0 accesses {7, 5, 15, 0}; banks are {3, 1, 3, 0},
+        // so bank 3 is hit twice and the access needs two pipeline stages.
+        let a = WarpAccess::dense(&[7, 5, 15, 0], W);
+        assert_eq!(a.dmm_stages(W), 2);
+        assert!(!a.is_conflict_free(W));
+    }
+
+    #[test]
+    fn fig4_warp_w1_dmm() {
+        // W1 accesses {10, 11, 12, 9}; banks {2, 3, 0, 1} are all distinct,
+        // one stage.
+        let a = WarpAccess::dense(&[10, 11, 12, 9], W);
+        assert_eq!(a.dmm_stages(W), 1);
+        assert!(a.is_conflict_free(W));
+    }
+
+    #[test]
+    fn fig4_warp_w0_umm() {
+        // W0's addresses {7, 5, 15, 0} fall in address groups {1, 1, 3, 0}:
+        // three distinct groups, three stages.
+        let a = WarpAccess::dense(&[7, 5, 15, 0], W);
+        assert_eq!(a.umm_stages(W), 3);
+        assert!(!a.is_coalesced(W));
+    }
+
+    #[test]
+    fn fig4_warp_w1_umm() {
+        // W1's addresses {10, 11, 12, 9} fall in groups {2, 2, 3, 2}:
+        // two distinct groups, two stages.
+        let a = WarpAccess::dense(&[10, 11, 12, 9], W);
+        assert_eq!(a.umm_stages(W), 2);
+    }
+
+    #[test]
+    fn contiguous_is_coalesced_when_aligned() {
+        let a = WarpAccess::contiguous(8, 4, W);
+        assert!(a.is_coalesced(W));
+        assert!(a.is_conflict_free(W));
+        assert_eq!(a.ops(), 4);
+    }
+
+    #[test]
+    fn unaligned_contiguous_spans_two_groups() {
+        // [2, 6) crosses the group boundary at 4.
+        let a = WarpAccess::contiguous(2, 4, W);
+        assert_eq!(a.umm_stages(W), 2);
+        assert!(a.is_conflict_free(W));
+    }
+
+    #[test]
+    fn strided_by_width_is_worst_case_on_umm_but_conflicts_on_dmm() {
+        // Column access of a row-major 4-wide matrix: stride = w.
+        let a = WarpAccess::strided(1, W, 4, W);
+        assert_eq!(a.umm_stages(W), 4); // every lane its own group
+        assert_eq!(a.dmm_stages(W), 4); // every lane the same bank
+    }
+
+    #[test]
+    fn empty_and_sparse() {
+        let a = WarpAccess::sparse(vec![None, Some(5), None, Some(6)], W);
+        assert_eq!(a.ops(), 2);
+        assert!(!a.is_empty());
+        assert_eq!(a.umm_stages(W), 1);
+        let e = WarpAccess::sparse(vec![None, None], W);
+        assert!(e.is_empty());
+        assert_eq!(e.dmm_stages(W), 0);
+        assert_eq!(e.umm_stages(W), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 4 lanes")]
+    fn too_many_lanes_rejected() {
+        WarpAccess::dense(&[0, 1, 2, 3, 4], W);
+    }
+
+    #[test]
+    fn broadcast_same_address_single_stage_umm() {
+        // All lanes reading one address: one group on the UMM.
+        let a = WarpAccess::dense(&[9, 9, 9, 9], W);
+        assert_eq!(a.umm_stages(W), 1);
+        // On the DMM the same bank is hit four times.
+        assert_eq!(a.dmm_stages(W), 4);
+    }
+}

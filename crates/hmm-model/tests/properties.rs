@@ -1,0 +1,142 @@
+//! Property tests for the machine-model primitives.
+
+use hmm_model::pipeline::{Machine, Pipeline};
+use hmm_model::{bank_of, group_of, DiagonalLayout, MachineConfig, WarpAccess};
+use proptest::prelude::*;
+
+fn arb_width() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(2usize), Just(3), Just(4), Just(8), Just(16), Just(32)]
+}
+
+proptest! {
+    #[test]
+    fn dmm_stages_equal_max_bank_multiplicity(
+        w in arb_width(),
+        addrs in proptest::collection::vec(0usize..10_000, 1..32),
+    ) {
+        let addrs: Vec<usize> = addrs.into_iter().take(w).collect();
+        let a = WarpAccess::dense(&addrs, w);
+        // Brute force: count per bank.
+        let mut per_bank = vec![0usize; w];
+        for &x in &addrs {
+            per_bank[bank_of(x, w)] += 1;
+        }
+        prop_assert_eq!(a.dmm_stages(w), *per_bank.iter().max().unwrap());
+    }
+
+    #[test]
+    fn umm_stages_equal_distinct_groups(
+        w in arb_width(),
+        addrs in proptest::collection::vec(0usize..10_000, 1..32),
+    ) {
+        let addrs: Vec<usize> = addrs.into_iter().take(w).collect();
+        let a = WarpAccess::dense(&addrs, w);
+        let mut groups: Vec<usize> = addrs.iter().map(|&x| group_of(x, w)).collect();
+        groups.sort_unstable();
+        groups.dedup();
+        prop_assert_eq!(a.umm_stages(w), groups.len());
+    }
+
+    #[test]
+    fn stage_counts_are_bounded_by_ops(
+        w in arb_width(),
+        addrs in proptest::collection::vec(0usize..10_000, 1..32),
+    ) {
+        let addrs: Vec<usize> = addrs.into_iter().take(w).collect();
+        let a = WarpAccess::dense(&addrs, w);
+        prop_assert!(a.dmm_stages(w) >= 1);
+        prop_assert!(a.dmm_stages(w) <= a.ops());
+        prop_assert!(a.umm_stages(w) >= 1);
+        prop_assert!(a.umm_stages(w) <= a.ops());
+    }
+
+    #[test]
+    fn aligned_contiguous_access_is_always_ideal(w in arb_width(), base_grp in 0usize..100) {
+        let a = WarpAccess::contiguous(base_grp * w, w, w);
+        prop_assert!(a.is_coalesced(w));
+        prop_assert!(a.is_conflict_free(w));
+    }
+
+    #[test]
+    fn diagonal_layout_is_bijective_and_conflict_free(w in arb_width()) {
+        let d = DiagonalLayout::new(w);
+        let mut seen = vec![false; w * w];
+        for i in 0..w {
+            for j in 0..w {
+                let p = d.addr(i, j);
+                prop_assert!(!seen[p]);
+                seen[p] = true;
+                prop_assert_eq!(d.logical(p), (i, j));
+            }
+        }
+        for k in 0..w {
+            prop_assert!(d.row_access(k).is_conflict_free(w));
+            prop_assert!(d.col_access(k).is_conflict_free(w));
+        }
+    }
+
+    #[test]
+    fn pipeline_time_is_stages_plus_latency_minus_one(
+        w in arb_width(),
+        latency in 1u64..200,
+        n_warps in 1usize..20,
+    ) {
+        // Independent warps: closed form must hold whatever the accesses.
+        let accesses: Vec<WarpAccess> = (0..n_warps)
+            .map(|k| WarpAccess::strided(k * 7, 1 + k % 5, w.min(4), w))
+            .collect();
+        let p = Pipeline::new(Machine::Umm, w, latency);
+        let t = p.independent_time(&accesses);
+        prop_assert_eq!(t.completion_time, t.stages + latency - 1);
+    }
+
+    #[test]
+    fn dependent_simulation_never_beats_independent(
+        latency in 1u64..100,
+        rounds in 1usize..6,
+        warps in 1usize..8,
+    ) {
+        let w = 4;
+        let per_warp: Vec<Vec<WarpAccess>> = (0..warps)
+            .map(|i| {
+                (0..rounds)
+                    .map(|k| WarpAccess::contiguous((i * rounds + k) * w, w, w))
+                    .collect()
+            })
+            .collect();
+        let flat: Vec<WarpAccess> = per_warp.iter().flatten().cloned().collect();
+        let p = Pipeline::new(Machine::Umm, w, latency);
+        let dep = p.simulate(&per_warp);
+        let ind = p.independent_time(&flat);
+        prop_assert_eq!(dep.stages, ind.stages);
+        prop_assert!(dep.completion_time >= ind.completion_time);
+        // And it cannot be worse than full serialisation.
+        prop_assert!(dep.completion_time <= ind.stages.max(1) * latency);
+    }
+
+    #[test]
+    fn cost_is_monotone_in_latency(n in 64usize..4096, l1 in 1u64..500, dl in 1u64..500) {
+        use hmm_model::cost::{GlobalCost, SatAlgorithm};
+        let n = (n / 32) * 32 + 32;
+        let g1 = GlobalCost::new(MachineConfig::with_width(32).latency(l1));
+        let g2 = GlobalCost::new(MachineConfig::with_width(32).latency(l1 + dl));
+        for alg in SatAlgorithm::ALL {
+            prop_assert!(g1.cost(alg, n) <= g2.cost(alg, n), "{:?}", alg);
+        }
+    }
+
+    #[test]
+    fn optimal_r_is_admissible_and_optimal(n_blocks in 2usize..64, overhead in 0u64..8000) {
+        use hmm_model::cost::GlobalCost;
+        let w = 32;
+        let n = n_blocks * w;
+        let cfg = MachineConfig::with_width(w).barrier_overhead(overhead);
+        let g = GlobalCost::new(cfg);
+        let r = g.optimal_r(n);
+        let ratios = g.admissible_ratios(n);
+        prop_assert!(ratios.iter().any(|&x| (x - r).abs() < 1e-12));
+        for x in ratios {
+            prop_assert!(g.hybrid(n, r) <= g.hybrid(n, x) + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Convenience harness: run an algorithm on a tracing device and simulate it.
+
+use gpu_exec::{Device, DeviceOptions};
+use hmm_model::cost::CostCounters;
+use hmm_model::MachineConfig;
+
+use crate::machine::{AsyncHmm, SimReport};
+
+/// Everything one traced execution yields.
+#[derive(Debug, Clone)]
+pub struct TracedRun {
+    /// Measured transaction counters (coalesced/stride ops, stages,
+    /// barriers).
+    pub counters: CostCounters,
+    /// Dependency-aware simulated timing.
+    pub sim: SimReport,
+    /// The paper's analytic cost `C/w + S + Λ·(B+1)` evaluated on the
+    /// measured counters.
+    pub analytic_cost: f64,
+}
+
+impl TracedRun {
+    /// Ratio of simulated time to analytic cost — ≈ 1 when the cost model
+    /// is a good approximation of the machine (the paper's §III claim).
+    pub fn model_accuracy(&self) -> f64 {
+        self.sim.total_time as f64 / self.analytic_cost
+    }
+}
+
+/// Build a single-launcher tracing device for `cfg`, run `algo` on it, and
+/// replay the recorded trace through the discrete-event machine.
+///
+/// The device executes blocks sequentially (0 extra workers): execution
+/// order does not affect results (that is tested separately) and the traces
+/// stay deterministic.
+pub fn trace_and_simulate(cfg: MachineConfig, algo: impl FnOnce(&Device)) -> TracedRun {
+    let dev = Device::new(DeviceOptions::new(cfg).workers(0).record_trace(true));
+    algo(&dev);
+    let counters = dev.stats();
+    let trace = dev.take_trace();
+    let sim = AsyncHmm::new(cfg).simulate(&trace);
+    TracedRun {
+        counters,
+        sim,
+        analytic_cost: counters.global_cost(&cfg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_exec::GlobalBuffer;
+
+    #[test]
+    fn harness_collects_counters_trace_and_time() {
+        let cfg = MachineConfig::with_width(4).latency(8).num_dmms(2);
+        let run = trace_and_simulate(cfg, |dev| {
+            let buf = GlobalBuffer::filled(1.0f64, 64);
+            for _ in 0..2 {
+                dev.launch(4, |ctx| {
+                    let g = ctx.view(&buf);
+                    let mut v = [0.0; 4];
+                    g.read_contig(ctx.block_id() * 4, &mut v, ctx.rec());
+                    g.write_contig(ctx.block_id() * 4, &v, ctx.rec());
+                });
+            }
+        });
+        assert_eq!(run.counters.coalesced_reads, 32);
+        assert_eq!(run.counters.barrier_steps, 1);
+        assert_eq!(run.sim.per_launch.len(), 2);
+        // Per launch: the four reads dispatch at t = 0..3 and complete at
+        // t = 8..11; each block's dependent write then starts at its own
+        // completion (4 blocks < L: latency is only partially hidden), so
+        // the last write completes at 11 + 1 − 1 + 8 = 19.
+        assert_eq!(run.sim.busy_time(), 2 * 19);
+        // Analytic: C/w + S + Λ(B+1) = 64/4 + 0 + 8·2 = 32.
+        assert_eq!(run.analytic_cost, 32.0);
+        assert!(run.model_accuracy() > 0.5 && run.model_accuracy() < 2.0);
+    }
+}

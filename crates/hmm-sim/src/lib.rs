@@ -1,0 +1,27 @@
+//! # hmm-sim — discrete-event simulation of the asynchronous HMM
+//!
+//! `gpu-exec` runs kernels for real and counts their memory transactions;
+//! this crate answers the question the paper's Table II asks: **how long
+//! would that execution take on the machine model?**
+//!
+//! A [`machine::AsyncHmm`] replays a recorded [`gpu_exec::RunTrace`] on `d`
+//! DMM pipelines (shared memory, latency 1) and one UMM pipeline (global
+//! memory, latency `L`), honouring per-block program order, the
+//! one-outstanding-request rule, pipeline occupancy, and the per-launch
+//! barrier/relaunch overhead. The result is a *dependency-aware* simulated
+//! time that exhibits, from first principles, the regimes the paper's
+//! global-memory-access cost `C/w + S + L·(B+1)` interpolates between —
+//! full latency hiding when launches are wide, full latency exposure when a
+//! wavefront stage holds a single block.
+//!
+//! [`harness::trace_and_simulate`] wires the two crates together: build a
+//! tracing device, run any algorithm on it, and get back the measured
+//! counters, the trace, and the simulated time.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod machine;
+
+pub use harness::{trace_and_simulate, TracedRun};
+pub use machine::{AsyncHmm, LaunchTiming, SimReport};

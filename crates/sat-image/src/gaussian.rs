@@ -1,0 +1,152 @@
+//! Gaussian smoothing by repeated box filters (Wells' method).
+//!
+//! By the central limit theorem, `k` successive box filters of radius `r`
+//! converge to a Gaussian of variance `k·r(r+1)/3`; three passes are within
+//! ~3 % of a true Gaussian. Each pass is a SAT build plus four lookups per
+//! pixel, so the smoothing cost is independent of σ — the SAT turns
+//! arbitrary-σ Gaussian blur into `O(k · pixels)`.
+
+use sat_core::{Matrix, SumTable};
+
+use crate::boxfilter::mean_filter;
+
+/// Box radius whose `passes`-fold iteration approximates a Gaussian of
+/// standard deviation `sigma` (from `Var(box_r) = r(r+1)/3`).
+pub fn radius_for_sigma(sigma: f64, passes: usize) -> usize {
+    assert!(sigma > 0.0 && passes >= 1);
+    // Solve r(r+1)/3 · passes = σ² for r.
+    let target = sigma * sigma / passes as f64 * 3.0;
+    let r = (-1.0 + (1.0 + 4.0 * target).sqrt()) / 2.0;
+    r.round().max(1.0) as usize
+}
+
+/// Approximate Gaussian blur: `passes` mean filters of the radius matched
+/// to `sigma`. Borders are clamped (each pass renormalises by the true
+/// window area, so edges do not darken).
+pub fn gaussian_blur(img: &Matrix<f64>, sigma: f64, passes: usize) -> Matrix<f64> {
+    let r = radius_for_sigma(sigma, passes);
+    let mut cur = img.clone();
+    for _ in 0..passes {
+        let table = SumTable::build(&cur);
+        cur = mean_filter(&table, r);
+    }
+    cur
+}
+
+/// Difference of Gaussians: `blur(σ₁) − blur(σ₂)` — the classic blob/edge
+/// band-pass built entirely on SATs.
+pub fn difference_of_gaussians(
+    img: &Matrix<f64>,
+    sigma_fine: f64,
+    sigma_coarse: f64,
+) -> Matrix<f64> {
+    assert!(sigma_fine < sigma_coarse, "fine scale must be smaller");
+    let fine = gaussian_blur(img, sigma_fine, 3);
+    let coarse = gaussian_blur(img, sigma_coarse, 3);
+    Matrix::from_fn(img.rows(), img.cols(), |i, j| fine.get(i, j) - coarse.get(i, j))
+}
+
+/// Direct (truncated, normalised) Gaussian convolution — the slow reference
+/// used to validate the box approximation.
+pub fn gaussian_direct(img: &Matrix<f64>, sigma: f64) -> Matrix<f64> {
+    let r = (3.0 * sigma).ceil() as isize;
+    let (rows, cols) = (img.rows() as isize, img.cols() as isize);
+    Matrix::from_fn(img.rows(), img.cols(), |i, j| {
+        let (i, j) = (i as isize, j as isize);
+        let mut acc = 0.0;
+        let mut wsum = 0.0;
+        for di in -r..=r {
+            for dj in -r..=r {
+                let (u, v) = (i + di, j + dj);
+                if u < 0 || v < 0 || u >= rows || v >= cols {
+                    continue;
+                }
+                let wgt = (-((di * di + dj * dj) as f64) / (2.0 * sigma * sigma)).exp();
+                acc += wgt * img.get(u as usize, v as usize);
+                wsum += wgt;
+            }
+        }
+        acc / wsum
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{noise, scene_with_object};
+
+    #[test]
+    fn radius_matches_variance_identity() {
+        // σ² ≈ passes · r(r+1)/3 at the returned radius (±1 on r).
+        for (sigma, passes) in [(2.0, 3usize), (5.0, 3), (1.0, 3), (8.0, 5)] {
+            let r = radius_for_sigma(sigma, passes) as f64;
+            let var = passes as f64 * r * (r + 1.0) / 3.0;
+            assert!(
+                (var.sqrt() - sigma).abs() < sigma * 0.5 + 1.0,
+                "sigma={sigma} passes={passes} r={r}"
+            );
+        }
+    }
+
+    #[test]
+    fn approximates_true_gaussian_in_the_interior() {
+        let img = scene_with_object(48, 48, 12, 12, 10, 10);
+        let sigma = 2.0;
+        let approx = gaussian_blur(&img, sigma, 3);
+        let exact = gaussian_direct(&img, sigma);
+        // Compare away from borders (different border models).
+        let mut worst: f64 = 0.0;
+        for i in 8..40 {
+            for j in 8..40 {
+                worst = worst.max((approx.get(i, j) - exact.get(i, j)).abs());
+            }
+        }
+        let range = 255.0;
+        assert!(worst / range < 0.06, "max interior error {worst}");
+    }
+
+    #[test]
+    fn preserves_mean_of_interior_heavy_images() {
+        let img = noise(64, 64, 4);
+        let out = gaussian_blur(&img, 3.0, 3);
+        let mean_in = img.as_slice().iter().sum::<f64>() / 4096.0;
+        let mean_out = out.as_slice().iter().sum::<f64>() / 4096.0;
+        assert!((mean_in - mean_out).abs() < 3.0, "{mean_in} vs {mean_out}");
+    }
+
+    #[test]
+    fn smooths_monotonically_with_sigma() {
+        let img = noise(64, 64, 9);
+        let var = |x: &Matrix<f64>| {
+            let m = x.as_slice().iter().sum::<f64>() / 4096.0;
+            x.as_slice().iter().map(|v| (v - m).powi(2)).sum::<f64>() / 4096.0
+        };
+        let v1 = var(&gaussian_blur(&img, 1.0, 3));
+        let v3 = var(&gaussian_blur(&img, 3.0, 3));
+        let v6 = var(&gaussian_blur(&img, 6.0, 3));
+        assert!(var(&img) > v1 && v1 > v3 && v3 > v6);
+    }
+
+    #[test]
+    fn dog_responds_to_blobs_not_flats() {
+        // Truly flat background with one bright square: band-pass response
+        // concentrates at the square's boundary and vanishes on the flat.
+        let img = Matrix::from_fn(64, 64, |i, j| {
+            if (24..36).contains(&i) && (24..36).contains(&j) {
+                250.0
+            } else {
+                50.0
+            }
+        });
+        let dog = difference_of_gaussians(&img, 1.5, 4.0);
+        let edge = dog.get(24, 30).abs().max(dog.get(30, 24).abs());
+        let flat = dog.get(8, 8).abs();
+        assert!(edge > 10.0 * flat.max(0.1), "edge {edge} vs flat {flat}");
+    }
+
+    #[test]
+    #[should_panic(expected = "fine scale")]
+    fn dog_requires_ordered_scales() {
+        difference_of_gaussians(&noise(8, 8, 0), 4.0, 2.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Haar-like box features, Viola–Jones style.
+//!
+//! The integral image (= SAT) makes each Haar feature — a signed sum of two
+//! or three adjacent boxes — a handful of lookups, independent of scale.
+//! This is the workhorse of classical sliding-window object detection.
+
+use sat_core::{Matrix, Rect, SumTable};
+
+/// A Haar-like feature anchored at the top-left of a detection window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HaarFeature {
+    /// Left box minus right box (vertical edge detector):
+    /// total extent `h × 2w`.
+    EdgeVertical {
+        /// Box height.
+        h: usize,
+        /// Single box width.
+        w: usize,
+    },
+    /// Top box minus bottom box (horizontal edge detector):
+    /// total extent `2h × w`.
+    EdgeHorizontal {
+        /// Single box height.
+        h: usize,
+        /// Box width.
+        w: usize,
+    },
+    /// Outer thirds minus centre third (vertical line detector):
+    /// total extent `h × 3w`.
+    LineVertical {
+        /// Box height.
+        h: usize,
+        /// Single box width.
+        w: usize,
+    },
+}
+
+impl HaarFeature {
+    /// Total (rows, cols) extent of the feature.
+    pub fn extent(&self) -> (usize, usize) {
+        match *self {
+            HaarFeature::EdgeVertical { h, w } => (h, 2 * w),
+            HaarFeature::EdgeHorizontal { h, w } => (2 * h, w),
+            HaarFeature::LineVertical { h, w } => (h, 3 * w),
+        }
+    }
+
+    /// Evaluate the feature with its top-left corner at `(r, c)`.
+    ///
+    /// # Panics
+    /// Panics if the feature extends past the table.
+    pub fn eval(&self, table: &SumTable<f64>, r: usize, c: usize) -> f64 {
+        let b = |r0: usize, c0: usize, h: usize, w: usize| {
+            table.sum(Rect::new(r0, c0, r0 + h - 1, c0 + w - 1))
+        };
+        match *self {
+            HaarFeature::EdgeVertical { h, w } => b(r, c, h, w) - b(r, c + w, h, w),
+            HaarFeature::EdgeHorizontal { h, w } => b(r, c, h, w) - b(r + h, c, h, w),
+            HaarFeature::LineVertical { h, w } => {
+                b(r, c, h, w) - b(r, c + w, h, w) + b(r, c + 2 * w, h, w)
+            }
+        }
+    }
+
+    /// Evaluate the feature at every valid anchor, producing a response map
+    /// of shape `(rows − eh + 1) × (cols − ew + 1)`.
+    pub fn response_map(&self, table: &SumTable<f64>) -> Matrix<f64> {
+        let (eh, ew) = self.extent();
+        let (rows, cols) = (table.sat().rows(), table.sat().cols());
+        assert!(rows >= eh && cols >= ew, "feature larger than image");
+        Matrix::from_fn(rows - eh + 1, cols - ew + 1, |r, c| self.eval(table, r, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Image: left half 0, right half 200 (a vertical step edge at 8).
+    fn step_image() -> Matrix<f64> {
+        Matrix::from_fn(16, 16, |_, j| if j < 8 { 0.0 } else { 200.0 })
+    }
+
+    #[test]
+    fn vertical_edge_peaks_on_the_step() {
+        let t = SumTable::build(&step_image());
+        let f = HaarFeature::EdgeVertical { h: 4, w: 4 };
+        let m = f.response_map(&t);
+        // Anchored at c = 4 the two boxes straddle the edge exactly:
+        // left sum 0, right sum 4·4·200.
+        let peak = m.get(3, 4).abs();
+        assert_eq!(peak, 4.0 * 4.0 * 200.0);
+        // Far from the edge both boxes are equal (both dark): response 0.
+        assert_eq!(m.get(3, 0), 0.0);
+    }
+
+    #[test]
+    fn vertical_edge_zero_on_flat_regions() {
+        let t = SumTable::build(&step_image());
+        let f = HaarFeature::EdgeVertical { h: 4, w: 2 };
+        let m = f.response_map(&t);
+        assert_eq!(m.get(2, 0), 0.0); // both boxes in the dark half
+        assert_eq!(m.get(2, 12), 0.0); // both boxes in the bright half
+        assert_eq!(m.get(2, 6), -2.0 * 4.0 * 200.0); // straddling
+    }
+
+    #[test]
+    fn horizontal_edge_detector() {
+        let img = Matrix::from_fn(16, 16, |i, _| if i < 8 { 50.0 } else { 10.0 });
+        let t = SumTable::build(&img);
+        let f = HaarFeature::EdgeHorizontal { h: 3, w: 5 };
+        let m = f.response_map(&t);
+        assert_eq!(m.get(5, 2), 3.0 * 5.0 * (50.0 - 10.0)); // straddles row 8
+        assert_eq!(m.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn line_detector_fires_on_stripe() {
+        // A dark vertical stripe of width 3 on bright background.
+        let img = Matrix::from_fn(12, 12, |_, j| if (6..9).contains(&j) { 0.0 } else { 90.0 });
+        let t = SumTable::build(&img);
+        let f = HaarFeature::LineVertical { h: 6, w: 3 };
+        let m = f.response_map(&t);
+        // Anchored at c = 3: outer boxes bright, centre dark.
+        assert_eq!(m.get(2, 3), 2.0 * 6.0 * 3.0 * 90.0);
+        // Anchored at c = 0: boxes at columns 0–2 (bright), 3–5 (bright),
+        // 6–8 (the dark stripe): 1620 − 1620 + 0 = 0.
+        assert_eq!(m.get(2, 0), 0.0);
+    }
+
+    #[test]
+    fn extents() {
+        assert_eq!(HaarFeature::EdgeVertical { h: 2, w: 3 }.extent(), (2, 6));
+        assert_eq!(HaarFeature::EdgeHorizontal { h: 2, w: 3 }.extent(), (4, 3));
+        assert_eq!(HaarFeature::LineVertical { h: 2, w: 3 }.extent(), (2, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than image")]
+    fn oversized_feature_rejected() {
+        let t = SumTable::build(&Matrix::from_fn(4, 4, |_, _| 1.0));
+        HaarFeature::EdgeVertical { h: 8, w: 8 }.response_map(&t);
+    }
+}

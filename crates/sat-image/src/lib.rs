@@ -1,0 +1,48 @@
+//! # sat-image — image processing on summed area tables
+//!
+//! The paper motivates the SAT by its computer-vision applications (Crow
+//! 1984; Lauritzen, *GPU Gems 3*): once the SAT of an image exists, any
+//! box sum is four lookups. This crate implements the classic consumers on
+//! top of `sat-core`'s device-accelerated SAT computation:
+//!
+//! * [`boxfilter`] — box / mean filtering with clamped borders;
+//! * [`variance`] — local variance and **variance shadow maps** (the GPU
+//!   Gems 3 application cited by the paper), including the Chebyshev upper
+//!   bound used for soft shadows;
+//! * [`threshold`] — Bradley–Roth adaptive thresholding;
+//! * [`gaussian`] — Gaussian blur by repeated box filters (Wells' method)
+//!   and difference-of-Gaussians, σ-independent cost;
+//! * [`haar`] — Haar-like box features (Viola–Jones style) evaluated in
+//!   `O(1)` per feature;
+//! * [`template`] — window-sum candidate pruning for template matching;
+//! * [`ncc`] — fast normalized cross-correlation (Lewis): window energies
+//!   from sum tables, brightness/contrast-invariant matching;
+//! * [`pyramid`] — mean pyramids (one SAT per level) and coarse-to-fine
+//!   multi-scale template search;
+//! * [`pgm`] — dependency-free PGM image I/O (P2/P5, 8/16-bit) so real
+//!   grayscale images round-trip through the pipelines;
+//! * [`synth`] — synthetic image generators used by tests, examples and
+//!   benchmarks;
+//! * [`gpu`] — device-side consumers (box filter as a kernel reading the
+//!   SAT straight from global memory).
+//!
+//! All consumers take a [`sat_core::SumTable`]; build it with any of the
+//! paper's algorithms via [`sat_core::compute_sat`].
+
+#![warn(missing_docs)]
+
+pub mod boxfilter;
+pub mod gaussian;
+pub mod gpu;
+pub mod haar;
+pub mod ncc;
+pub mod pgm;
+pub mod pyramid;
+pub mod synth;
+pub mod template;
+pub mod threshold;
+pub mod variance;
+
+pub use boxfilter::{box_filter, box_sum_image, mean_filter};
+pub use threshold::adaptive_threshold;
+pub use variance::{local_variance, VarianceShadowMap};

@@ -1,0 +1,197 @@
+//! Fast normalized cross-correlation (Lewis 1995) — SAT-powered
+//! denominators.
+//!
+//! Template matching that is invariant to brightness and contrast uses the
+//! normalized cross-correlation
+//!
+//! ```text
+//!            Σ (f − f̄ᵤᵥ)(t − t̄)
+//! γ(u,v) = ─────────────────────────────
+//!          √( Σ(f − f̄ᵤᵥ)² · Σ(t − t̄)² )
+//! ```
+//!
+//! The numerator needs `O(|t|)` work per window, but the *denominator* —
+//! the window's energy `Σ(f − f̄ᵤᵥ)² = Σf² − (Σf)²/area` — is four lookups
+//! in each of two sum tables (of `f` and of `f²`). This is the classic
+//! "fast NCC" trick built on exactly the data structure the paper
+//! accelerates.
+
+use sat_core::{Matrix, Rect, SumTable};
+
+/// The NCC response map of `template` over `img`: shape
+/// `(rows − t_rows + 1) × (cols − t_cols + 1)`, values in `[−1, 1]`
+/// (0 where the window or template is constant).
+pub fn ncc_response(img: &Matrix<f64>, template: &Matrix<f64>) -> Matrix<f64> {
+    let (ir, ic) = (img.rows(), img.cols());
+    let (tr, tc) = (template.rows(), template.cols());
+    assert!(tr >= 1 && tc >= 1 && tr <= ir && tc <= ic, "template must fit");
+    let area = (tr * tc) as f64;
+
+    // Zero-mean template and its energy, once.
+    let t_mean = template.as_slice().iter().sum::<f64>() / area;
+    let t0: Vec<f64> = template.as_slice().iter().map(|&v| v - t_mean).collect();
+    let t_energy: f64 = t0.iter().map(|v| v * v).sum();
+
+    // Sum tables of f and f² for the window statistics.
+    let sat = SumTable::build(img);
+    let sat_sq = SumTable::build(&img.map(|v| v * v));
+
+    Matrix::from_fn(ir - tr + 1, ic - tc + 1, |u, v| {
+        let rect = Rect::new(u, v, u + tr - 1, v + tc - 1);
+        let wsum = sat.sum(rect);
+        let wsq = sat_sq.sum(rect);
+        let f_energy = wsq - wsum * wsum / area;
+        if f_energy <= 1e-12 || t_energy <= 1e-12 {
+            return 0.0;
+        }
+        // Numerator: Σ f·t₀ (t₀ is zero-mean, so the f̄ term vanishes).
+        let mut num = 0.0;
+        for i in 0..tr {
+            for j in 0..tc {
+                num += img.get(u + i, v + j) * t0[i * tc + j];
+            }
+        }
+        num / (f_energy * t_energy).sqrt()
+    })
+}
+
+/// Location and score of the best NCC match.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NccPeak {
+    /// Top-left row of the best window.
+    pub row: usize,
+    /// Top-left column of the best window.
+    pub col: usize,
+    /// Correlation score in `[−1, 1]`.
+    pub score: f64,
+}
+
+/// Best match of `template` in `img`.
+pub fn ncc_best_match(img: &Matrix<f64>, template: &Matrix<f64>) -> NccPeak {
+    let m = ncc_response(img, template);
+    let mut best = NccPeak {
+        row: 0,
+        col: 0,
+        score: f64::NEG_INFINITY,
+    };
+    for i in 0..m.rows() {
+        for j in 0..m.cols() {
+            if m.get(i, j) > best.score {
+                best = NccPeak {
+                    row: i,
+                    col: j,
+                    score: m.get(i, j),
+                };
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::noise;
+
+    fn paste(img: &mut Matrix<f64>, t: &Matrix<f64>, r: usize, c: usize) {
+        for i in 0..t.rows() {
+            for j in 0..t.cols() {
+                img.set(r + i, c + j, t.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn exact_copy_scores_one_at_its_location() {
+        let mut img = noise(32, 32, 1);
+        let template = noise(6, 5, 2);
+        paste(&mut img, &template, 9, 17);
+        let peak = ncc_best_match(&img, &template);
+        assert_eq!((peak.row, peak.col), (9, 17));
+        assert!((peak.score - 1.0).abs() < 1e-9, "score = {}", peak.score);
+    }
+
+    #[test]
+    fn invariant_to_brightness_and_contrast() {
+        // NCC's defining property: pasting α·t + β still scores 1.0.
+        let mut img = noise(40, 40, 3);
+        let template = noise(7, 7, 4);
+        let transformed = template.map(|v| 0.35 * v + 80.0);
+        paste(&mut img, &transformed, 21, 5);
+        let peak = ncc_best_match(&img, &template);
+        assert_eq!((peak.row, peak.col), (21, 5));
+        assert!((peak.score - 1.0).abs() < 1e-9, "score = {}", peak.score);
+    }
+
+    #[test]
+    fn anticorrelated_patch_scores_minus_one() {
+        let mut img = noise(30, 30, 5);
+        let template = noise(6, 6, 6);
+        let negated = template.map(|v| -v + 255.0); // α = −1
+        paste(&mut img, &negated, 3, 22);
+        let m = ncc_response(&img, &template);
+        assert!((m.get(3, 22) + 1.0).abs() < 1e-9, "score = {}", m.get(3, 22));
+    }
+
+    #[test]
+    fn matches_direct_definition() {
+        // Differential test against the textbook formula at a few windows.
+        let img = noise(20, 20, 7);
+        let template = noise(4, 4, 8);
+        let m = ncc_response(&img, &template);
+        let area = 16.0;
+        let t_mean = template.as_slice().iter().sum::<f64>() / area;
+        for &(u, v) in &[(0usize, 0usize), (5, 9), (16, 16), (0, 16)] {
+            let mut f_mean = 0.0;
+            for i in 0..4 {
+                for j in 0..4 {
+                    f_mean += img.get(u + i, v + j);
+                }
+            }
+            f_mean /= area;
+            let (mut num, mut fe, mut te) = (0.0, 0.0, 0.0);
+            for i in 0..4 {
+                for j in 0..4 {
+                    let fd = img.get(u + i, v + j) - f_mean;
+                    let td = template.get(i, j) - t_mean;
+                    num += fd * td;
+                    fe += fd * fd;
+                    te += td * td;
+                }
+            }
+            let want = num / (fe * te).sqrt();
+            assert!((m.get(u, v) - want).abs() < 1e-9, "({u},{v})");
+        }
+    }
+
+    #[test]
+    fn constant_regions_score_zero() {
+        let img = Matrix::from_fn(16, 16, |_, _| 42.0);
+        let template = noise(4, 4, 9);
+        let m = ncc_response(&img, &template);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+        // And a constant template against anything.
+        let img2 = noise(16, 16, 10);
+        let t2 = Matrix::from_fn(4, 4, |_, _| 7.0);
+        let m2 = ncc_response(&img2, &t2);
+        assert!(m2.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn scores_are_bounded() {
+        let img = noise(24, 24, 11);
+        let template = noise(5, 5, 12);
+        let m = ncc_response(&img, &template);
+        for &v in m.as_slice() {
+            assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "template must fit")]
+    fn oversized_template_rejected() {
+        let img = noise(4, 4, 0);
+        let t = noise(8, 8, 0);
+        ncc_response(&img, &t);
+    }
+}

@@ -1,0 +1,205 @@
+//! Mean pyramids: multi-scale image analysis on top of the SAT.
+//!
+//! Each pyramid level halves the resolution; a level's pixel is the mean of
+//! the corresponding 2×2 (or `factor²`) region of the level below — one SAT
+//! per level, four lookups per output pixel, so building a full pyramid is
+//! `O(pixels)` regardless of the smoothing window. Multi-scale template
+//! matching ([`crate::ncc`]) searches the coarse levels first.
+
+use sat_core::{Matrix, Rect, SumTable};
+
+/// A mean pyramid: `levels()[0]` is the original image, each further level
+/// is `factor×` smaller.
+#[derive(Debug, Clone)]
+pub struct MeanPyramid {
+    levels: Vec<Matrix<f64>>,
+    factor: usize,
+}
+
+impl MeanPyramid {
+    /// Build a pyramid by repeated `factor × factor` mean reduction until a
+    /// side would fall below `min_side` (or `max_levels` is reached).
+    ///
+    /// # Panics
+    /// Panics if `factor < 2` or the image is empty.
+    pub fn build(img: &Matrix<f64>, factor: usize, min_side: usize, max_levels: usize) -> Self {
+        assert!(factor >= 2, "a pyramid must shrink");
+        assert!(img.rows() > 0 && img.cols() > 0, "empty image");
+        let mut levels = vec![img.clone()];
+        while levels.len() < max_levels {
+            let prev = levels.last().expect("at least the base level");
+            let (nr, nc) = (prev.rows() / factor, prev.cols() / factor);
+            if nr < min_side || nc < min_side {
+                break;
+            }
+            let table = SumTable::build(prev);
+            let area = (factor * factor) as f64;
+            let next = Matrix::from_fn(nr, nc, |i, j| {
+                let rect = Rect::new(
+                    i * factor,
+                    j * factor,
+                    i * factor + factor - 1,
+                    j * factor + factor - 1,
+                );
+                table.sum(rect) / area
+            });
+            levels.push(next);
+        }
+        MeanPyramid { levels, factor }
+    }
+
+    /// The levels, finest first.
+    pub fn levels(&self) -> &[Matrix<f64>] {
+        &self.levels
+    }
+
+    /// Reduction factor between adjacent levels.
+    pub fn factor(&self) -> usize {
+        self.factor
+    }
+
+    /// Map a coordinate at `level` back to the base image.
+    pub fn to_base(&self, level: usize, coord: usize) -> usize {
+        coord * self.factor.pow(level as u32)
+    }
+}
+
+/// Coarse-to-fine template search: find the template at the coarsest level
+/// with NCC, then refine the location through the finer levels within a
+/// ±`factor` neighbourhood. Returns the base-image location and final
+/// score.
+pub fn multiscale_match(
+    img: &Matrix<f64>,
+    template: &Matrix<f64>,
+    levels: usize,
+) -> crate::ncc::NccPeak {
+    let factor = 2;
+    let pyr_img = MeanPyramid::build(img, factor, template.rows().max(4), levels);
+    let pyr_t = MeanPyramid::build(template, factor, 2, pyr_img.levels().len());
+    let top = pyr_img.levels().len().min(pyr_t.levels().len()) - 1;
+
+    // Coarsest full search.
+    let mut peak = crate::ncc::ncc_best_match(&pyr_img.levels()[top], &pyr_t.levels()[top]);
+    let (mut r, mut c) = (peak.row, peak.col);
+    // Refine level by level.
+    for lvl in (0..top).rev() {
+        let img_l = &pyr_img.levels()[lvl];
+        let t_l = &pyr_t.levels()[lvl];
+        let (cr, cc) = (r * factor, c * factor);
+        let pad = 2 * factor + 1;
+        let r0 = cr.saturating_sub(pad);
+        let c0 = cc.saturating_sub(pad);
+        let r1 = (cr + pad).min(img_l.rows() - t_l.rows());
+        let c1 = (cc + pad).min(img_l.cols() - t_l.cols());
+        let mut best = crate::ncc::NccPeak {
+            row: r0,
+            col: c0,
+            score: f64::NEG_INFINITY,
+        };
+        let resp = crate::ncc::ncc_response(img_l, t_l);
+        for rr in r0..=r1.min(resp.rows() - 1) {
+            for cc2 in c0..=c1.min(resp.cols() - 1) {
+                if resp.get(rr, cc2) > best.score {
+                    best = crate::ncc::NccPeak {
+                        row: rr,
+                        col: cc2,
+                        score: resp.get(rr, cc2),
+                    };
+                }
+            }
+        }
+        peak = best;
+        r = peak.row;
+        c = peak.col;
+    }
+    peak
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{noise, radial_gradient};
+
+    #[test]
+    fn pyramid_shapes_and_factor() {
+        let img = radial_gradient(64, 96);
+        let p = MeanPyramid::build(&img, 2, 8, 10);
+        let sides: Vec<(usize, usize)> =
+            p.levels().iter().map(|l| (l.rows(), l.cols())).collect();
+        assert_eq!(sides, vec![(64, 96), (32, 48), (16, 24), (8, 12)]);
+        assert_eq!(p.factor(), 2);
+        assert_eq!(p.to_base(2, 3), 12);
+    }
+
+    #[test]
+    fn level_pixels_are_means() {
+        let img = noise(16, 16, 1);
+        let p = MeanPyramid::build(&img, 2, 4, 2);
+        let l1 = &p.levels()[1];
+        for i in 0..8 {
+            for j in 0..8 {
+                let mean = (img.get(2 * i, 2 * j)
+                    + img.get(2 * i, 2 * j + 1)
+                    + img.get(2 * i + 1, 2 * j)
+                    + img.get(2 * i + 1, 2 * j + 1))
+                    / 4.0;
+                assert!((l1.get(i, j) - mean).abs() < 1e-9, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn mean_is_preserved_across_levels() {
+        let img = noise(32, 32, 2);
+        let p = MeanPyramid::build(&img, 2, 4, 4);
+        let mean0 = img.as_slice().iter().sum::<f64>() / 1024.0;
+        for l in p.levels() {
+            let m = l.as_slice().iter().sum::<f64>() / (l.rows() * l.cols()) as f64;
+            assert!((m - mean0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn multiscale_finds_a_pasted_template() {
+        // A structured (smooth) template survives mean reduction at any
+        // phase; pure noise would not — its coarse means are phase-
+        // dependent, which is exactly why detectors match structure.
+        let mut img = noise(128, 128, 3);
+        let template = radial_gradient(16, 16);
+        for i in 0..16 {
+            for j in 0..16 {
+                img.set(77 + i, 34 + j, template.get(i, j));
+            }
+        }
+        let peak = multiscale_match(&img, &template, 3);
+        assert_eq!((peak.row, peak.col), (77, 34));
+        assert!(peak.score > 0.999, "score = {}", peak.score);
+    }
+
+    #[test]
+    fn multiscale_equals_full_search_at_one_level() {
+        let mut img = noise(48, 48, 6);
+        let template = radial_gradient(8, 8);
+        for i in 0..8 {
+            for j in 0..8 {
+                img.set(13 + i, 29 + j, template.get(i, j));
+            }
+        }
+        let direct = crate::ncc::ncc_best_match(&img, &template);
+        let multi = multiscale_match(&img, &template, 1);
+        assert_eq!((multi.row, multi.col), (direct.row, direct.col));
+    }
+
+    #[test]
+    fn min_side_stops_the_pyramid() {
+        let img = noise(20, 20, 5);
+        let p = MeanPyramid::build(&img, 2, 10, 10);
+        assert_eq!(p.levels().len(), 2); // 20 → 10, then 5 < 10 stops
+    }
+
+    #[test]
+    #[should_panic(expected = "must shrink")]
+    fn factor_one_rejected() {
+        MeanPyramid::build(&noise(8, 8, 0), 1, 2, 3);
+    }
+}

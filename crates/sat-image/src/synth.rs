@@ -1,0 +1,115 @@
+//! Synthetic image generators for tests, examples and benchmarks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sat_core::Matrix;
+
+/// A smooth radial gradient (bright centre, dark corners) in `[0, 255]`.
+pub fn radial_gradient(rows: usize, cols: usize) -> Matrix<f64> {
+    let (cr, cc) = (rows as f64 / 2.0, cols as f64 / 2.0);
+    let rmax = (cr * cr + cc * cc).sqrt().max(1.0);
+    Matrix::from_fn(rows, cols, |i, j| {
+        let d = ((i as f64 - cr).powi(2) + (j as f64 - cc).powi(2)).sqrt();
+        255.0 * (1.0 - d / rmax)
+    })
+}
+
+/// A checkerboard with `cell`-sized tiles, values 0 / 255.
+pub fn checkerboard(rows: usize, cols: usize, cell: usize) -> Matrix<f64> {
+    assert!(cell > 0);
+    Matrix::from_fn(rows, cols, |i, j| {
+        if (i / cell + j / cell) % 2 == 0 {
+            255.0
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Uniform integer-valued noise in `[0, 256)` (integer-valued `f64` keeps
+/// SAT arithmetic exact, so algorithm comparisons can be `==`).
+pub fn noise(rows: usize, cols: usize, seed: u64) -> Matrix<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(0..256) as f64)
+}
+
+/// A gradient with a bright rectangular "object" pasted at `(r0, c0)`.
+pub fn scene_with_object(
+    rows: usize,
+    cols: usize,
+    r0: usize,
+    c0: usize,
+    obj_rows: usize,
+    obj_cols: usize,
+) -> Matrix<f64> {
+    let mut img = radial_gradient(rows, cols);
+    for i in 0..obj_rows {
+        for j in 0..obj_cols {
+            if r0 + i < rows && c0 + j < cols {
+                img.set(r0 + i, c0 + j, 250.0);
+            }
+        }
+    }
+    img
+}
+
+/// Integer random matrix in `[-bound, bound]`, for exact-arithmetic tests.
+pub fn int_noise(rows: usize, cols: usize, bound: i64, seed: u64) -> Matrix<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-bound..=bound))
+}
+
+/// Synthetic depth map for the variance-shadow-map scenario: a ground plane
+/// whose depth increases with the row index, plus a raised box casting a
+/// step in depth.
+pub fn depth_map(rows: usize, cols: usize) -> Matrix<f64> {
+    Matrix::from_fn(rows, cols, |i, j| {
+        let base = 10.0 + i as f64 * 0.05;
+        let on_box = (rows / 3..rows / 2).contains(&i) && (cols / 3..2 * cols / 3).contains(&j);
+        if on_box {
+            base - 5.0
+        } else {
+            base
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_ranges() {
+        let g = radial_gradient(20, 30);
+        assert_eq!(g.rows(), 20);
+        for i in 0..20 {
+            for j in 0..30 {
+                assert!((0.0..=255.0).contains(&g.get(i, j)));
+            }
+        }
+        let c = checkerboard(8, 8, 2);
+        assert_eq!(c.get(0, 0), 255.0);
+        assert_eq!(c.get(0, 2), 0.0);
+        assert_eq!(c.get(2, 2), 255.0);
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        assert_eq!(noise(5, 5, 42), noise(5, 5, 42));
+        assert_ne!(noise(5, 5, 42), noise(5, 5, 43));
+        let n = noise(16, 16, 7);
+        assert!(n.as_slice().iter().all(|&v| v.fract() == 0.0));
+    }
+
+    #[test]
+    fn object_is_pasted() {
+        let s = scene_with_object(20, 20, 5, 6, 3, 4);
+        assert_eq!(s.get(6, 8), 250.0);
+    }
+
+    #[test]
+    fn depth_map_box_is_closer() {
+        let d = depth_map(30, 30);
+        assert!(d.get(12, 15) < d.get(12, 2));
+    }
+}

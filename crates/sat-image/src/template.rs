@@ -1,0 +1,151 @@
+//! Sum-based candidate pruning for template matching.
+//!
+//! Sliding-window template matching (SSD/NCC) is `O(template)` per window.
+//! A classic integral-image acceleration prunes windows whose *sum*
+//! already differs too much from the template's: the window sum is four SAT
+//! lookups, and `|Σ window − Σ template|` lower-bounds `‖window − template‖₁`
+//! (triangle inequality), so windows failing the bound can be skipped
+//! without computing the full distance.
+
+use sat_core::{Matrix, Rect, SumTable};
+
+/// A match candidate surviving the sum-pruning pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// Top-left row of the window.
+    pub row: usize,
+    /// Top-left column of the window.
+    pub col: usize,
+    /// Sum of absolute differences (exact, computed for survivors only).
+    pub sad: f64,
+}
+
+/// Statistics of one pruned matching pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Total candidate windows.
+    pub windows: usize,
+    /// Windows skipped by the sum bound.
+    pub pruned: usize,
+}
+
+/// Find all windows whose sum-of-absolute-differences to `template` is at
+/// most `max_sad`, pruning with the SAT sum bound first. Returns the
+/// surviving candidates (sorted by SAD) and pruning statistics.
+pub fn match_template(
+    img: &Matrix<f64>,
+    template: &Matrix<f64>,
+    max_sad: f64,
+) -> (Vec<Candidate>, MatchStats) {
+    let (ir, ic) = (img.rows(), img.cols());
+    let (tr, tc) = (template.rows(), template.cols());
+    assert!(tr >= 1 && tc >= 1 && tr <= ir && tc <= ic, "template must fit");
+    let table = SumTable::build(img);
+    let tsum: f64 = template.as_slice().iter().sum();
+    let mut out = Vec::new();
+    let mut pruned = 0usize;
+    let windows = (ir - tr + 1) * (ic - tc + 1);
+    for r in 0..=(ir - tr) {
+        for c in 0..=(ic - tc) {
+            let wsum = table.sum(Rect::new(r, c, r + tr - 1, c + tc - 1));
+            // |Σw − Σt| = |Σ(w−t)| ≤ Σ|w−t| = SAD: a valid lower bound.
+            if (wsum - tsum).abs() > max_sad {
+                pruned += 1;
+                continue;
+            }
+            let mut sad = 0.0;
+            'exact: for i in 0..tr {
+                for j in 0..tc {
+                    sad += (img.get(r + i, c + j) - template.get(i, j)).abs();
+                    if sad > max_sad {
+                        break 'exact;
+                    }
+                }
+            }
+            if sad <= max_sad {
+                out.push(Candidate { row: r, col: c, sad });
+            }
+        }
+    }
+    out.sort_by(|a, b| a.sad.partial_cmp(&b.sad).expect("finite SADs"));
+    (out, MatchStats { windows, pruned })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::noise;
+
+    fn paste(img: &mut Matrix<f64>, t: &Matrix<f64>, r: usize, c: usize) {
+        for i in 0..t.rows() {
+            for j in 0..t.cols() {
+                img.set(r + i, c + j, t.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn exact_copy_is_found_with_zero_sad() {
+        let mut img = noise(40, 40, 1);
+        let template = noise(6, 6, 2);
+        paste(&mut img, &template, 12, 20);
+        let (hits, stats) = match_template(&img, &template, 0.0);
+        assert!(hits.iter().any(|h| h.row == 12 && h.col == 20 && h.sad == 0.0));
+        assert!(stats.pruned > 0, "noise windows should be pruned");
+        assert_eq!(stats.windows, 35 * 35);
+    }
+
+    #[test]
+    fn pruning_never_discards_true_matches() {
+        // Differential test: brute force without pruning agrees with the
+        // pruned search for every window.
+        let mut img = noise(24, 24, 3);
+        let template = noise(4, 4, 4);
+        paste(&mut img, &template, 3, 17);
+        paste(&mut img, &template, 15, 2);
+        let max_sad = 600.0;
+        let (hits, _) = match_template(&img, &template, max_sad);
+        // Brute force.
+        let mut brute = Vec::new();
+        for r in 0..=20 {
+            for c in 0..=20 {
+                let mut sad = 0.0;
+                for i in 0..4 {
+                    for j in 0..4 {
+                        sad += (img.get(r + i, c + j) - template.get(i, j)).abs();
+                    }
+                }
+                if sad <= max_sad {
+                    brute.push((r, c, sad));
+                }
+            }
+        }
+        assert_eq!(hits.len(), brute.len());
+        for h in &hits {
+            assert!(brute
+                .iter()
+                .any(|&(r, c, s)| r == h.row && c == h.col && (s - h.sad).abs() < 1e-9));
+        }
+    }
+
+    #[test]
+    fn results_sorted_by_sad() {
+        let mut img = noise(30, 30, 5);
+        let template = noise(5, 5, 6);
+        paste(&mut img, &template, 4, 4);
+        let (hits, _) = match_template(&img, &template, 2000.0);
+        for pair in hits.windows(2) {
+            assert!(pair[0].sad <= pair[1].sad);
+        }
+        assert_eq!(hits[0].row, 4);
+        assert_eq!(hits[0].col, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "template must fit")]
+    fn oversized_template_rejected() {
+        let img = noise(4, 4, 0);
+        let t = noise(8, 8, 0);
+        match_template(&img, &t, 1.0);
+    }
+}

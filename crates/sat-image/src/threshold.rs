@@ -1,0 +1,69 @@
+//! Bradley–Roth adaptive thresholding.
+//!
+//! Global thresholding fails under uneven illumination; the adaptive
+//! variant compares each pixel against the *local* mean (from the SAT) and
+//! keeps it only if it exceeds `(1 − t)` times that mean. One SAT build,
+//! four lookups per pixel.
+
+use sat_core::{Matrix, SumTable};
+
+use crate::boxfilter::clamped_window;
+
+/// Binarise `img`: output 1 where `pixel > local_mean · (1 − t)`, else 0.
+/// `r` is the window radius (Bradley–Roth suggest ≈ 1/16 of the width),
+/// `t` the relative threshold (≈ 0.15).
+pub fn adaptive_threshold(img: &Matrix<f64>, r: usize, t: f64) -> Matrix<u8> {
+    assert!((0.0..1.0).contains(&t), "threshold fraction in [0, 1)");
+    let table = SumTable::build(img);
+    let (rows, cols) = (img.rows(), img.cols());
+    Matrix::from_fn(rows, cols, |i, j| {
+        let rect = clamped_window(rows, cols, i, j, r);
+        let mean = table.sum(rect) / rect.area() as f64;
+        u8::from(img.get(i, j) > mean * (1.0 - t))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::radial_gradient;
+
+    #[test]
+    fn bright_object_on_gradient_is_segmented() {
+        // A gradient fools a global threshold, but the local one finds the
+        // pasted bright square.
+        let img = crate::synth::scene_with_object(64, 64, 10, 40, 8, 8);
+        let bin = adaptive_threshold(&img, 6, 0.10);
+        // Object interior is on.
+        assert_eq!(bin.get(14, 44), 1);
+        // Far-away background (dark corner) is off.
+        assert_eq!(bin.get(60, 5), 0);
+    }
+
+    #[test]
+    fn smooth_gradient_yields_no_spurious_centre_detection() {
+        let img = radial_gradient(48, 48);
+        let bin = adaptive_threshold(&img, 4, 0.15);
+        // Inside a smooth region, pixel ≈ local mean, so (1−t) scaling
+        // keeps it on — but the dark rim must stay mostly off compared to a
+        // naive global threshold. Count transitions: the output must not be
+        // all-ones or all-zeros.
+        let on: usize = bin.as_slice().iter().map(|&v| v as usize).sum();
+        assert!(on > 0 && on < 48 * 48);
+    }
+
+    #[test]
+    fn uniform_image_is_fully_on() {
+        // pixel == mean > mean·(1−t) for t > 0 and positive pixels.
+        let img = Matrix::from_fn(16, 16, |_, _| 100.0);
+        let bin = adaptive_threshold(&img, 3, 0.15);
+        assert!(bin.as_slice().iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold fraction")]
+    fn invalid_threshold_rejected() {
+        let img = Matrix::from_fn(4, 4, |_, _| 1.0);
+        adaptive_threshold(&img, 1, 1.5);
+    }
+}

@@ -1,0 +1,189 @@
+//! Local variance and variance shadow maps.
+//!
+//! The paper cites Lauritzen's *Summed-Area Variance Shadow Maps* (GPU
+//! Gems 3) as a flagship SAT application: filtering a shadow map requires
+//! the local **mean and variance of depth** over arbitrary rectangles,
+//! obtained from the SATs of the depth map and of its square:
+//!
+//! ```text
+//! E[X]   = sat(X)/area,   E[X²] = sat(X²)/area,
+//! Var    = E[X²] − E[X]²,
+//! ```
+//!
+//! and the shadow contribution uses Chebyshev's one-sided inequality
+//! `P(X ≥ t) ≤ σ² / (σ² + (t − μ)²)` for a receiver at depth `t`.
+
+use sat_core::{Matrix, Rect, SumTable};
+
+use crate::boxfilter::clamped_window;
+
+/// Per-pixel variance of the clamped radius-`r` window.
+pub fn local_variance(img: &Matrix<f64>, r: usize) -> Matrix<f64> {
+    let table = SumTable::build(img);
+    let table_sq = SumTable::build(&img.map(|v| v * v));
+    let (rows, cols) = (img.rows(), img.cols());
+    Matrix::from_fn(rows, cols, |i, j| {
+        let rect = clamped_window(rows, cols, i, j, r);
+        variance_of(&table, &table_sq, rect)
+    })
+}
+
+fn variance_of(table: &SumTable<f64>, table_sq: &SumTable<f64>, rect: Rect) -> f64 {
+    let area = rect.area() as f64;
+    let mean = table.sum(rect) / area;
+    let mean_sq = table_sq.sum(rect) / area;
+    (mean_sq - mean * mean).max(0.0)
+}
+
+/// A summed-area variance shadow map: SATs of depth and squared depth,
+/// answering filtered shadow queries over arbitrary rectangles in `O(1)`.
+#[derive(Debug, Clone)]
+pub struct VarianceShadowMap {
+    depth: SumTable<f64>,
+    depth_sq: SumTable<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl VarianceShadowMap {
+    /// Build from a depth map (sequential SAT; see the `vsm` example for
+    /// building the SATs on the virtual GPU).
+    pub fn build(depth_map: &Matrix<f64>) -> Self {
+        VarianceShadowMap::from_tables(
+            SumTable::build(depth_map),
+            SumTable::build(&depth_map.map(|v| v * v)),
+            depth_map.rows(),
+            depth_map.cols(),
+        )
+    }
+
+    /// Assemble from externally computed SATs (e.g. computed with
+    /// [`sat_core::compute_sat`] on a device).
+    pub fn from_tables(
+        depth: SumTable<f64>,
+        depth_sq: SumTable<f64>,
+        rows: usize,
+        cols: usize,
+    ) -> Self {
+        assert_eq!(depth.sat().rows(), rows);
+        assert_eq!(depth_sq.sat().cols(), cols);
+        VarianceShadowMap {
+            depth,
+            depth_sq,
+            rows,
+            cols,
+        }
+    }
+
+    /// Mean depth over `rect`.
+    pub fn mean(&self, rect: Rect) -> f64 {
+        self.depth.sum(rect) / rect.area() as f64
+    }
+
+    /// Depth variance over `rect`.
+    pub fn variance(&self, rect: Rect) -> f64 {
+        variance_of(&self.depth, &self.depth_sq, rect)
+    }
+
+    /// Fraction of light reaching a receiver at depth `t`, filtered over
+    /// `rect`: 1 if the receiver is in front of the mean occluder, else the
+    /// Chebyshev upper bound `σ² / (σ² + (t − μ)²)`.
+    pub fn light(&self, rect: Rect, t: f64) -> f64 {
+        let mu = self.mean(rect);
+        if t <= mu {
+            return 1.0;
+        }
+        let var = self.variance(rect).max(1e-9);
+        var / (var + (t - mu) * (t - mu))
+    }
+
+    /// Filtered shadow test around pixel `(i, j)` with kernel radius `r`.
+    pub fn shadow_at(&self, i: usize, j: usize, r: usize, receiver_depth: f64) -> f64 {
+        self.light(
+            clamped_window(self.rows, self.cols, i, j, r),
+            receiver_depth,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{depth_map, noise};
+
+    #[test]
+    fn variance_of_constant_is_zero() {
+        let img = Matrix::from_fn(10, 10, |_, _| 4.0);
+        let v = local_variance(&img, 2);
+        assert!(v.as_slice().iter().all(|&x| x.abs() < 1e-9));
+    }
+
+    #[test]
+    fn variance_matches_direct_computation() {
+        let img = noise(12, 12, 9);
+        let v = local_variance(&img, 2);
+        // Direct two-pass variance at a few pixels.
+        for &(i, j) in &[(0usize, 0usize), (5, 7), (11, 11), (3, 0)] {
+            let rect = clamped_window(12, 12, i, j, 2);
+            let mut vals = Vec::new();
+            for u in rect.r0..=rect.r1 {
+                for w in rect.c0..=rect.c1 {
+                    vals.push(img.get(u, w));
+                }
+            }
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            let var = vals.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+            assert!((v.get(i, j) - var).abs() < 1e-6, "({i},{j})");
+        }
+    }
+
+    #[test]
+    fn edges_have_high_variance_flats_low() {
+        let img = crate::synth::checkerboard(32, 32, 8);
+        let v = local_variance(&img, 2);
+        assert!(v.get(4, 4) < 1.0, "tile centre is flat");
+        assert!(v.get(4, 7) > 1000.0, "tile edge is high-variance");
+    }
+
+    #[test]
+    fn vsm_receiver_in_front_is_lit() {
+        let d = depth_map(30, 30);
+        let vsm = VarianceShadowMap::build(&d);
+        // A receiver closer than every occluder is fully lit.
+        assert_eq!(vsm.shadow_at(15, 15, 3, 1.0), 1.0);
+    }
+
+    #[test]
+    fn vsm_receiver_behind_occluder_is_shadowed() {
+        let d = depth_map(30, 30);
+        let vsm = VarianceShadowMap::build(&d);
+        // Behind the raised box (which sits at depth ≈ base − 5) a ground
+        // receiver is mostly shadowed.
+        let light = vsm.shadow_at(12, 15, 2, 40.0);
+        assert!(light < 0.2, "light = {light}");
+    }
+
+    #[test]
+    fn vsm_penumbra_is_between() {
+        let d = depth_map(30, 30);
+        let vsm = VarianceShadowMap::build(&d);
+        // At the box silhouette, a receiver slightly behind the mean gets a
+        // soft value strictly between hard shadow and full light.
+        let rect = clamped_window(30, 30, 10, 10, 6);
+        let mu = vsm.mean(rect);
+        let l = vsm.light(rect, mu + 0.5);
+        assert!(l > 0.05 && l < 1.0, "l = {l}");
+    }
+
+    #[test]
+    fn chebyshev_bound_decreases_with_distance() {
+        let d = depth_map(40, 40);
+        let vsm = VarianceShadowMap::build(&d);
+        let rect = Rect::new(5, 5, 15, 15);
+        let mu = vsm.mean(rect);
+        let l1 = vsm.light(rect, mu + 1.0);
+        let l2 = vsm.light(rect, mu + 3.0);
+        let l3 = vsm.light(rect, mu + 10.0);
+        assert!(l1 > l2 && l2 > l3);
+    }
+}

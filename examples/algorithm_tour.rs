@@ -1,0 +1,82 @@
+//! Tour of all six SAT algorithms of the paper on one input.
+//!
+//! ```sh
+//! cargo run --release --example algorithm_tour [n]
+//! ```
+//!
+//! Runs 2R2W, 4R4W, 4R1W, 2R1W, 1R1W and the hybrid (1+r²)R1W on an `n × n`
+//! random matrix (default 256) with the GTX-780-Ti-calibrated machine
+//! profile, verifies they all agree, and prints a live miniature of the
+//! paper's Table I: measured reads/writes per element, access pattern,
+//! barrier steps and the resulting global memory access cost.
+
+use gpu_exec::{Device, DeviceOptions, GlobalBuffer};
+use hmm_model::cost::{GlobalCost, SatAlgorithm};
+use hmm_model::MachineConfig;
+use sat_core::{compute_sat, par, seq, Matrix};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256);
+    let cfg = MachineConfig::gtx780ti();
+    let dev = Device::new(DeviceOptions::new(cfg));
+    let gc = GlobalCost::new(cfg);
+
+    println!("SAT algorithms on a {n} x {n} matrix (w = {}, calibrated profile)\n", cfg.width);
+    let a = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 256) as i64);
+    let reference = seq::sat_reference(&a);
+
+    println!(
+        "{:<12} {:>8} {:>8} {:>10} {:>9} {:>14} {:>14}",
+        "algorithm", "R/elt", "W/elt", "stride%", "barriers", "measured cost", "Table I cost"
+    );
+    for alg in SatAlgorithm::ALL {
+        // 4R1W needs 2n−1 kernel launches; cap it to keep the tour quick.
+        if alg == SatAlgorithm::FourR1W && n > 1024 {
+            println!("{:<12} (skipped for n > 1024: 2n-1 launches)", alg.name());
+            continue;
+        }
+        dev.reset_stats();
+        let sat = compute_sat(&dev, alg, &a);
+        assert_eq!(sat, reference, "{alg:?} disagrees with the reference");
+        let s = dev.stats();
+        let stride_pct = 100.0 * s.stride_ops() as f64 / s.global_ops() as f64;
+        println!(
+            "{:<12} {:>8.3} {:>8.3} {:>9.1}% {:>9} {:>14.0} {:>14.0}",
+            alg.name(),
+            s.reads_per_element(n),
+            s.writes_per_element(n),
+            stride_pct,
+            s.barrier_steps,
+            s.global_cost(&cfg),
+            gc.cost(alg, n),
+        );
+    }
+    // The pre-block-era baseline (reference [13]): log-step pairwise SAT.
+    {
+        dev.reset_stats();
+        let buf = GlobalBuffer::from_vec(a.as_slice().to_vec());
+        let tmp = GlobalBuffer::filled(0i64, n * n);
+        par::sat_kogge_stone(&dev, &buf, &tmp, n, n);
+        assert_eq!(buf.into_vec(), reference.as_slice());
+        let s = dev.stats();
+        println!(
+            "{:<12} {:>8.3} {:>8.3} {:>9.1}% {:>9} {:>14.0} {:>14}",
+            "Kogge-Stone",
+            s.reads_per_element(n),
+            s.writes_per_element(n),
+            100.0 * s.stride_ops() as f64 / s.global_ops() as f64,
+            s.barrier_steps,
+            s.global_cost(&cfg),
+            "(Θ(n²·log n) ops)",
+        );
+    }
+
+    println!("\nAll algorithms agree with the sequential reference.");
+    println!(
+        "Cost-model prediction for n = {n}: fastest = {}",
+        gc.predicted_best(n).name()
+    );
+}

@@ -1,0 +1,77 @@
+//! Summed-area variance shadow maps (the GPU Gems 3 application the paper
+//! cites), with both SATs computed on the virtual GPU.
+//!
+//! ```sh
+//! cargo run --release --example variance_shadow_map
+//! ```
+//!
+//! Builds a synthetic depth map (ground plane + floating box), computes the
+//! SATs of depth and squared depth with the hybrid (1+r²)R1W algorithm, and
+//! renders the filtered soft shadow a ground receiver sees.
+
+use gpu_exec::{Device, DeviceOptions};
+use hmm_model::cost::SatAlgorithm;
+use hmm_model::MachineConfig;
+use sat_core::{compute_sat, Matrix, SumTable};
+use sat_image::synth::depth_map;
+use sat_image::variance::VarianceShadowMap;
+
+const RAMP: &[u8] = b"@%#*+=-:. "; // dark → light
+
+fn render(title: &str, img: &Matrix<f64>) {
+    println!("{title}:");
+    for i in (0..img.rows()).step_by(2) {
+        let mut line = String::new();
+        for j in 0..img.cols() {
+            let t = img.get(i, j).clamp(0.0, 1.0);
+            let k = ((t * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+            line.push(RAMP[k] as char);
+        }
+        println!("  {line}");
+    }
+}
+
+fn main() {
+    let (rows, cols) = (48, 64);
+    let depth = depth_map(rows, cols);
+
+    // Both SATs on the device; the hybrid picks its optimal ratio itself.
+    let dev = Device::new(DeviceOptions::new(MachineConfig::with_width(16)));
+    dev.reset_stats();
+    let sat_d = compute_sat(&dev, SatAlgorithm::HybridR1W, &depth);
+    let sat_d2 = compute_sat(&dev, SatAlgorithm::HybridR1W, &depth.map(|v| v * v));
+    let stats = dev.stats();
+    println!(
+        "Two SATs on device: {} global ops, {} barrier steps\n",
+        stats.global_ops(),
+        stats.barrier_steps
+    );
+
+    let vsm = VarianceShadowMap::from_tables(
+        SumTable::from_sat(sat_d),
+        SumTable::from_sat(sat_d2),
+        rows,
+        cols,
+    );
+
+    // A receiver exactly on the ground plane: fully lit wherever the
+    // ground itself is the nearest occluder, shadowed under the floating
+    // box, with a Chebyshev penumbra at the box silhouette where the
+    // filtered window mixes both depths.
+    let receiver = Matrix::from_fn(rows, cols, |i, _| 10.0 + i as f64 * 0.05);
+    let shadow = Matrix::from_fn(rows, cols, |i, j| vsm.shadow_at(i, j, 3, receiver.get(i, j)));
+
+    render("Filtered light map (dark = shadowed, radius-3 kernel)", &shadow);
+
+    let umbra = shadow
+        .as_slice()
+        .iter()
+        .filter(|&&l| l < 0.25)
+        .count();
+    let penumbra = shadow
+        .as_slice()
+        .iter()
+        .filter(|&&l| (0.25..0.95).contains(&l))
+        .count();
+    println!("\n{umbra} umbra pixels, {penumbra} penumbra pixels (soft edge from the variance bound).");
+}

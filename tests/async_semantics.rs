@@ -1,0 +1,153 @@
+//! Asynchronous-HMM semantics under stress: every algorithm must be
+//! insensitive to block scheduling, worker count and launch interleaving,
+//! and must obey the barrier-window access discipline (verified by the
+//! dynamic race detector).
+
+use gpu_exec::{BlockOrder, Device, DeviceOptions, GlobalBuffer};
+use hmm_model::cost::SatAlgorithm;
+use hmm_model::MachineConfig;
+use sat_core::{compute_sat, par, seq, Matrix};
+
+fn input(n: usize) -> Matrix<i64> {
+    Matrix::from_fn(n, n, |i, j| ((i * 13 + j * 29) % 37) as i64 - 18)
+}
+
+#[test]
+fn results_identical_across_worker_counts_and_orders() {
+    let n = 36;
+    let a = input(n);
+    let want = seq::sat_reference(&a);
+    for workers in [0usize, 1, 3, 7] {
+        for order in [
+            BlockOrder::Forward,
+            BlockOrder::Shuffled(1),
+            BlockOrder::Shuffled(0xDEAD_BEEF),
+        ] {
+            let dev = Device::new(
+                DeviceOptions::new(MachineConfig::with_width(4))
+                    .workers(workers)
+                    .order(order),
+            );
+            for alg in SatAlgorithm::ALL {
+                let got = compute_sat(&dev, alg, &a);
+                assert_eq!(got, want, "{alg:?} workers={workers} {order:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn all_algorithms_pass_the_race_detector() {
+    // Every global buffer race-checked: any same-launch write-write or
+    // cross-block read-after-write panics. The block algorithms must be
+    // clean by construction.
+    let n = 32;
+    let w = 4;
+    let a = input(n);
+    let want = seq::sat_reference(&a);
+    let dev = Device::new(
+        DeviceOptions::new(MachineConfig::with_width(w))
+            .workers(3)
+            .order(BlockOrder::Shuffled(99)),
+    );
+
+    // In-place algorithms.
+    {
+        let buf = GlobalBuffer::from_vec_checked(a.as_slice().to_vec());
+        par::sat_2r2w(&dev, &buf, n, n);
+        assert_eq!(buf.into_vec(), want.as_slice());
+    }
+    {
+        let buf = GlobalBuffer::from_vec_checked(a.as_slice().to_vec());
+        par::sat_4r1w(&dev, &buf, n, n);
+        assert_eq!(buf.into_vec(), want.as_slice());
+    }
+    {
+        let buf = GlobalBuffer::from_vec_checked(a.as_slice().to_vec());
+        let tmp = GlobalBuffer::from_vec_checked(vec![0i64; n * n]);
+        par::sat_4r4w(&dev, &buf, &tmp, n, n);
+        assert_eq!(buf.into_vec(), want.as_slice());
+    }
+    // Out-of-place algorithms.
+    for r in [0.0, 0.5, 1.0] {
+        let buf = GlobalBuffer::from_vec_checked(a.as_slice().to_vec());
+        let s = GlobalBuffer::from_vec_checked(vec![0i64; n * n]);
+        par::sat_hybrid(&dev, &buf, &s, n, n, r);
+        assert_eq!(s.into_vec(), want.as_slice(), "hybrid r={r}");
+    }
+    {
+        let buf = GlobalBuffer::from_vec_checked(a.as_slice().to_vec());
+        let s = GlobalBuffer::from_vec_checked(vec![0i64; n * n]);
+        par::sat_2r1w(&dev, &buf, &s, n, n);
+        assert_eq!(s.into_vec(), want.as_slice());
+    }
+    {
+        let buf = GlobalBuffer::from_vec_checked(a.as_slice().to_vec());
+        let s = GlobalBuffer::from_vec_checked(vec![0i64; n * n]);
+        par::sat_1r1w(&dev, &buf, &s, n, n);
+        assert_eq!(s.into_vec(), want.as_slice());
+    }
+}
+
+#[test]
+fn a_deliberately_racy_kernel_is_caught() {
+    // Failure injection: a "1R1W" that skips one wavefront barrier reads
+    // neighbour blocks computed in the *same* launch — illegal on the
+    // asynchronous HMM and caught by the detector.
+    let n = 16;
+    let w = 4;
+    let dev = Device::new(DeviceOptions::new(MachineConfig::with_width(w)).workers(2));
+    let a = GlobalBuffer::from_vec(input(n).into_vec());
+    let s = GlobalBuffer::from_vec_checked(vec![0i64; n * n]);
+    let grid = par::Grid::square(n, w);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        // Fuse wavefront stages 1 and 2 into one launch: blocks of stage 2
+        // read bottom rows that stage-1 blocks write in the same launch.
+        par::one_r1w_stage(&dev, &a, &s, grid, 0);
+        let blocks: Vec<(usize, usize)> = grid
+            .diagonal_blocks(1)
+            .chain(grid.diagonal_blocks(2))
+            .collect();
+        dev.launch(blocks.len(), |ctx| {
+            let ga = ctx.view(&a);
+            let gs = ctx.view(&s);
+            let (bi, bj) = blocks[ctx.block_id()];
+            // Minimal repro of the hazard: write own block, read the
+            // neighbour's bottom row.
+            let (r0, c0) = grid.origin(bi, bj);
+            let mut row = vec![0i64; w];
+            ga.read_contig(grid.addr(r0, c0), &mut row, ctx.rec());
+            // Write the block's bottom row (as 1R1W's store does) …
+            gs.write_contig(grid.addr(r0 + w - 1, c0), &row, ctx.rec());
+            // … and read the neighbour's bottom row, which a stage-1 block
+            // of this same fused launch writes: the hazard.
+            if bi > 0 {
+                let mut top = vec![0i64; w];
+                gs.read_contig(grid.addr(r0 - 1, c0), &mut top, ctx.rec());
+            }
+        });
+    }));
+    assert!(result.is_err(), "missing barrier must be detected");
+}
+
+#[test]
+fn stats_are_schedule_invariant() {
+    // Transaction counts are a property of the algorithm, not the schedule.
+    let n = 32;
+    let a = input(n);
+    let mut baseline = None;
+    for (workers, order) in [(0usize, BlockOrder::Forward), (4, BlockOrder::Shuffled(7))] {
+        let dev = Device::new(
+            DeviceOptions::new(MachineConfig::with_width(4))
+                .workers(workers)
+                .order(order),
+        );
+        dev.reset_stats();
+        let _ = compute_sat(&dev, SatAlgorithm::OneR1W, &a);
+        let stats = dev.stats();
+        match &baseline {
+            None => baseline = Some(stats),
+            Some(b) => assert_eq!(&stats, b),
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! End-to-end tests of the `satcli` binary: generate → filter → threshold →
+//! stats on real PGM files in a temp directory.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn satcli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_satcli"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("satcli_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn gen_filter_threshold_pipeline() {
+    let scene = tmp("scene.pgm");
+    let smooth = tmp("smooth.pgm");
+    let bin = tmp("bin.pgm");
+
+    let out = satcli()
+        .args(["gen", scene.to_str().unwrap(), "--size", "96x128", "--kind", "scene"])
+        .output()
+        .expect("run satcli gen");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = satcli()
+        .args([
+            "boxfilter",
+            scene.to_str().unwrap(),
+            smooth.to_str().unwrap(),
+            "--radius",
+            "3",
+            "--alg",
+            "1r1w",
+        ])
+        .output()
+        .expect("run satcli boxfilter");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = satcli()
+        .args(["threshold", scene.to_str().unwrap(), bin.to_str().unwrap()])
+        .output()
+        .expect("run satcli threshold");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // The outputs are valid PGMs of the input shape.
+    for p in [&scene, &smooth, &bin] {
+        let img = sat_image::pgm::read_pgm(p).expect("valid PGM");
+        assert_eq!((img.pixels.rows(), img.pixels.cols()), (96, 128));
+    }
+    // The binary image is actually binary.
+    let b = sat_image::pgm::read_pgm(&bin).unwrap();
+    assert!(b.pixels.as_slice().iter().all(|&v| v == 0.0 || v == 255.0));
+}
+
+#[test]
+fn stats_reports_per_element_traffic() {
+    let scene = tmp("stats_scene.pgm");
+    satcli()
+        .args(["gen", scene.to_str().unwrap(), "--size", "64x64", "--kind", "noise"])
+        .output()
+        .expect("gen");
+    let out = satcli()
+        .args(["stats", scene.to_str().unwrap(), "--alg", "1r1w"])
+        .output()
+        .expect("stats");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("reads/element"), "{text}");
+    assert!(text.contains("model cost"), "{text}");
+    // 1R1W: ~1 read per element.
+    let reads_line = text
+        .lines()
+        .find(|l| l.contains("reads/element"))
+        .expect("reads line");
+    let value: f64 = reads_line
+        .split_whitespace()
+        .last()
+        .unwrap()
+        .parse()
+        .expect("numeric");
+    assert!((1.0..1.2).contains(&value), "{value}");
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    let out = satcli().args(["nonsense"]).output().expect("run");
+    assert!(!out.status.success());
+    let out = satcli()
+        .args(["stats", "/nonexistent/file.pgm"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("satcli:"));
+    let out = satcli()
+        .args(["gen", tmp("x.pgm").to_str().unwrap(), "--size", "banana"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn sat_output_is_monotone_grayscale() {
+    let scene = tmp("mono_scene.pgm");
+    let sat = tmp("mono_sat.pgm");
+    satcli()
+        .args(["gen", scene.to_str().unwrap(), "--size", "48x48", "--kind", "gradient"])
+        .output()
+        .expect("gen");
+    let out = satcli()
+        .args(["sat", scene.to_str().unwrap(), sat.to_str().unwrap(), "--alg", "hybrid"])
+        .output()
+        .expect("sat");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let img = sat_image::pgm::read_pgm(&sat).unwrap();
+    assert_eq!(img.maxval, 65535);
+    // SAT of a non-negative image is monotone along rows and columns.
+    let p = &img.pixels;
+    for i in 0..p.rows() {
+        for j in 1..p.cols() {
+            assert!(p.get(i, j) >= p.get(i, j - 1));
+        }
+    }
+    // Bottom-right is the maximum (normalised to maxval).
+    assert_eq!(p.get(p.rows() - 1, p.cols() - 1), 65535.0);
+}

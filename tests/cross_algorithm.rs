@@ -1,0 +1,104 @@
+//! Cross-crate property tests: every algorithm of the paper computes the
+//! same function, on every input shape, element type and machine width.
+
+use gpu_exec::{Device, DeviceOptions};
+use hmm_model::cost::SatAlgorithm;
+use hmm_model::MachineConfig;
+use proptest::prelude::*;
+use sat_core::{compute_sat, compute_sat_hybrid, seq, Matrix, Rect, SumTable};
+
+fn device(w: usize) -> Device {
+    Device::new(DeviceOptions::new(MachineConfig::with_width(w)).workers(1))
+}
+
+fn arb_matrix(max_side: usize) -> impl Strategy<Value = Matrix<i64>> {
+    (1..=max_side, 1..=max_side)
+        .prop_flat_map(|(r, c)| {
+            proptest::collection::vec(-50i64..=50, r * c).prop_map(move |v| {
+                Matrix::from_vec(r, c, v)
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn all_algorithms_equal_reference(a in arb_matrix(40), w in 3usize..=8) {
+        let dev = device(w);
+        let want = seq::sat_reference(&a);
+        for alg in SatAlgorithm::ALL {
+            let got = compute_sat(&dev, alg, &a);
+            prop_assert_eq!(&got, &want, "{:?} w={} {}x{}", alg, w, a.rows(), a.cols());
+        }
+    }
+
+    #[test]
+    fn hybrid_equals_reference_for_every_ratio(a in arb_matrix(30), num in 0usize..=4) {
+        let dev = device(4);
+        let want = seq::sat_reference(&a);
+        let r = num as f64 / 4.0;
+        prop_assert_eq!(compute_sat_hybrid(&dev, &a, r), want);
+    }
+
+    #[test]
+    fn rect_queries_match_brute_force(a in arb_matrix(24), seed in 0u64..1000) {
+        let dev = device(4);
+        let table = SumTable::from_sat(compute_sat(&dev, SatAlgorithm::TwoR1W, &a));
+        // A deterministic pseudo-random rectangle per seed.
+        let (rows, cols) = (a.rows(), a.cols());
+        let r0 = (seed as usize * 7) % rows;
+        let c0 = (seed as usize * 13) % cols;
+        let r1 = r0 + (seed as usize * 3) % (rows - r0);
+        let c1 = c0 + (seed as usize * 5) % (cols - c0);
+        let rect = Rect::new(r0, c0, r1, c1);
+        let mut brute = 0i64;
+        for i in rect.r0..=rect.r1 {
+            for j in rect.c0..=rect.c1 {
+                brute += a.get(i, j);
+            }
+        }
+        prop_assert_eq!(table.sum(rect), brute);
+    }
+
+    #[test]
+    fn sequential_baselines_agree(a in arb_matrix(48)) {
+        let mut x = a.clone();
+        let mut y = a.clone();
+        seq::sat_2r2w_cpu(&mut x);
+        seq::sat_4r1w_cpu(&mut y);
+        prop_assert_eq!(x, y);
+    }
+
+    #[test]
+    fn sat_of_wrapping_u8_is_algorithm_independent(
+        vals in proptest::collection::vec(0u8..=255, 16 * 16)
+    ) {
+        // Deliberate overflow: wrapping arithmetic keeps every algorithm on
+        // the same function.
+        let a = Matrix::from_vec(16, 16, vals);
+        let dev = device(4);
+        let want = seq::sat_reference(&a);
+        for alg in [SatAlgorithm::TwoR2W, SatAlgorithm::OneR1W, SatAlgorithm::TwoR1W] {
+            prop_assert_eq!(compute_sat(&dev, alg, &a), want.clone(), "{:?}", alg);
+        }
+    }
+
+    #[test]
+    fn sat_linearity(a in arb_matrix(20)) {
+        // SAT(αA) = α·SAT(A) for integer α — checked via doubling.
+        let dev = device(4);
+        let doubled = a.map(|v| v * 2);
+        let s1 = compute_sat(&dev, SatAlgorithm::OneR1W, &a);
+        let s2 = compute_sat(&dev, SatAlgorithm::OneR1W, &doubled);
+        prop_assert_eq!(s2, s1.map(|v| v * 2));
+    }
+
+    #[test]
+    fn last_sat_entry_is_total_sum(a in arb_matrix(32)) {
+        let dev = device(4);
+        let s = compute_sat(&dev, SatAlgorithm::HybridR1W, &a);
+        let total: i64 = a.as_slice().iter().sum();
+        prop_assert_eq!(s.get(a.rows() - 1, a.cols() - 1), total);
+    }
+}

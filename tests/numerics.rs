@@ -1,0 +1,93 @@
+//! Floating-point association-order effects, as regression tests (see the
+//! `numerics` bench binary for the full experiment).
+
+use gpu_exec::{Device, DeviceOptions, GlobalBuffer};
+use hmm_model::cost::SatAlgorithm;
+use hmm_model::MachineConfig;
+use sat_core::{compute_sat, par, seq, Matrix};
+
+const N: usize = 256;
+
+fn img32() -> Matrix<f32> {
+    Matrix::from_fn(N, N, |i, j| {
+        let v = ((i * 2654435761usize) ^ (j * 40503)) % 10_000;
+        (v as f32) / 3.0 - 1666.6667
+    })
+}
+
+fn err(sat32: &Matrix<f32>, sat64: &Matrix<f64>) -> f64 {
+    let scale = sat64
+        .as_slice()
+        .iter()
+        .fold(0.0f64, |m, &v| m.max(v.abs()))
+        .max(1.0);
+    sat32
+        .as_slice()
+        .iter()
+        .zip(sat64.as_slice())
+        .map(|(a, b)| (*a as f64 - b).abs())
+        .fold(0.0, f64::max)
+        / scale
+}
+
+#[test]
+fn block_summation_is_more_accurate_than_raster() {
+    let dev = Device::new(DeviceOptions::new(MachineConfig::with_width(32)).record_stats(false));
+    let a = img32();
+    let reference = seq::sat_reference(&a.map(|v| v as f64));
+
+    let mut raster = a.clone();
+    seq::sat_2r2w_cpu(&mut raster);
+    let e_raster = err(&raster, &reference);
+
+    let e_block = err(&compute_sat(&dev, SatAlgorithm::OneR1W, &a), &reference);
+
+    let buf = GlobalBuffer::from_vec(a.as_slice().to_vec());
+    let tmp = GlobalBuffer::filled(0.0f32, N * N);
+    par::sat_kogge_stone(&dev, &buf, &tmp, N, N);
+    let e_ks = err(&Matrix::from_vec(N, N, buf.into_vec()), &reference);
+
+    assert!(
+        e_block < e_raster,
+        "block {e_block:e} should beat raster {e_raster:e}"
+    );
+    assert!(
+        e_ks < e_block,
+        "log-depth {e_ks:e} should beat block {e_block:e}"
+    );
+    // Everything still reasonably accurate in absolute terms.
+    assert!(e_raster < 1e-3);
+}
+
+#[test]
+fn subtraction_recurrence_amplifies_error() {
+    // 4R1W evaluates a(i,j) + s(i−1,j) + s(i,j−1) − s(i−1,j−1): the
+    // subtraction of large near-equal prefixes costs accuracy relative to
+    // the pure-addition passes.
+    let a = img32();
+    let reference = seq::sat_reference(&a.map(|v| v as f64));
+    let mut adds = a.clone();
+    seq::sat_2r2w_cpu(&mut adds);
+    let mut subs = a.clone();
+    seq::sat_4r1w_cpu(&mut subs);
+    assert!(
+        err(&subs, &reference) > err(&adds, &reference),
+        "subtractive {:e} vs additive {:e}",
+        err(&subs, &reference),
+        err(&adds, &reference)
+    );
+}
+
+#[test]
+fn all_algorithms_within_float_tolerance_of_each_other() {
+    let dev = Device::new(DeviceOptions::new(MachineConfig::with_width(16)).record_stats(false));
+    let a = img32();
+    let reference = seq::sat_reference(&a.map(|v| v as f64));
+    for alg in SatAlgorithm::ALL {
+        if alg == SatAlgorithm::FourR1W {
+            continue; // 2n−1 launches; covered at smaller n elsewhere
+        }
+        let e = err(&compute_sat(&dev, alg, &a), &reference);
+        assert!(e < 1e-3, "{alg:?}: {e:e}");
+    }
+}
