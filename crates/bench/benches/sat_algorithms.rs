@@ -30,48 +30,44 @@ fn bench_algorithms(c: &mut Criterion) {
             if alg == SatAlgorithm::FourR1W && n > 256 {
                 continue;
             }
-            group.bench_with_input(
-                BenchmarkId::new(alg.name(), n),
-                &input,
-                |b, input| {
-                    b.iter(|| match alg {
-                        SatAlgorithm::TwoR2W => {
-                            let buf = GlobalBuffer::from_vec(input.as_slice().to_vec());
-                            par::sat_2r2w(&dev, &buf, n, n);
-                            buf
-                        }
-                        SatAlgorithm::FourR4W => {
-                            let buf = GlobalBuffer::from_vec(input.as_slice().to_vec());
-                            let tmp = GlobalBuffer::filled(0.0f64, n * n);
-                            par::sat_4r4w(&dev, &buf, &tmp, n, n);
-                            buf
-                        }
-                        SatAlgorithm::FourR1W => {
-                            let buf = GlobalBuffer::from_vec(input.as_slice().to_vec());
-                            par::sat_4r1w(&dev, &buf, n, n);
-                            buf
-                        }
-                        SatAlgorithm::TwoR1W => {
-                            let buf = GlobalBuffer::from_vec(input.as_slice().to_vec());
-                            let s = GlobalBuffer::filled(0.0f64, n * n);
-                            par::sat_2r1w(&dev, &buf, &s, n, n);
-                            s
-                        }
-                        SatAlgorithm::OneR1W => {
-                            let buf = GlobalBuffer::from_vec(input.as_slice().to_vec());
-                            let s = GlobalBuffer::filled(0.0f64, n * n);
-                            par::sat_1r1w(&dev, &buf, &s, n, n);
-                            s
-                        }
-                        SatAlgorithm::HybridR1W => {
-                            let buf = GlobalBuffer::from_vec(input.as_slice().to_vec());
-                            let s = GlobalBuffer::filled(0.0f64, n * n);
-                            par::sat_hybrid(&dev, &buf, &s, n, n, 0.5);
-                            s
-                        }
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(alg.name(), n), &input, |b, input| {
+                b.iter(|| match alg {
+                    SatAlgorithm::TwoR2W => {
+                        let buf = GlobalBuffer::from_vec(input.as_slice().to_vec());
+                        par::sat_2r2w(&dev, &buf, n, n);
+                        buf
+                    }
+                    SatAlgorithm::FourR4W => {
+                        let buf = GlobalBuffer::from_vec(input.as_slice().to_vec());
+                        let tmp = GlobalBuffer::filled(0.0f64, n * n);
+                        par::sat_4r4w(&dev, &buf, &tmp, n, n);
+                        buf
+                    }
+                    SatAlgorithm::FourR1W => {
+                        let buf = GlobalBuffer::from_vec(input.as_slice().to_vec());
+                        par::sat_4r1w(&dev, &buf, n, n);
+                        buf
+                    }
+                    SatAlgorithm::TwoR1W => {
+                        let buf = GlobalBuffer::from_vec(input.as_slice().to_vec());
+                        let s = GlobalBuffer::filled(0.0f64, n * n);
+                        par::sat_2r1w(&dev, &buf, &s, n, n);
+                        s
+                    }
+                    SatAlgorithm::OneR1W => {
+                        let buf = GlobalBuffer::from_vec(input.as_slice().to_vec());
+                        let s = GlobalBuffer::filled(0.0f64, n * n);
+                        par::sat_1r1w(&dev, &buf, &s, n, n);
+                        s
+                    }
+                    SatAlgorithm::HybridR1W => {
+                        let buf = GlobalBuffer::from_vec(input.as_slice().to_vec());
+                        let s = GlobalBuffer::filled(0.0f64, n * n);
+                        par::sat_hybrid(&dev, &buf, &s, n, n, 0.5);
+                        s
+                    }
+                });
+            });
         }
     }
     group.finish();

@@ -26,7 +26,10 @@ fn main() {
 
     // 1. Diagonal arrangement ablation.
     println!("ABLATION 1 — diagonal vs row-major shared tiles (transpose of {n} x {n}, w = 32)");
-    println!("{:>12} {:>16} {:>18}", "layout", "shared stages", "conflict factor");
+    println!(
+        "{:>12} {:>16} {:>18}",
+        "layout", "shared stages", "conflict factor"
+    );
     let mut base = 0u64;
     for layout in [TileLayout::Diagonal, TileLayout::RowMajor] {
         let cfg = MachineConfig::with_width(32);
@@ -100,11 +103,16 @@ fn main() {
             s.barrier_steps
         );
     }
-    println!("(k = 0 ⇒ 2 barriers; each recursion level adds one fused prefix+pad launch and its own 3)");
+    println!(
+        "(k = 0 ⇒ 2 barriers; each recursion level adds one fused prefix+pad launch and its own 3)"
+    );
 
     // 5. 1R1W left-fringe strategy: stride column reads vs coalesced mirror.
     println!("\nABLATION 5 — 1R1W left fringe: stride column read vs transposed mirror (n = {n})");
-    println!("{:>10} {:>12} {:>14} {:>14} {:>14}", "variant", "stride ops", "coalesced ops", "cost (units)", "Δcost");
+    println!(
+        "{:>10} {:>12} {:>14} {:>14} {:>14}",
+        "variant", "stride ops", "coalesced ops", "cost (units)", "Δcost"
+    );
     let cfg = MachineConfig::gtx780ti();
     let mut base_cost = 0.0;
     for (name, mirror) in [("plain", false), ("mirror", true)] {

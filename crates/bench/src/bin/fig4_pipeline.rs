@@ -14,7 +14,9 @@ use hmm_sim::AsyncHmm;
 fn main() {
     let w = 4;
     let latency = 10u64;
-    println!("FIGURE 4 — two warps accessing {{7,5,15,0}} and {{10,11,12,9}}, w = {w}, L = {latency}\n");
+    println!(
+        "FIGURE 4 — two warps accessing {{7,5,15,0}} and {{10,11,12,9}}, w = {w}, L = {latency}\n"
+    );
     let w0 = WarpAccess::dense(&[7, 5, 15, 0], w);
     let w1 = WarpAccess::dense(&[10, 11, 12, 9], w);
     println!(
@@ -43,12 +45,15 @@ fn main() {
     println!("\nFIGURE 5 — latency hiding vs resident warps (UMM, L = 100)");
     println!("each warp issues 32 dependent coalesced transactions;");
     println!("time/transaction → 1 when warps ≥ L (full hiding), → L when warps = 1\n");
-    println!("{:>8} {:>14} {:>18}", "warps", "time units", "units/transaction");
+    println!(
+        "{:>8} {:>14} {:>18}",
+        "warps", "time units", "units/transaction"
+    );
     let cfg = MachineConfig::with_width(32).latency(100).num_dmms(1);
     let sim = AsyncHmm::new(cfg);
     for warps in [1usize, 2, 4, 8, 16, 32, 64, 100, 128, 256] {
-        let launch = LaunchTrace {
-            blocks: (0..warps)
+        let launch = LaunchTrace::from_blocks(
+            (0..warps)
                 .map(|_| {
                     vec![
                         TraceOp {
@@ -61,7 +66,7 @@ fn main() {
                     ]
                 })
                 .collect(),
-        };
+        );
         let t = sim.simulate_launch(&launch);
         let per = t.time as f64 / (warps * 32) as f64;
         println!("{:>8} {:>14} {:>18.2}", warps, t.time, per);
@@ -70,8 +75,8 @@ fn main() {
     println!("\nbank-conflict penalty on the DMM (32 warps x 32 column accesses of a w x w tile):");
     println!("{:>12} {:>14}", "layout", "time units");
     for (name, stages) in [("diagonal", 1u32), ("row-major", 32u32)] {
-        let launch = LaunchTrace {
-            blocks: (0..32)
+        let launch = LaunchTrace::from_blocks(
+            (0..32)
                 .map(|_| {
                     vec![
                         TraceOp {
@@ -84,7 +89,7 @@ fn main() {
                     ]
                 })
                 .collect(),
-        };
+        );
         let t = AsyncHmm::new(MachineConfig::with_width(32).num_dmms(1)).simulate_launch(&launch);
         println!("{:>12} {:>14}", name, t.time);
     }

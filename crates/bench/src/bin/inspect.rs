@@ -62,32 +62,16 @@ fn main() {
         "launch", "blocks", "glob.ops", "glob.stg", "shr.stg", "time units", "efficiency"
     );
     let show_all = trace.launches.len() <= 40;
-    for (k, (lt, timing)) in trace
-        .launches
-        .iter()
-        .zip(&report.per_launch)
-        .enumerate()
-    {
+    for (k, (lt, timing)) in trace.launches.iter().zip(&report.per_launch).enumerate() {
         // Collapse long wavefronts: show the first/last few and extremes.
         if !show_all && k > 5 && k + 5 < trace.launches.len() && k % 16 != 0 {
             continue;
         }
-        let ops: u64 = lt
-            .blocks
-            .iter()
-            .flatten()
-            .map(|o| o.ops as u64)
-            .sum();
+        let ops: u64 = lt.blocks.iter().flatten().map(|o| o.ops as u64).sum();
         let eff = timing.global_stages as f64 / timing.time.max(1) as f64;
         println!(
             "{:>7} {:>8} {:>10} {:>10} {:>10} {:>12} {:>10.2}",
-            k,
-            timing.blocks,
-            ops,
-            timing.global_stages,
-            timing.shared_stages,
-            timing.time,
-            eff
+            k, timing.blocks, ops, timing.global_stages, timing.shared_stages, timing.time, eff
         );
     }
     if !show_all {

@@ -59,12 +59,20 @@ fn main() {
     {
         let mut a = img32.clone();
         seq::sat_2r2w_cpu(&mut a);
-        println!("{:<14} {:>16.3e}", "2R2W(CPU)", max_rel_error(&a, &reference));
+        println!(
+            "{:<14} {:>16.3e}",
+            "2R2W(CPU)",
+            max_rel_error(&a, &reference)
+        );
     }
     {
         let mut a = img32.clone();
         seq::sat_4r1w_cpu(&mut a);
-        println!("{:<14} {:>16.3e}", "4R1W(CPU)", max_rel_error(&a, &reference));
+        println!(
+            "{:<14} {:>16.3e}",
+            "4R1W(CPU)",
+            max_rel_error(&a, &reference)
+        );
     }
     // Device algorithms (block summation orders).
     for alg in [
@@ -75,7 +83,11 @@ fn main() {
         SatAlgorithm::HybridR1W,
     ] {
         let sat = compute_sat(&dev, alg, &img32);
-        println!("{:<14} {:>16.3e}", alg.name(), max_rel_error(&sat, &reference));
+        println!(
+            "{:<14} {:>16.3e}",
+            alg.name(),
+            max_rel_error(&sat, &reference)
+        );
     }
     // The log-step algorithm (pairwise association — the most accurate).
     {
@@ -83,7 +95,11 @@ fn main() {
         let tmp = GlobalBuffer::filled(0.0f32, n * n);
         par::sat_kogge_stone(&dev, &buf, &tmp, n, n);
         let sat = Matrix::from_vec(n, n, buf.into_vec());
-        println!("{:<14} {:>16.3e}", "Kogge-Stone", max_rel_error(&sat, &reference));
+        println!(
+            "{:<14} {:>16.3e}",
+            "Kogge-Stone",
+            max_rel_error(&sat, &reference)
+        );
     }
     println!("\nThe block algorithms' tile-first summation behaves like pairwise");
     println!("summation across blocks; the raster baselines carry O(n)-long chains.");

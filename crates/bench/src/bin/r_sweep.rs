@@ -9,7 +9,9 @@
 
 use hmm_model::cost::{GlobalCost, SatAlgorithm};
 use hmm_model::MachineConfig;
-use sat_bench::{bench_device, flag_value, maybe_write_json, run_real, size_label, table2_sizes, units_to_ms};
+use sat_bench::{
+    bench_device, flag_value, maybe_write_json, run_real, size_label, table2_sizes, units_to_ms,
+};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -30,7 +32,10 @@ fn main() {
     let mut records = Vec::new();
 
     println!("HYBRID RATIO SWEEP — cost(r) per size (model), best r per size\n");
-    println!("{:<6} {:>10} {:>12} {:>12} {:>12} {:>14}", "n", "best r", "cost(0)=1R1W", "cost(best)", "cost(1)", "gain vs 1R1W");
+    println!(
+        "{:<6} {:>10} {:>12} {:>12} {:>12} {:>14}",
+        "n", "best r", "cost(0)=1R1W", "cost(best)", "cost(1)", "gain vs 1R1W"
+    );
     for n in table2_sizes() {
         let r = gc.optimal_r(n);
         let c0 = gc.hybrid(n, 0.0);
@@ -45,7 +50,11 @@ fn main() {
             c1,
             100.0 * (c0 - cb) / c0
         );
-        for rr in gc.admissible_ratios(n).iter().step_by((n / cfg.width / 16).max(1)) {
+        for rr in gc
+            .admissible_ratios(n)
+            .iter()
+            .step_by((n / cfg.width / 16).max(1))
+        {
             records.push(SweepRecord {
                 n,
                 r: *rr,

@@ -1,0 +1,127 @@
+//! `satlint` — run the hmm-lint analyzer over every paper algorithm.
+//!
+//! Executes all six SAT kernels (2R2W, 4R4W, 4R1W, 2R1W, 1R1W, hybrid) on a
+//! tracing device across a grid of machine configurations, holds each run
+//! to its Table I contract, and prints a compiler-style report. Exits
+//! nonzero when any kernel violates its contract, so the suite can serve as
+//! a regression gate.
+//!
+//! ```text
+//! cargo run --release -p sat-bench --bin satlint -- [--n 256] [--json PATH]
+//! ```
+
+use std::process::ExitCode;
+
+use gpu_exec::{Device, DeviceOptions};
+use hmm_lint::{analyze_run, KernelContract, RunAnalysis};
+use hmm_model::cost::{GlobalCost, SatAlgorithm};
+use hmm_model::MachineConfig;
+use sat_bench::{flag_value, maybe_write_json, run_real};
+use serde::{Deserialize, Serialize};
+
+/// One analyzed (config, algorithm, size) cell, for `--json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SatlintRecord {
+    config: String,
+    width: usize,
+    latency: u64,
+    n: usize,
+    algorithm: String,
+    clean: bool,
+    analysis: RunAnalysis,
+}
+
+/// The machine grid: the paper's width, a narrower machine, and a
+/// low-latency one — enough to exercise width-dependent budgets.
+fn machine_grid() -> Vec<(String, MachineConfig)> {
+    vec![
+        (
+            "w=32 L=100 d=15 (paper)".to_string(),
+            MachineConfig::with_width(32),
+        ),
+        ("w=16 L=100 d=15".to_string(), MachineConfig::with_width(16)),
+        (
+            "w=16 L=8 d=4".to_string(),
+            MachineConfig::with_width(16).latency(8).num_dmms(4),
+        ),
+    ]
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = match flag_value(&args, "--n").map(|v| v.parse::<usize>()) {
+        None => 256,
+        Some(Ok(v)) => v,
+        Some(Err(_)) => {
+            eprintln!("satlint: --n takes an integer (matrix side)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let verbose = args.iter().any(|a| a == "--verbose");
+    // The raw block kernels (unlike `compute_sat`, which pads) require the
+    // matrix side to be a multiple of the machine width.
+    if let Some((label, cfg)) = machine_grid()
+        .into_iter()
+        .find(|(_, cfg)| n == 0 || n % cfg.width != 0)
+    {
+        eprintln!(
+            "satlint: --n {n} is not a positive multiple of w = {} (machine {label}); \
+             pick a multiple of 32",
+            cfg.width
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut records = Vec::new();
+    let mut dirty = 0usize;
+    println!(
+        "satlint: {} algorithms × {} machines, n = {n}",
+        SatAlgorithm::ALL.len(),
+        machine_grid().len()
+    );
+    println!();
+    for (label, cfg) in machine_grid() {
+        println!("== machine {label} ==");
+        let dev = Device::new(DeviceOptions::new(cfg).workers(0).record_trace(true));
+        for alg in SatAlgorithm::ALL {
+            let r = match alg {
+                SatAlgorithm::HybridR1W => GlobalCost::new(cfg).optimal_r(n),
+                _ => 0.0,
+            };
+            let (counters, _) = run_real(&dev, alg, r, n);
+            let trace = dev.take_trace();
+            let contract = KernelContract::for_algorithm(alg, n, cfg);
+            let analysis = analyze_run(&trace, &counters, &cfg, &contract);
+            if !analysis.report.is_clean() {
+                dirty += 1;
+            }
+            print!("{}", analysis.report.render());
+            if verbose {
+                for w in &analysis.windows {
+                    println!(
+                        "    window {}: t = [{}, {}], {} blocks, {} UMM + {} DMM stages",
+                        w.index, w.start, w.end, w.blocks, w.global_stages, w.shared_stages
+                    );
+                }
+            }
+            records.push(SatlintRecord {
+                config: label.clone(),
+                width: cfg.width,
+                latency: cfg.latency,
+                n,
+                algorithm: alg.name().to_string(),
+                clean: analysis.report.is_clean(),
+                analysis,
+            });
+        }
+        println!();
+    }
+    maybe_write_json(&args, &records);
+    if dirty == 0 {
+        println!("satlint: all {} runs clean", records.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("satlint: {dirty} of {} runs have findings", records.len());
+        ExitCode::FAILURE
+    }
+}

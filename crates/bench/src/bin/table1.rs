@@ -9,7 +9,7 @@
 
 use hmm_model::cost::{GlobalCost, SatAlgorithm};
 use hmm_model::MachineConfig;
-use sat_bench::{bench_device, flag_value, maybe_write_json, run_real, AlgoRecord, units_to_ms};
+use sat_bench::{bench_device, flag_value, maybe_write_json, run_real, units_to_ms, AlgoRecord};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,10 +21,21 @@ fn main() {
     let dev = bench_device(cfg);
 
     println!("TABLE I — memory access operations and global memory access cost");
-    println!("machine: w = {}, Λ = {} time units/window; matrix: {n} x {n}\n", cfg.width, cfg.window_overhead());
+    println!(
+        "machine: w = {}, Λ = {} time units/window; matrix: {n} x {n}\n",
+        cfg.width,
+        cfg.window_overhead()
+    );
     println!(
         "{:<11} | {:>13} {:>13} | {:>13} {:>13} | {:>10} | {:>14} {:>14}",
-        "algorithm", "coal.R meas", "coal.R pred", "str.R meas", "str.R pred", "barriers", "cost meas", "cost pred"
+        "algorithm",
+        "coal.R meas",
+        "coal.R pred",
+        "str.R meas",
+        "str.R pred",
+        "barriers",
+        "cost meas",
+        "cost pred"
     );
     println!("{}", "-".repeat(126));
 
@@ -39,8 +50,14 @@ fn main() {
         if alg == SatAlgorithm::FourR1W && n > 1024 {
             println!(
                 "{:<11} | {:>13} {:>13.0} | {:>13} {:>13.0} | {:>10.0} | {:>14} {:>14.0}",
-                alg.name(), "—", row.coalesced_reads, "—", row.stride_reads,
-                row.barrier_steps, "—", row.cost
+                alg.name(),
+                "—",
+                row.coalesced_reads,
+                "—",
+                row.stride_reads,
+                row.barrier_steps,
+                "—",
+                row.cost
             );
             continue;
         }
@@ -72,12 +89,19 @@ fn main() {
     }
 
     println!("\nper-element traffic (measured):");
-    println!("{:<11} {:>8} {:>8} {:>12} {:>12}", "algorithm", "R/elt", "W/elt", "shared R/elt", "shared W/elt");
+    println!(
+        "{:<11} {:>8} {:>8} {:>12} {:>12}",
+        "algorithm", "R/elt", "W/elt", "shared R/elt", "shared W/elt"
+    );
     for alg in SatAlgorithm::ALL {
         if alg == SatAlgorithm::FourR1W && n > 1024 {
             continue;
         }
-        let r = if alg == SatAlgorithm::HybridR1W { gc.optimal_r(n) } else { 0.0 };
+        let r = if alg == SatAlgorithm::HybridR1W {
+            gc.optimal_r(n)
+        } else {
+            0.0
+        };
         let (s, _) = run_real(&dev, alg, r, n);
         let n2 = (n * n) as f64;
         println!(

@@ -145,19 +145,21 @@ fn main() {
             .expect("record exists")
             .cost_ms
     };
-    let c1 = (1..=18).filter(|&k| sizes.contains(&(k * 1024))).find(|&k| {
-        col(SatAlgorithm::OneR1W, k * 1024) < col(SatAlgorithm::TwoR1W, k * 1024)
-    });
+    let c1 = (1..=18)
+        .filter(|&k| sizes.contains(&(k * 1024)))
+        .find(|&k| col(SatAlgorithm::OneR1W, k * 1024) < col(SatAlgorithm::TwoR1W, k * 1024));
     println!(
         "  1R1W overtakes 2R1W at n = {} (paper: 7K)",
-        c1.map(|k| format!("{k}K")).unwrap_or_else(|| "never".into())
+        c1.map(|k| format!("{k}K"))
+            .unwrap_or_else(|| "never".into())
     );
-    let c2 = (1..=18).filter(|&k| sizes.contains(&(k * 1024))).find(|&k| {
-        best[idx(k * 1024)].1 == "hybrid"
-    });
+    let c2 = (1..=18)
+        .filter(|&k| sizes.contains(&(k * 1024)))
+        .find(|&k| best[idx(k * 1024)].1 == "hybrid");
     println!(
         "  hybrid becomes fastest at n = {} (paper: 5K)",
-        c2.map(|k| format!("{k}K")).unwrap_or_else(|| "never".into())
+        c2.map(|k| format!("{k}K"))
+            .unwrap_or_else(|| "never".into())
     );
     println!(
         "  best r at 6K = {:.3}, at 18K = {:.4} (paper: 0.123 → 0.0725, decreasing)",

@@ -1,0 +1,43 @@
+//! End-to-end check of the `satlint` binary: the whole paper suite is
+//! lint-clean on every machine of the grid, and `--json` emits one record
+//! per (machine, algorithm) cell.
+
+use std::process::Command;
+
+fn satlint() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_satlint"))
+}
+
+#[test]
+fn paper_suite_is_clean_on_the_machine_grid() {
+    let out = satlint()
+        .args(["--n", "128"])
+        .output()
+        .expect("satlint runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "satlint found violations:\n{stdout}");
+    assert!(stdout.contains("all 18 runs clean"), "{stdout}");
+    // Every algorithm appears per machine section.
+    for name in ["2R2W", "4R4W", "4R1W", "2R1W", "1R1W"] {
+        assert!(stdout.contains(&format!("{name}: clean")), "{stdout}");
+    }
+}
+
+#[test]
+fn json_flag_writes_one_record_per_cell() {
+    let path = std::env::temp_dir().join(format!("satlint-cli-{}.json", std::process::id()));
+    let out = satlint()
+        .args(["--n", "64", "--json", path.to_str().unwrap()])
+        .output()
+        .expect("satlint runs");
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&path).expect("json written");
+    std::fs::remove_file(&path).ok();
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert_eq!(lines.len(), 18, "3 machines × 6 algorithms");
+    for line in lines {
+        assert!(line.contains("\"algorithm\""), "{line}");
+        assert!(line.contains("\"clean\":true"), "{line}");
+        assert!(line.contains("\"windows\""), "{line}");
+    }
+}

@@ -12,9 +12,7 @@ use std::fmt::Debug;
 /// use IEEE arithmetic; different algorithms may round differently, so
 /// comparisons of `f32`/`f64` SATs use tolerances (or integer-valued inputs,
 /// which stay exact below the mantissa limit).
-pub trait SatElement:
-    Copy + Default + Send + Sync + PartialEq + Debug + 'static
-{
+pub trait SatElement: Copy + Default + Send + Sync + PartialEq + Debug + 'static {
     /// The additive identity.
     const ZERO: Self;
 

@@ -160,9 +160,7 @@ mod tests {
         let cfg = MachineConfig::with_width(w).latency(200).num_dmms(64);
         let mut per_image = Vec::new();
         for batch in [1usize, 8] {
-            let d = Device::new(
-                DeviceOptions::new(cfg).workers(0).record_trace(true),
-            );
+            let d = Device::new(DeviceOptions::new(cfg).workers(0).record_trace(true));
             let imgs = images(batch, n, n);
             let ins: Vec<GlobalBuffer<i64>> = imgs
                 .iter()

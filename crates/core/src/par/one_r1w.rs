@@ -347,10 +347,7 @@ mod tests {
         // Trade: + n·m/w coalesced mirror writes per column… i.e. n·m total
         // extra writes, versus the plain variant's n·(m−1) stride reads.
         let n2 = (n * n) as u64;
-        assert_eq!(
-            st.coalesced_writes + st.stride_writes,
-            n2 + (n * m) as u64
-        );
+        assert_eq!(st.coalesced_writes + st.stride_writes, n2 + (n * m) as u64);
     }
 
     #[test]

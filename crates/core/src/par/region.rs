@@ -431,11 +431,14 @@ mod tests {
         assert_eq!(lr.col_blocks(&g, 3), Some((2, 3)));
         assert_eq!(lr.col_blocks(&g, 0), None); // lo = 5 > 3
         assert_eq!(lr.blocks(&g).len(), 3); // diagonals 5 and 6
-        // The symmetric counterpart of UpperLeft{3} starts at 2m−1−3 = 4.
+                                            // The symmetric counterpart of UpperLeft{3} starts at 2m−1−3 = 4.
         assert_eq!(Region::LowerRight { start: 4 }.blocks(&g).len(), 6);
 
         assert_eq!(Region::Full.blocks(&Grid::new(12, 12, 4)).len(), 9);
-        assert_eq!(Region::Full.col_blocks(&Grid::new(12, 12, 4), 1), Some((0, 2)));
+        assert_eq!(
+            Region::Full.col_blocks(&Grid::new(12, 12, 4), 1),
+            Some((0, 2))
+        );
     }
 
     #[test]
@@ -482,7 +485,14 @@ mod tests {
 
     #[test]
     fn full_region_matches_reference() {
-        for (w, rows, cols) in [(4usize, 8usize, 8usize), (4, 16, 16), (3, 27, 27), (8, 64, 64), (4, 8, 24), (4, 24, 8)] {
+        for (w, rows, cols) in [
+            (4usize, 8usize, 8usize),
+            (4, 16, 16),
+            (3, 27, 27),
+            (8, 64, 64),
+            (4, 8, 24),
+            (4, 24, 8),
+        ] {
             let a = Matrix::from_fn(rows, cols, |i, j| ((i * 29 + j * 13) % 31) as i64 - 15);
             let dev = dev(w);
             let grid = Grid::new(rows, cols, w);
@@ -543,7 +553,11 @@ mod tests {
                     one_r1w_stage(&dev, &ab, &sb, grid, d);
                 }
                 sat_2r1w_region(&dev, &ab, &sb, grid, Region::LowerRight { start });
-                assert_eq!(sb.into_vec(), want.as_slice(), "{rows}x{cols} start={start}");
+                assert_eq!(
+                    sb.into_vec(),
+                    want.as_slice(),
+                    "{rows}x{cols} start={start}"
+                );
             }
         }
     }

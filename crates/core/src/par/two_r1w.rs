@@ -299,7 +299,10 @@ mod tests {
         assert_eq!(got, fig3_sat().into_vec());
         // Figure 9's block, read back explicitly.
         let sat = fig3_sat();
-        for (i, row) in [[25, 27, 28], [38, 41, 43], [48, 52, 55]].iter().enumerate() {
+        for (i, row) in [[25, 27, 28], [38, 41, 43], [48, 52, 55]]
+            .iter()
+            .enumerate()
+        {
             for (j, &v) in row.iter().enumerate() {
                 assert_eq!(sat.get(3 + i, 6 + j), v);
                 assert_eq!(got[(3 + i) * 9 + 6 + j], v);
@@ -412,8 +415,14 @@ mod tests {
         let st = dev.stats();
         let reads = st.reads_per_element(n);
         let writes = st.writes_per_element(n);
-        assert!((2.0..2.0 + 6.0 / w as f64).contains(&reads), "reads/elt = {reads}");
-        assert!((1.0..1.0 + 6.0 / w as f64).contains(&writes), "writes/elt = {writes}");
+        assert!(
+            (2.0..2.0 + 6.0 / w as f64).contains(&reads),
+            "reads/elt = {reads}"
+        );
+        assert!(
+            (1.0..1.0 + 6.0 / w as f64).contains(&writes),
+            "writes/elt = {writes}"
+        );
         // Everything is coalesced (single-word accesses count as one-group).
         assert_eq!(st.stride_ops(), 0);
     }

@@ -104,7 +104,14 @@ mod tests {
 
     #[test]
     fn matches_reference_on_random_sizes() {
-        for (w, rows, cols) in [(4, 4, 4), (4, 16, 16), (8, 32, 32), (3, 27, 27), (4, 8, 20), (4, 20, 8)] {
+        for (w, rows, cols) in [
+            (4, 4, 4),
+            (4, 16, 16),
+            (8, 32, 32),
+            (3, 27, 27),
+            (4, 8, 20),
+            (4, 20, 8),
+        ] {
             let dev = dev(w);
             let a = Matrix::from_fn(rows, cols, |i, j| ((i * 37 + j * 11) % 23) as i64 - 11);
             let buf = GlobalBuffer::from_vec(a.as_slice().to_vec());

@@ -35,7 +35,10 @@ pub fn inclusive_scan<T: SatElement>(
     output: &GlobalBuffer<T>,
     len: usize,
 ) {
-    assert!(input.len() >= len && output.len() >= len, "buffers too small");
+    assert!(
+        input.len() >= len && output.len() >= len,
+        "buffers too small"
+    );
     if len == 0 {
         return;
     }

@@ -90,7 +90,13 @@ mod tests {
 
     #[test]
     fn transpose_matches_host_and_is_involutive() {
-        for (w, rows, cols) in [(4usize, 12usize, 12usize), (8, 32, 32), (3, 9, 9), (4, 8, 20), (4, 24, 4)] {
+        for (w, rows, cols) in [
+            (4usize, 12usize, 12usize),
+            (8, 32, 32),
+            (3, 9, 9),
+            (4, 8, 20),
+            (4, 24, 4),
+        ] {
             let dev = dev(w);
             let a = Matrix::from_fn(rows, cols, |i, j| (i * 131 + j * 7) as i64 % 97);
             let src = GlobalBuffer::from_vec(a.as_slice().to_vec());

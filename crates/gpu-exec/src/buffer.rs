@@ -33,7 +33,13 @@ use crate::recorder::TxnRecorder;
 pub struct GlobalBuffer<T> {
     cells: Box<[UnsafeCell<T>]>,
     race: Option<RaceTable>,
+    id: u64,
 }
+
+/// Process-wide buffer identity source: addresses in the recorded
+/// [`crate::AddrPattern`] channel are per-buffer offsets, so analyzers need
+/// the buffer's identity to tell two buffers' word 0 apart.
+static NEXT_BUFFER_ID: AtomicU64 = AtomicU64::new(1);
 
 // SAFETY: concurrent access is governed by the launch contract documented
 // above; the race detector can verify it dynamically. `T: Send + Sync` is
@@ -47,6 +53,7 @@ impl<T: Copy> GlobalBuffer<T> {
         GlobalBuffer {
             cells: data.into_iter().map(UnsafeCell::new).collect(),
             race: None,
+            id: NEXT_BUFFER_ID.fetch_add(1, Ordering::Relaxed),
         }
     }
 
@@ -67,6 +74,12 @@ impl<T: Copy> GlobalBuffer<T> {
     /// Number of words.
     pub fn len(&self) -> usize {
         self.cells.len()
+    }
+
+    /// Process-unique identity of this buffer, as recorded in the trace's
+    /// address channel.
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// `true` if the buffer holds no words.
@@ -102,6 +115,7 @@ impl<T: Copy> GlobalBuffer<T> {
             race: self.race.as_ref(),
             epoch,
             block,
+            buf: self.id,
         }
     }
 }
@@ -116,6 +130,7 @@ pub struct GlobalView<'a, T> {
     race: Option<&'a RaceTable>,
     epoch: u64,
     block: u64,
+    buf: u64,
 }
 
 impl<'a, T: Copy> GlobalView<'a, T> {
@@ -151,21 +166,21 @@ impl<'a, T: Copy> GlobalView<'a, T> {
     /// Single-lane read of word `addr`.
     #[inline]
     pub fn read(&self, addr: usize, rec: &mut TxnRecorder) -> T {
-        rec.record_single(AccessKind::Read);
+        rec.record_single(AccessKind::Read, self.buf, addr);
         self.load(addr)
     }
 
     /// Single-lane write of word `addr`.
     #[inline]
     pub fn write(&self, addr: usize, v: T, rec: &mut TxnRecorder) {
-        rec.record_single(AccessKind::Write);
+        rec.record_single(AccessKind::Write, self.buf, addr);
         self.store(addr, v);
     }
 
     /// Warp read of `[base, base + out.len())` into `out` (coalesced when
     /// the range is group-aligned).
     pub fn read_contig(&self, base: usize, out: &mut [T], rec: &mut TxnRecorder) {
-        rec.record_contig(AccessKind::Read, base, out.len());
+        rec.record_contig(AccessKind::Read, self.buf, base, out.len());
         for (t, o) in out.iter_mut().enumerate() {
             *o = self.load(base + t);
         }
@@ -173,7 +188,7 @@ impl<'a, T: Copy> GlobalView<'a, T> {
 
     /// Warp write of `vals` to `[base, base + vals.len())`.
     pub fn write_contig(&self, base: usize, vals: &[T], rec: &mut TxnRecorder) {
-        rec.record_contig(AccessKind::Write, base, vals.len());
+        rec.record_contig(AccessKind::Write, self.buf, base, vals.len());
         for (t, &v) in vals.iter().enumerate() {
             self.store(base + t, v);
         }
@@ -182,7 +197,7 @@ impl<'a, T: Copy> GlobalView<'a, T> {
     /// Warp read of `out.len()` lanes at `base, base + stride, …` (the
     /// column access of a row-major matrix when `stride` is its width).
     pub fn read_strided(&self, base: usize, stride: usize, out: &mut [T], rec: &mut TxnRecorder) {
-        rec.record_strided(AccessKind::Read, base, stride, out.len());
+        rec.record_strided(AccessKind::Read, self.buf, base, stride, out.len());
         for (t, o) in out.iter_mut().enumerate() {
             *o = self.load(base + t * stride);
         }
@@ -190,7 +205,7 @@ impl<'a, T: Copy> GlobalView<'a, T> {
 
     /// Warp write of `vals` at `base, base + stride, …`.
     pub fn write_strided(&self, base: usize, stride: usize, vals: &[T], rec: &mut TxnRecorder) {
-        rec.record_strided(AccessKind::Write, base, stride, vals.len());
+        rec.record_strided(AccessKind::Write, self.buf, base, stride, vals.len());
         for (t, &v) in vals.iter().enumerate() {
             self.store(base + t * stride, v);
         }
@@ -199,7 +214,7 @@ impl<'a, T: Copy> GlobalView<'a, T> {
     /// Warp gather of arbitrary `addrs` into `out`.
     pub fn read_gather(&self, addrs: &[usize], out: &mut [T], rec: &mut TxnRecorder) {
         assert_eq!(addrs.len(), out.len());
-        rec.record_gather(AccessKind::Read, addrs);
+        rec.record_gather(AccessKind::Read, self.buf, addrs);
         for (o, &a) in out.iter_mut().zip(addrs) {
             *o = self.load(a);
         }
@@ -208,7 +223,7 @@ impl<'a, T: Copy> GlobalView<'a, T> {
     /// Warp scatter of `vals` to arbitrary `addrs`.
     pub fn write_scatter(&self, addrs: &[usize], vals: &[T], rec: &mut TxnRecorder) {
         assert_eq!(addrs.len(), vals.len());
-        rec.record_gather(AccessKind::Write, addrs);
+        rec.record_gather(AccessKind::Write, self.buf, addrs);
         for (&v, &a) in vals.iter().zip(addrs) {
             self.store(a, v);
         }

@@ -161,6 +161,7 @@ impl Device {
         let launch_trace: Option<Mutex<LaunchTrace>> = self.record_trace.then(|| {
             Mutex::new(LaunchTrace {
                 blocks: vec![Vec::new(); grid],
+                addrs: vec![Vec::new(); grid],
             })
         });
         let wrapper = |idx: usize| {
@@ -173,6 +174,7 @@ impl Device {
                 block_id,
                 epoch,
                 shared_used: 0,
+                tiles_allocated: 0,
                 rec: if self.record_trace {
                     TxnRecorder::new_tracing(self.cfg.width)
                 } else {
@@ -184,7 +186,9 @@ impl Device {
                 self.stats.lock().merge_parallel(&ctx.rec.take());
             }
             if let Some(lt) = &launch_trace {
-                lt.lock().blocks[block_id] = ctx.rec.take_trace();
+                let mut lt = lt.lock();
+                lt.blocks[block_id] = ctx.rec.take_trace();
+                lt.addrs[block_id] = ctx.rec.take_addrs();
             }
         };
         self.pool.run(grid, &wrapper);
@@ -227,6 +231,7 @@ pub struct BlockCtx<'a> {
     block_id: usize,
     epoch: u64,
     shared_used: usize,
+    tiles_allocated: u32,
     /// The block's transaction recorder. Pass `ctx.rec()` (or borrow this
     /// field) to every memory accessor.
     pub rec: TxnRecorder,
@@ -274,7 +279,9 @@ impl<'a> BlockCtx<'a> {
             self.shared_used,
             self.dev.cfg.shared_capacity
         );
-        SharedTile::new(w, layout)
+        let id = self.tiles_allocated;
+        self.tiles_allocated += 1;
+        SharedTile::new(w, layout, id)
     }
 }
 

@@ -64,4 +64,4 @@ pub use buffer::{GlobalBuffer, GlobalView};
 pub use device::{BlockCtx, BlockOrder, Device, DeviceOptions};
 pub use recorder::TxnRecorder;
 pub use shared::{SharedTile, TileLayout};
-pub use trace::{BlockTrace, LaunchTrace, RunTrace, TraceOp};
+pub use trace::{AddrPattern, BlockTrace, LaunchTrace, RunTrace, TraceOp};

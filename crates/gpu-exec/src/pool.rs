@@ -136,8 +136,7 @@ impl Pool {
             // SAFETY: erase the borrow's lifetime; `run` drains the job
             // (waits for in_flight == 0) before returning, so no worker
             // dereferences the pointer after the borrow ends.
-            let kernel: &'static (dyn Fn(usize) + Sync) =
-                unsafe { std::mem::transmute(kernel) };
+            let kernel: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(kernel) };
             let job = Job {
                 kernel: KernelPtr(kernel as *const _),
                 grid,

@@ -11,7 +11,7 @@
 use hmm_model::cost::CostCounters;
 use hmm_model::{group_of, AccessKind, MemSpace};
 
-use crate::trace::{BlockTrace, TraceOp};
+use crate::trace::{AddrPattern, BlockTrace, TraceOp};
 
 /// Accumulates the memory access statistics of one block.
 ///
@@ -23,6 +23,7 @@ pub struct TxnRecorder {
     enabled: bool,
     counters: CostCounters,
     trace: Option<BlockTrace>,
+    addrs: Option<Vec<AddrPattern>>,
 }
 
 impl TxnRecorder {
@@ -34,23 +35,33 @@ impl TxnRecorder {
             enabled,
             counters: CostCounters::new(),
             trace: None,
+            addrs: None,
         }
     }
 
     /// A recorder that additionally logs every transaction in program order
-    /// (implies `enabled`), for replay in the `hmm-sim` machine simulator.
+    /// (implies `enabled`), for replay in the `hmm-sim` machine simulator,
+    /// plus each transaction's [`AddrPattern`] provenance for static
+    /// analysis.
     pub fn new_tracing(w: usize) -> Self {
         TxnRecorder {
             w,
             enabled: true,
             counters: CostCounters::new(),
             trace: Some(Vec::new()),
+            addrs: Some(Vec::new()),
         }
     }
 
     /// Take the recorded transaction log (empty unless tracing).
     pub fn take_trace(&mut self) -> BlockTrace {
         self.trace.take().unwrap_or_default()
+    }
+
+    /// Take the recorded address channel, parallel to [`Self::take_trace`]
+    /// (empty unless tracing).
+    pub fn take_addrs(&mut self) -> Vec<AddrPattern> {
+        self.addrs.take().unwrap_or_default()
     }
 
     /// Machine width `w` (warp lanes per transaction).
@@ -76,7 +87,13 @@ impl TxnRecorder {
     }
 
     #[inline]
-    fn record_global(&mut self, kind: AccessKind, ops: u64, stages: u64) {
+    fn record_global(
+        &mut self,
+        kind: AccessKind,
+        ops: u64,
+        stages: u64,
+        pattern: impl FnOnce() -> AddrPattern,
+    ) {
         self.counters.global_stages += stages;
         let coalesced = stages <= 1;
         match (kind, coalesced) {
@@ -93,11 +110,14 @@ impl TxnRecorder {
                 stages: stages as u32,
             });
         }
+        if let Some(a) = &mut self.addrs {
+            a.push(pattern());
+        }
     }
 
-    /// Record a contiguous global access `[base, base + len)`, split into
-    /// `⌈len / w⌉` warp transactions.
-    pub fn record_contig(&mut self, kind: AccessKind, base: usize, len: usize) {
+    /// Record a contiguous global access `[base, base + len)` of buffer
+    /// `buf`, split into `⌈len / w⌉` warp transactions.
+    pub fn record_contig(&mut self, kind: AccessKind, buf: u64, base: usize, len: usize) {
         if !self.enabled || len == 0 {
             return;
         }
@@ -107,19 +127,30 @@ impl TxnRecorder {
         while start < end {
             let lanes = w.min(end - start);
             let stages = (group_of(start + lanes - 1, w) - group_of(start, w) + 1) as u64;
-            self.record_global(kind, lanes as u64, stages);
+            self.record_global(kind, lanes as u64, stages, || AddrPattern::Contig {
+                buf,
+                base: start,
+                lanes: lanes as u32,
+            });
             start += lanes;
         }
     }
 
     /// Record a strided global access `base, base + stride, …` of `len`
-    /// lanes, split into warp transactions of `w` lanes.
-    pub fn record_strided(&mut self, kind: AccessKind, base: usize, stride: usize, len: usize) {
+    /// lanes of buffer `buf`, split into warp transactions of `w` lanes.
+    pub fn record_strided(
+        &mut self,
+        kind: AccessKind,
+        buf: u64,
+        base: usize,
+        stride: usize,
+        len: usize,
+    ) {
         if !self.enabled || len == 0 {
             return;
         }
         if stride == 1 {
-            return self.record_contig(kind, base, len);
+            return self.record_contig(kind, buf, base, len);
         }
         let w = self.w;
         let mut i = 0;
@@ -136,14 +167,19 @@ impl TxnRecorder {
                     prev = g;
                 }
             }
-            self.record_global(kind, lanes as u64, stages);
+            self.record_global(kind, lanes as u64, stages, || AddrPattern::Strided {
+                buf,
+                base: base + i * stride,
+                stride,
+                lanes: lanes as u32,
+            });
             i += lanes;
         }
     }
 
     /// Record a gather/scatter of arbitrary addresses, split into warp
     /// transactions of `w` lanes.
-    pub fn record_gather(&mut self, kind: AccessKind, addrs: &[usize]) {
+    pub fn record_gather(&mut self, kind: AccessKind, buf: u64, addrs: &[usize]) {
         if !self.enabled || addrs.is_empty() {
             return;
         }
@@ -152,24 +188,45 @@ impl TxnRecorder {
             let mut groups: Vec<usize> = chunk.iter().map(|&a| group_of(a, w)).collect();
             groups.sort_unstable();
             groups.dedup();
-            self.record_global(kind, chunk.len() as u64, groups.len() as u64);
+            self.record_global(kind, chunk.len() as u64, groups.len() as u64, || {
+                AddrPattern::Gather {
+                    buf,
+                    addrs: chunk.to_vec(),
+                }
+            });
         }
     }
 
-    /// Record a single-lane global access (a warp in which one thread
-    /// accesses memory: one operation, one stage, coalesced).
+    /// Record a single-lane global access of word `addr` of buffer `buf`
+    /// (a warp in which one thread accesses memory: one operation, one
+    /// stage, coalesced).
     #[inline]
-    pub fn record_single(&mut self, kind: AccessKind) {
+    pub fn record_single(&mut self, kind: AccessKind, buf: u64, addr: usize) {
         if !self.enabled {
             return;
         }
-        self.record_global(kind, 1, 1);
+        self.record_global(kind, 1, 1, || AddrPattern::Single { buf, addr });
     }
 
     /// Record a shared-memory warp access with a precomputed stage count
-    /// (layouts know their bank-conflict degree analytically).
+    /// (layouts know their bank-conflict degree analytically) and no tile
+    /// provenance.
     #[inline]
     pub fn record_shared(&mut self, kind: AccessKind, ops: u64, stages: u64) {
+        self.record_shared_at(kind, ops, stages, || AddrPattern::Opaque);
+    }
+
+    /// Record a shared-memory warp access with tile provenance for the
+    /// address channel ([`SharedTile`](crate::SharedTile) accessors pass
+    /// their row/column pattern).
+    #[inline]
+    pub fn record_shared_at(
+        &mut self,
+        kind: AccessKind,
+        ops: u64,
+        stages: u64,
+        pattern: impl FnOnce() -> AddrPattern,
+    ) {
         if !self.enabled || ops == 0 {
             return;
         }
@@ -185,6 +242,9 @@ impl TxnRecorder {
                 ops: ops as u32,
                 stages: stages as u32,
             });
+        }
+        if let Some(a) = &mut self.addrs {
+            a.push(pattern());
         }
     }
 
@@ -216,7 +276,7 @@ mod tests {
             for base in [0usize, 1, 3, w - 1, w, 2 * w + 1] {
                 for len in [1usize, 2, w - 1, w, w + 1, 3 * w, 3 * w + 2] {
                     let mut fast = TxnRecorder::new(w, true);
-                    fast.record_contig(AccessKind::Read, base, len);
+                    fast.record_contig(AccessKind::Read, 0, base, len);
                     let mut slow = TxnRecorder::new(w, true);
                     let addrs: Vec<usize> = (0..len).map(|t| base + t).collect();
                     for chunk in addrs.chunks(w) {
@@ -242,7 +302,7 @@ mod tests {
             for stride in [1usize, 2, 3, w, w + 1, 5 * w] {
                 for len in [1usize, w, 2 * w + 3] {
                     let mut fast = TxnRecorder::new(w, true);
-                    fast.record_strided(AccessKind::Write, 7, stride, len);
+                    fast.record_strided(AccessKind::Write, 0, 7, stride, len);
                     let mut slow = TxnRecorder::new(w, true);
                     let addrs: Vec<usize> = (0..len).map(|t| 7 + t * stride).collect();
                     for chunk in addrs.chunks(w) {
@@ -267,7 +327,7 @@ mod tests {
         let w = 4;
         let addrs = [7usize, 5, 15, 0, 10, 11, 12, 9];
         let mut fast = TxnRecorder::new(w, true);
-        fast.record_gather(AccessKind::Read, &addrs);
+        fast.record_gather(AccessKind::Read, 0, &addrs);
         // Figure 4: warp {7,5,15,0} → 3 groups; warp {10,11,12,9} → 2.
         assert_eq!(fast.counters().global_stages, 5);
         assert_eq!(fast.counters().stride_reads, 8);
@@ -276,9 +336,9 @@ mod tests {
     #[test]
     fn disabled_recorder_is_noop() {
         let mut r = TxnRecorder::new(32, false);
-        r.record_contig(AccessKind::Read, 0, 100);
-        r.record_strided(AccessKind::Write, 0, 64, 32);
-        r.record_single(AccessKind::Read);
+        r.record_contig(AccessKind::Read, 0, 0, 100);
+        r.record_strided(AccessKind::Write, 0, 0, 64, 32);
+        r.record_single(AccessKind::Read, 0, 0);
         r.record_shared(AccessKind::Write, 32, 1);
         assert_eq!(*r.counters(), CostCounters::new());
     }
@@ -286,7 +346,7 @@ mod tests {
     #[test]
     fn single_is_coalesced() {
         let mut r = TxnRecorder::new(32, true);
-        r.record_single(AccessKind::Write);
+        r.record_single(AccessKind::Write, 0, 5);
         assert_eq!(r.counters().coalesced_writes, 1);
         assert_eq!(r.counters().global_stages, 1);
     }
@@ -294,9 +354,63 @@ mod tests {
     #[test]
     fn take_resets() {
         let mut r = TxnRecorder::new(32, true);
-        r.record_single(AccessKind::Read);
+        r.record_single(AccessKind::Read, 0, 0);
         let c = r.take();
         assert_eq!(c.coalesced_reads, 1);
         assert_eq!(*r.counters(), CostCounters::new());
+    }
+
+    #[test]
+    fn address_channel_parallels_trace() {
+        let mut r = TxnRecorder::new_tracing(4);
+        r.record_contig(AccessKind::Read, 3, 2, 6); // chunks at 2 (4 lanes) and 6 (2 lanes)
+        r.record_strided(AccessKind::Write, 3, 0, 8, 4);
+        r.record_single(AccessKind::Read, 4, 17);
+        r.record_gather(AccessKind::Read, 4, &[7, 5, 15, 0]);
+        r.record_shared(AccessKind::Write, 4, 1);
+        let trace = r.take_trace();
+        let addrs = r.take_addrs();
+        assert_eq!(trace.len(), addrs.len());
+        assert_eq!(
+            addrs,
+            vec![
+                AddrPattern::Contig {
+                    buf: 3,
+                    base: 2,
+                    lanes: 4
+                },
+                AddrPattern::Contig {
+                    buf: 3,
+                    base: 6,
+                    lanes: 2
+                },
+                AddrPattern::Strided {
+                    buf: 3,
+                    base: 0,
+                    stride: 8,
+                    lanes: 4
+                },
+                AddrPattern::Single { buf: 4, addr: 17 },
+                AddrPattern::Gather {
+                    buf: 4,
+                    addrs: vec![7, 5, 15, 0]
+                },
+                AddrPattern::Opaque,
+            ]
+        );
+        // Each global pattern reproduces the stage count stored in its op.
+        for (op, pat) in trace.iter().zip(&addrs) {
+            if let Some(stages) = pat.umm_stages(4) {
+                assert_eq!(stages, op.stages, "{pat:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_tracing_recorder_has_no_addrs() {
+        let mut r = TxnRecorder::new(4, true);
+        r.record_contig(AccessKind::Read, 0, 0, 8);
+        assert!(r.take_addrs().is_empty());
+        assert!(r.take_trace().is_empty());
     }
 }

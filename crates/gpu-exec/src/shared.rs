@@ -20,6 +20,7 @@
 use hmm_model::{AccessKind, DiagonalLayout};
 
 use crate::recorder::TxnRecorder;
+use crate::trace::AddrPattern;
 
 /// Bank arrangement of a shared-memory tile.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,14 +37,18 @@ pub struct SharedTile<T> {
     data: Vec<T>,
     w: usize,
     layout: TileLayout,
+    /// Allocation index within the owning block, carried into the trace's
+    /// address channel so analyzers can track per-tile state.
+    id: u32,
 }
 
 impl<T: Copy + Default> SharedTile<T> {
-    pub(crate) fn new(w: usize, layout: TileLayout) -> Self {
+    pub(crate) fn new(w: usize, layout: TileLayout, id: u32) -> Self {
         SharedTile {
             data: vec![T::default(); w * w],
             w,
             layout,
+            id,
         }
     }
 
@@ -55,6 +60,11 @@ impl<T: Copy + Default> SharedTile<T> {
     /// The tile's bank arrangement.
     pub fn layout(&self) -> TileLayout {
         self.layout
+    }
+
+    /// Allocation index of this tile within its block (0-based).
+    pub fn id(&self) -> u32 {
+        self.id
     }
 
     #[inline]
@@ -95,7 +105,12 @@ impl<T: Copy + Default> SharedTile<T> {
     /// Warp read of logical row `i` into `out` (length `w`).
     pub fn read_row(&self, i: usize, out: &mut [T], rec: &mut TxnRecorder) {
         assert_eq!(out.len(), self.w, "row access is a full warp");
-        rec.record_shared(AccessKind::Read, self.w as u64, self.row_stages());
+        rec.record_shared_at(AccessKind::Read, self.w as u64, self.row_stages(), || {
+            AddrPattern::TileRow {
+                tile: self.id,
+                index: i as u32,
+            }
+        });
         for (j, o) in out.iter_mut().enumerate() {
             *o = self.data[self.offset(i, j)];
         }
@@ -104,7 +119,13 @@ impl<T: Copy + Default> SharedTile<T> {
     /// Warp write of `vals` (length `w`) to logical row `i`.
     pub fn write_row(&mut self, i: usize, vals: &[T], rec: &mut TxnRecorder) {
         assert_eq!(vals.len(), self.w, "row access is a full warp");
-        rec.record_shared(AccessKind::Write, self.w as u64, self.row_stages());
+        let (id, stages) = (self.id, self.row_stages());
+        rec.record_shared_at(AccessKind::Write, self.w as u64, stages, || {
+            AddrPattern::TileRow {
+                tile: id,
+                index: i as u32,
+            }
+        });
         for (j, &v) in vals.iter().enumerate() {
             let o = self.offset(i, j);
             self.data[o] = v;
@@ -114,7 +135,12 @@ impl<T: Copy + Default> SharedTile<T> {
     /// Warp read of logical column `j` into `out` (length `w`).
     pub fn read_col(&self, j: usize, out: &mut [T], rec: &mut TxnRecorder) {
         assert_eq!(out.len(), self.w, "column access is a full warp");
-        rec.record_shared(AccessKind::Read, self.w as u64, self.col_stages());
+        rec.record_shared_at(AccessKind::Read, self.w as u64, self.col_stages(), || {
+            AddrPattern::TileCol {
+                tile: self.id,
+                index: j as u32,
+            }
+        });
         for (i, o) in out.iter_mut().enumerate() {
             *o = self.data[self.offset(i, j)];
         }
@@ -123,7 +149,13 @@ impl<T: Copy + Default> SharedTile<T> {
     /// Warp write of `vals` (length `w`) to logical column `j`.
     pub fn write_col(&mut self, j: usize, vals: &[T], rec: &mut TxnRecorder) {
         assert_eq!(vals.len(), self.w, "column access is a full warp");
-        rec.record_shared(AccessKind::Write, self.w as u64, self.col_stages());
+        let (id, stages) = (self.id, self.col_stages());
+        rec.record_shared_at(AccessKind::Write, self.w as u64, stages, || {
+            AddrPattern::TileCol {
+                tile: id,
+                index: j as u32,
+            }
+        });
         for (i, &v) in vals.iter().enumerate() {
             let o = self.offset(i, j);
             self.data[o] = v;
@@ -141,7 +173,7 @@ mod tests {
 
     #[test]
     fn tiles_start_zeroed() {
-        let t: SharedTile<f64> = SharedTile::new(4, TileLayout::Diagonal);
+        let t: SharedTile<f64> = SharedTile::new(4, TileLayout::Diagonal, 0);
         for i in 0..4 {
             for j in 0..4 {
                 assert_eq!(t.get(i, j), 0.0);
@@ -152,7 +184,7 @@ mod tests {
     #[test]
     fn logical_indexing_is_layout_independent() {
         for layout in [TileLayout::RowMajor, TileLayout::Diagonal] {
-            let mut t: SharedTile<u32> = SharedTile::new(4, layout);
+            let mut t: SharedTile<u32> = SharedTile::new(4, layout, 0);
             let mut r = rec();
             for i in 0..4 {
                 let vals: Vec<u32> = (0..4).map(|j| (10 * i + j) as u32).collect();
@@ -171,7 +203,7 @@ mod tests {
 
     #[test]
     fn diagonal_column_access_is_conflict_free() {
-        let mut t: SharedTile<u32> = SharedTile::new(4, TileLayout::Diagonal);
+        let mut t: SharedTile<u32> = SharedTile::new(4, TileLayout::Diagonal, 0);
         let mut r = rec();
         t.write_col(1, &[1, 2, 3, 4], &mut r);
         let mut out = [0u32; 4];
@@ -185,7 +217,7 @@ mod tests {
 
     #[test]
     fn row_major_column_access_pays_w_stages() {
-        let mut t: SharedTile<u32> = SharedTile::new(4, TileLayout::RowMajor);
+        let mut t: SharedTile<u32> = SharedTile::new(4, TileLayout::RowMajor, 0);
         let mut r = rec();
         t.write_col(1, &[1, 2, 3, 4], &mut r);
         assert_eq!(r.counters().shared_stages, 4);
@@ -197,7 +229,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "full warp")]
     fn partial_row_access_rejected() {
-        let t: SharedTile<u32> = SharedTile::new(4, TileLayout::Diagonal);
+        let t: SharedTile<u32> = SharedTile::new(4, TileLayout::Diagonal, 0);
         let mut out = [0u32; 2];
         t.read_row(0, &mut out, &mut rec());
     }

@@ -11,7 +11,7 @@
 //! round-robin warp dispatch — turning one real execution into a
 //! dependency-aware simulated time.
 
-use hmm_model::{AccessKind, MemSpace};
+use hmm_model::{group_of, AccessKind, MemSpace};
 
 /// One warp-level memory operation performed by a block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,6 +26,130 @@ pub struct TraceOp {
     pub stages: u32,
 }
 
+/// Address provenance of one [`TraceOp`]: which words (global) or which
+/// tile row/column (shared) the transaction touched.
+///
+/// Stored in a channel parallel to the op log ([`LaunchTrace::addrs`]) so
+/// [`TraceOp`] stays `Copy` and existing consumers are unaffected. Static
+/// analyzers use it to pinpoint uncoalesced transactions, cross-block
+/// hazards on concrete words, and reads of unwritten shared state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AddrPattern {
+    /// Single-lane access of one global word.
+    Single {
+        /// Identity of the accessed [`crate::GlobalBuffer`].
+        buf: u64,
+        /// The accessed word address.
+        addr: usize,
+    },
+    /// One warp chunk of a contiguous access: words `[base, base + lanes)`.
+    Contig {
+        /// Identity of the accessed [`crate::GlobalBuffer`].
+        buf: u64,
+        /// First word address of the chunk.
+        base: usize,
+        /// Active lanes (≤ machine width).
+        lanes: u32,
+    },
+    /// One warp chunk of a strided access: words `base + t·stride`.
+    Strided {
+        /// Identity of the accessed [`crate::GlobalBuffer`].
+        buf: u64,
+        /// First word address of the chunk.
+        base: usize,
+        /// Distance between consecutive lanes, in words.
+        stride: usize,
+        /// Active lanes (≤ machine width).
+        lanes: u32,
+    },
+    /// One warp chunk of a gather/scatter with arbitrary per-lane words.
+    Gather {
+        /// Identity of the accessed [`crate::GlobalBuffer`].
+        buf: u64,
+        /// Word address of each active lane.
+        addrs: Vec<usize>,
+    },
+    /// Full-warp access of logical row `index` of shared tile `tile`.
+    TileRow {
+        /// Allocation index of the tile within its block (0-based).
+        tile: u32,
+        /// Logical row index.
+        index: u32,
+    },
+    /// Full-warp access of logical column `index` of shared tile `tile`.
+    TileCol {
+        /// Allocation index of the tile within its block (0-based).
+        tile: u32,
+        /// Logical column index.
+        index: u32,
+    },
+    /// No address information available (differential-test paths).
+    Opaque,
+}
+
+impl AddrPattern {
+    /// Append every global word this pattern touches to `out`, as
+    /// `(buffer id, word address)` pairs — addresses are per-buffer, so the
+    /// identity is part of the word's name. Shared-tile and opaque patterns
+    /// contribute nothing.
+    pub fn global_words(&self, out: &mut Vec<(u64, usize)>) {
+        match self {
+            AddrPattern::Single { buf, addr } => out.push((*buf, *addr)),
+            AddrPattern::Contig { buf, base, lanes } => {
+                out.extend((*base..*base + *lanes as usize).map(|a| (*buf, a)));
+            }
+            AddrPattern::Strided {
+                buf,
+                base,
+                stride,
+                lanes,
+            } => {
+                out.extend((0..*lanes as usize).map(|t| (*buf, base + t * stride)));
+            }
+            AddrPattern::Gather { buf, addrs } => {
+                out.extend(addrs.iter().map(|&a| (*buf, a)));
+            }
+            AddrPattern::TileRow { .. } | AddrPattern::TileCol { .. } | AddrPattern::Opaque => {}
+        }
+    }
+
+    /// UMM pipeline stages (distinct `w`-word address groups) this pattern
+    /// occupies, or `None` for shared-tile / opaque patterns.
+    pub fn umm_stages(&self, w: usize) -> Option<u32> {
+        match self {
+            AddrPattern::Single { .. } => Some(1),
+            AddrPattern::Contig { base, lanes, .. } => {
+                let last = base + (*lanes as usize).max(1) - 1;
+                Some((group_of(last, w) - group_of(*base, w) + 1) as u32)
+            }
+            AddrPattern::Strided {
+                base,
+                stride,
+                lanes,
+                ..
+            } => {
+                let mut stages = 1u32;
+                let mut prev = group_of(*base, w);
+                for t in 1..*lanes as usize {
+                    let g = group_of(base + t * stride, w);
+                    if g != prev {
+                        stages += 1;
+                        prev = g;
+                    }
+                }
+                Some(stages)
+            }
+            AddrPattern::Gather { addrs, .. } => {
+                let mut groups: Vec<usize> = addrs.iter().map(|&a| group_of(a, w)).collect();
+                groups.sort_unstable();
+                groups.dedup();
+                Some(groups.len() as u32)
+            }
+            AddrPattern::TileRow { .. } | AddrPattern::TileCol { .. } | AddrPattern::Opaque => None,
+        }
+    }
+}
+
 /// Ordered operations of one block (the block's warps issue them in program
 /// order; the paper's kernels are warp-synchronous within a block).
 pub type BlockTrace = Vec<TraceOp>;
@@ -35,6 +159,26 @@ pub type BlockTrace = Vec<TraceOp>;
 pub struct LaunchTrace {
     /// Per-block operation logs.
     pub blocks: Vec<BlockTrace>,
+    /// Per-block address patterns, parallel to `blocks`: when address
+    /// recording is on, `addrs[b][k]` is the provenance of `blocks[b][k]`.
+    /// Empty when the trace was recorded without addresses.
+    pub addrs: Vec<Vec<AddrPattern>>,
+}
+
+impl LaunchTrace {
+    /// A launch trace carrying only the op log (no address channel).
+    pub fn from_blocks(blocks: Vec<BlockTrace>) -> Self {
+        LaunchTrace {
+            blocks,
+            addrs: Vec::new(),
+        }
+    }
+
+    /// Whether the address channel is populated (one pattern list per
+    /// block).
+    pub fn has_addrs(&self) -> bool {
+        self.addrs.len() == self.blocks.len() && !self.blocks.is_empty()
+    }
 }
 
 /// A whole program: one [`LaunchTrace`] per kernel launch, in order. The
@@ -69,16 +213,64 @@ mod tests {
     fn counts() {
         let mut t = RunTrace::default();
         assert_eq!(t.barrier_steps(), 0);
-        t.launches.push(LaunchTrace {
-            blocks: vec![vec![TraceOp {
-                space: MemSpace::Global,
-                kind: AccessKind::Read,
-                ops: 4,
-                stages: 1,
-            }]],
-        });
-        t.launches.push(LaunchTrace { blocks: vec![vec![], vec![]] });
+        t.launches.push(LaunchTrace::from_blocks(vec![vec![TraceOp {
+            space: MemSpace::Global,
+            kind: AccessKind::Read,
+            ops: 4,
+            stages: 1,
+        }]]));
+        t.launches
+            .push(LaunchTrace::from_blocks(vec![vec![], vec![]]));
         assert_eq!(t.total_ops(), 1);
         assert_eq!(t.barrier_steps(), 1);
+    }
+
+    #[test]
+    fn pattern_global_words_and_stages() {
+        let w = 4;
+        let contig = AddrPattern::Contig {
+            buf: 1,
+            base: 6,
+            lanes: 4,
+        };
+        let mut words = Vec::new();
+        contig.global_words(&mut words);
+        assert_eq!(words, vec![(1, 6), (1, 7), (1, 8), (1, 9)]);
+        assert_eq!(contig.umm_stages(w), Some(2)); // spans groups 1 and 2
+
+        let strided = AddrPattern::Strided {
+            buf: 1,
+            base: 0,
+            stride: 8,
+            lanes: 4,
+        };
+        assert_eq!(strided.umm_stages(w), Some(4));
+
+        let gather = AddrPattern::Gather {
+            buf: 2,
+            addrs: vec![7, 5, 15, 0],
+        };
+        assert_eq!(gather.umm_stages(w), Some(3)); // Figure 4
+
+        assert_eq!(
+            AddrPattern::Single { buf: 0, addr: 9 }.umm_stages(w),
+            Some(1)
+        );
+        assert_eq!(
+            AddrPattern::TileRow { tile: 0, index: 1 }.umm_stages(w),
+            None
+        );
+        let mut none = Vec::new();
+        AddrPattern::TileCol { tile: 0, index: 2 }.global_words(&mut none);
+        AddrPattern::Opaque.global_words(&mut none);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn has_addrs_requires_parallel_channel() {
+        let mut l = LaunchTrace::from_blocks(vec![vec![]]);
+        assert!(!l.has_addrs());
+        l.addrs.push(Vec::new());
+        assert!(l.has_addrs());
     }
 }

@@ -1,0 +1,118 @@
+//! What a kernel *promises* — the budgets the analyzer holds it to.
+
+use hmm_model::cost::{GlobalCost, SatAlgorithm, TableOneRow};
+use hmm_model::MachineConfig;
+
+/// The performance/correctness contract of one kernel run.
+///
+/// The structural rules (bank conflicts, barrier races, shared-reset reads)
+/// are unconditional; the contract adds the *budgeted* dimensions: how much
+/// stride traffic the kernel is allowed (Table I's stride columns — 2R2W
+/// deliberately leaves its row-wise half stride, 1R1W must be essentially
+/// coalesced), and which closed-form `C`/`S`/`B` predictions the measured
+/// counters must track.
+#[derive(Debug, Clone)]
+pub struct KernelContract {
+    /// Kernel name, used in reports.
+    pub name: String,
+    /// Allowed fraction of global operations that may be stride (0 = fully
+    /// coalesced, 1 = unconstrained).
+    pub stride_budget: f64,
+    /// Absolute slack on the stride fraction, covering fringe terms the
+    /// Table I leading terms drop.
+    pub stride_slack: f64,
+    /// Table I predictions to check measured counters against (skipped when
+    /// `None`).
+    pub expected: Option<TableOneRow>,
+    /// Relative tolerance on the `C`/`S`/`B` divergence checks.
+    pub rel_tolerance: f64,
+    /// Absolute slack (in operations) on the `C`/`S` divergence checks —
+    /// fringe traffic the leading terms drop is `O(n²/w)`.
+    pub ops_slack: f64,
+    /// Absolute slack (in steps) on the barrier divergence check.
+    pub barrier_slack: f64,
+}
+
+impl KernelContract {
+    /// The contract of a paper algorithm at size `n` on machine `cfg`:
+    /// stride budget and expected counters from its Table I row.
+    pub fn for_algorithm(alg: SatAlgorithm, n: usize, cfg: MachineConfig) -> Self {
+        let row = GlobalCost::new(cfg).table_one_row(alg, n);
+        let n2 = (n as f64) * (n as f64);
+        // The hybrid's `B ≈ 2(1 − r)m + 4k + 5` is a leading-term
+        // approximation whose constant term is off by several steps when
+        // `r` is near 1 and `n` is small; the exact rows get a tight slack.
+        let barrier_slack = match alg {
+            SatAlgorithm::HybridR1W => 8.0,
+            _ => 2.0,
+        };
+        KernelContract {
+            name: alg.name().to_string(),
+            stride_budget: row.stride_fraction(),
+            stride_slack: 0.02,
+            expected: Some(row),
+            rel_tolerance: 0.25,
+            // One fringe pass of traffic: the magnitude of the terms the
+            // leading-term rows drop.
+            ops_slack: 2.0 * n2 / (cfg.width as f64) + 4.0 * (n as f64),
+            barrier_slack,
+        }
+    }
+
+    /// A contract that only enforces the structural rules: any stride
+    /// fraction is allowed and no Table I row is checked.
+    pub fn unconstrained(name: impl Into<String>) -> Self {
+        KernelContract {
+            name: name.into(),
+            stride_budget: 1.0,
+            stride_slack: 0.0,
+            expected: None,
+            rel_tolerance: 0.25,
+            ops_slack: 0.0,
+            barrier_slack: 2.0,
+        }
+    }
+
+    /// A contract demanding essentially full coalescing (fringe slack only)
+    /// and no Table I check.
+    pub fn fully_coalesced(name: impl Into<String>) -> Self {
+        KernelContract {
+            stride_budget: 0.0,
+            stride_slack: 0.02,
+            ..Self::unconstrained(name)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_contracts_take_budgets_from_table_one() {
+        let cfg = MachineConfig::with_width(16);
+        let c = KernelContract::for_algorithm(SatAlgorithm::TwoR2W, 256, cfg);
+        assert_eq!(c.stride_budget, 0.5);
+        assert!(c.expected.is_some());
+
+        let c = KernelContract::for_algorithm(SatAlgorithm::FourR4W, 256, cfg);
+        assert_eq!(c.stride_budget, 0.0);
+
+        let c = KernelContract::for_algorithm(SatAlgorithm::FourR1W, 256, cfg);
+        assert_eq!(c.stride_budget, 1.0);
+
+        // 1R1W: only the left-fringe reads are stride — a few percent.
+        let c = KernelContract::for_algorithm(SatAlgorithm::OneR1W, 256, cfg);
+        assert!(c.stride_budget > 0.0 && c.stride_budget < 0.05);
+    }
+
+    #[test]
+    fn unconstrained_and_coalesced() {
+        let u = KernelContract::unconstrained("anything");
+        assert_eq!(u.stride_budget, 1.0);
+        assert!(u.expected.is_none());
+        let f = KernelContract::fully_coalesced("strict");
+        assert_eq!(f.stride_budget, 0.0);
+        assert_eq!(f.name, "strict");
+    }
+}

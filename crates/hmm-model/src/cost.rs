@@ -155,8 +155,7 @@ impl CostCounters {
     /// (e.g. an unaligned coalesced-ish warp touching two groups counts two
     /// stages here but `w` "coalesced" ops there).
     pub fn simulated_time(&self, cfg: &MachineConfig) -> f64 {
-        self.global_stages as f64
-            + cfg.window_overhead() as f64 * (self.barrier_steps + 1) as f64
+        self.global_stages as f64 + cfg.window_overhead() as f64 * (self.barrier_steps + 1) as f64
     }
 }
 
@@ -229,6 +228,52 @@ pub struct TableOneRow {
     pub barrier_steps: f64,
     /// The resulting global memory access cost.
     pub cost: f64,
+}
+
+impl TableOneRow {
+    /// Predicted read operations (coalesced + stride).
+    pub fn total_reads(&self) -> f64 {
+        self.coalesced_reads + self.stride_reads
+    }
+
+    /// Predicted write operations (coalesced + stride).
+    pub fn total_writes(&self) -> f64 {
+        self.coalesced_writes + self.stride_writes
+    }
+
+    /// Fraction of read operations Table I predicts to be *stride*
+    /// (0 when the algorithm performs no reads). 2R2W reads half stride
+    /// (the row-wise pass), 4R1W everything, 4R4W nothing.
+    pub fn stride_read_fraction(&self) -> f64 {
+        let total = self.total_reads();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.stride_reads / total
+        }
+    }
+
+    /// Fraction of write operations Table I predicts to be *stride*
+    /// (0 when the algorithm performs no writes).
+    pub fn stride_write_fraction(&self) -> f64 {
+        let total = self.total_writes();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.stride_writes / total
+        }
+    }
+
+    /// Fraction of *all* global operations predicted to be stride — the
+    /// budget a trace analyzer should hold a kernel implementation to.
+    pub fn stride_fraction(&self) -> f64 {
+        let total = self.total_reads() + self.total_writes();
+        if total == 0.0 {
+            0.0
+        } else {
+            (self.stride_reads + self.stride_writes) / total
+        }
+    }
 }
 
 impl GlobalCost {
@@ -396,13 +441,7 @@ impl GlobalCost {
                 0.0,
                 2.0 * k + 2.0,
             ),
-            SatAlgorithm::OneR1W => (
-                n2 + 2.0 * n2 / w,
-                n2 + n2 / w,
-                n2 / w,
-                0.0,
-                2.0 * m - 2.0,
-            ),
+            SatAlgorithm::OneR1W => (n2 + 2.0 * n2 / w, n2 + n2 / w, n2 / w, 0.0, 2.0 * m - 2.0),
             SatAlgorithm::HybridR1W => {
                 // Fringe traffic scales with each part's share: ≈ 3n²/w in
                 // the 2R1W triangles (r² of the area), ≈ n²/w coalesced +
@@ -486,6 +525,29 @@ mod tests {
         );
         assert_eq!(c.global_cost(&cfg), 8.0 / 4.0 + 3.0 + 10.0 * 2.0);
         assert_eq!(c.simulated_time(&cfg), (2 + 3) as f64 + 10.0 * 2.0);
+    }
+
+    #[test]
+    fn stride_fractions_match_table_one_columns() {
+        let g = gc();
+        let n = 1024;
+        // 2R2W: the row-wise pass is stride — half of reads, half of writes.
+        let r = g.table_one_row(SatAlgorithm::TwoR2W, n);
+        assert_eq!(r.stride_read_fraction(), 0.5);
+        assert_eq!(r.stride_write_fraction(), 0.5);
+        assert_eq!(r.stride_fraction(), 0.5);
+        // 4R4W: everything coalesced.
+        let r = g.table_one_row(SatAlgorithm::FourR4W, n);
+        assert_eq!(r.stride_fraction(), 0.0);
+        // 4R1W: everything stride (and the write fraction is 1 despite
+        // fewer writes than reads).
+        let r = g.table_one_row(SatAlgorithm::FourR1W, n);
+        assert_eq!(r.stride_read_fraction(), 1.0);
+        assert_eq!(r.stride_write_fraction(), 1.0);
+        // 1R1W: only the fringe reads (n²/w of ≈ n²) are stride.
+        let r = g.table_one_row(SatAlgorithm::OneR1W, n);
+        assert!(r.stride_write_fraction() == 0.0);
+        assert!(r.stride_read_fraction() > 0.0 && r.stride_read_fraction() < 0.1);
     }
 
     #[test]

@@ -51,4 +51,4 @@ pub use address::{bank_of, group_of, Addr};
 pub use config::MachineConfig;
 pub use cost::{CostCounters, GlobalCost};
 pub use diagonal::DiagonalLayout;
-pub use warp::{AccessKind, MemSpace, WarpAccess};
+pub use warp::{min_stages, AccessKind, MemSpace, WarpAccess};

@@ -128,9 +128,7 @@ impl Pipeline {
             let n = warps.len();
             let chosen = (0..n)
                 .map(|k| (rr + k) % n)
-                .find(|&i| {
-                    warps[i].next < rounds_per_warp[i].len() && warps[i].ready_at <= t
-                })
+                .find(|&i| warps[i].next < rounds_per_warp[i].len() && warps[i].ready_at <= t)
                 .expect("a warp is ready at the chosen time");
             let access = &rounds_per_warp[chosen][warps[chosen].next];
             let s = self.machine.stages(access, self.width) as u64;
@@ -238,8 +236,7 @@ mod tests {
     fn simulate_matches_independent_for_one_round() {
         let p = Pipeline::new(Machine::Dmm, W, 6);
         let accesses = fig4_accesses();
-        let rounds: Vec<Vec<WarpAccess>> =
-            accesses.iter().map(|a| vec![a.clone()]).collect();
+        let rounds: Vec<Vec<WarpAccess>> = accesses.iter().map(|a| vec![a.clone()]).collect();
         let sim = p.simulate(&rounds);
         let ind = p.independent_time(&accesses);
         assert_eq!(sim.stages, ind.stages);

@@ -13,6 +13,16 @@
 
 use crate::address::{bank_of, group_of, Addr};
 
+/// Minimum pipeline stages any warp transaction of `ops` element accesses can
+/// occupy on a machine of width `w`: `⌈ops / w⌉`. A DMM access achieving this
+/// bound is *conflict-free*; a UMM access achieving it is *coalesced*. A
+/// trace analyzer compares recorded stage counts against this floor to detect
+/// bank conflicts and uncoalesced access.
+pub fn min_stages(ops: u64, w: usize) -> u64 {
+    debug_assert!(w > 0, "machine width must be positive");
+    ops.div_ceil(w as u64)
+}
+
 /// Which memory a transaction targets in the HMM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemSpace {
@@ -221,6 +231,19 @@ mod tests {
     #[should_panic(expected = "at most 4 lanes")]
     fn too_many_lanes_rejected() {
         WarpAccess::dense(&[0, 1, 2, 3, 4], W);
+    }
+
+    #[test]
+    fn min_stages_is_ceil_of_ops_over_width() {
+        assert_eq!(min_stages(0, W), 0);
+        assert_eq!(min_stages(1, W), 1);
+        assert_eq!(min_stages(4, W), 1);
+        assert_eq!(min_stages(5, W), 2);
+        assert_eq!(min_stages(32, W), 8);
+        // A full conflict-free warp access achieves the bound exactly.
+        let a = WarpAccess::contiguous(0, 4, W);
+        assert_eq!(a.dmm_stages(W) as u64, min_stages(a.ops() as u64, W));
+        assert_eq!(a.umm_stages(W) as u64, min_stages(a.ops() as u64, W));
     }
 
     #[test]

@@ -24,4 +24,4 @@ pub mod harness;
 pub mod machine;
 
 pub use harness::{trace_and_simulate, TracedRun};
-pub use machine::{AsyncHmm, LaunchTiming, SimReport};
+pub use machine::{AsyncHmm, LaunchTiming, SimReport, WindowTimeline};

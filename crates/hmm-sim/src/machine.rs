@@ -55,6 +55,49 @@ impl SimReport {
     pub fn busy_time(&self) -> u64 {
         self.per_launch.iter().map(|l| l.time).sum()
     }
+
+    /// Lay the launches out on the simulated clock: window `i` starts when
+    /// window `i − 1` ends plus the barrier/relaunch overhead. Analyzers and
+    /// reports use this to show *where* in a run each barrier-delimited
+    /// window sits and what it spent its time on.
+    pub fn windows(&self, barrier_overhead: u64) -> Vec<WindowTimeline> {
+        let mut start = 0u64;
+        self.per_launch
+            .iter()
+            .enumerate()
+            .map(|(index, l)| {
+                let w = WindowTimeline {
+                    index,
+                    start,
+                    end: start + l.time,
+                    global_stages: l.global_stages,
+                    shared_stages: l.shared_stages,
+                    blocks: l.blocks,
+                };
+                start = w.end + barrier_overhead;
+                w
+            })
+            .collect()
+    }
+}
+
+/// One barrier-delimited window of a simulated program, placed on the clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowTimeline {
+    /// Launch index (window number) within the program.
+    pub index: usize,
+    /// Simulated time at which the window's first transaction may issue.
+    pub start: u64,
+    /// Simulated time at which the window's last transaction completes
+    /// (the barrier overhead is charged *after* this, before the next
+    /// window's `start`).
+    pub end: u64,
+    /// UMM pipeline stages issued inside this window.
+    pub global_stages: u64,
+    /// DMM pipeline stages issued inside this window (all DMMs).
+    pub shared_stages: u64,
+    /// Blocks resident in the window.
+    pub blocks: usize,
 }
 
 /// The asynchronous HMM discrete-event simulator.
@@ -179,9 +222,7 @@ mod tests {
     #[test]
     fn fig4_umm_example() {
         // Two warps on the UMM occupying 3 and 2 stages: L + 5 − 1.
-        let launch = LaunchTrace {
-            blocks: vec![vec![g(4, 3)], vec![g(4, 2)]],
-        };
+        let launch = LaunchTrace::from_blocks(vec![vec![g(4, 3)], vec![g(4, 2)]]);
         for l in [1u64, 5, 100] {
             let sim = AsyncHmm::new(cfg(l, 1));
             let t = sim.simulate_launch(&launch);
@@ -194,9 +235,7 @@ mod tests {
     fn fig4_dmm_example() {
         // The same two warps on one DMM (stage counts 2 and 1, latency 1):
         // 3 stages → 1 + 3 − 1 = 3 time units.
-        let launch = LaunchTrace {
-            blocks: vec![vec![sh(4, 2)], vec![sh(4, 1)]],
-        };
+        let launch = LaunchTrace::from_blocks(vec![vec![sh(4, 2)], vec![sh(4, 1)]]);
         let sim = AsyncHmm::new(cfg(100, 1));
         let t = sim.simulate_launch(&launch);
         assert_eq!(t.time, 3);
@@ -208,9 +247,7 @@ mod tests {
         // 64 blocks, each 10 dependent coalesced accesses, L = 16:
         // the pipeline stays saturated → ≈ stages + L − 1.
         let l = 16u64;
-        let launch = LaunchTrace {
-            blocks: (0..64).map(|_| vec![g(4, 1); 10]).collect(),
-        };
+        let launch = LaunchTrace::from_blocks((0..64).map(|_| vec![g(4, 1); 10]).collect());
         let sim = AsyncHmm::new(cfg(l, 1));
         let t = sim.simulate_launch(&launch);
         assert_eq!(t.time, 640 + l - 1);
@@ -220,9 +257,7 @@ mod tests {
     fn latency_exposed_with_single_block() {
         // One block, 10 dependent accesses: every access pays L.
         let l = 16u64;
-        let launch = LaunchTrace {
-            blocks: vec![vec![g(4, 1); 10]],
-        };
+        let launch = LaunchTrace::from_blocks(vec![vec![g(4, 1); 10]]);
         let sim = AsyncHmm::new(cfg(l, 1));
         let t = sim.simulate_launch(&launch);
         assert_eq!(t.time, 10 * l);
@@ -232,9 +267,7 @@ mod tests {
     fn shared_work_overlaps_across_dmms() {
         // Two blocks with heavy shared work: on one DMM they serialise, on
         // two DMMs they overlap.
-        let launch = LaunchTrace {
-            blocks: vec![vec![sh(4, 8); 4], vec![sh(4, 8); 4]],
-        };
+        let launch = LaunchTrace::from_blocks(vec![vec![sh(4, 8); 4], vec![sh(4, 8); 4]]);
         let one = AsyncHmm::new(cfg(100, 1)).simulate_launch(&launch);
         let two = AsyncHmm::new(cfg(100, 2)).simulate_launch(&launch);
         assert!(two.time < one.time);
@@ -245,9 +278,7 @@ mod tests {
     #[test]
     fn global_pipeline_is_shared_across_dmms() {
         // Global traffic does not scale with d: one UMM.
-        let launch = LaunchTrace {
-            blocks: (0..8).map(|_| vec![g(4, 4)]).collect(),
-        };
+        let launch = LaunchTrace::from_blocks((0..8).map(|_| vec![g(4, 4)]).collect());
         let a = AsyncHmm::new(cfg(4, 1)).simulate_launch(&launch);
         let b = AsyncHmm::new(cfg(4, 8)).simulate_launch(&launch);
         assert_eq!(a.time, b.time);
@@ -256,13 +287,13 @@ mod tests {
 
     #[test]
     fn total_time_adds_barrier_overhead_per_launch() {
-        let launch = LaunchTrace {
-            blocks: vec![vec![g(4, 1)]],
-        };
+        let launch = LaunchTrace::from_blocks(vec![vec![g(4, 1)]]);
         let trace = RunTrace {
             launches: vec![launch.clone(), launch],
         };
-        let cfg = MachineConfig::with_width(4).latency(10).barrier_overhead(500);
+        let cfg = MachineConfig::with_width(4)
+            .latency(10)
+            .barrier_overhead(500);
         let sim = AsyncHmm::new(cfg);
         let r = sim.simulate(&trace);
         assert_eq!(r.per_launch.len(), 2);
@@ -271,10 +302,28 @@ mod tests {
     }
 
     #[test]
-    fn zero_stage_ops_cost_nothing() {
-        let launch = LaunchTrace {
-            blocks: vec![vec![g(0, 0), g(4, 1)]],
+    fn windows_tile_the_simulated_clock() {
+        let launch = LaunchTrace::from_blocks(vec![vec![g(4, 1)], vec![sh(4, 2)]]);
+        let trace = RunTrace {
+            launches: vec![launch.clone(), launch],
         };
+        let sim = AsyncHmm::new(cfg(10, 1).barrier_overhead(500));
+        let r = sim.simulate(&trace);
+        let ws = r.windows(500);
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws[0].start, 0);
+        assert_eq!(ws[0].end, r.per_launch[0].time);
+        assert_eq!(ws[1].start, ws[0].end + 500);
+        assert_eq!(ws[1].end - ws[1].start, r.per_launch[1].time);
+        assert_eq!(ws[1].end + 500, r.total_time);
+        assert_eq!(ws[0].global_stages, 1);
+        assert_eq!(ws[0].shared_stages, 2);
+        assert_eq!(ws[0].blocks, 2);
+    }
+
+    #[test]
+    fn zero_stage_ops_cost_nothing() {
+        let launch = LaunchTrace::from_blocks(vec![vec![g(0, 0), g(4, 1)]]);
         let sim = AsyncHmm::new(cfg(7, 1));
         assert_eq!(sim.simulate_launch(&launch).time, 7);
     }

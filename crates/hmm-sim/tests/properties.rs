@@ -17,13 +17,16 @@ fn op(space: MemSpace, stages: u32) -> TraceOp {
 fn arb_launch() -> impl Strategy<Value = LaunchTrace> {
     proptest::collection::vec(
         proptest::collection::vec(
-            (prop_oneof![Just(MemSpace::Shared), Just(MemSpace::Global)], 1u32..5)
+            (
+                prop_oneof![Just(MemSpace::Shared), Just(MemSpace::Global)],
+                1u32..5,
+            )
                 .prop_map(|(s, st)| op(s, st)),
             0..8,
         ),
         1..10,
     )
-    .prop_map(|blocks| LaunchTrace { blocks })
+    .prop_map(LaunchTrace::from_blocks)
 }
 
 proptest! {
@@ -94,11 +97,11 @@ proptest! {
         let cfg = MachineConfig::with_width(4).latency(16).barrier_overhead(50);
         let sim = AsyncHmm::new(cfg);
         let mid = blocks.len() / 2;
-        let fused = RunTrace { launches: vec![LaunchTrace { blocks: blocks.clone() }] };
+        let fused = RunTrace { launches: vec![LaunchTrace::from_blocks(blocks.clone())] };
         let split = RunTrace {
             launches: vec![
-                LaunchTrace { blocks: blocks[..mid].to_vec() },
-                LaunchTrace { blocks: blocks[mid..].to_vec() },
+                LaunchTrace::from_blocks(blocks[..mid].to_vec()),
+                LaunchTrace::from_blocks(blocks[mid..].to_vec()),
             ],
         };
         let tf = sim.simulate(&fused).total_time;

@@ -43,7 +43,9 @@ pub fn difference_of_gaussians(
     assert!(sigma_fine < sigma_coarse, "fine scale must be smaller");
     let fine = gaussian_blur(img, sigma_fine, 3);
     let coarse = gaussian_blur(img, sigma_coarse, 3);
-    Matrix::from_fn(img.rows(), img.cols(), |i, j| fine.get(i, j) - coarse.get(i, j))
+    Matrix::from_fn(img.rows(), img.cols(), |i, j| {
+        fine.get(i, j) - coarse.get(i, j)
+    })
 }
 
 /// Direct (truncated, normalised) Gaussian convolution — the slow reference

@@ -24,7 +24,10 @@ use sat_core::{Matrix, Rect, SumTable};
 pub fn ncc_response(img: &Matrix<f64>, template: &Matrix<f64>) -> Matrix<f64> {
     let (ir, ic) = (img.rows(), img.cols());
     let (tr, tc) = (template.rows(), template.cols());
-    assert!(tr >= 1 && tc >= 1 && tr <= ir && tc <= ic, "template must fit");
+    assert!(
+        tr >= 1 && tc >= 1 && tr <= ir && tc <= ic,
+        "template must fit"
+    );
     let area = (tr * tc) as f64;
 
     // Zero-mean template and its energy, once.
@@ -130,7 +133,11 @@ mod tests {
         let negated = template.map(|v| -v + 255.0); // α = −1
         paste(&mut img, &negated, 3, 22);
         let m = ncc_response(&img, &template);
-        assert!((m.get(3, 22) + 1.0).abs() < 1e-9, "score = {}", m.get(3, 22));
+        assert!(
+            (m.get(3, 22) + 1.0).abs() < 1e-9,
+            "score = {}",
+            m.get(3, 22)
+        );
     }
 
     #[test]

@@ -124,8 +124,7 @@ mod tests {
     fn pyramid_shapes_and_factor() {
         let img = radial_gradient(64, 96);
         let p = MeanPyramid::build(&img, 2, 8, 10);
-        let sides: Vec<(usize, usize)> =
-            p.levels().iter().map(|l| (l.rows(), l.cols())).collect();
+        let sides: Vec<(usize, usize)> = p.levels().iter().map(|l| (l.rows(), l.cols())).collect();
         assert_eq!(sides, vec![(64, 96), (32, 48), (16, 24), (8, 12)]);
         assert_eq!(p.factor(), 2);
         assert_eq!(p.to_base(2, 3), 12);

@@ -39,7 +39,10 @@ pub fn match_template(
 ) -> (Vec<Candidate>, MatchStats) {
     let (ir, ic) = (img.rows(), img.cols());
     let (tr, tc) = (template.rows(), template.cols());
-    assert!(tr >= 1 && tc >= 1 && tr <= ir && tc <= ic, "template must fit");
+    assert!(
+        tr >= 1 && tc >= 1 && tr <= ir && tc <= ic,
+        "template must fit"
+    );
     let table = SumTable::build(img);
     let tsum: f64 = template.as_slice().iter().sum();
     let mut out = Vec::new();
@@ -63,7 +66,11 @@ pub fn match_template(
                 }
             }
             if sad <= max_sad {
-                out.push(Candidate { row: r, col: c, sad });
+                out.push(Candidate {
+                    row: r,
+                    col: c,
+                    sad,
+                });
             }
         }
     }
@@ -90,7 +97,9 @@ mod tests {
         let template = noise(6, 6, 2);
         paste(&mut img, &template, 12, 20);
         let (hits, stats) = match_template(&img, &template, 0.0);
-        assert!(hits.iter().any(|h| h.row == 12 && h.col == 20 && h.sad == 0.0));
+        assert!(hits
+            .iter()
+            .any(|h| h.row == 12 && h.col == 20 && h.sad == 0.0));
         assert!(stats.pruned > 0, "noise windows should be pruned");
         assert_eq!(stats.windows, 35 * 35);
     }

@@ -24,7 +24,10 @@ fn main() {
     let dev = Device::new(DeviceOptions::new(cfg));
     let gc = GlobalCost::new(cfg);
 
-    println!("SAT algorithms on a {n} x {n} matrix (w = {}, calibrated profile)\n", cfg.width);
+    println!(
+        "SAT algorithms on a {n} x {n} matrix (w = {}, calibrated profile)\n",
+        cfg.width
+    );
     let a = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 256) as i64);
     let reference = seq::sat_reference(&a);
 

@@ -31,7 +31,11 @@ fn render(title: &str, img: &Matrix<f64>) {
     for i in (0..img.rows()).step_by(2) {
         let mut line = String::new();
         for j in 0..img.cols() {
-            let t = if hi > lo { (img.get(i, j) - lo) / (hi - lo) } else { 0.0 };
+            let t = if hi > lo {
+                (img.get(i, j) - lo) / (hi - lo)
+            } else {
+                0.0
+            };
             let k = ((t * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
             line.push(RAMP[k] as char);
         }

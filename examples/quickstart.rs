@@ -18,7 +18,9 @@ use sat_core::{compute_sat, Matrix, Rect, SumTable};
 fn print_matrix(title: &str, m: &Matrix<i64>) {
     println!("{title}:");
     for i in 0..m.rows() {
-        let row: Vec<String> = (0..m.cols()).map(|j| format!("{:>3}", m.get(i, j))).collect();
+        let row: Vec<String> = (0..m.cols())
+            .map(|j| format!("{:>3}", m.get(i, j)))
+            .collect();
         println!("  {}", row.join(" "));
     }
 }
@@ -45,7 +47,10 @@ fn main() {
         "  writes/element = {:.3}  (optimal: every result written exactly once)",
         stats.writes_per_element(9)
     );
-    println!("  barrier steps  = {} (block wavefront stages)", stats.barrier_steps);
+    println!(
+        "  barrier steps  = {} (block wavefront stages)",
+        stats.barrier_steps
+    );
     println!(
         "  coalesced/stride ops = {}/{}",
         stats.coalesced_ops(),

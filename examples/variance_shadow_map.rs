@@ -59,19 +59,22 @@ fn main() {
     // box, with a Chebyshev penumbra at the box silhouette where the
     // filtered window mixes both depths.
     let receiver = Matrix::from_fn(rows, cols, |i, _| 10.0 + i as f64 * 0.05);
-    let shadow = Matrix::from_fn(rows, cols, |i, j| vsm.shadow_at(i, j, 3, receiver.get(i, j)));
+    let shadow = Matrix::from_fn(rows, cols, |i, j| {
+        vsm.shadow_at(i, j, 3, receiver.get(i, j))
+    });
 
-    render("Filtered light map (dark = shadowed, radius-3 kernel)", &shadow);
+    render(
+        "Filtered light map (dark = shadowed, radius-3 kernel)",
+        &shadow,
+    );
 
-    let umbra = shadow
-        .as_slice()
-        .iter()
-        .filter(|&&l| l < 0.25)
-        .count();
+    let umbra = shadow.as_slice().iter().filter(|&&l| l < 0.25).count();
     let penumbra = shadow
         .as_slice()
         .iter()
         .filter(|&&l| (0.25..0.95).contains(&l))
         .count();
-    println!("\n{umbra} umbra pixels, {penumbra} penumbra pixels (soft edge from the variance bound).");
+    println!(
+        "\n{umbra} umbra pixels, {penumbra} penumbra pixels (soft edge from the variance bound)."
+    );
 }

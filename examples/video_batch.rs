@@ -68,7 +68,10 @@ fn main() {
         assert!(diff < 1e-6, "frame {k}: max diff {diff}");
     }
 
-    println!("{:<22} {:>10} {:>16} {:>16}", "strategy", "launches", "sim time", "per frame");
+    println!(
+        "{:<22} {:>10} {:>16} {:>16}",
+        "strategy", "launches", "sim time", "per frame"
+    );
     println!(
         "{:<22} {:>10} {:>16} {:>16.0}",
         "one frame at a time",

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local gate: formatting, lints, and every test in the workspace.
+# Run from anywhere; mirrors what CI would run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test (root package: tier-1)"
+cargo test -q
+
+echo "== cargo test (workspace)"
+cargo test -q --workspace
+
+echo "== all checks passed"

@@ -70,9 +70,9 @@ fn save(path: &str, img: &Matrix<f64>, maxval: u32) -> Result<(), String> {
 
 fn run() -> Result<(), String> {
     let all: Vec<String> = std::env::args().skip(1).collect();
-    let (cmd, args) = all
-        .split_first()
-        .ok_or_else(|| "usage: satcli <gen|sat|boxfilter|threshold|variance|stats> …".to_string())?;
+    let (cmd, args) = all.split_first().ok_or_else(|| {
+        "usage: satcli <gen|sat|boxfilter|threshold|variance|stats> …".to_string()
+    })?;
     match cmd.as_str() {
         "gen" => {
             let out = args.first().ok_or("gen: missing output path")?;
@@ -156,7 +156,13 @@ fn run() -> Result<(), String> {
             // Per-element rates over the padded device matrix.
             let w = cfg.width;
             let area = (img.rows().next_multiple_of(w) * img.cols().next_multiple_of(w)) as f64;
-            println!("{} on {}x{} ({}):", alg.name(), img.rows(), img.cols(), input);
+            println!(
+                "{} on {}x{} ({}):",
+                alg.name(),
+                img.rows(),
+                img.cols(),
+                input
+            );
             println!(
                 "  reads/element    {:.3}",
                 (s.coalesced_reads + s.stride_reads) as f64 / area
@@ -171,7 +177,11 @@ fn run() -> Result<(), String> {
             println!("  shared ops       {}", s.shared_reads + s.shared_writes);
             println!("  model cost       {:.0} time units", s.global_cost(cfg));
         }
-        other => return Err(format!("unknown command {other:?}; see --help in the module docs")),
+        other => {
+            return Err(format!(
+                "unknown command {other:?}; see --help in the module docs"
+            ))
+        }
     }
     Ok(())
 }

@@ -21,10 +21,21 @@ fn gen_filter_threshold_pipeline() {
     let bin = tmp("bin.pgm");
 
     let out = satcli()
-        .args(["gen", scene.to_str().unwrap(), "--size", "96x128", "--kind", "scene"])
+        .args([
+            "gen",
+            scene.to_str().unwrap(),
+            "--size",
+            "96x128",
+            "--kind",
+            "scene",
+        ])
         .output()
         .expect("run satcli gen");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = satcli()
         .args([
@@ -38,13 +49,21 @@ fn gen_filter_threshold_pipeline() {
         ])
         .output()
         .expect("run satcli boxfilter");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = satcli()
         .args(["threshold", scene.to_str().unwrap(), bin.to_str().unwrap()])
         .output()
         .expect("run satcli threshold");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // The outputs are valid PGMs of the input shape.
     for p in [&scene, &smooth, &bin] {
@@ -60,7 +79,14 @@ fn gen_filter_threshold_pipeline() {
 fn stats_reports_per_element_traffic() {
     let scene = tmp("stats_scene.pgm");
     satcli()
-        .args(["gen", scene.to_str().unwrap(), "--size", "64x64", "--kind", "noise"])
+        .args([
+            "gen",
+            scene.to_str().unwrap(),
+            "--size",
+            "64x64",
+            "--kind",
+            "noise",
+        ])
         .output()
         .expect("gen");
     let out = satcli()
@@ -107,14 +133,31 @@ fn sat_output_is_monotone_grayscale() {
     let scene = tmp("mono_scene.pgm");
     let sat = tmp("mono_sat.pgm");
     satcli()
-        .args(["gen", scene.to_str().unwrap(), "--size", "48x48", "--kind", "gradient"])
+        .args([
+            "gen",
+            scene.to_str().unwrap(),
+            "--size",
+            "48x48",
+            "--kind",
+            "gradient",
+        ])
         .output()
         .expect("gen");
     let out = satcli()
-        .args(["sat", scene.to_str().unwrap(), sat.to_str().unwrap(), "--alg", "hybrid"])
+        .args([
+            "sat",
+            scene.to_str().unwrap(),
+            sat.to_str().unwrap(),
+            "--alg",
+            "hybrid",
+        ])
         .output()
         .expect("sat");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let img = sat_image::pgm::read_pgm(&sat).unwrap();
     assert_eq!(img.maxval, 65535);
     // SAT of a non-negative image is monotone along rows and columns.

@@ -12,12 +12,9 @@ fn device(w: usize) -> Device {
 }
 
 fn arb_matrix(max_side: usize) -> impl Strategy<Value = Matrix<i64>> {
-    (1..=max_side, 1..=max_side)
-        .prop_flat_map(|(r, c)| {
-            proptest::collection::vec(-50i64..=50, r * c).prop_map(move |v| {
-                Matrix::from_vec(r, c, v)
-            })
-        })
+    (1..=max_side, 1..=max_side).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-50i64..=50, r * c).prop_map(move |v| Matrix::from_vec(r, c, v))
+    })
 }
 
 proptest! {

@@ -15,7 +15,9 @@ use sat_core::{compute_sat, compute_sat_hybrid, Matrix};
 
 /// Scaled machine: w = 8, per-window overhead 240 (= 8 + 232).
 fn mini_cfg() -> MachineConfig {
-    MachineConfig::with_width(8).latency(8).barrier_overhead(232)
+    MachineConfig::with_width(8)
+        .latency(8)
+        .barrier_overhead(232)
 }
 
 fn measured_cost(dev: &Device, alg: SatAlgorithm, n: usize) -> f64 {
@@ -92,7 +94,10 @@ fn measured_best_r_decreases_with_n() {
         "measured best r must not increase with n: {best_rs:?}"
     );
     assert!(best_rs[2] > 0.0, "r stays positive: {best_rs:?}");
-    assert!(best_rs[2] < 1.0, "r becomes interior at large n: {best_rs:?}");
+    assert!(
+        best_rs[2] < 1.0,
+        "r becomes interior at large n: {best_rs:?}"
+    );
 }
 
 #[test]

@@ -41,10 +41,30 @@ fn table1_counts_match_formulas() {
         let row = gc.table_one_row(alg, N);
         // Leading-term formulas: allow 12% slack for the O(n²/w²) terms the
         // paper (and the table) drop.
-        close(s.coalesced_reads as f64, row.coalesced_reads, 0.12, &format!("{alg:?} coalesced reads"));
-        close(s.coalesced_writes as f64, row.coalesced_writes, 0.12, &format!("{alg:?} coalesced writes"));
-        close(s.stride_reads as f64, row.stride_reads, 0.12, &format!("{alg:?} stride reads"));
-        close(s.stride_writes as f64, row.stride_writes, 0.12, &format!("{alg:?} stride writes"));
+        close(
+            s.coalesced_reads as f64,
+            row.coalesced_reads,
+            0.12,
+            &format!("{alg:?} coalesced reads"),
+        );
+        close(
+            s.coalesced_writes as f64,
+            row.coalesced_writes,
+            0.12,
+            &format!("{alg:?} coalesced writes"),
+        );
+        close(
+            s.stride_reads as f64,
+            row.stride_reads,
+            0.12,
+            &format!("{alg:?} stride reads"),
+        );
+        close(
+            s.stride_writes as f64,
+            row.stride_writes,
+            0.12,
+            &format!("{alg:?} stride writes"),
+        );
     }
 }
 
@@ -55,7 +75,7 @@ fn table1_barrier_steps() {
         (SatAlgorithm::TwoR2W, 1),
         (SatAlgorithm::FourR4W, 3),
         (SatAlgorithm::FourR1W, (2 * N - 2) as u64),
-        (SatAlgorithm::TwoR1W, 2),           // k = 0 at this size
+        (SatAlgorithm::TwoR1W, 2), // k = 0 at this size
         (SatAlgorithm::OneR1W, (2 * m - 2) as u64),
     ];
     for &(alg, want) in expect {

@@ -1,0 +1,141 @@
+//! Offline shim for the `parking_lot` crate: a non-poisoning [`Mutex`] and
+//! [`Condvar`] implemented over `std::sync`.
+//!
+//! Semantics match the subset of the real crate this workspace uses:
+//! `Mutex::lock` returns the guard directly (a poisoned std mutex is
+//! recovered, matching parking_lot's no-poisoning behaviour), and
+//! `Condvar::wait` takes the guard by `&mut` reference.
+
+#![warn(missing_docs)]
+
+use std::sync::{self, LockResult};
+
+/// RAII guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
+fn recover<G>(r: LockResult<G>) -> G {
+    match r {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A mutual-exclusion lock that does not poison on panic.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        recover(self.inner.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        recover(self.inner.lock())
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        recover(self.inner.get_mut())
+    }
+}
+
+/// A condition variable paired with [`Mutex`].
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// Create a condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    /// Block until notified, releasing the guard's lock while waiting.
+    ///
+    /// The guard is reacquired before this returns, like the real
+    /// parking_lot API (which takes the guard by `&mut`).
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // SAFETY: `std`'s wait consumes the guard and returns a new one for
+        // the same mutex. We move the guard out by pointer, wait, and write
+        // the reacquired guard back. No code path between the read and the
+        // write can panic or early-return: `Condvar::wait` returns a
+        // `LockResult` (it does not unwind) and `recover` only matches.
+        unsafe {
+            let moved = std::ptr::read(guard);
+            let reacquired = recover(self.inner.wait(moved));
+            std::ptr::write(guard, reacquired);
+        }
+    }
+
+    /// Wake one waiting thread.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake all waiting threads.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn lock_recovers_from_panicked_holder() {
+        let m = Arc::new(Mutex::new(0));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        // parking_lot semantics: no poisoning.
+        assert_eq!(*m.lock(), 0);
+    }
+
+    #[test]
+    fn condvar_handshake() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut ready = m.lock();
+            while !*ready {
+                cv.wait(&mut ready);
+            }
+        });
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        t.join().unwrap();
+    }
+}

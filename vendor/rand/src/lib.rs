@@ -1,0 +1,193 @@
+//! Offline shim for the `rand` crate (0.8 API subset).
+//!
+//! Provides [`SeedableRng::seed_from_u64`], [`Rng::gen_range`] over integer
+//! ranges, and the [`rngs::StdRng`] / [`rngs::SmallRng`] generator types.
+//! The generator is xoshiro256**-style seeded through splitmix64 —
+//! deterministic per seed, but the value stream differs from the real
+//! crate's ChaCha-based `StdRng`.
+
+#![warn(missing_docs)]
+
+/// Generator types.
+pub mod rngs {
+    /// The workspace's standard deterministic generator (xoshiro256**).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    /// Small fast generator; identical to [`StdRng`] in this shim.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+/// A source of random `u64`s.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a deterministic function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn seed_state(seed: u64) -> [u64; 4] {
+    let mut sm = seed;
+    [
+        splitmix64(&mut sm),
+        splitmix64(&mut sm),
+        splitmix64(&mut sm),
+        splitmix64(&mut sm),
+    ]
+}
+
+fn xoshiro_next(s: &mut [u64; 4]) -> u64 {
+    let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+    let t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = s[3].rotate_left(45);
+    result
+}
+
+macro_rules! impl_rng_core {
+    ($ty:path) => {
+        impl RngCore for $ty {
+            fn next_u64(&mut self) -> u64 {
+                xoshiro_next(&mut self.s)
+            }
+        }
+        impl SeedableRng for $ty {
+            fn seed_from_u64(seed: u64) -> Self {
+                Self {
+                    s: seed_state(seed),
+                }
+            }
+        }
+        impl Rng for $ty {}
+    };
+}
+
+impl_rng_core!(rngs::StdRng);
+impl_rng_core!(rngs::SmallRng);
+
+/// A range that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draw one uniformly distributed value from the range.
+    fn sample(self, rng: &mut dyn FnMut() -> u64) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, rng: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                let offset = rng() % span;
+                ((self.start as $wide).wrapping_add(offset as $wide)) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn FnMut() -> u64) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as $wide).wrapping_sub(start as $wide) as u64;
+                if span == u64::MAX {
+                    return rng() as $t;
+                }
+                let offset = rng() % (span + 1);
+                ((start as $wide).wrapping_add(offset as $wide)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample(self, rng: &mut dyn FnMut() -> u64) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (rng() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Convenience sampling methods on top of [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (integer `Range`/`RangeInclusive`, or
+    /// a half-open `f64` range).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let mut draw = || self.next_u64();
+        range.sample(&mut draw)
+    }
+
+    /// A uniformly random boolean.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p));
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let va: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..1 << 40)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..1 << 40)).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.gen_range(0u64..1 << 40)).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = r.gen_range(0..256);
+            assert!((0..256).contains(&x));
+            let y: i64 = r.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&y));
+            let f = r.gen_range(0.0f64..1.0);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_both_endpoints() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[r.gen_range(0usize..=2)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,170 @@
+//! Offline shim for the `serde` crate.
+//!
+//! [`Serialize`] writes JSON directly (the only data format this workspace
+//! emits), and [`Deserialize`] is a compile-time marker — nothing in the
+//! workspace deserializes at runtime. The derive macros come from the
+//! sibling `serde_derive` shim and cover named-field structs and enums
+//! with unit variants.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can write itself as a JSON value.
+pub trait Serialize {
+    /// Append this value's JSON representation to `out`.
+    fn to_json(&self, out: &mut String);
+}
+
+/// Marker for types the derive macro accepts; no runtime deserialization
+/// exists in this shim.
+pub trait Deserialize<'de>: Sized {}
+
+/// Escape `s` into `out` as a JSON string literal (with quotes).
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_serialize_display {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_json(&self, out: &mut String) {
+                use std::fmt::Write;
+                write!(out, "{}", self).expect("writing to String cannot fail");
+            }
+        }
+    )*};
+}
+
+impl_serialize_display!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool);
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_json(&self, out: &mut String) {
+                use std::fmt::Write;
+                if self.is_finite() {
+                    write!(out, "{}", self).expect("writing to String cannot fail");
+                } else {
+                    // JSON has no NaN/Infinity; serde_json emits null.
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+
+impl_serialize_float!(f32, f64);
+
+impl Serialize for str {
+    fn to_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.to_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.to_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self, out: &mut String) {
+        self.as_slice().to_json(out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self, out: &mut String) {
+        self.as_slice().to_json(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self, out: &mut String) {
+        (**self).to_json(out);
+    }
+}
+
+impl<'de, T> Deserialize<'de> for Vec<T> where T: Deserialize<'de> {}
+impl<'de, T> Deserialize<'de> for Option<T> where T: Deserialize<'de> {}
+impl<'de> Deserialize<'de> for String {}
+
+macro_rules! impl_deserialize_marker {
+    ($($t:ty),* $(,)?) => {$(
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_deserialize_marker!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool, f32, f64,
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_strings() {
+        let mut out = String::new();
+        42u64.to_json(&mut out);
+        out.push(' ');
+        1.5f64.to_json(&mut out);
+        out.push(' ');
+        "a\"b\\c\n".to_json(&mut out);
+        assert_eq!(out, "42 1.5 \"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn containers() {
+        let mut out = String::new();
+        vec![1u32, 2, 3].to_json(&mut out);
+        assert_eq!(out, "[1,2,3]");
+        out.clear();
+        Option::<u32>::None.to_json(&mut out);
+        assert_eq!(out, "null");
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        let mut out = String::new();
+        f64::NAN.to_json(&mut out);
+        assert_eq!(out, "null");
+    }
+}

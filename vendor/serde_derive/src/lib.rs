@@ -1,0 +1,234 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` by
+//! hand-walking the input token stream (no `syn`/`quote` available
+//! offline). Supported input shapes — the only ones this workspace
+//! derives on:
+//!
+//! * structs with named fields (`struct S { a: u64, b: Vec<T> }`),
+//! * enums whose variants are all unit variants (`enum E { A, B }`),
+//!   serialized as the variant name string.
+//!
+//! Anything else (tuple structs, generics, data-carrying variants)
+//! produces a compile error naming the unsupported shape.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Struct name + field identifiers in declaration order.
+    Struct(String, Vec<String>),
+    /// Enum name + unit variant identifiers.
+    Enum(String, Vec<String>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+/// Skip a leading run of `#[...]` attributes and visibility qualifiers.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` followed by a bracketed attribute body.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)`, `pub(super)`, ...
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Parse the names of named struct fields from the body group.
+fn parse_named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs_and_vis(body, i);
+        let Some(TokenTree::Ident(name)) = body.get(i) else {
+            return Err(format!(
+                "expected field identifier, found {:?}",
+                body.get(i).map(|t| t.to_string())
+            ));
+        };
+        fields.push(name.to_string());
+        i += 1;
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{}`, found {:?}",
+                    name,
+                    other.map(|t| t.to_string())
+                ))
+            }
+        }
+        // Consume the type: everything until a `,` at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Parse unit variant names from an enum body group.
+fn parse_unit_variants(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs_and_vis(body, i);
+        let Some(TokenTree::Ident(name)) = body.get(i) else {
+            return Err(format!(
+                "expected variant identifier, found {:?}",
+                body.get(i).map(|t| t.to_string())
+            ));
+        };
+        variants.push(name.to_string());
+        i += 1;
+        match body.get(i) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "variant `{}` carries data; this shim only derives unit enums",
+                    name
+                ))
+            }
+            Some(other) => {
+                return Err(format!(
+                    "unexpected token {:?} after variant `{}` (discriminants unsupported)",
+                    other.to_string(),
+                    name
+                ))
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "expected `struct` or `enum`, found {:?}",
+                other.map(|t| t.to_string())
+            ))
+        }
+    };
+    if kind != "struct" && kind != "enum" {
+        return Err(format!("expected `struct` or `enum`, found `{}`", kind));
+    }
+    i += 1;
+
+    let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+        return Err("expected type name".to_string());
+    };
+    let name = name.to_string();
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "`{}` is generic; this shim only derives non-generic types",
+            name
+        ));
+    }
+
+    let Some(TokenTree::Group(body)) = tokens.get(i) else {
+        return Err(format!(
+            "`{}` has no braced body; tuple/unit structs are unsupported",
+            name
+        ));
+    };
+    if body.delimiter() != Delimiter::Brace {
+        return Err(format!(
+            "`{}` has no braced body; tuple/unit structs are unsupported",
+            name
+        ));
+    }
+    let body: Vec<TokenTree> = body.stream().into_iter().collect();
+
+    if kind == "struct" {
+        Ok(Shape::Struct(name, parse_named_fields(&body)?))
+    } else {
+        Ok(Shape::Enum(name, parse_unit_variants(&body)?))
+    }
+}
+
+/// Derive `serde::Serialize` (JSON emission) for the supported shapes.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&format!("derive(Serialize): {}", e)),
+    };
+    let src = match shape {
+        Shape::Struct(name, fields) => {
+            let mut body = String::from("out.push('{');\n");
+            for (idx, f) in fields.iter().enumerate() {
+                if idx > 0 {
+                    body.push_str("out.push(',');\n");
+                }
+                body.push_str(&format!(
+                    "out.push_str(\"\\\"{f}\\\":\");\nserde::Serialize::to_json(&self.{f}, out);\n"
+                ));
+            }
+            body.push_str("out.push('}');");
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_json(&self, out: &mut String) {{\n{body}\n}}\n\
+                 }}"
+            )
+        }
+        Shape::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => out.push_str(\"\\\"{v}\\\"\"),\n"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_json(&self, out: &mut String) {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse().unwrap()
+}
+
+/// Derive the marker `serde::Deserialize` impl (no runtime behaviour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&format!("derive(Deserialize): {}", e)),
+    };
+    let name = match shape {
+        Shape::Struct(name, _) | Shape::Enum(name, _) => name,
+    };
+    format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}

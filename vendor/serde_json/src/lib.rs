@@ -1,0 +1,98 @@
+//! Offline shim for `serde_json`: serialization entry points over the
+//! serde shim's JSON-emitting [`serde::Serialize`] trait.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Serialization error. The shim's serializer writes into a `String` and
+/// cannot fail, so this is never constructed; it exists so call sites can
+/// keep the real crate's `Result` signature.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json shim error (unreachable)")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: ?Sized + serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_json(&mut out);
+    Ok(out)
+}
+
+/// Serialize `value` to an indented JSON string.
+pub fn to_string_pretty<T: ?Sized + serde::Serialize>(value: &T) -> Result<String, Error> {
+    let compact = to_string(value)?;
+    Ok(indent(&compact))
+}
+
+/// Re-indent compact JSON produced by this shim (which never emits
+/// structural characters inside strings unescaped).
+fn indent(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in compact.chars() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                depth += 1;
+                out.push(c);
+                out.push('\n');
+                out.extend(std::iter::repeat_n(' ', depth * 2));
+            }
+            '}' | ']' => {
+                depth = depth.saturating_sub(1);
+                out.push('\n');
+                out.extend(std::iter::repeat_n(' ', depth * 2));
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                out.push('\n');
+                out.extend(std::iter::repeat_n(' ', depth * 2));
+            }
+            ':' => {
+                out.push(c);
+                out.push(' ');
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn to_string_vec() {
+        assert_eq!(super::to_string(&vec![1u32, 2]).unwrap(), "[1,2]");
+    }
+
+    #[test]
+    fn pretty_indents() {
+        let pretty = super::to_string_pretty(&vec![1u32, 2]).unwrap();
+        assert_eq!(pretty, "[\n  1,\n  2\n]");
+    }
+}
