@@ -14,15 +14,13 @@
 use gpu_exec::{GlobalBuffer, TileLayout};
 use hmm_model::cost::{GlobalCost, SatAlgorithm};
 use hmm_model::MachineConfig;
-use sat_bench::{bench_device, flag_value, run_real, workload};
+use sat_bench::{bench_device, parsed_flag, run_real, workload};
 use sat_core::par::{sat_1r1w, sat_1r1w_mirror};
 use sat_core::transpose::transpose_with_layout;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let n: usize = flag_value(&args, "--n")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1024);
+    let n: usize = parsed_flag(&args, "--n", 1024);
 
     // 1. Diagonal arrangement ablation.
     println!("ABLATION 1 — diagonal vs row-major shared tiles (transpose of {n} x {n}, w = 32)");

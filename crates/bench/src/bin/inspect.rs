@@ -14,20 +14,14 @@
 use gpu_exec::{Device, DeviceOptions, GlobalBuffer};
 use hmm_model::MachineConfig;
 use hmm_sim::AsyncHmm;
-use sat_bench::{flag_value, workload};
+use sat_bench::{flag_value, parsed_flag, workload};
 use sat_core::par;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let n: usize = flag_value(&args, "--n")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(256);
-    let w: usize = flag_value(&args, "--w")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(16);
-    let latency: u64 = flag_value(&args, "--latency")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(64);
+    let n: usize = parsed_flag(&args, "--n", 256);
+    let w: usize = parsed_flag(&args, "--w", 16);
+    let latency: u64 = parsed_flag(&args, "--latency", 64);
     let alg = flag_value(&args, "--alg").unwrap_or_else(|| "1r1w".to_string());
 
     let cfg = MachineConfig::with_width(w).latency(latency).num_dmms(16);

@@ -1,0 +1,213 @@
+//! `loadgen` — drive the `sat-service` batch-forming serving layer with
+//! many client threads and record its serving profile.
+//!
+//! ```sh
+//! cargo run --release -p sat-bench --bin loadgen -- \
+//!     [--threads 16] [--requests 64] [--n 64] [--width 32] [--rate 0] \
+//!     [--max-batch 16] [--linger-us 500] [--mixed] [--json BENCH_service.json]
+//! ```
+//!
+//! Each of `--threads` client threads submits `--requests` SAT requests of
+//! an `--n × --n` matrix (with `--mixed`, shapes alternate so the batch
+//! former must segregate groups), optionally throttled to `--rate`
+//! requests/second per thread. Every response is verified **bit-equal**
+//! against `sat_core::compute_sat` on an independent device. The summary —
+//! throughput, p50/p95/p99 latency, mean batch width, and kernel launches
+//! issued vs. what per-request execution would have cost — is printed and
+//! always written as one JSON object (default `BENCH_service.json`).
+//!
+//! Exits nonzero on any result mismatch or rejected request, so it doubles
+//! as the serving-layer smoke gate in `scripts/check.sh`.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use gpu_exec::{Device, DeviceOptions};
+use hmm_model::cost::SatAlgorithm;
+use hmm_model::MachineConfig;
+use sat_bench::{flag_value, parsed_flag};
+use sat_core::{compute_sat, Matrix};
+use sat_service::{LatencySummary, Service, ServiceConfig, ServiceStats};
+use serde::{Deserialize, Serialize};
+
+/// The record `BENCH_service.json` holds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ServingRecord {
+    threads: usize,
+    requests_per_thread: usize,
+    n: usize,
+    width: usize,
+    mixed_shapes: bool,
+    rate_per_thread: f64,
+    max_batch: usize,
+    linger_us: u64,
+    wall_seconds: f64,
+    throughput_rps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    mean_latency_ms: f64,
+    queue_p99_ms: f64,
+    mean_batch_width: f64,
+    batch_width_hist: Vec<u64>,
+    launches_issued: u64,
+    launches_unbatched_equiv: u64,
+    launch_reduction: f64,
+    barrier_windows_saved: u64,
+    completed: u64,
+    rejected: u64,
+    mismatches: u64,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads: usize = parsed_flag(&args, "--threads", 16);
+    let requests: usize = parsed_flag(&args, "--requests", 64);
+    let n: usize = parsed_flag(&args, "--n", 64);
+    let width: usize = parsed_flag(&args, "--width", 32);
+    let rate: f64 = parsed_flag(&args, "--rate", 0.0);
+    let max_batch: usize = parsed_flag(&args, "--max-batch", 16);
+    let linger_us: u64 = parsed_flag(&args, "--linger-us", 500);
+    let mixed = args.iter().any(|a| a == "--mixed");
+    let json_path = flag_value(&args, "--json").unwrap_or_else(|| "BENCH_service.json".into());
+
+    let machine = MachineConfig::with_width(width);
+    // Request pool: a few distinct images with their expected SATs,
+    // precomputed on an independent verification device.
+    let verify_dev = Device::new(DeviceOptions::new(machine).workers(0).record_stats(false));
+    let shapes: Vec<(usize, usize)> = if mixed {
+        vec![(n, n), (n / 2, n), (n, n / 2), (n / 2, n / 2)]
+    } else {
+        vec![(n, n)]
+    };
+    let pool: Vec<(Matrix<f64>, Matrix<f64>)> = (0..8usize)
+        .map(|k| {
+            let (rows, cols) = shapes[k % shapes.len()];
+            let img = Matrix::from_fn(rows.max(1), cols.max(1), |i, j| {
+                ((i.wrapping_mul(2654435761) ^ j.wrapping_mul(40503) ^ k) % 256) as f64
+            });
+            let want = compute_sat(&verify_dev, SatAlgorithm::OneR1W, &img);
+            (img, want)
+        })
+        .collect();
+
+    let service = Service::start(ServiceConfig {
+        machine,
+        device_workers: None,
+        queue_capacity: (threads * 4).max(64),
+        max_batch,
+        max_linger: Duration::from_micros(linger_us),
+        default_deadline: Duration::from_secs(60),
+    });
+
+    println!(
+        "loadgen: {threads} threads x {requests} requests, {n}x{n} (mixed: {mixed}), \
+         w = {width}, max batch {max_batch}, linger {linger_us} us"
+    );
+    let mismatches = AtomicU64::new(0);
+    let rejected = AtomicU64::new(0);
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let client = service.client();
+            let pool = &pool;
+            let mismatches = &mismatches;
+            let rejected = &rejected;
+            s.spawn(move || {
+                let interval = if rate > 0.0 {
+                    Some(Duration::from_secs_f64(1.0 / rate))
+                } else {
+                    None
+                };
+                for k in 0..requests {
+                    let tick = Instant::now();
+                    let (img, want) = &pool[(t * requests + k) % pool.len()];
+                    match client.submit(img.clone(), SatAlgorithm::OneR1W, None) {
+                        Ok(table) => {
+                            if table.sat().as_slice() != want.as_slice() {
+                                mismatches.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(_) => {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    if let Some(iv) = interval {
+                        let used = tick.elapsed();
+                        if used < iv {
+                            std::thread::sleep(iv - used);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let wall = started.elapsed().as_secs_f64();
+    let stats: ServiceStats = service.shutdown();
+
+    let record = ServingRecord {
+        threads,
+        requests_per_thread: requests,
+        n,
+        width,
+        mixed_shapes: mixed,
+        rate_per_thread: rate,
+        max_batch,
+        linger_us,
+        wall_seconds: wall,
+        throughput_rps: stats.completed as f64 / wall,
+        p50_ms: stats.total_latency.p50_ms,
+        p95_ms: stats.total_latency.p95_ms,
+        p99_ms: stats.total_latency.p99_ms,
+        mean_latency_ms: stats.total_latency.mean_ms,
+        queue_p99_ms: stats.queue_latency.p99_ms,
+        mean_batch_width: stats.mean_batch_width(),
+        batch_width_hist: stats.batch_width_hist.clone(),
+        launches_issued: stats.launches_issued,
+        launches_unbatched_equiv: stats.launches_unbatched_equiv,
+        launch_reduction: stats.launch_reduction(),
+        barrier_windows_saved: stats.barrier_windows_saved(),
+        completed: stats.completed,
+        rejected: rejected.load(Ordering::Relaxed),
+        mismatches: mismatches.load(Ordering::Relaxed),
+    };
+
+    println!();
+    print_summary(&record, &stats.total_latency);
+    let json = serde_json::to_string_pretty(&record).expect("serializable record");
+    if let Err(e) = std::fs::write(&json_path, json + "\n") {
+        eprintln!("loadgen: cannot write {json_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {json_path}");
+
+    if record.mismatches > 0 || record.rejected > 0 {
+        eprintln!(
+            "loadgen: FAILED — {} mismatches, {} rejections",
+            record.mismatches, record.rejected
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_summary(r: &ServingRecord, total: &LatencySummary) {
+    println!(
+        "served {} requests in {:.3} s  ->  {:.0} req/s",
+        r.completed, r.wall_seconds, r.throughput_rps
+    );
+    println!(
+        "latency (ms): mean {:.3}  p50 {:.3}  p95 {:.3}  p99 {:.3}  max {:.3}",
+        total.mean_ms, total.p50_ms, total.p95_ms, total.p99_ms, total.max_ms
+    );
+    println!(
+        "batches: mean width {:.2}, histogram {:?}",
+        r.mean_batch_width, r.batch_width_hist
+    );
+    println!(
+        "launches: {} issued vs {} per-request equivalent  ->  {:.1}x fewer \
+         ({} barrier windows saved)",
+        r.launches_issued, r.launches_unbatched_equiv, r.launch_reduction, r.barrier_windows_saved
+    );
+}

@@ -16,7 +16,7 @@
 use gpu_exec::{Device, DeviceOptions, GlobalBuffer};
 use hmm_model::cost::SatAlgorithm;
 use hmm_model::MachineConfig;
-use sat_bench::flag_value;
+use sat_bench::parsed_flag;
 use sat_core::{compute_sat, par, seq, Matrix};
 
 /// Max |f32 − f64| over all entries, normalised by the largest |f64| SAT
@@ -37,9 +37,7 @@ fn max_rel_error(sat32: &Matrix<f32>, sat64: &Matrix<f64>) -> f64 {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let n: usize = flag_value(&args, "--n")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1024);
+    let n: usize = parsed_flag(&args, "--n", 1024);
     let dev = Device::new(DeviceOptions::new(MachineConfig::with_width(32)).record_stats(false));
 
     // An adversarial-ish workload: non-representable fractions with sign

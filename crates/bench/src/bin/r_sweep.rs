@@ -10,7 +10,7 @@
 use hmm_model::cost::{GlobalCost, SatAlgorithm};
 use hmm_model::MachineConfig;
 use sat_bench::{
-    bench_device, flag_value, maybe_write_json, run_real, size_label, table2_sizes, units_to_ms,
+    bench_device, maybe_write_json, parsed_flag, run_real, size_label, table2_sizes, units_to_ms,
 };
 use serde::Serialize;
 
@@ -24,9 +24,7 @@ struct SweepRecord {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let measure_n: usize = flag_value(&args, "--measure-n")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1024);
+    let measure_n: usize = parsed_flag(&args, "--measure-n", 1024);
     let cfg = MachineConfig::gtx780ti();
     let gc = GlobalCost::new(cfg);
     let mut records = Vec::new();

@@ -16,7 +16,9 @@ use gpu_exec::{Device, DeviceOptions};
 use hmm_lint::{analyze_run, KernelContract, RunAnalysis};
 use hmm_model::cost::{GlobalCost, SatAlgorithm};
 use hmm_model::MachineConfig;
-use sat_bench::{flag_value, maybe_write_json, run_real};
+use sat_bench::{maybe_write_json, parsed_flag, run_real, workload};
+use sat_core::par::sat_1r1w_batch;
+use sat_core::Matrix;
 use serde::{Deserialize, Serialize};
 
 /// One analyzed (config, algorithm, size) cell, for `--json`.
@@ -49,14 +51,8 @@ fn machine_grid() -> Vec<(String, MachineConfig)> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
-    let n: usize = match flag_value(&args, "--n").map(|v| v.parse::<usize>()) {
-        None => 256,
-        Some(Ok(v)) => v,
-        Some(Err(_)) => {
-            eprintln!("satlint: --n takes an integer (matrix side)");
-            return ExitCode::FAILURE;
-        }
-    };
+    let n: usize = parsed_flag(&args, "--n", 256);
+    let batch: usize = parsed_flag(&args, "--batch", 0);
     let verbose = args.iter().any(|a| a == "--verbose");
     // The raw block kernels (unlike `compute_sat`, which pads) require the
     // matrix side to be a multiple of the machine width.
@@ -115,6 +111,57 @@ fn main() -> ExitCode {
             });
         }
         println!();
+    }
+    // `--batch B`: additionally lint the fused batched 1R1W launch sequence
+    // the serving layer issues (`sat-service` → `sat_1r1w_batch`), holding
+    // it to the single-image 1R1W structural rules and stride budget — the
+    // batch fuses stages across images, so it must stay exactly as
+    // coalesced, conflict-free and race-free as one image's wavefront.
+    if batch > 0 {
+        for (label, cfg) in machine_grid() {
+            println!("== machine {label}, batched 1R1W x{batch} ==");
+            let dev = Device::new(DeviceOptions::new(cfg).workers(0).record_trace(true));
+            let images: Vec<Matrix<f64>> = (0..batch)
+                .map(|k| workload(n).map(|v| v + k as f64))
+                .collect();
+            let ins: Vec<_> = images
+                .iter()
+                .map(|m| gpu_exec::GlobalBuffer::from_vec(m.as_slice().to_vec()))
+                .collect();
+            let outs: Vec<_> = (0..batch)
+                .map(|_| gpu_exec::GlobalBuffer::filled(0.0f64, n * n))
+                .collect();
+            dev.reset_stats();
+            sat_1r1w_batch(
+                &dev,
+                &ins.iter().collect::<Vec<_>>(),
+                &outs.iter().collect::<Vec<_>>(),
+                n,
+                n,
+            );
+            let counters = dev.stats();
+            let trace = dev.take_trace();
+            // Structural rules plus 1R1W's stride budget; the Table I
+            // C/S/B row is per-image, so counter divergence is skipped.
+            let mut contract = KernelContract::for_algorithm(SatAlgorithm::OneR1W, n, cfg);
+            contract.name = format!("1R1W-batch{batch}");
+            contract.expected = None;
+            let analysis = analyze_run(&trace, &counters, &cfg, &contract);
+            if !analysis.report.is_clean() {
+                dirty += 1;
+            }
+            print!("{}", analysis.report.render());
+            records.push(SatlintRecord {
+                config: label.clone(),
+                width: cfg.width,
+                latency: cfg.latency,
+                n,
+                algorithm: format!("1R1W-batch{batch}"),
+                clean: analysis.report.is_clean(),
+                analysis,
+            });
+            println!();
+        }
     }
     maybe_write_json(&args, &records);
     if dirty == 0 {

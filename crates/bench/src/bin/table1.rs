@@ -9,13 +9,11 @@
 
 use hmm_model::cost::{GlobalCost, SatAlgorithm};
 use hmm_model::MachineConfig;
-use sat_bench::{bench_device, flag_value, maybe_write_json, run_real, units_to_ms, AlgoRecord};
+use sat_bench::{bench_device, maybe_write_json, parsed_flag, run_real, units_to_ms, AlgoRecord};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let n: usize = flag_value(&args, "--n")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1024);
+    let n: usize = parsed_flag(&args, "--n", 1024);
     let cfg = MachineConfig::gtx780ti();
     let gc = GlobalCost::new(cfg);
     let dev = bench_device(cfg);

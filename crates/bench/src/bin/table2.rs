@@ -19,18 +19,14 @@
 use hmm_model::cost::{GlobalCost, SatAlgorithm};
 use hmm_model::MachineConfig;
 use sat_bench::{
-    bench_device, cpu_baseline_seconds, flag_value, maybe_write_json, record_for, size_label,
+    bench_device, cpu_baseline_seconds, maybe_write_json, parsed_flag, record_for, size_label,
     table2_sizes, CpuBaseline,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let measured_max: usize = flag_value(&args, "--measured-max")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2048);
-    let cpu_max: usize = flag_value(&args, "--cpu-max")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4096);
+    let measured_max: usize = parsed_flag(&args, "--measured-max", 2048);
+    let cpu_max: usize = parsed_flag(&args, "--cpu-max", 4096);
     let cfg = MachineConfig::gtx780ti();
     let gc = GlobalCost::new(cfg);
     let dev = bench_device(cfg);

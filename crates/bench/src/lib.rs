@@ -205,6 +205,33 @@ pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+/// Parse `--flag value` into `T`, falling back to `default` when the flag
+/// is absent.
+///
+/// Unlike the old `flag_value(..).and_then(|s| s.parse().ok()).unwrap_or(d)`
+/// pattern, a present-but-unparsable value (`--measured-max foo`) or a flag
+/// missing its value is an **error**: the offending value is printed and
+/// the process exits nonzero. A benchmark that silently substitutes its
+/// default produces plausible-looking but wrong records.
+pub fn parsed_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return default;
+    };
+    match args.get(i + 1) {
+        None => {
+            eprintln!("error: {flag} requires a value");
+            std::process::exit(2);
+        }
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!(
+                "error: {flag} got unparsable value {s:?} (expected {})",
+                std::any::type_name::<T>()
+            );
+            std::process::exit(2);
+        }),
+    }
+}
+
 /// The paper's Table II sizes: 1K…8K in 1K steps, then 10K…18K in 2K steps.
 pub fn table2_sizes() -> Vec<usize> {
     let mut v: Vec<usize> = (1..=8).map(|k| k * 1024).collect();
@@ -279,5 +306,18 @@ mod tests {
         assert_eq!(flag_value(&args, "--json").as_deref(), Some("out.json"));
         assert_eq!(flag_value(&args, "--sizes").as_deref(), Some("1,2"));
         assert_eq!(flag_value(&args, "--nope"), None);
+    }
+
+    #[test]
+    fn parsed_flag_happy_paths() {
+        // The error paths exit the process; they are covered end-to-end by
+        // the `bad_flags_cli` integration test against the real binaries.
+        let args: Vec<String> = ["--n", "128", "--rate", "2.5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(parsed_flag(&args, "--n", 64usize), 128);
+        assert_eq!(parsed_flag(&args, "--rate", 0.0f64), 2.5);
+        assert_eq!(parsed_flag(&args, "--absent", 7u32), 7);
     }
 }

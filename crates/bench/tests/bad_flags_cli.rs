@@ -1,0 +1,67 @@
+//! Every bench binary must reject unparsable flag values loudly: exit
+//! nonzero and name the offending value on stderr, instead of silently
+//! substituting the default (the old `parse().ok().unwrap_or(..)` trap).
+
+use std::process::Command;
+
+fn check_bad_flag(bin: &str, exe: &str, args: &[&str], bad: &str) {
+    let out = Command::new(exe)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("{bin} runs: {e}"));
+    assert!(
+        !out.status.success(),
+        "{bin} {args:?} should exit nonzero on an unparsable flag value"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains(bad),
+        "{bin} stderr should name the offending value {bad:?}, got:\n{stderr}"
+    );
+}
+
+#[test]
+fn bench_bins_reject_unparsable_flag_values() {
+    for (bin, exe, flag) in [
+        ("table1", env!("CARGO_BIN_EXE_table1"), "--n"),
+        ("table2", env!("CARGO_BIN_EXE_table2"), "--measured-max"),
+        ("inspect", env!("CARGO_BIN_EXE_inspect"), "--n"),
+        ("ablation", env!("CARGO_BIN_EXE_ablation"), "--n"),
+        ("r_sweep", env!("CARGO_BIN_EXE_r_sweep"), "--measure-n"),
+        ("numerics", env!("CARGO_BIN_EXE_numerics"), "--n"),
+        ("satlint", env!("CARGO_BIN_EXE_satlint"), "--n"),
+        ("loadgen", env!("CARGO_BIN_EXE_loadgen"), "--threads"),
+    ] {
+        check_bad_flag(bin, exe, &[flag, "not-a-number"], "not-a-number");
+    }
+}
+
+#[test]
+fn bench_bins_reject_flags_missing_their_value() {
+    // A flag in final position has no value at all; that is an error too.
+    for (bin, exe, flag) in [
+        ("satlint", env!("CARGO_BIN_EXE_satlint"), "--n"),
+        ("loadgen", env!("CARGO_BIN_EXE_loadgen"), "--requests"),
+    ] {
+        let out = Command::new(exe)
+            .arg(flag)
+            .output()
+            .unwrap_or_else(|e| panic!("{bin} runs: {e}"));
+        assert!(!out.status.success(), "{bin} {flag} with no value");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("requires a value"),
+            "{bin} stderr:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn loadgen_negative_count_is_unparsable_for_usize() {
+    check_bad_flag(
+        "loadgen",
+        env!("CARGO_BIN_EXE_loadgen"),
+        &["--threads", "-3"],
+        "-3",
+    );
+}

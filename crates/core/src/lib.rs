@@ -94,6 +94,53 @@ pub fn compute_sat_hybrid<T: SatElement>(dev: &Device, a: &Matrix<T>, r: f64) ->
     compute_sat_inner(dev, SatAlgorithm::HybridR1W, a, r)
 }
 
+/// Compute the SATs of a batch of same-shaped matrices with the block
+/// wavefront fused across the batch ([`par::sat_1r1w_batch`]).
+///
+/// Every matrix must have the same dimensions. Like [`compute_sat`], inputs
+/// are zero-padded to square-block multiples of the device width and the
+/// results cropped back. The whole batch costs `2m − 1` kernel launches
+/// (`m = padded_rows / w` blocks per side) — the same as a *single*
+/// [`SatAlgorithm::OneR1W`] run — instead of `B × (2m − 1)`, which is what
+/// makes it the building block for batched serving (`sat-service`).
+/// Per-element arithmetic is identical to the unbatched 1R1W kernel, so
+/// each result is bit-equal to `compute_sat(dev, SatAlgorithm::OneR1W, a)`.
+///
+/// # Panics
+/// Panics if the matrices do not all share one shape.
+pub fn compute_sat_batch<T: SatElement>(dev: &Device, images: &[Matrix<T>]) -> Vec<Matrix<T>> {
+    let Some(first) = images.first() else {
+        return Vec::new();
+    };
+    let (rows, cols) = (first.rows(), first.cols());
+    assert!(
+        images.iter().all(|a| a.rows() == rows && a.cols() == cols),
+        "compute_sat_batch requires same-shaped matrices"
+    );
+    if rows == 0 || cols == 0 {
+        return images.to_vec();
+    }
+    let (prows, pcols) = padded_dims(dev, first);
+    let ins: Vec<GlobalBuffer<T>> = images
+        .iter()
+        .map(|a| GlobalBuffer::from_vec(a.zero_padded_to(prows, pcols).into_vec()))
+        .collect();
+    let outs: Vec<GlobalBuffer<T>> = images
+        .iter()
+        .map(|_| GlobalBuffer::filled(T::ZERO, prows * pcols))
+        .collect();
+    par::sat_1r1w_batch(
+        dev,
+        &ins.iter().collect::<Vec<_>>(),
+        &outs.iter().collect::<Vec<_>>(),
+        prows,
+        pcols,
+    );
+    outs.into_iter()
+        .map(|s| Matrix::from_vec(prows, pcols, s.into_vec()).cropped(rows, cols))
+        .collect()
+}
+
 fn padded_dims<T: SatElement>(dev: &Device, a: &Matrix<T>) -> (usize, usize) {
     let w = dev.width();
     (
@@ -185,6 +232,68 @@ mod tests {
         for r in [0.0, 0.4, 1.0] {
             assert_eq!(compute_sat_hybrid(&dev, &a, r), want, "r={r}");
         }
+    }
+
+    #[test]
+    fn batch_matches_single_image_results() {
+        let dev = dev(4);
+        for (rows, cols) in [(1usize, 1usize), (7, 5), (16, 16), (13, 22)] {
+            let imgs: Vec<Matrix<i64>> = (0..6)
+                .map(|k| Matrix::from_fn(rows, cols, |i, j| ((i * 5 + j * 11 + k) % 17) as i64 - 8))
+                .collect();
+            let sats = compute_sat_batch(&dev, &imgs);
+            assert_eq!(sats.len(), imgs.len());
+            for (a, s) in imgs.iter().zip(&sats) {
+                assert_eq!(s, &sat_reference(a), "{rows}x{cols}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_is_bit_equal_to_unbatched_floats() {
+        let dev = dev(4);
+        let imgs: Vec<Matrix<f64>> = (0..4)
+            .map(|k| Matrix::from_fn(9, 14, |i, j| ((i * 31 + j * 7 + k) % 97) as f64 * 0.1))
+            .collect();
+        let sats = compute_sat_batch(&dev, &imgs);
+        for (a, s) in imgs.iter().zip(&sats) {
+            let single = compute_sat(&dev, SatAlgorithm::OneR1W, a);
+            assert_eq!(s.as_slice(), single.as_slice(), "bit-equal to 1R1W");
+        }
+    }
+
+    #[test]
+    fn batch_launch_count_is_batch_independent() {
+        let dev = dev(4);
+        let n = 16usize;
+        let m = n / 4;
+        for batch in [1usize, 8] {
+            let imgs: Vec<Matrix<i64>> = (0..batch)
+                .map(|_| Matrix::from_fn(n, n, |i, j| (i + j) as i64))
+                .collect();
+            dev.reset_stats();
+            compute_sat_batch(&dev, &imgs);
+            assert_eq!(dev.launches() as usize, 2 * m - 1, "batch={batch}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_and_empty_matrices() {
+        let dev = dev(4);
+        assert!(compute_sat_batch::<i64>(&dev, &[]).is_empty());
+        let empty: Vec<Matrix<i64>> = vec![Matrix::zeros(0, 0); 2];
+        let sats = compute_sat_batch(&dev, &empty);
+        assert_eq!(sats.len(), 2);
+        assert_eq!(sats[0].rows(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same-shaped")]
+    fn batch_rejects_mixed_shapes() {
+        let dev = dev(4);
+        let a: Matrix<i64> = Matrix::zeros(4, 4);
+        let b: Matrix<i64> = Matrix::zeros(4, 5);
+        compute_sat_batch(&dev, &[a, b]);
     }
 
     #[test]

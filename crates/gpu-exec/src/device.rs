@@ -90,13 +90,21 @@ impl DeviceOptions {
 /// A virtual GPU executing kernels with asynchronous-HMM semantics.
 ///
 /// See the [crate docs](crate) for the execution model. A `Device` is
-/// `Sync`-free by design: one launch at a time, like a single CUDA stream.
+/// `Send + Sync` and may be shared across threads (e.g. behind an `Arc` by
+/// a serving layer), but it executes **one launch at a time**, like a
+/// single CUDA stream: concurrent `launch` calls serialize on an internal
+/// gate rather than interleave. Statistics (`stats`, `launches`,
+/// `reset_stats`) aggregate across whichever threads launched, so callers
+/// that attribute counters to specific work should either funnel launches
+/// through one executor thread or snapshot around their own launches.
 pub struct Device {
     cfg: MachineConfig,
     record_stats: bool,
     record_trace: bool,
     order: BlockOrder,
     pool: Pool,
+    /// Serializes launches: the worker pool supports one job at a time.
+    launch_gate: Mutex<()>,
     stats: Mutex<CostCounters>,
     trace: Mutex<RunTrace>,
     launches: AtomicU64,
@@ -118,6 +126,7 @@ impl Device {
             record_trace: opts.record_trace,
             order: opts.order,
             pool: Pool::new(workers),
+            launch_gate: Mutex::new(()),
             stats: Mutex::new(CostCounters::new()),
             trace: Mutex::new(RunTrace::default()),
             launches: AtomicU64::new(0),
@@ -148,10 +157,14 @@ impl Device {
     /// Launch `grid` blocks of `kernel`, returning when all blocks have
     /// completed — the kernel boundary is the barrier synchronisation step
     /// of the asynchronous HMM.
+    ///
+    /// Safe to call from several threads: launches serialize (single-stream
+    /// semantics); a second caller blocks until the first launch drains.
     pub fn launch<F>(&self, grid: usize, kernel: F)
     where
         F: Fn(&mut BlockCtx<'_>) + Sync,
     {
+        let _stream = self.launch_gate.lock();
         let launch_no = self.launches.fetch_add(1, Ordering::Relaxed);
         let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
         let perm: Option<Vec<u32>> = match self.order {
@@ -452,6 +465,43 @@ mod tests {
                 seen[x as usize] = true;
             }
             assert!(seen.into_iter().all(|b| b));
+        }
+    }
+
+    #[test]
+    fn device_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Device>();
+    }
+
+    #[test]
+    fn concurrent_launches_serialize_instead_of_panicking() {
+        // A serving layer shares one device across request threads; the
+        // launch gate must turn simultaneous launches into a queue, not a
+        // "one launch at a time" pool panic.
+        let dev = Device::new(DeviceOptions::new(MachineConfig::with_width(4)).workers(2));
+        let bufs: Vec<GlobalBuffer<u64>> = (0..4).map(|_| GlobalBuffer::filled(0u64, 64)).collect();
+        std::thread::scope(|s| {
+            for buf in &bufs {
+                s.spawn(|| {
+                    for _ in 0..10 {
+                        dev.launch(16, |ctx| {
+                            let g = ctx.view(buf);
+                            let b = ctx.block_id() * 4;
+                            let mut v = [0u64; 4];
+                            g.read_contig(b, &mut v, ctx.rec());
+                            for x in &mut v {
+                                *x += 1;
+                            }
+                            g.write_contig(b, &v, ctx.rec());
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(dev.launches(), 40);
+        for buf in bufs {
+            assert!(buf.into_vec().iter().all(|&x| x == 10));
         }
     }
 

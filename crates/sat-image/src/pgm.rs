@@ -41,6 +41,19 @@ fn format_err(msg: impl Into<String>) -> PgmError {
     PgmError::Format(msg.into())
 }
 
+/// Largest accepted value for either image dimension.
+///
+/// PGM headers are attacker-controlled: `P5 99999999999 99999999999 255`
+/// must not drive `rows * cols` into an overflow or a multi-gigabyte
+/// `Vec::with_capacity`. 2²⁰ per side (and [`MAX_PIXELS`] overall) is far
+/// beyond any image this workspace processes while keeping the worst-case
+/// allocation bounded.
+pub const MAX_DIM: usize = 1 << 20;
+
+/// Largest accepted total pixel count (`rows × cols`), bounding the decode
+/// allocation to 512 MB of `f64` samples.
+pub const MAX_PIXELS: usize = 1 << 26;
+
 /// A decoded grayscale image: sample matrix plus its declared maximum value.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Pgm {
@@ -91,10 +104,22 @@ pub fn decode(data: &[u8]) -> Result<Pgm, PgmError> {
     if rows == 0 || cols == 0 {
         return Err(format_err("zero-sized image"));
     }
+    if rows > MAX_DIM || cols > MAX_DIM {
+        return Err(format_err(format!(
+            "dimensions {cols}x{rows} exceed the {MAX_DIM} per-side cap"
+        )));
+    }
     if maxval == 0 || maxval > 65535 {
         return Err(format_err(format!("maxval {maxval} out of range")));
     }
-    let n = rows * cols;
+    let n = rows
+        .checked_mul(cols)
+        .filter(|&n| n <= MAX_PIXELS)
+        .ok_or_else(|| {
+            format_err(format!(
+                "image {cols}x{rows} exceeds the {MAX_PIXELS}-pixel cap"
+            ))
+        })?;
     let mut vals = Vec::with_capacity(n);
     if magic == "P2" {
         for _ in 0..n {
@@ -106,10 +131,20 @@ pub fn decode(data: &[u8]) -> Result<Pgm, PgmError> {
         }
     } else {
         // P5: exactly one whitespace byte after maxval, then raw samples.
-        pos += 1;
+        match data.get(pos) {
+            Some(b) if b.is_ascii_whitespace() => pos += 1,
+            Some(b) => {
+                return Err(format_err(format!(
+                    "expected single whitespace byte after maxval, found 0x{b:02x}"
+                )))
+            }
+            None => return Err(format_err("missing raster after maxval")),
+        }
         let bytes_per = if maxval < 256 { 1 } else { 2 };
-        let need = n * bytes_per;
-        if data.len() < pos + need {
+        // `n ≤ MAX_PIXELS`, so `n * bytes_per` cannot overflow; still use
+        // the checked form so the bound is load-bearing, not incidental.
+        let need = n.checked_mul(bytes_per).expect("bounded by MAX_PIXELS");
+        if data.len().saturating_sub(pos) < need {
             return Err(format_err(format!(
                 "raster truncated: need {need} bytes, have {}",
                 data.len().saturating_sub(pos)
@@ -122,6 +157,9 @@ pub fn decode(data: &[u8]) -> Result<Pgm, PgmError> {
                 // Big-endian per the spec.
                 u32::from(data[pos + 2 * k]) << 8 | u32::from(data[pos + 2 * k + 1])
             };
+            if v as usize > maxval {
+                return Err(format_err(format!("sample {v} exceeds maxval {maxval}")));
+            }
             vals.push(v as f64);
         }
     }
@@ -251,6 +289,44 @@ mod tests {
         assert!(decode(b"P5\n2 2\n255\nab").is_err()); // truncated raster
         assert!(decode(b"P2\n2 1\n10\n3 99\n").is_err()); // sample > maxval
         assert!(decode(b"").is_err());
+    }
+
+    #[test]
+    fn rejects_overflowing_and_oversized_dimensions() {
+        // Would overflow `rows * cols` on 64-bit too if unchecked up-front.
+        assert!(decode(b"P5 99999999999999999999 99999999999999999999 255 ").is_err());
+        // Each side over the cap.
+        assert!(decode(b"P5 1048577 1 255 ").is_err());
+        assert!(decode(b"P5 1 1048577 255 ").is_err());
+        // Sides individually legal but the product exceeds MAX_PIXELS; this
+        // must fail fast, before any raster-sized allocation.
+        assert!(decode(b"P5 1048576 1048576 255 ").is_err());
+        // `rows * cols` overflowing usize with sides under usize::MAX.
+        assert!(decode(b"P2 4294967295 4294967295 255 ").is_err());
+    }
+
+    #[test]
+    fn p5_rejects_samples_over_maxval_like_p2() {
+        // 8-bit: sample 200 > maxval 100.
+        assert!(decode(b"P5\n1 1\n100\n\xc8").is_err());
+        // 16-bit: sample 0x0400 = 1024 > maxval 500.
+        assert!(decode(b"P5\n1 1\n500\n\x04\x00").is_err());
+        // Boundary values stay accepted.
+        assert!(decode(b"P5\n1 1\n100\n\x64").is_ok());
+        assert!(decode(b"P5\n1 1\n500\n\x01\xf4").is_ok());
+    }
+
+    #[test]
+    fn p5_requires_whitespace_separator_after_maxval() {
+        // 'X' where the single whitespace byte must be.
+        assert!(decode(b"P5\n1 1\n255X\x07").is_err());
+        // Header ending right after maxval: no separator, no raster.
+        assert!(decode(b"P5\n1 1\n255").is_err());
+        // Any single ASCII whitespace byte is a legal separator.
+        for sep in [b' ', b'\n', b'\t', b'\r'] {
+            let bytes = [b"P5\n1 1\n255".as_slice(), &[sep, 0x07]].concat();
+            assert_eq!(decode(&bytes).unwrap().pixels.as_slice(), &[7.0]);
+        }
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! # sat-service — a concurrent SAT serving layer with batch fusing
+//!
+//! The paper's §VII observation: 1R1W's `2n/w` barrier-separated stages
+//! have corner launches too narrow to hide memory latency, and fusing the
+//! wavefront **across a batch of matrices** repairs exactly that — the
+//! launch count stays `2m − 1` while every launch is `B×` wider
+//! ([`sat_core::par::sat_1r1w_batch`]). This crate turns that kernel-level
+//! fact into a *serving* win: many independent client threads submit
+//! matrices, and a single **batch-former** thread coalesces queued
+//! same-shape requests into fused batched launches on one shared
+//! [`gpu_exec::Device`].
+//!
+//! ```
+//! use hmm_model::{cost::SatAlgorithm, MachineConfig};
+//! use sat_core::{Matrix, Rect};
+//! use sat_service::{Service, ServiceConfig};
+//!
+//! let service = Service::start(ServiceConfig {
+//!     machine: MachineConfig::with_width(4),
+//!     ..ServiceConfig::default()
+//! });
+//! let client = service.client();
+//! let image = Matrix::from_fn(16, 16, |i, j| (i + j) as f64);
+//! let table = client
+//!     .submit(image, SatAlgorithm::OneR1W, None)
+//!     .expect("service accepted the request");
+//! assert_eq!(table.sum(Rect::new(0, 0, 0, 0)), 0.0);
+//! let stats = service.shutdown();
+//! assert_eq!(stats.completed, 1);
+//! ```
+//!
+//! ## Architecture
+//!
+//! * [`Client::submit`] validates the request, stamps its deadline, and
+//!   pushes it onto a **bounded submission queue** — when the queue is
+//!   full, submitters block until space frees or their deadline expires
+//!   ([`ServiceError::QueueFull`]), which is the backpressure edge.
+//! * The batch-former thread owns the device. It groups queued requests by
+//!   `(rows, cols, algorithm)` and dispatches a group when it reaches
+//!   [`ServiceConfig::max_batch`] width **or** its oldest request has
+//!   lingered [`ServiceConfig::max_linger`] — the adaptive window that
+//!   trades a bounded sliver of latency for launch-count amortisation.
+//! * Requests whose **deadline** passes while queued are rejected
+//!   ([`ServiceError::DeadlineExceeded`]) rather than wedging the queue.
+//! * [`Service::shutdown`] stops admissions, **drains** every queued
+//!   request through the device, then joins the batch-former.
+//! * Everything is instrumented ([`ServiceStats`]): per-request queue /
+//!   execute / total latency, a batch-width histogram, and the launches and
+//!   barrier windows actually issued vs. what per-request execution would
+//!   have cost.
+//!
+//! Only [`SatAlgorithm::OneR1W`] requests batch (that is the fused kernel
+//! the paper's analysis yields); other algorithms are served per-request on
+//! the same device and simply see no amortisation.
+
+#![warn(missing_docs)]
+
+mod metrics;
+mod service;
+
+pub use metrics::{LatencySummary, ServiceStats};
+pub use service::{Client, Service};
+
+use std::fmt;
+use std::time::Duration;
+
+use hmm_model::MachineConfig;
+
+/// Construction parameters for a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Machine model of the owned device.
+    pub machine: MachineConfig,
+    /// Background device workers; `None` uses the device default.
+    pub device_workers: Option<usize>,
+    /// Bounded submission-queue capacity; submitters block (up to their
+    /// deadline) when it is full.
+    pub queue_capacity: usize,
+    /// Maximum requests fused into one batched launch sequence.
+    pub max_batch: usize,
+    /// Longest a request may linger waiting for same-shape company before
+    /// its batch is dispatched anyway.
+    pub max_linger: Duration,
+    /// Deadline applied when [`Client::submit`] passes `None`.
+    pub default_deadline: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            machine: MachineConfig::with_width(32),
+            device_workers: None,
+            queue_capacity: 256,
+            max_batch: 16,
+            max_linger: Duration::from_micros(500),
+            default_deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Why a request was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The submission queue stayed full until the request's deadline.
+    QueueFull,
+    /// The deadline expired while the request waited in the queue.
+    DeadlineExceeded,
+    /// The service is shutting down and no longer admits requests.
+    ShuttingDown,
+    /// The request was malformed (e.g. an empty matrix).
+    InvalidRequest(String),
+    /// The serving thread died before answering (a bug, not load).
+    Internal(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::QueueFull => write!(f, "submission queue full past the deadline"),
+            ServiceError::DeadlineExceeded => write!(f, "deadline expired while queued"),
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
+            ServiceError::Internal(m) => write!(f, "internal service error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}

@@ -1,0 +1,278 @@
+//! End-to-end instrumentation of the serving layer.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Retained latency samples are capped so a long-lived service cannot grow
+/// without bound; percentiles then describe the first `MAX_SAMPLES`
+/// requests since the service started.
+const MAX_SAMPLES: usize = 1 << 20;
+
+/// Shared counters and latency samples, updated by submitters and the
+/// batch-former.
+#[derive(Default)]
+pub(crate) struct Metrics {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    submitted: u64,
+    completed: u64,
+    rejected_deadline: u64,
+    rejected_queue_full: u64,
+    rejected_shutdown: u64,
+    rejected_invalid: u64,
+    batches: u64,
+    batch_width_hist: Vec<u64>,
+    launches_issued: u64,
+    launches_unbatched_equiv: u64,
+    barriers_issued: u64,
+    barriers_unbatched_equiv: u64,
+    queue_ns: Vec<u64>,
+    exec_ns: Vec<u64>,
+    total_ns: Vec<u64>,
+}
+
+fn push_sample(v: &mut Vec<u64>, x: u64) {
+    if v.len() < MAX_SAMPLES {
+        v.push(x);
+    }
+}
+
+/// One dispatched batch's accounting: its width, the launches/barriers it
+/// actually cost, what per-request execution would have cost, and the
+/// per-request latencies (`queue_ns` per request; `exec_ns` is shared by
+/// every request of the batch).
+pub(crate) struct BatchRecord<'a> {
+    pub width: usize,
+    pub launches: u64,
+    pub launches_equiv: u64,
+    pub barriers: u64,
+    pub barriers_equiv: u64,
+    pub queue_ns: &'a [u64],
+    pub exec_ns: u64,
+}
+
+impl Metrics {
+    pub(crate) fn on_submit(&self) {
+        self.inner.lock().submitted += 1;
+    }
+
+    pub(crate) fn on_reject(&self, err: &crate::ServiceError) {
+        let mut m = self.inner.lock();
+        match err {
+            crate::ServiceError::QueueFull => m.rejected_queue_full += 1,
+            crate::ServiceError::DeadlineExceeded => m.rejected_deadline += 1,
+            crate::ServiceError::ShuttingDown => m.rejected_shutdown += 1,
+            crate::ServiceError::InvalidRequest(_) => m.rejected_invalid += 1,
+            crate::ServiceError::Internal(_) => {}
+        }
+    }
+
+    /// Record one dispatched batch.
+    pub(crate) fn on_batch(&self, b: &BatchRecord<'_>) {
+        let mut m = self.inner.lock();
+        m.batches += 1;
+        if m.batch_width_hist.len() <= b.width {
+            m.batch_width_hist.resize(b.width + 1, 0);
+        }
+        m.batch_width_hist[b.width] += 1;
+        m.launches_issued += b.launches;
+        m.launches_unbatched_equiv += b.launches_equiv;
+        m.barriers_issued += b.barriers;
+        m.barriers_unbatched_equiv += b.barriers_equiv;
+        m.completed += b.width as u64;
+        for &q in b.queue_ns {
+            push_sample(&mut m.queue_ns, q);
+            push_sample(&mut m.exec_ns, b.exec_ns);
+            push_sample(&mut m.total_ns, q + b.exec_ns);
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> ServiceStats {
+        let m = self.inner.lock();
+        ServiceStats {
+            submitted: m.submitted,
+            completed: m.completed,
+            rejected_deadline: m.rejected_deadline,
+            rejected_queue_full: m.rejected_queue_full,
+            rejected_shutdown: m.rejected_shutdown,
+            rejected_invalid: m.rejected_invalid,
+            batches: m.batches,
+            batch_width_hist: m.batch_width_hist.clone(),
+            launches_issued: m.launches_issued,
+            launches_unbatched_equiv: m.launches_unbatched_equiv,
+            barriers_issued: m.barriers_issued,
+            barriers_unbatched_equiv: m.barriers_unbatched_equiv,
+            queue_latency: LatencySummary::from_ns(&m.queue_ns),
+            exec_latency: LatencySummary::from_ns(&m.exec_ns),
+            total_latency: LatencySummary::from_ns(&m.total_ns),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the service's instrumentation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Requests admitted to the queue.
+    pub submitted: u64,
+    /// Requests answered with a SAT.
+    pub completed: u64,
+    /// Requests rejected because their deadline expired while queued.
+    pub rejected_deadline: u64,
+    /// Requests rejected because the queue stayed full past their deadline.
+    pub rejected_queue_full: u64,
+    /// Requests rejected because the service was shutting down.
+    pub rejected_shutdown: u64,
+    /// Requests rejected as malformed before queueing.
+    pub rejected_invalid: u64,
+    /// Dispatched batches (width-1 batches included).
+    pub batches: u64,
+    /// `batch_width_hist[w]` = number of batches dispatched at width `w`.
+    pub batch_width_hist: Vec<u64>,
+    /// Kernel launches actually issued by the service.
+    pub launches_issued: u64,
+    /// Kernel launches per-request execution of the same traffic would
+    /// have issued.
+    pub launches_unbatched_equiv: u64,
+    /// Barrier synchronisation steps actually issued.
+    pub barriers_issued: u64,
+    /// Barrier steps per-request execution would have issued.
+    pub barriers_unbatched_equiv: u64,
+    /// Time from admission to batch dispatch, per request.
+    pub queue_latency: LatencySummary,
+    /// Device execution time of the request's batch.
+    pub exec_latency: LatencySummary,
+    /// Queue + execute, per request.
+    pub total_latency: LatencySummary,
+}
+
+impl ServiceStats {
+    /// Mean width of dispatched batches.
+    pub fn mean_batch_width(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / self.batches as f64
+    }
+
+    /// How many times fewer launches the service issued than per-request
+    /// execution would have (1.0 = no amortisation).
+    pub fn launch_reduction(&self) -> f64 {
+        if self.launches_issued == 0 {
+            return 1.0;
+        }
+        self.launches_unbatched_equiv as f64 / self.launches_issued as f64
+    }
+
+    /// Kernel launches saved by batch fusing.
+    pub fn launches_saved(&self) -> u64 {
+        self.launches_unbatched_equiv
+            .saturating_sub(self.launches_issued)
+    }
+
+    /// Barrier windows saved by batch fusing.
+    pub fn barrier_windows_saved(&self) -> u64 {
+        self.barriers_unbatched_equiv
+            .saturating_sub(self.barriers_issued)
+    }
+}
+
+/// Summary of one latency distribution, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of samples summarised.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean_ms: f64,
+    /// Median (nearest-rank).
+    pub p50_ms: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95_ms: f64,
+    /// 99th percentile (nearest-rank).
+    pub p99_ms: f64,
+    /// Largest sample.
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    /// Summarise nanosecond samples; all-zero when `samples` is empty.
+    pub fn from_ns(samples: &[u64]) -> Self {
+        if samples.is_empty() {
+            return LatencySummary {
+                count: 0,
+                mean_ms: 0.0,
+                p50_ms: 0.0,
+                p95_ms: 0.0,
+                p99_ms: 0.0,
+                max_ms: 0.0,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let ms = |ns: u64| ns as f64 * 1e-6;
+        let pct = |q: f64| {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            ms(sorted[rank - 1])
+        };
+        LatencySummary {
+            count: sorted.len() as u64,
+            mean_ms: sorted.iter().map(|&x| x as f64).sum::<f64>() * 1e-6 / sorted.len() as f64,
+            p50_ms: pct(0.50),
+            p95_ms: pct(0.95),
+            p99_ms: pct(0.99),
+            max_ms: ms(*sorted.last().unwrap()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = LatencySummary::from_ns(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99_ms, 0.0);
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let ns: Vec<u64> = (1..=100).map(|k| k * 1_000_000).collect();
+        let s = LatencySummary::from_ns(&ns);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_ms, 50.0);
+        assert_eq!(s.p95_ms, 95.0);
+        assert_eq!(s.p99_ms, 99.0);
+        assert_eq!(s.max_ms, 100.0);
+        assert!((s.mean_ms - 50.5).abs() < 0.51);
+    }
+
+    #[test]
+    fn batch_accounting() {
+        let m = Metrics::default();
+        m.on_submit();
+        m.on_submit();
+        m.on_batch(&BatchRecord {
+            width: 2,
+            launches: 3,
+            launches_equiv: 6,
+            barriers: 2,
+            barriers_equiv: 4,
+            queue_ns: &[1_000, 2_000],
+            exec_ns: 5_000,
+        });
+        let s = m.snapshot();
+        assert_eq!(s.submitted, 2);
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.batch_width_hist[2], 1);
+        assert_eq!(s.mean_batch_width(), 2.0);
+        assert_eq!(s.launches_saved(), 3);
+        assert_eq!(s.barrier_windows_saved(), 2);
+        assert_eq!(s.launch_reduction(), 2.0);
+        assert_eq!(s.total_latency.count, 2);
+    }
+}

@@ -1,0 +1,389 @@
+//! The service proper: bounded submission queue, client handles, and the
+//! batch-former thread that owns the device.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use gpu_exec::{Device, DeviceOptions};
+use hmm_model::cost::SatAlgorithm;
+use parking_lot::{Condvar, Mutex};
+use sat_core::{compute_sat, compute_sat_batch, Matrix, SumTable};
+
+use crate::metrics::Metrics;
+use crate::{ServiceConfig, ServiceError, ServiceStats};
+
+type Reply = mpsc::SyncSender<Result<SumTable<f64>, ServiceError>>;
+
+struct Request {
+    image: Matrix<f64>,
+    algorithm: SatAlgorithm,
+    enqueued: Instant,
+    deadline: Instant,
+    reply: Reply,
+}
+
+#[derive(Default)]
+struct QueueState {
+    queue: VecDeque<Request>,
+    shutdown: bool,
+}
+
+struct Shared {
+    cfg: ServiceConfig,
+    state: Mutex<QueueState>,
+    /// Submitters wait here for queue space (backpressure edge).
+    space_cv: Condvar,
+    /// The batch-former waits here for work or its linger window.
+    work_cv: Condvar,
+    metrics: Metrics,
+}
+
+/// A running SAT service. Created by [`Service::start`]; hand out
+/// [`Client`]s with [`Service::client`]. Dropping the service shuts it
+/// down gracefully (drains the queue).
+pub struct Service {
+    shared: Arc<Shared>,
+    batcher: Option<JoinHandle<()>>,
+}
+
+/// A cheap, cloneable handle for submitting requests from any thread.
+#[derive(Clone)]
+pub struct Client {
+    shared: Arc<Shared>,
+}
+
+impl Service {
+    /// Start the service: build the device and spawn the batch-former.
+    pub fn start(cfg: ServiceConfig) -> Service {
+        assert!(cfg.queue_capacity > 0, "queue capacity must be positive");
+        assert!(cfg.max_batch > 0, "max batch must be positive");
+        let mut opts = DeviceOptions::new(cfg.machine);
+        if let Some(w) = cfg.device_workers {
+            opts = opts.workers(w);
+        }
+        let dev = Device::new(opts);
+        let shared = Arc::new(Shared {
+            cfg,
+            state: Mutex::new(QueueState::default()),
+            space_cv: Condvar::new(),
+            work_cv: Condvar::new(),
+            metrics: Metrics::default(),
+        });
+        let for_batcher = Arc::clone(&shared);
+        let batcher = std::thread::Builder::new()
+            .name("sat-service-batcher".to_string())
+            .spawn(move || batcher_loop(&for_batcher, &dev))
+            .expect("spawning the batch-former thread");
+        Service {
+            shared,
+            batcher: Some(batcher),
+        }
+    }
+
+    /// A new submission handle.
+    pub fn client(&self) -> Client {
+        Client {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Snapshot the service's instrumentation.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Stop admitting requests, drain everything already queued through the
+    /// device, join the batch-former, and return the final statistics.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.begin_shutdown();
+        self.shared.metrics.snapshot()
+    }
+
+    fn begin_shutdown(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        self.shared.space_cv.notify_all();
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+    }
+}
+
+impl Client {
+    /// Submit one matrix for SAT computation and block until the result or
+    /// a rejection.
+    ///
+    /// `deadline` is the time budget for *queueing* (admission under
+    /// backpressure plus waiting for a batch slot); `None` uses
+    /// [`ServiceConfig::default_deadline`]. Once dispatched to the device a
+    /// request always completes. The returned [`SumTable`] wraps a SAT
+    /// bit-equal to `compute_sat` of the same image.
+    pub fn submit(
+        &self,
+        image: Matrix<f64>,
+        algorithm: SatAlgorithm,
+        deadline: Option<Duration>,
+    ) -> Result<SumTable<f64>, ServiceError> {
+        if image.rows() == 0 || image.cols() == 0 {
+            let err = ServiceError::InvalidRequest("empty matrix".to_string());
+            self.shared.metrics.on_reject(&err);
+            return Err(err);
+        }
+        let enqueued = Instant::now();
+        let deadline_at = enqueued + deadline.unwrap_or(self.shared.cfg.default_deadline);
+        let (tx, rx) = mpsc::sync_channel(1);
+        {
+            let mut st = self.shared.state.lock();
+            loop {
+                if st.shutdown {
+                    drop(st);
+                    let err = ServiceError::ShuttingDown;
+                    self.shared.metrics.on_reject(&err);
+                    return Err(err);
+                }
+                if st.queue.len() < self.shared.cfg.queue_capacity {
+                    break;
+                }
+                let timeout = deadline_at.saturating_duration_since(Instant::now());
+                if timeout.is_zero() {
+                    drop(st);
+                    let err = ServiceError::QueueFull;
+                    self.shared.metrics.on_reject(&err);
+                    return Err(err);
+                }
+                self.shared.space_cv.wait_for(&mut st, timeout);
+            }
+            st.queue.push_back(Request {
+                image,
+                algorithm,
+                enqueued,
+                deadline: deadline_at,
+                reply: tx,
+            });
+        }
+        self.shared.metrics.on_submit();
+        self.shared.work_cv.notify_all();
+        match rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(ServiceError::Internal(
+                "batch-former dropped the request without answering".to_string(),
+            )),
+        }
+    }
+
+    /// Snapshot the service's instrumentation.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.metrics.snapshot()
+    }
+}
+
+/// One dispatch decision: a same-shape, same-algorithm slice of the queue.
+struct Dispatch {
+    algorithm: SatAlgorithm,
+    requests: Vec<Request>,
+}
+
+/// A group's view while scanning the queue.
+struct GroupView {
+    rows: usize,
+    cols: usize,
+    algorithm: SatAlgorithm,
+    count: usize,
+    oldest: Instant,
+}
+
+fn batcher_loop(shared: &Shared, dev: &Device) {
+    loop {
+        let mut expired: Vec<Request> = Vec::new();
+        let mut ready: Vec<Dispatch> = Vec::new();
+        let mut exit = false;
+        {
+            let mut st = shared.state.lock();
+            loop {
+                let now = Instant::now();
+                let before = st.queue.len();
+
+                // Reject-rather-than-wedge: drop requests whose queueing
+                // deadline has passed.
+                let mut i = 0;
+                while i < st.queue.len() {
+                    if st.queue[i].deadline <= now {
+                        expired.push(st.queue.remove(i).expect("index in bounds"));
+                    } else {
+                        i += 1;
+                    }
+                }
+
+                // Group the survivors by (shape, algorithm).
+                let mut groups: Vec<GroupView> = Vec::new();
+                for r in &st.queue {
+                    let key = (r.image.rows(), r.image.cols(), r.algorithm);
+                    match groups
+                        .iter_mut()
+                        .find(|g| (g.rows, g.cols, g.algorithm) == key)
+                    {
+                        Some(g) => {
+                            g.count += 1;
+                            g.oldest = g.oldest.min(r.enqueued);
+                        }
+                        None => groups.push(GroupView {
+                            rows: key.0,
+                            cols: key.1,
+                            algorithm: key.2,
+                            count: 1,
+                            oldest: r.enqueued,
+                        }),
+                    }
+                }
+
+                // Adaptive window: a group dispatches when full, when its
+                // oldest request has lingered long enough, when the
+                // algorithm cannot batch anyway, or on shutdown drain.
+                for g in &groups {
+                    let batchable = g.algorithm == SatAlgorithm::OneR1W;
+                    let linger_hit = g.oldest + shared.cfg.max_linger <= now;
+                    if g.count >= shared.cfg.max_batch || linger_hit || !batchable || st.shutdown {
+                        // Non-batchable algorithms dispatch one at a time so
+                        // the width histogram reflects true fused widths.
+                        let cap = if batchable { shared.cfg.max_batch } else { 1 };
+                        let mut take = Vec::new();
+                        let mut i = 0;
+                        while i < st.queue.len() && take.len() < cap {
+                            let r = &st.queue[i];
+                            if (r.image.rows(), r.image.cols(), r.algorithm)
+                                == (g.rows, g.cols, g.algorithm)
+                            {
+                                take.push(st.queue.remove(i).expect("index in bounds"));
+                            } else {
+                                i += 1;
+                            }
+                        }
+                        ready.push(Dispatch {
+                            algorithm: g.algorithm,
+                            requests: take,
+                        });
+                    }
+                }
+
+                if st.queue.len() < before {
+                    shared.space_cv.notify_all();
+                }
+                if !ready.is_empty() || !expired.is_empty() {
+                    break;
+                }
+                if st.shutdown && st.queue.is_empty() {
+                    exit = true;
+                    break;
+                }
+
+                // Sleep until the earliest linger expiry or request
+                // deadline, whichever comes first; submissions notify.
+                let wake = st
+                    .queue
+                    .iter()
+                    .map(|r| r.deadline)
+                    .chain(groups.iter().map(|g| g.oldest + shared.cfg.max_linger))
+                    .min();
+                match wake {
+                    None => shared.work_cv.wait(&mut st),
+                    Some(t) => {
+                        let timeout = t.saturating_duration_since(now);
+                        if !timeout.is_zero() {
+                            shared.work_cv.wait_for(&mut st, timeout);
+                        }
+                    }
+                }
+            }
+        }
+
+        for r in expired {
+            let err = ServiceError::DeadlineExceeded;
+            shared.metrics.on_reject(&err);
+            let _ = r.reply.send(Err(err));
+        }
+        for d in ready {
+            execute(shared, dev, d);
+        }
+        if exit {
+            return;
+        }
+    }
+}
+
+/// Run one dispatch on the device and answer its requests.
+fn execute(shared: &Shared, dev: &Device, d: Dispatch) {
+    let width = d.requests.len();
+    if width == 0 {
+        return;
+    }
+    let dispatched_at = Instant::now();
+    let queue_ns: Vec<u64> = d
+        .requests
+        .iter()
+        .map(|r| dispatched_at.duration_since(r.enqueued).as_nanos() as u64)
+        .collect();
+    let mut images = Vec::with_capacity(width);
+    let mut replies = Vec::with_capacity(width);
+    for r in d.requests {
+        images.push(r.image);
+        replies.push(r.reply);
+    }
+
+    let w = dev.width();
+    // Launches one per-request 1R1W run of this shape would cost: the
+    // padded grid has `m_r × m_c` blocks and `m_r + m_c − 1` diagonals.
+    let per_single = {
+        let first = &images[0];
+        let m_r = first.rows().max(1).div_ceil(w);
+        let m_c = first.cols().max(1).div_ceil(w);
+        m_r + m_c - 1
+    } as u64;
+
+    let before = dev.launches();
+    let results: Vec<Matrix<f64>> = if d.algorithm == SatAlgorithm::OneR1W {
+        compute_sat_batch(dev, &images)
+    } else {
+        images
+            .iter()
+            .map(|a| compute_sat(dev, d.algorithm, a))
+            .collect()
+    };
+    let issued = dev.launches() - before;
+    let exec_ns = dispatched_at.elapsed().as_nanos() as u64;
+
+    // What per-request execution would have cost. For the batched 1R1W
+    // path each extra request would have re-paid the full wavefront; the
+    // unbatched algorithms see no amortisation (equiv = issued).
+    let (launches_equiv, runs) = if d.algorithm == SatAlgorithm::OneR1W {
+        (per_single * width as u64, 1u64)
+    } else {
+        (issued, width as u64)
+    };
+    let barriers = issued.saturating_sub(runs);
+    let barriers_equiv = launches_equiv.saturating_sub(width as u64);
+
+    shared.metrics.on_batch(&crate::metrics::BatchRecord {
+        width,
+        launches: issued,
+        launches_equiv,
+        barriers,
+        barriers_equiv,
+        queue_ns: &queue_ns,
+        exec_ns,
+    });
+    for (reply, sat) in replies.into_iter().zip(results) {
+        let _ = reply.send(Ok(SumTable::from_sat(sat)));
+    }
+}

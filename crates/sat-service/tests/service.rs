@@ -1,0 +1,256 @@
+//! Integration tests: concurrent mixed-shape traffic, deadlines,
+//! backpressure, graceful drain, and batching efficiency.
+
+use std::time::Duration;
+
+use gpu_exec::{Device, DeviceOptions};
+use hmm_model::cost::SatAlgorithm;
+use hmm_model::MachineConfig;
+use sat_core::{compute_sat, Matrix};
+use sat_service::{Service, ServiceConfig, ServiceError};
+
+fn small_config() -> ServiceConfig {
+    ServiceConfig {
+        machine: MachineConfig::with_width(4),
+        device_workers: Some(2),
+        queue_capacity: 64,
+        max_batch: 8,
+        max_linger: Duration::from_millis(2),
+        default_deadline: Duration::from_secs(30),
+    }
+}
+
+fn image(rows: usize, cols: usize, seed: usize) -> Matrix<f64> {
+    // Integer-valued so every summation order is exact.
+    Matrix::from_fn(rows, cols, |i, j| {
+        ((i * 31 + j * 7 + seed * 13) % 29) as f64 - 14.0
+    })
+}
+
+#[test]
+fn concurrent_mixed_shapes_match_compute_sat() {
+    let service = Service::start(small_config());
+    // Independent verification device, same machine model.
+    let verify = Device::new(DeviceOptions::new(MachineConfig::with_width(4)).workers(0));
+    let shapes = [(16usize, 16usize), (8, 24), (5, 7), (32, 16)];
+    let algorithms = [
+        SatAlgorithm::OneR1W,
+        SatAlgorithm::OneR1W,
+        SatAlgorithm::OneR1W,
+        SatAlgorithm::TwoR1W,
+        SatAlgorithm::HybridR1W,
+    ];
+    std::thread::scope(|s| {
+        for t in 0..12usize {
+            let client = service.client();
+            s.spawn(move || {
+                for k in 0..5usize {
+                    let (rows, cols) = shapes[(t + k) % shapes.len()];
+                    let alg = algorithms[(t * 5 + k) % algorithms.len()];
+                    let img = image(rows, cols, t * 100 + k);
+                    let table = client.submit(img, alg, None).expect("accepted");
+                    assert_eq!(table.sat().rows(), rows);
+                    assert_eq!(table.sat().cols(), cols);
+                }
+            });
+        }
+    });
+    // Re-verify a sample against compute_sat bit-for-bit (the per-thread
+    // shape/result assertions above ran inside the scope).
+    let client = service.client();
+    for t in 0..4usize {
+        let (rows, cols) = shapes[t % shapes.len()];
+        let img = image(rows, cols, t);
+        let got = client
+            .submit(img.clone(), SatAlgorithm::OneR1W, None)
+            .expect("accepted");
+        let want = compute_sat(&verify, SatAlgorithm::OneR1W, &img);
+        assert_eq!(got.sat().as_slice(), want.as_slice(), "bit-equal");
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 12 * 5 + 4);
+    assert_eq!(stats.submitted, stats.completed);
+    assert_eq!(stats.rejected_deadline, 0);
+}
+
+#[test]
+fn every_result_is_bit_equal_under_batching() {
+    // Force wide batches: long linger, many same-shape requests in flight.
+    let mut cfg = small_config();
+    cfg.max_linger = Duration::from_millis(50);
+    cfg.max_batch = 8;
+    let service = Service::start(cfg);
+    let verify = Device::new(DeviceOptions::new(MachineConfig::with_width(4)).workers(0));
+    std::thread::scope(|s| {
+        for t in 0..16usize {
+            let client = service.client();
+            let verify = &verify;
+            s.spawn(move || {
+                let img = image(16, 16, t);
+                let got = client
+                    .submit(img.clone(), SatAlgorithm::OneR1W, None)
+                    .expect("accepted");
+                let want = compute_sat(verify, SatAlgorithm::OneR1W, &img);
+                assert_eq!(got.sat().as_slice(), want.as_slice(), "thread {t}");
+            });
+        }
+    });
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 16);
+    // 16 same-shape requests through width-8 batches: at least some fusing
+    // must have happened (exact widths depend on thread timing).
+    assert!(
+        stats.mean_batch_width() > 1.0,
+        "expected fusing, widths {:?}",
+        stats.batch_width_hist
+    );
+    assert!(stats.launches_saved() > 0);
+}
+
+#[test]
+fn full_batches_dispatch_without_waiting_for_linger() {
+    // With linger far above the test budget, only the batch-full condition
+    // can dispatch; 8 submitters of the same shape must form one batch.
+    let mut cfg = small_config();
+    cfg.max_linger = Duration::from_secs(3600);
+    cfg.max_batch = 8;
+    let service = Service::start(cfg);
+    std::thread::scope(|s| {
+        for t in 0..8usize {
+            let client = service.client();
+            s.spawn(move || {
+                client
+                    .submit(image(16, 16, t), SatAlgorithm::OneR1W, None)
+                    .expect("accepted");
+            });
+        }
+    });
+    let stats = service.stats();
+    assert_eq!(stats.completed, 8);
+    assert_eq!(stats.batches, 1, "widths {:?}", stats.batch_width_hist);
+    assert_eq!(stats.batch_width_hist[8], 1);
+    // 16×16 at w = 4: m = 4, so 2m − 1 = 7 launches for the whole batch
+    // instead of 8 × 7.
+    assert_eq!(stats.launches_issued, 7);
+    assert_eq!(stats.launches_unbatched_equiv, 56);
+    assert_eq!(stats.launch_reduction(), 8.0);
+    assert_eq!(stats.barrier_windows_saved(), 48 - 6);
+    service.shutdown();
+}
+
+#[test]
+fn zero_deadline_requests_are_rejected_not_wedged() {
+    let mut cfg = small_config();
+    cfg.max_linger = Duration::from_millis(100);
+    let service = Service::start(cfg);
+    let client = service.client();
+    let err = client
+        .submit(image(16, 16, 0), SatAlgorithm::OneR1W, Some(Duration::ZERO))
+        .expect_err("deadline already expired");
+    assert_eq!(err, ServiceError::DeadlineExceeded);
+    // The service keeps serving afterwards.
+    client
+        .submit(image(16, 16, 1), SatAlgorithm::OneR1W, None)
+        .expect("still serving");
+    let stats = service.shutdown();
+    assert_eq!(stats.rejected_deadline, 1);
+    assert_eq!(stats.completed, 1);
+}
+
+#[test]
+fn backpressure_rejects_when_queue_stays_full() {
+    let cfg = ServiceConfig {
+        machine: MachineConfig::with_width(4),
+        device_workers: Some(0),
+        queue_capacity: 1,
+        max_batch: 64,
+        // Lingering occupant: holds the single queue slot for the whole test.
+        max_linger: Duration::from_secs(3600),
+        default_deadline: Duration::from_secs(3600),
+    };
+    let service = Service::start(cfg);
+    let occupant = service.client();
+    let handle =
+        std::thread::spawn(move || occupant.submit(image(16, 16, 0), SatAlgorithm::OneR1W, None));
+    // Wait for the occupant to be admitted.
+    while service.stats().submitted == 0 {
+        std::thread::yield_now();
+    }
+    let err = service
+        .client()
+        .submit(
+            image(16, 16, 1),
+            SatAlgorithm::OneR1W,
+            Some(Duration::from_millis(20)),
+        )
+        .expect_err("queue is full");
+    assert_eq!(err, ServiceError::QueueFull);
+    // Graceful shutdown drains the occupant rather than dropping it.
+    let stats = service.shutdown();
+    assert!(handle.join().unwrap().is_ok());
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.rejected_queue_full, 1);
+}
+
+#[test]
+fn shutdown_drains_queued_requests() {
+    let mut cfg = small_config();
+    cfg.max_linger = Duration::from_secs(3600); // nothing dispatches on its own
+    cfg.max_batch = 64;
+    let service = Service::start(cfg);
+    let mut handles = Vec::new();
+    for t in 0..6usize {
+        let client = service.client();
+        handles.push(std::thread::spawn(move || {
+            client.submit(image(16, 16, t), SatAlgorithm::OneR1W, None)
+        }));
+    }
+    while service.stats().submitted < 6 {
+        std::thread::yield_now();
+    }
+    let stats = service.shutdown();
+    for h in handles {
+        assert!(h.join().unwrap().is_ok(), "drained, not dropped");
+    }
+    assert_eq!(stats.completed, 6);
+    // The drain dispatched them as one fused batch.
+    assert_eq!(stats.batches, 1);
+}
+
+#[test]
+fn submissions_after_shutdown_are_rejected() {
+    let service = Service::start(small_config());
+    let client = service.client();
+    let stats = service.shutdown();
+    assert_eq!(stats.submitted, 0);
+    let err = client
+        .submit(image(8, 8, 0), SatAlgorithm::OneR1W, None)
+        .expect_err("service is gone");
+    assert_eq!(err, ServiceError::ShuttingDown);
+}
+
+#[test]
+fn empty_matrices_are_rejected_before_queueing() {
+    let service = Service::start(small_config());
+    let err = service
+        .client()
+        .submit(Matrix::zeros(0, 5), SatAlgorithm::OneR1W, None)
+        .expect_err("empty matrix");
+    assert!(matches!(err, ServiceError::InvalidRequest(_)));
+    let stats = service.shutdown();
+    assert_eq!(stats.rejected_invalid, 1);
+    assert_eq!(stats.submitted, 0);
+}
+
+#[test]
+fn stats_serialize_to_json() {
+    let service = Service::start(small_config());
+    service
+        .client()
+        .submit(image(8, 8, 0), SatAlgorithm::OneR1W, None)
+        .expect("accepted");
+    let stats = service.shutdown();
+    let json = serde_json::to_string(&stats).expect("serializable");
+    assert!(json.contains("\"completed\":1"));
+    assert!(json.contains("p99_ms"));
+}

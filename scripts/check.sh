@@ -16,4 +16,12 @@ cargo test -q
 echo "== cargo test (workspace)"
 cargo test -q --workspace
 
+echo "== loadgen smoke (serving layer end-to-end, small profile)"
+cargo run --release -q -p sat-bench --bin loadgen -- \
+    --threads 4 --requests 8 --n 32 --width 4 \
+    --json target/BENCH_service_smoke.json
+
+echo "== satlint over a traced service batch"
+cargo run --release -q -p sat-bench --bin satlint -- --n 64 --batch 8
+
 echo "== all checks passed"

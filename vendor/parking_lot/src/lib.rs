@@ -52,6 +52,17 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// Whether a [`Condvar::wait_for`] returned because the timeout elapsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// `true` if the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
 /// A condition variable paired with [`Mutex`].
 #[derive(Debug, Default)]
 pub struct Condvar {
@@ -80,6 +91,27 @@ impl Condvar {
             let moved = std::ptr::read(guard);
             let reacquired = recover(self.inner.wait(moved));
             std::ptr::write(guard, reacquired);
+        }
+    }
+
+    /// Block until notified or `timeout` elapses, releasing the guard's
+    /// lock while waiting. Mirrors parking_lot's `wait_for`.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        // SAFETY: as in `wait` — the guard is moved out, the wait returns a
+        // reacquired guard for the same mutex (also on the poisoned branch,
+        // which we recover), and nothing in between can unwind.
+        unsafe {
+            let moved = std::ptr::read(guard);
+            let (reacquired, result) = match self.inner.wait_timeout(moved, timeout) {
+                Ok((g, r)) => (g, r),
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            std::ptr::write(guard, reacquired);
+            WaitTimeoutResult(result.timed_out())
         }
     }
 
@@ -118,6 +150,35 @@ mod tests {
         .join();
         // parking_lot semantics: no poisoning.
         assert_eq!(*m.lock(), 0);
+    }
+
+    #[test]
+    fn timed_wait_times_out_and_wakes() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        // Timeout path: nobody notifies.
+        {
+            let (m, cv) = &*pair;
+            let mut g = m.lock();
+            let r = cv.wait_for(&mut g, std::time::Duration::from_millis(5));
+            assert!(r.timed_out());
+        }
+        // Notification path: flips the flag before the (long) timeout.
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut ready = m.lock();
+            while !*ready {
+                let r = cv.wait_for(&mut ready, std::time::Duration::from_secs(30));
+                assert!(!r.timed_out());
+            }
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        t.join().unwrap();
     }
 
     #[test]
