@@ -99,6 +99,7 @@ fn main() -> ExitCode {
         max_batch,
         max_linger: Duration::from_micros(linger_us),
         default_deadline: Duration::from_secs(60),
+        observer: obs::Obs::disabled(),
     });
 
     println!(

@@ -1,0 +1,290 @@
+//! satprof — profile SAT algorithm executions (or a serving-layer burst)
+//! into a Perfetto-loadable Chrome trace plus a per-algorithm counter
+//! report checked against the paper's closed forms.
+//!
+//! ```sh
+//! cargo run --release -p sat-bench --bin satprof -- --algo 1r1w --n 1024
+//! open https://ui.perfetto.dev  # and load trace.json
+//! ```
+//!
+//! Flags:
+//!
+//! * `--algo NAME|all` — which algorithm(s) to profile (default `1r1w`);
+//! * `--n SIZE` — square matrix side (default 1024);
+//! * `--width W` — machine width (default 32);
+//! * `--trace PATH` — where to write the Chrome trace (default
+//!   `trace.json`); the file is re-parsed and schema-validated after
+//!   writing;
+//! * `--sim` — additionally replay each run through the discrete-event
+//!   machine and export its timeline on the simulated clock (trace
+//!   process 2), overlaying model time next to wall time;
+//! * `--burst K` — instead of bare algorithm runs, push `K` requests
+//!   through a `sat-service` instance sharing the same observer, then
+//!   print its Prometheus exposition;
+//! * `--check` — verify measured C/S/B counters against `hmm_model`'s
+//!   closed forms (exact equality for 1R1W on block-aligned sizes, the
+//!   Table I leading terms within 25% otherwise) and exit nonzero on any
+//!   mismatch.
+//!
+//! Recording overhead: the observer's disabled path is a no-op (no clock
+//! reads, no allocation — asserted by `obs`'s `disabled_path_is_cheap`
+//! benchmark test), so the instrumented binaries pay nothing unless a
+//! trace was requested.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use gpu_exec::{Device, DeviceOptions};
+use hmm_model::cost::{GlobalCost, SatAlgorithm};
+use hmm_model::MachineConfig;
+use hmm_sim::{export_sim_timeline, trace_and_simulate};
+use obs::{ArgValue, Obs, Registry, Track};
+use sat_bench::{flag_value, parsed_flag, run_real, workload};
+use sat_service::{Service, ServiceConfig};
+
+fn algo_by_name(s: &str) -> Option<SatAlgorithm> {
+    SatAlgorithm::ALL
+        .into_iter()
+        .find(|a| a.name().eq_ignore_ascii_case(s))
+}
+
+/// Sum of the device's registry counters relevant to the C/S/B check.
+fn device_counter_totals(reg: &Registry) -> (u64, u64) {
+    let snap = reg.snapshot();
+    let total = |name: &str| snap.counter(name).map_or(0, |c| c.total);
+    (total("gpu_coalesced_ops"), total("gpu_stride_ops"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let algo_flag = flag_value(&args, "--algo").unwrap_or_else(|| "1r1w".to_string());
+    let n: usize = parsed_flag(&args, "--n", 1024);
+    let width: usize = parsed_flag(&args, "--width", 32);
+    let trace_path = flag_value(&args, "--trace").unwrap_or_else(|| "trace.json".to_string());
+    let burst: usize = parsed_flag(&args, "--burst", 0);
+    let check = args.iter().any(|a| a == "--check");
+    let sim = args.iter().any(|a| a == "--sim");
+
+    let algorithms: Vec<SatAlgorithm> = if algo_flag.eq_ignore_ascii_case("all") {
+        SatAlgorithm::ALL.to_vec()
+    } else {
+        match algo_by_name(&algo_flag) {
+            Some(a) => vec![a],
+            None => {
+                eprintln!(
+                    "error: --algo got unknown algorithm {algo_flag:?} (expected one of {} or all)",
+                    SatAlgorithm::ALL.map(|a| a.name()).join(", ")
+                );
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    // Bare runs drive the raw kernels, which (unlike the padding
+    // `compute_sat` path the `--burst` service uses) require block-aligned
+    // sides; fail cleanly instead of panicking mid-kernel.
+    if burst == 0 && (n == 0 || n % width != 0) {
+        eprintln!("error: --n {n} must be a positive multiple of --width {width}");
+        return ExitCode::from(2);
+    }
+
+    let cfg = MachineConfig::with_width(width);
+    let gc = GlobalCost::new(cfg);
+    let obs = Obs::new();
+    let registry = obs.registry().expect("enabled observer has a registry");
+    let mut failed = false;
+
+    if burst > 0 {
+        run_burst(&obs, cfg, n, burst);
+    } else {
+        println!("satprof — machine w = {width}, matrix {n} x {n}");
+        println!(
+            "{:<11} | {:>13} {:>13} | {:>11} {:>11} | {:>9} {:>9} | check",
+            "algorithm",
+            "coal meas",
+            "coal pred",
+            "stride meas",
+            "stride pred",
+            "barr meas",
+            "barr pred"
+        );
+        for alg in algorithms {
+            if alg == SatAlgorithm::FourR1W && n > 1024 {
+                println!("{:<11} | skipped (2n-1 launches prohibitive)", alg.name());
+                continue;
+            }
+            failed |= !profile_algorithm(&obs, &registry, &gc, cfg, alg, n, check, sim);
+        }
+    }
+
+    let json = obs.trace_json();
+    if let Err(e) = std::fs::write(&trace_path, &json) {
+        eprintln!("error: writing {trace_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    match obs::chrome::validate(&json) {
+        Ok(stats) => println!(
+            "\nwrote {trace_path}: {} events ({} complete spans, {} instants) — load it at ui.perfetto.dev",
+            stats.events, stats.complete, stats.instants
+        ),
+        Err(e) => {
+            eprintln!("error: {trace_path} failed trace-schema validation: {e}");
+            failed = true;
+        }
+    }
+
+    if failed {
+        eprintln!("satprof: CHECK FAILED");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Profile one algorithm on a fresh observed device; returns `false` when
+/// `check` was requested and the counters diverge from the closed forms.
+#[allow(clippy::too_many_arguments)]
+fn profile_algorithm(
+    obs: &Obs,
+    registry: &Registry,
+    gc: &GlobalCost,
+    cfg: MachineConfig,
+    alg: SatAlgorithm,
+    n: usize,
+    check: bool,
+    sim: bool,
+) -> bool {
+    let r = if alg == SatAlgorithm::HybridR1W {
+        gc.optimal_r(n)
+    } else {
+        0.0
+    };
+    let dev = Device::new(DeviceOptions::new(cfg).workers(0).observer(obs.clone()));
+    let (coal_before, stride_before) = device_counter_totals(registry);
+    let mut guard = obs.span(Track::wall(0), alg.name());
+    guard.arg("n", ArgValue::from(n));
+    let (stats, _) = run_real(&dev, alg, r, n);
+    drop(guard);
+
+    // The registry's cumulative device counters must agree with the
+    // device's own statistics — the two observation paths cross-check.
+    let (coal_after, stride_after) = device_counter_totals(registry);
+    let coal_meas = coal_after - coal_before;
+    let stride_meas = stride_after - stride_before;
+    assert_eq!(
+        coal_meas,
+        stats.coalesced_reads + stats.coalesced_writes,
+        "registry and device stats diverged (coalesced)"
+    );
+    assert_eq!(
+        stride_meas,
+        stats.stride_reads + stats.stride_writes,
+        "registry and device stats diverged (stride)"
+    );
+
+    if sim {
+        let run = trace_and_simulate(cfg, |d| {
+            run_real(d, alg, r, n);
+        });
+        export_sim_timeline(obs, &run.sim, alg.name());
+    }
+
+    // Closed forms: exact for 1R1W on block-aligned squares, Table I
+    // leading terms otherwise.
+    let ok = if let Some(exact) = gc.exact_counts(alg, n) {
+        let ok = exact.matches(&stats);
+        print_row(
+            alg,
+            coal_meas,
+            exact.coalesced_ops(),
+            stride_meas,
+            exact.stride_ops(),
+            stats.barrier_steps,
+            exact.barrier_steps,
+            if ok { "exact" } else { "MISMATCH" },
+        );
+        ok
+    } else {
+        let row = gc.table_one_row(alg, n);
+        let coal_pred = row.coalesced_reads + row.coalesced_writes;
+        let stride_pred = row.stride_reads + row.stride_writes;
+        // 25% relative slack plus an additive O(n) term: the closed forms
+        // are leading terms and drop fringe work (e.g. 4R1W's column pass
+        // touches a handful of coalesced words its 0-term ignores).
+        let within = |meas: u64, pred: f64| (meas as f64 - pred).abs() <= pred * 0.25 + n as f64;
+        let ok = within(coal_meas, coal_pred)
+            && within(stride_meas, stride_pred)
+            && within(stats.barrier_steps, row.barrier_steps);
+        print_row(
+            alg,
+            coal_meas,
+            coal_pred.round() as u64,
+            stride_meas,
+            stride_pred.round() as u64,
+            stats.barrier_steps,
+            row.barrier_steps.round() as u64,
+            if ok { "~25%" } else { "MISMATCH" },
+        );
+        ok
+    };
+    !check || ok
+}
+
+#[allow(clippy::too_many_arguments)]
+fn print_row(
+    alg: SatAlgorithm,
+    coal_meas: u64,
+    coal_pred: u64,
+    stride_meas: u64,
+    stride_pred: u64,
+    barr_meas: u64,
+    barr_pred: u64,
+    verdict: &str,
+) {
+    println!(
+        "{:<11} | {:>13} {:>13} | {:>11} {:>11} | {:>9} {:>9} | {}",
+        alg.name(),
+        coal_meas,
+        coal_pred,
+        stride_meas,
+        stride_pred,
+        barr_meas,
+        barr_pred,
+        verdict
+    );
+}
+
+/// Push `burst` same-shape 1R1W requests through a service sharing `obs`,
+/// then print its Prometheus exposition.
+fn run_burst(obs: &Obs, machine: MachineConfig, n: usize, burst: usize) {
+    println!("satprof — burst of {burst} requests ({n} x {n}, 1R1W) through sat-service");
+    let service = Service::start(ServiceConfig {
+        machine,
+        max_linger: Duration::from_millis(2),
+        observer: obs.clone(),
+        ..ServiceConfig::default()
+    });
+    std::thread::scope(|s| {
+        for t in 0..4usize {
+            let client = service.client();
+            s.spawn(move || {
+                for k in 0..burst.div_ceil(4) {
+                    if t * burst.div_ceil(4) + k >= burst {
+                        break;
+                    }
+                    let img = workload(n);
+                    let _ = client.submit(img, SatAlgorithm::OneR1W, None);
+                }
+            });
+        }
+    });
+    println!("\n{}", service.metrics_text());
+    let stats = service.shutdown();
+    println!(
+        "completed {} requests in {} batches (mean width {:.2}, {} launches saved)",
+        stats.completed,
+        stats.batches,
+        stats.mean_batch_width(),
+        stats.launches_saved()
+    );
+}

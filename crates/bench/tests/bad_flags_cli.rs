@@ -31,9 +31,20 @@ fn bench_bins_reject_unparsable_flag_values() {
         ("numerics", env!("CARGO_BIN_EXE_numerics"), "--n"),
         ("satlint", env!("CARGO_BIN_EXE_satlint"), "--n"),
         ("loadgen", env!("CARGO_BIN_EXE_loadgen"), "--threads"),
+        ("satprof", env!("CARGO_BIN_EXE_satprof"), "--n"),
     ] {
         check_bad_flag(bin, exe, &[flag, "not-a-number"], "not-a-number");
     }
+}
+
+#[test]
+fn satprof_rejects_unknown_algorithm() {
+    check_bad_flag(
+        "satprof",
+        env!("CARGO_BIN_EXE_satprof"),
+        &["--algo", "9r9w"],
+        "9r9w",
+    );
 }
 
 #[test]
@@ -63,5 +74,21 @@ fn loadgen_negative_count_is_unparsable_for_usize() {
         env!("CARGO_BIN_EXE_loadgen"),
         &["--threads", "-3"],
         "-3",
+    );
+}
+
+#[test]
+fn satprof_rejects_non_block_aligned_size() {
+    // Raw kernels need block-aligned sides; the error must be a clean exit,
+    // not a panic from inside the kernel.
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_satprof"))
+        .args(["--n", "48", "--check"])
+        .output()
+        .expect("satprof runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("multiple of") && !stderr.contains("panicked"),
+        "expected a clean validation error, got:\n{stderr}"
     );
 }

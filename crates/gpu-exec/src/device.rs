@@ -1,9 +1,11 @@
 //! The virtual GPU device: launch machinery, block contexts and statistics.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 use hmm_model::cost::CostCounters;
 use hmm_model::MachineConfig;
+use obs::{ArgValue, Counter, Obs, Track};
 use parking_lot::Mutex;
 
 use crate::buffer::{GlobalBuffer, GlobalView};
@@ -26,6 +28,11 @@ pub enum BlockOrder {
     Shuffled(u64),
 }
 
+/// Per-block spans fold onto this many wall-clock lanes so huge grids do
+/// not create one Perfetto track per block (the true id stays in the
+/// span's `block` arg).
+const BLOCK_LANES: u32 = 64;
+
 /// Construction options for a [`Device`].
 #[derive(Debug, Clone)]
 pub struct DeviceOptions {
@@ -41,8 +48,22 @@ pub struct DeviceOptions {
     /// the `hmm-sim` machine simulator (implies statistics; costs memory
     /// proportional to the number of transactions).
     pub record_trace: bool,
+    /// Keep the per-transaction [`AddrPattern`](crate::AddrPattern) address
+    /// channel alongside the trace (only meaningful with `record_trace`;
+    /// the heaviest channel — gathers store whole address vectors). On by
+    /// default when tracing so `hmm-lint` analyses keep working; turn it
+    /// off to replay in `hmm-sim` at a fraction of the memory.
+    pub record_addrs: bool,
     /// Dispatch order of blocks.
     pub order: BlockOrder,
+    /// Observability sink: when enabled, the device emits one wall-clock
+    /// span per launch (with per-launch coalesced/stride/stage deltas as
+    /// args) and maintains `gpu_*` counters in the handle's registry
+    /// (implies statistics). Disabled by default — the no-op fast path.
+    pub observer: Obs,
+    /// Additionally emit one span per *block* (tid = block id), parented to
+    /// the launch span. Costly for large grids; off by default.
+    pub observe_blocks: bool,
 }
 
 impl DeviceOptions {
@@ -54,7 +75,10 @@ impl DeviceOptions {
             workers: None,
             record_stats: true,
             record_trace: false,
+            record_addrs: true,
             order: BlockOrder::Forward,
+            observer: Obs::disabled(),
+            observe_blocks: false,
         }
     }
 
@@ -80,11 +104,45 @@ impl DeviceOptions {
         self
     }
 
+    /// Enable or disable the address channel of the transaction trace (see
+    /// [`DeviceOptions::record_addrs`]).
+    pub fn record_addrs(mut self, on: bool) -> Self {
+        self.record_addrs = on;
+        self
+    }
+
     /// Set the block dispatch order.
     pub fn order(mut self, order: BlockOrder) -> Self {
         self.order = order;
         self
     }
+
+    /// Attach an observability handle (see [`DeviceOptions::observer`]).
+    /// An enabled handle implies statistics recording.
+    pub fn observer(mut self, obs: Obs) -> Self {
+        if obs.is_enabled() {
+            self.record_stats = true;
+        }
+        self.observer = obs;
+        self
+    }
+
+    /// Enable or disable per-block spans (see
+    /// [`DeviceOptions::observe_blocks`]).
+    pub fn observe_blocks(mut self, on: bool) -> Self {
+        self.observe_blocks = on;
+        self
+    }
+}
+
+/// The device's handles into the observer's registry, registered once at
+/// construction so launches pay one atomic add per counter.
+struct DeviceCounters {
+    coalesced_ops: Counter,
+    stride_ops: Counter,
+    global_stages: Counter,
+    launches: Counter,
+    barrier_steps: Counter,
 }
 
 /// A virtual GPU executing kernels with asynchronous-HMM semantics.
@@ -101,13 +159,20 @@ pub struct Device {
     cfg: MachineConfig,
     record_stats: bool,
     record_trace: bool,
+    record_addrs: bool,
     order: BlockOrder,
+    obs: Obs,
+    observe_blocks: bool,
+    counters: Option<DeviceCounters>,
     pool: Pool,
     /// Serializes launches: the worker pool supports one job at a time.
     launch_gate: Mutex<()>,
     stats: Mutex<CostCounters>,
     trace: Mutex<RunTrace>,
     launches: AtomicU64,
+    /// Launches since *construction* (never reset): drives the cumulative
+    /// `gpu_barrier_steps` registry counter.
+    launches_total: AtomicU64,
     epoch: AtomicU64,
 }
 
@@ -120,16 +185,28 @@ impl Device {
         let workers = opts
             .workers
             .unwrap_or_else(|| opts.config.num_dmms.min(host).saturating_sub(1));
+        let counters = opts.observer.registry().map(|reg| DeviceCounters {
+            coalesced_ops: reg.counter("gpu_coalesced_ops"),
+            stride_ops: reg.counter("gpu_stride_ops"),
+            global_stages: reg.counter("gpu_global_stages"),
+            launches: reg.counter("gpu_launches"),
+            barrier_steps: reg.counter("gpu_barrier_steps"),
+        });
         Device {
             cfg: opts.config,
-            record_stats: opts.record_stats || opts.record_trace,
+            record_stats: opts.record_stats || opts.record_trace || opts.observer.is_enabled(),
             record_trace: opts.record_trace,
+            record_addrs: opts.record_addrs,
             order: opts.order,
+            obs: opts.observer,
+            observe_blocks: opts.observe_blocks,
+            counters,
             pool: Pool::new(workers),
             launch_gate: Mutex::new(()),
             stats: Mutex::new(CostCounters::new()),
             trace: Mutex::new(RunTrace::default()),
             launches: AtomicU64::new(0),
+            launches_total: AtomicU64::new(0),
             epoch: AtomicU64::new(0),
         }
     }
@@ -174,25 +251,47 @@ impl Device {
         let launch_trace: Option<Mutex<LaunchTrace>> = self.record_trace.then(|| {
             Mutex::new(LaunchTrace {
                 blocks: vec![Vec::new(); grid],
-                addrs: vec![Vec::new(); grid],
+                addrs: if self.record_addrs {
+                    vec![Vec::new(); grid]
+                } else {
+                    Vec::new()
+                },
             })
         });
+        // Observability: everything below the `is_enabled` branches is the
+        // no-op fast path when no observer is attached.
+        let mut launch_span = None;
+        let mut stats_before = None;
+        if self.obs.is_enabled() {
+            if let Some(reg) = self.obs.registry() {
+                reg.reset_scope();
+            }
+            let mut span = self.obs.span(Track::wall(0), "launch");
+            span.arg("launch", ArgValue::from(launch_no));
+            span.arg("grid", ArgValue::from(grid));
+            stats_before = Some(*self.stats.lock());
+            launch_span = Some(span);
+        }
+        let span_id = launch_span.as_ref().and_then(|s| s.id());
+        let observe_blocks = self.observe_blocks && self.obs.is_enabled();
         let wrapper = |idx: usize| {
             let block_id = match &perm {
                 None => idx,
                 Some(p) => p[idx] as usize,
             };
+            let block_start = observe_blocks.then(Instant::now);
             let mut ctx = BlockCtx {
                 dev: self,
                 block_id,
                 epoch,
                 shared_used: 0,
                 tiles_allocated: 0,
-                rec: if self.record_trace {
-                    TxnRecorder::new_tracing(self.cfg.width)
-                } else {
-                    TxnRecorder::new(self.cfg.width, self.record_stats)
-                },
+                rec: TxnRecorder::with_options(
+                    self.cfg.width,
+                    self.record_stats,
+                    self.record_trace,
+                    self.record_trace && self.record_addrs,
+                ),
             };
             kernel(&mut ctx);
             if self.record_stats {
@@ -201,12 +300,42 @@ impl Device {
             if let Some(lt) = &launch_trace {
                 let mut lt = lt.lock();
                 lt.blocks[block_id] = ctx.rec.take_trace();
-                lt.addrs[block_id] = ctx.rec.take_addrs();
+                if self.record_addrs {
+                    lt.addrs[block_id] = ctx.rec.take_addrs();
+                }
+            }
+            if let Some(start) = block_start {
+                self.obs.wall_span_at(
+                    Track::wall(1 + (block_id as u32 % BLOCK_LANES)),
+                    "block",
+                    start,
+                    Instant::now(),
+                    span_id,
+                    vec![("block", ArgValue::from(block_id))],
+                );
             }
         };
         self.pool.run(grid, &wrapper);
         if let Some(lt) = launch_trace {
             self.trace.lock().launches.push(lt.into_inner());
+        }
+        if let (Some(before), Some(c)) = (stats_before, &self.counters) {
+            let after = *self.stats.lock();
+            let coalesced = after.coalesced_ops() - before.coalesced_ops();
+            let stride = after.stride_ops() - before.stride_ops();
+            let stages = after.global_stages - before.global_stages;
+            c.coalesced_ops.add(coalesced);
+            c.stride_ops.add(stride);
+            c.global_stages.add(stages);
+            c.launches.inc();
+            if self.launches_total.fetch_add(1, Ordering::Relaxed) > 0 {
+                c.barrier_steps.inc();
+            }
+            if let Some(span) = &mut launch_span {
+                span.arg("coalesced_ops", ArgValue::from(coalesced));
+                span.arg("stride_ops", ArgValue::from(stride));
+                span.arg("global_stages", ArgValue::from(stages));
+            }
         }
     }
 
@@ -235,6 +364,16 @@ impl Device {
     /// Number of launches since the last reset.
     pub fn launches(&self) -> u64 {
         self.launches.load(Ordering::Relaxed)
+    }
+
+    /// The observability handle the device was built with (disabled unless
+    /// [`DeviceOptions::observer`] was set). Registry counters
+    /// (`gpu_coalesced_ops`, `gpu_stride_ops`, `gpu_global_stages`,
+    /// `gpu_launches`, `gpu_barrier_steps`) are cumulative since
+    /// construction and are *not* zeroed by [`Device::reset_stats`]; the
+    /// per-launch scope is zeroed at each launch start.
+    pub fn observer(&self) -> &Obs {
+        &self.obs
     }
 }
 
@@ -466,6 +605,117 @@ mod tests {
             }
             assert!(seen.into_iter().all(|b| b));
         }
+    }
+
+    #[test]
+    fn observer_counters_and_spans_track_launches() {
+        let obs = Obs::new();
+        let dev = Device::new(
+            DeviceOptions::new(MachineConfig::with_width(4))
+                .workers(0)
+                .observer(obs.clone()),
+        );
+        let buf = GlobalBuffer::filled(1.0f64, 32);
+        for _ in 0..3 {
+            dev.launch(8, |ctx| {
+                let g = ctx.view(&buf);
+                let base = ctx.block_id() * 4;
+                let mut v = [0.0; 4];
+                g.read_contig(base, &mut v, ctx.rec());
+                g.write_contig(base, &v, ctx.rec());
+            });
+        }
+        let reg = obs.registry().unwrap();
+        let snap = reg.snapshot();
+        // Cumulative totals match device stats; the per-launch scope holds
+        // only the last launch's contribution.
+        assert_eq!(snap.counter("gpu_coalesced_ops").unwrap().total, 3 * 64);
+        assert_eq!(snap.counter("gpu_coalesced_ops").unwrap().scoped, 64);
+        assert_eq!(snap.counter("gpu_stride_ops").unwrap().total, 0);
+        assert_eq!(snap.counter("gpu_launches").unwrap().total, 3);
+        assert_eq!(snap.counter("gpu_barrier_steps").unwrap().total, 2);
+        // One span per launch, schema-valid.
+        assert_eq!(obs.event_count(), 3);
+        let stats = obs::chrome::validate(&obs.trace_json()).unwrap();
+        assert_eq!(stats.complete, 3);
+    }
+
+    #[test]
+    fn observer_implies_stats_and_block_spans_parent_to_launch() {
+        let obs = Obs::new();
+        let dev = Device::new(
+            DeviceOptions::new(MachineConfig::with_width(4))
+                .workers(2)
+                .record_stats(false)
+                .observer(obs.clone())
+                .observe_blocks(true),
+        );
+        let buf = GlobalBuffer::filled(1u32, 16);
+        dev.launch(4, |ctx| {
+            let g = ctx.view(&buf);
+            let mut v = [0u32; 4];
+            g.read_contig(ctx.block_id() * 4, &mut v, ctx.rec());
+        });
+        // The observer forced stats back on.
+        assert_eq!(dev.stats().coalesced_reads, 16);
+        // 1 launch span + 4 block spans, each block parented to the launch.
+        assert_eq!(obs.event_count(), 5);
+        let json = obs.trace_json();
+        let v = obs::json::JsonValue::parse(&json).unwrap();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        let launch_id = events
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("launch"))
+            .and_then(|e| e.get("args").unwrap().get("id").unwrap().as_f64())
+            .unwrap();
+        let block_parents: Vec<f64> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("block"))
+            .map(|e| {
+                e.get("args")
+                    .unwrap()
+                    .get("parent")
+                    .unwrap()
+                    .as_f64()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(block_parents.len(), 4);
+        assert!(block_parents.iter().all(|&p| p == launch_id));
+    }
+
+    #[test]
+    fn disabled_observer_emits_nothing() {
+        let dev = dev4();
+        let buf = GlobalBuffer::filled(1u32, 16);
+        dev.launch(4, |ctx| {
+            let g = ctx.view(&buf);
+            let mut v = [0u32; 4];
+            g.read_contig(ctx.block_id() * 4, &mut v, ctx.rec());
+        });
+        assert!(!dev.observer().is_enabled());
+        assert_eq!(dev.observer().event_count(), 0);
+    }
+
+    #[test]
+    fn addr_channel_can_be_disabled_independently_of_trace() {
+        let dev = Device::new(
+            DeviceOptions::new(MachineConfig::with_width(4))
+                .workers(0)
+                .record_trace(true)
+                .record_addrs(false),
+        );
+        let buf = GlobalBuffer::filled(1u32, 16);
+        dev.launch(4, |ctx| {
+            let g = ctx.view(&buf);
+            let mut v = [0u32; 4];
+            g.read_contig(ctx.block_id() * 4, &mut v, ctx.rec());
+        });
+        let trace = dev.take_trace();
+        assert_eq!(trace.launches.len(), 1);
+        assert_eq!(trace.launches[0].blocks.len(), 4);
+        assert!(trace.launches[0].blocks.iter().all(|b| b.len() == 1));
+        assert!(trace.launches[0].addrs.is_empty());
     }
 
     #[test]

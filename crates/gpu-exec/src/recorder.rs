@@ -44,12 +44,22 @@ impl TxnRecorder {
     /// plus each transaction's [`AddrPattern`] provenance for static
     /// analysis.
     pub fn new_tracing(w: usize) -> Self {
+        Self::with_options(w, true, true, true)
+    }
+
+    /// A recorder with each channel toggled independently: `stats` counts
+    /// transactions, `trace` logs them in program order, `addrs` keeps their
+    /// [`AddrPattern`] provenance. `trace` or `addrs` imply `stats`; `addrs`
+    /// without `trace` is rounded up to both (the channels are parallel
+    /// arrays and meaningless alone).
+    pub fn with_options(w: usize, stats: bool, trace: bool, addrs: bool) -> Self {
+        let trace = trace || addrs;
         TxnRecorder {
             w,
-            enabled: true,
+            enabled: stats || trace,
             counters: CostCounters::new(),
-            trace: Some(Vec::new()),
-            addrs: Some(Vec::new()),
+            trace: trace.then(Vec::new),
+            addrs: addrs.then(Vec::new),
         }
     }
 
@@ -404,6 +414,24 @@ mod tests {
                 assert_eq!(stages, op.stages, "{pat:?}");
             }
         }
+    }
+
+    #[test]
+    fn tracing_without_addr_channel_keeps_ops_and_drops_patterns() {
+        let mut r = TxnRecorder::with_options(4, true, true, false);
+        r.record_contig(AccessKind::Read, 0, 0, 8);
+        assert_eq!(r.counters().coalesced_reads, 8);
+        assert_eq!(r.take_trace().len(), 2);
+        assert!(r.take_addrs().is_empty());
+    }
+
+    #[test]
+    fn addrs_channel_implies_trace_and_stats() {
+        let mut r = TxnRecorder::with_options(4, false, false, true);
+        assert!(r.enabled());
+        r.record_single(AccessKind::Write, 1, 3);
+        assert_eq!(r.take_trace().len(), 1);
+        assert_eq!(r.take_addrs().len(), 1);
     }
 
     #[test]

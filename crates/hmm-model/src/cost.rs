@@ -276,6 +276,44 @@ impl TableOneRow {
     }
 }
 
+/// Transaction-exact operation counts for an algorithm run, where a closed
+/// form exists (Table I keeps leading terms only; these keep every term, so
+/// a measured [`CostCounters`] can be compared for *equality*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExactCounts {
+    /// Coalesced global read operations.
+    pub coalesced_reads: u64,
+    /// Coalesced global write operations.
+    pub coalesced_writes: u64,
+    /// Stride global read operations.
+    pub stride_reads: u64,
+    /// Stride global write operations.
+    pub stride_writes: u64,
+    /// Barrier synchronisation steps.
+    pub barrier_steps: u64,
+}
+
+impl ExactCounts {
+    /// Coalesced operations `C`.
+    pub fn coalesced_ops(&self) -> u64 {
+        self.coalesced_reads + self.coalesced_writes
+    }
+
+    /// Stride operations `S`.
+    pub fn stride_ops(&self) -> u64 {
+        self.stride_reads + self.stride_writes
+    }
+
+    /// Whether measured counters agree exactly on `C`, `S` and `B`.
+    pub fn matches(&self, measured: &CostCounters) -> bool {
+        self.coalesced_reads == measured.coalesced_reads
+            && self.coalesced_writes == measured.coalesced_writes
+            && self.stride_reads == measured.stride_reads
+            && self.stride_writes == measured.stride_writes
+            && self.barrier_steps == measured.barrier_steps
+    }
+}
+
 impl GlobalCost {
     /// Cost evaluator for a machine configuration.
     pub fn new(cfg: MachineConfig) -> Self {
@@ -465,6 +503,41 @@ impl GlobalCost {
             stride_writes: sw,
             barrier_steps: b,
             cost: self.cost(algorithm, n),
+        }
+    }
+
+    /// Transaction-exact counts for `algorithm` on an `n × n` input, where
+    /// the kernel admits a closed form with *every* term (currently 1R1W on
+    /// square inputs with `w | n`; other algorithms return `None` and should
+    /// be compared against [`table_one_row`](Self::table_one_row) leading
+    /// terms with a tolerance).
+    ///
+    /// 1R1W per Theorem 6, counting the fringes Table I drops: each of the
+    /// `m² = (n/w)²` blocks loads its `w × w` tile coalesced (`n²` reads)
+    /// and stores it once (`n²` coalesced writes). Blocks below the first
+    /// block-row additionally read the `w`-wide column-sum fringe above them
+    /// coalesced (`(m−1)·m·w` reads); blocks right of the first block-column
+    /// read the `w`-tall row-sum fringe to their left, a stride access down
+    /// a column (`(m−1)·m·w` stride reads); interior blocks read one corner
+    /// prefix scalar (`(m−1)²` coalesced reads). The block anti-diagonal
+    /// wavefront takes `2m − 1` launches, hence `2m − 2` barrier steps.
+    pub fn exact_counts(&self, algorithm: SatAlgorithm, n: usize) -> Option<ExactCounts> {
+        let w = self.cfg.width;
+        if n == 0 || n % w != 0 {
+            return None;
+        }
+        let m = (n / w) as u64;
+        let wu = w as u64;
+        let n2 = (n as u64) * (n as u64);
+        match algorithm {
+            SatAlgorithm::OneR1W => Some(ExactCounts {
+                coalesced_reads: n2 + (m - 1) * m * wu + (m - 1) * (m - 1),
+                coalesced_writes: n2,
+                stride_reads: (m - 1) * m * wu,
+                stride_writes: 0,
+                barrier_steps: 2 * m - 2,
+            }),
+            _ => None,
         }
     }
 }
@@ -734,6 +807,58 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn exact_counts_refine_table_one_leading_terms() {
+        let g = gc();
+        let (w, n) = (32usize, 1024usize);
+        let e = g.exact_counts(SatAlgorithm::OneR1W, n).unwrap();
+        let row = g.table_one_row(SatAlgorithm::OneR1W, n);
+        // Each exact column agrees with its Table I leading term to the
+        // dropped-small-terms order, O(1/w) relative…
+        let close = |exact: u64, lead: f64| (exact as f64 - lead).abs() <= lead * 4.0 / w as f64;
+        assert!(close(e.coalesced_reads, row.coalesced_reads));
+        assert!(close(e.coalesced_writes, row.coalesced_writes));
+        assert!(close(e.stride_reads, row.stride_reads));
+        assert_eq!(e.stride_writes, 0);
+        assert_eq!(e.barrier_steps as f64, row.barrier_steps);
+        // …and the derived C/S aggregates are consistent.
+        assert_eq!(e.coalesced_ops(), e.coalesced_reads + e.coalesced_writes);
+        let m = (n / w) as u64;
+        assert_eq!(e.stride_ops(), (m - 1) * m * w as u64);
+    }
+
+    #[test]
+    fn exact_counts_require_block_aligned_square() {
+        let g = gc(); // w = 32
+        assert!(g.exact_counts(SatAlgorithm::OneR1W, 0).is_none());
+        assert!(g.exact_counts(SatAlgorithm::OneR1W, 100).is_none()); // 32 ∤ 100
+        assert!(g.exact_counts(SatAlgorithm::TwoR2W, 1024).is_none()); // no closed form
+
+        // Degenerate single-block case: no fringes, no barriers.
+        let e = g.exact_counts(SatAlgorithm::OneR1W, 32).unwrap();
+        assert_eq!(e.coalesced_reads, 32 * 32);
+        assert_eq!(e.coalesced_writes, 32 * 32);
+        assert_eq!(e.stride_reads, 0);
+        assert_eq!(e.barrier_steps, 0);
+    }
+
+    #[test]
+    fn exact_counts_match_detects_divergence() {
+        let g = gc();
+        let e = g.exact_counts(SatAlgorithm::OneR1W, 64).unwrap();
+        let mut measured = CostCounters {
+            coalesced_reads: e.coalesced_reads,
+            coalesced_writes: e.coalesced_writes,
+            stride_reads: e.stride_reads,
+            stride_writes: e.stride_writes,
+            barrier_steps: e.barrier_steps,
+            ..CostCounters::new()
+        };
+        assert!(e.matches(&measured));
+        measured.stride_reads += 1;
+        assert!(!e.matches(&measured));
     }
 
     #[test]

@@ -49,6 +49,6 @@ pub mod warp;
 
 pub use address::{bank_of, group_of, Addr};
 pub use config::MachineConfig;
-pub use cost::{CostCounters, GlobalCost};
+pub use cost::{CostCounters, ExactCounts, GlobalCost};
 pub use diagonal::DiagonalLayout;
 pub use warp::{min_stages, AccessKind, MemSpace, WarpAccess};

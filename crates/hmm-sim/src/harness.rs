@@ -1,8 +1,10 @@
-//! Convenience harness: run an algorithm on a tracing device and simulate it.
+//! Convenience harness: run an algorithm on a tracing device and simulate
+//! it, and export simulated timelines into an observability trace.
 
 use gpu_exec::{Device, DeviceOptions};
 use hmm_model::cost::CostCounters;
 use hmm_model::MachineConfig;
+use obs::{ArgValue, Obs, SpanId};
 
 use crate::machine::{AsyncHmm, SimReport};
 
@@ -46,6 +48,55 @@ pub fn trace_and_simulate(cfg: MachineConfig, algo: impl FnOnce(&Device)) -> Tra
     }
 }
 
+/// Export a simulated run onto `obs`'s **simulated clock** (trace process
+/// [`obs::Track::SIM_PID`]): one umbrella span named `label` covering the
+/// whole program on lane 0, and one `window` span per barrier-delimited
+/// launch window on lane 1, parented to the umbrella, carrying the
+/// window's stage and block counts as args. In Perfetto the resulting
+/// track sits alongside the wall-clock track of the *real* execution, so
+/// the paper's simulated-vs-measured comparison becomes a visual overlay.
+///
+/// No-op (returning `None`) when `obs` is disabled. Returns the umbrella
+/// span's id otherwise.
+pub fn export_sim_timeline(obs: &Obs, report: &SimReport, label: &str) -> Option<SpanId> {
+    if !obs.is_enabled() {
+        return None;
+    }
+    // `total_time` charges one fixed overhead per launch on top of busy
+    // time, so the per-launch overhead is recoverable exactly.
+    let overhead = report.total_time.saturating_sub(report.busy_time())
+        / report.per_launch.len().max(1) as u64;
+    let windows = report.windows(overhead);
+    let root = obs.sim_span(
+        0,
+        format!("sim:{label}"),
+        0,
+        report.total_time,
+        None,
+        vec![
+            ("launches", ArgValue::from(report.per_launch.len())),
+            ("total_time", ArgValue::from(report.total_time)),
+            ("busy_time", ArgValue::from(report.busy_time())),
+        ],
+    );
+    for w in &windows {
+        obs.sim_span(
+            1,
+            "window",
+            w.start,
+            w.end,
+            root,
+            vec![
+                ("index", ArgValue::from(w.index)),
+                ("blocks", ArgValue::from(w.blocks)),
+                ("global_stages", ArgValue::from(w.global_stages)),
+                ("shared_stages", ArgValue::from(w.shared_stages)),
+            ],
+        );
+    }
+    root
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,5 +127,70 @@ mod tests {
         // Analytic: C/w + S + Λ(B+1) = 64/4 + 0 + 8·2 = 32.
         assert_eq!(run.analytic_cost, 32.0);
         assert!(run.model_accuracy() > 0.5 && run.model_accuracy() < 2.0);
+    }
+
+    #[test]
+    fn sim_timeline_lands_on_simulated_clock() {
+        let cfg = MachineConfig::with_width(4).latency(8).num_dmms(2);
+        let run = trace_and_simulate(cfg, |dev| {
+            let buf = GlobalBuffer::filled(1.0f64, 64);
+            for _ in 0..2 {
+                dev.launch(4, |ctx| {
+                    let g = ctx.view(&buf);
+                    let mut v = [0.0; 4];
+                    g.read_contig(ctx.block_id() * 4, &mut v, ctx.rec());
+                    g.write_contig(ctx.block_id() * 4, &v, ctx.rec());
+                });
+            }
+        });
+
+        let obs = Obs::new();
+        let root = export_sim_timeline(&obs, &run.sim, "harness").expect("enabled obs yields id");
+        // Umbrella + one window per launch (single-launch windows here).
+        assert_eq!(obs.event_count(), 1 + run.sim.per_launch.len());
+
+        let json = obs.trace_json();
+        let stats = obs::chrome::validate(&json).expect("valid chrome trace");
+        assert_eq!(stats.complete, 1 + run.sim.per_launch.len());
+
+        // Every emitted event sits on the simulated-clock process, and the
+        // windows point back at the umbrella span.
+        let parsed = obs::json::JsonValue::parse(&json).unwrap();
+        let events = parsed.get("traceEvents").unwrap().as_array().unwrap();
+        let mut windows = 0;
+        for ev in events {
+            if ev.get("ph").and_then(|p| p.as_str()) != Some("X") {
+                continue;
+            }
+            assert_eq!(
+                ev.get("pid").unwrap().as_f64().unwrap() as u32,
+                obs::Track::SIM_PID
+            );
+            let args = ev.get("args").unwrap();
+            if ev.get("name").and_then(|n| n.as_str()) == Some("window") {
+                windows += 1;
+                assert_eq!(args.get("parent").unwrap().as_f64().unwrap() as u64, root.0);
+            } else {
+                assert_eq!(ev.get("name").and_then(|n| n.as_str()), Some("sim:harness"));
+                assert_eq!(args.get("launches").unwrap().as_f64().unwrap() as usize, 2);
+            }
+        }
+        assert_eq!(windows, run.sim.per_launch.len());
+    }
+
+    #[test]
+    fn disabled_obs_skips_sim_export() {
+        let cfg = MachineConfig::with_width(4);
+        let run = trace_and_simulate(cfg, |dev| {
+            let buf = GlobalBuffer::filled(1.0f64, 16);
+            dev.launch(1, |ctx| {
+                let g = ctx.view(&buf);
+                let mut v = [0.0; 4];
+                g.read_contig(0, &mut v, ctx.rec());
+            });
+        });
+        let obs = Obs::disabled();
+        assert!(export_sim_timeline(&obs, &run.sim, "off").is_none());
+        assert_eq!(obs.event_count(), 0);
     }
 }

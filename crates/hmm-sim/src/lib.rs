@@ -23,5 +23,5 @@
 pub mod harness;
 pub mod machine;
 
-pub use harness::{trace_and_simulate, TracedRun};
+pub use harness::{export_sim_timeline, trace_and_simulate, TracedRun};
 pub use machine::{AsyncHmm, LaunchTiming, SimReport, WindowTimeline};

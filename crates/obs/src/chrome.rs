@@ -1,0 +1,273 @@
+//! Chrome trace-event serialization and validation.
+//!
+//! The [trace-event format](https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+//! is the JSON Perfetto and `chrome://tracing` load: an object whose
+//! `traceEvents` array holds one object per event, with `ph` (phase),
+//! `ts` (timestamp, µs), `pid`/`tid` and `name`. We emit complete events
+//! (`ph: "X"`, with `dur`), instant events (`ph: "i"`) and process-name
+//! metadata (`ph: "M"`) naming the two clocks.
+
+use std::fmt::Write as _;
+
+use crate::json::JsonValue;
+pub(crate) use crate::span::Event;
+use crate::span::{ArgValue, Track};
+
+/// Tallies returned by [`validate`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// All events, including metadata.
+    pub events: usize,
+    /// Complete (`"X"`) events.
+    pub complete: usize,
+    /// Instant (`"i"`) events.
+    pub instants: usize,
+    /// Metadata (`"M"`) events.
+    pub metadata: usize,
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn num(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        0.0
+    }
+}
+
+fn write_args(out: &mut String, ev: &Event) {
+    out.push_str(",\"args\":{");
+    let _ = write!(out, "\"id\":{}", ev.id);
+    if let Some(p) = ev.parent {
+        let _ = write!(out, ",\"parent\":{p}");
+    }
+    for (k, v) in &ev.args {
+        out.push(',');
+        escape_into(out, k);
+        out.push(':');
+        match v {
+            ArgValue::U64(u) => {
+                let _ = write!(out, "{u}");
+            }
+            ArgValue::F64(f) => {
+                let _ = write!(out, "{}", num(*f));
+            }
+            ArgValue::Str(s) => escape_into(out, s),
+        }
+    }
+    out.push('}');
+}
+
+/// Serialize `events` (plus clock-naming metadata) as a Chrome trace JSON
+/// object: `{"traceEvents":[…]}`.
+pub(crate) fn serialize(events: &[Event]) -> String {
+    let mut out = String::with_capacity(128 + events.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    for (i, (pid, label)) in [
+        (Track::WALL_PID, "wall clock"),
+        (Track::SIM_PID, "simulated HMM clock (1 unit = 1us)"),
+    ]
+    .iter()
+    .enumerate()
+    {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"ts\":0,\
+             \"args\":{{\"name\":\"{label}\"}}}}"
+        );
+    }
+    for ev in events {
+        out.push(',');
+        out.push_str("{\"name\":");
+        escape_into(&mut out, &ev.name);
+        let _ = write!(
+            out,
+            ",\"pid\":{},\"tid\":{},\"ts\":{}",
+            ev.track.pid,
+            ev.track.tid,
+            num(ev.ts)
+        );
+        match ev.dur {
+            Some(d) => {
+                let _ = write!(out, ",\"ph\":\"X\",\"dur\":{}", num(d));
+            }
+            None => out.push_str(",\"ph\":\"i\",\"s\":\"t\""),
+        }
+        write_args(&mut out, ev);
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Check that `text` is valid Chrome trace-event JSON: it parses, events
+/// are found under a top-level array or a `traceEvents` key, and every
+/// event carries the required `name`, `ph`, `ts`, `pid`, `tid` (complete
+/// events additionally `dur`). Returns per-phase tallies.
+pub fn validate(text: &str) -> Result<TraceStats, String> {
+    let v = JsonValue::parse(text)?;
+    let events = match &v {
+        JsonValue::Array(a) => a,
+        JsonValue::Object(_) => v
+            .get("traceEvents")
+            .ok_or("top-level object lacks \"traceEvents\"")?
+            .as_array()
+            .ok_or("\"traceEvents\" is not an array")?,
+        _ => return Err("top level is neither an array nor an object".to_string()),
+    };
+    let mut stats = TraceStats::default();
+    for (i, ev) in events.iter().enumerate() {
+        let field = |key: &str| {
+            ev.get(key)
+                .ok_or_else(|| format!("event {i} lacks required key {key:?}"))
+        };
+        let ph = field("ph")?
+            .as_str()
+            .ok_or_else(|| format!("event {i}: \"ph\" is not a string"))?
+            .to_string();
+        field("name")?
+            .as_str()
+            .ok_or_else(|| format!("event {i}: \"name\" is not a string"))?;
+        for key in ["ts", "pid", "tid"] {
+            field(key)?
+                .as_f64()
+                .ok_or_else(|| format!("event {i}: {key:?} is not a number"))?;
+        }
+        stats.events += 1;
+        match ph.as_str() {
+            "X" => {
+                field("dur")?
+                    .as_f64()
+                    .ok_or_else(|| format!("event {i}: \"dur\" is not a number"))?;
+                stats.complete += 1;
+            }
+            "i" | "I" => stats.instants += 1,
+            "M" => stats.metadata += 1,
+            _ => {}
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Obs, SpanId};
+
+    #[test]
+    fn empty_trace_is_valid_and_names_both_clocks() {
+        let json = serialize(&[]);
+        let stats = validate(&json).unwrap();
+        assert_eq!(stats.metadata, 2);
+        assert_eq!(stats.complete, 0);
+        assert!(json.contains("wall clock"));
+        assert!(json.contains("simulated HMM clock"));
+    }
+
+    #[test]
+    fn serialized_events_round_trip_through_the_validator() {
+        let events = vec![
+            Event {
+                name: "launch \"x\"\n".into(), // escaping exercise
+                track: Track::wall(0),
+                id: 1,
+                parent: None,
+                ts: 0.5,
+                dur: Some(10.0),
+                args: vec![
+                    ("grid", ArgValue::U64(64)),
+                    ("ratio", ArgValue::F64(0.25)),
+                    ("algo", ArgValue::Str("1R1W".to_string())),
+                ],
+            },
+            Event {
+                name: "admit".into(),
+                track: Track::wall(3),
+                id: 2,
+                parent: Some(1),
+                ts: 1.0,
+                dur: None,
+                args: Vec::new(),
+            },
+        ];
+        let json = serialize(&events);
+        let stats = validate(&json).unwrap();
+        assert_eq!(stats.events, 4); // 2 metadata + 2 events
+        assert_eq!(stats.complete, 1);
+        assert_eq!(stats.instants, 1);
+        let v = JsonValue::parse(&json).unwrap();
+        let evs = v.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(evs[2].get("name").unwrap().as_str(), Some("launch \"x\"\n"));
+        assert_eq!(
+            evs[2].get("args").unwrap().get("algo").unwrap().as_str(),
+            Some("1R1W")
+        );
+        assert_eq!(
+            evs[3].get("args").unwrap().get("parent").unwrap().as_f64(),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn non_finite_values_degrade_to_zero_not_invalid_json() {
+        let events = vec![Event {
+            name: "bad".into(),
+            track: Track::wall(0),
+            id: 1,
+            parent: None,
+            ts: f64::NAN,
+            dur: Some(f64::INFINITY),
+            args: vec![("x", ArgValue::F64(f64::NEG_INFINITY))],
+        }];
+        let json = serialize(&events);
+        validate(&json).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_missing_required_keys() {
+        assert!(validate("not json").is_err());
+        assert!(validate("{\"other\":1}").is_err());
+        let missing_ts = "[{\"name\":\"x\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"dur\":1}]";
+        let err = validate(missing_ts).unwrap_err();
+        assert!(err.contains("ts"), "{err}");
+        let missing_dur = "[{\"name\":\"x\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":0}]";
+        assert!(validate(missing_dur).is_err());
+        // A bare array of well-formed events is accepted.
+        let ok = "[{\"name\":\"x\",\"ph\":\"i\",\"pid\":1,\"tid\":0,\"ts\":0}]";
+        assert_eq!(validate(ok).unwrap().instants, 1);
+    }
+
+    #[test]
+    fn obs_output_is_schema_valid() {
+        let obs = Obs::new();
+        {
+            let _s = obs.span(Track::wall(0), "outer");
+        }
+        obs.sim_span(0, "w0", 0, 9, Some(SpanId(1)), Vec::new());
+        obs.instant(Track::wall(1), "mark", vec![("n", ArgValue::U64(3))]);
+        let stats = validate(&obs.trace_json()).unwrap();
+        assert_eq!(stats.complete, 2);
+        assert_eq!(stats.instants, 1);
+        assert_eq!(stats.metadata, 2);
+    }
+}

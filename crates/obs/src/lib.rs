@@ -1,0 +1,52 @@
+//! # obs — workspace-wide observability core
+//!
+//! The paper's whole argument is accounting: the global memory access cost
+//! `C/w + S + L·(B+1)` per algorithm (Table I) and measured wall-clock per
+//! configuration (Table II). This crate gives every layer of the workspace a
+//! shared vocabulary for that accounting:
+//!
+//! * a **counter/gauge [`Registry`]** — lock-cheap atomic cells behind typed
+//!   handles, with *cumulative* and *per-launch* scopes and Prometheus-style
+//!   text exposition ([`Registry::expose_text`]);
+//! * a **structured span API** ([`Obs`]) — begin/end events with parent ids
+//!   and thread/block attribution, on **two clocks**: the wall clock
+//!   (`pid 1`) and the simulated HMM clock (`pid 2`), so a real execution
+//!   and its `hmm-sim` replay overlay in one timeline;
+//! * a **Chrome trace-event serializer** ([`Obs::trace_json`], the
+//!   [`chrome`] module) whose output loads directly in Perfetto or
+//!   `chrome://tracing`, plus a [`json`] parser/validator used by tests and
+//!   CI gates (the vendored `serde_json` shim only serializes).
+//!
+//! ## Disabled means free
+//!
+//! [`Obs::disabled`] yields a handle whose inner state is `None`: every span
+//! or instant call reduces to one branch on an `Option` and returns. No
+//! clock is read, nothing allocates, no lock is touched. Code can therefore
+//! thread an `Obs` unconditionally and let construction decide; the
+//! `disabled_path_is_cheap` test holds this to a budget.
+//!
+//! ```
+//! use obs::{ArgValue, Obs, Track};
+//!
+//! let obs = Obs::new();
+//! let reg = obs.registry().unwrap();
+//! let ops = reg.counter("gpu_coalesced_ops");
+//! {
+//!     let mut span = obs.span(Track::wall(0), "launch");
+//!     ops.add(128);
+//!     span.arg("grid", ArgValue::from(4u64));
+//! }
+//! let trace = obs.trace_json();
+//! obs::chrome::validate(&trace).expect("valid Chrome trace JSON");
+//! assert!(reg.expose_text().contains("gpu_coalesced_ops 128"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod json;
+mod registry;
+mod span;
+
+pub use registry::{Counter, CounterSample, Gauge, GaugeSample, Registry, Snapshot};
+pub use span::{ArgValue, Obs, SpanGuard, SpanId, Track};

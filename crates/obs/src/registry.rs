@@ -1,0 +1,367 @@
+//! The counter/gauge registry: typed handles over atomic cells.
+//!
+//! Handles ([`Counter`], [`Gauge`]) are obtained once and updated with a
+//! single atomic add — the registry's map lock is only taken at
+//! registration and snapshot time, never on the hot path.
+//!
+//! Counters carry two scopes: a **cumulative** total (never reset — the
+//! Prometheus counter contract) and a **per-launch** scope that an executor
+//! zeroes at the start of each unit of work ([`Registry::reset_scope`]), so
+//! "what did *this* launch cost" is answerable without diffing snapshots.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A shared metric registry. Cloning is cheap (one `Arc`); all clones see
+/// the same metrics.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+enum Metric {
+    Counter(Arc<CounterCell>),
+    Gauge(Arc<GaugeCell>),
+}
+
+#[derive(Default)]
+struct CounterCell {
+    total: AtomicU64,
+    scope: AtomicU64,
+}
+
+#[derive(Default)]
+struct GaugeCell {
+    /// `f64` bits; gauges are set, not accumulated, so a plain store works.
+    bits: AtomicU64,
+}
+
+/// A monotonically increasing counter. Cheap to clone; updates are one
+/// relaxed atomic add per scope.
+#[derive(Clone)]
+pub struct Counter {
+    cell: Arc<CounterCell>,
+}
+
+/// A gauge: a value that is *set* rather than accumulated (latency
+/// percentiles, queue depth, ratios).
+#[derive(Clone)]
+pub struct Gauge {
+    cell: Arc<GaugeCell>,
+}
+
+/// One counter's values at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSample {
+    /// Metric name, possibly with a `{label="value"}` suffix.
+    pub name: String,
+    /// Cumulative value since registration.
+    pub total: u64,
+    /// Value accumulated since the last [`Registry::reset_scope`].
+    pub scoped: u64,
+}
+
+/// One gauge's value at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeSample {
+    /// Metric name, possibly with a `{label="value"}` suffix.
+    pub name: String,
+    /// Last value set.
+    pub value: f64,
+}
+
+/// A point-in-time view of every registered metric, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// All counters.
+    pub counters: Vec<CounterSample>,
+    /// All gauges.
+    pub gauges: Vec<GaugeSample>,
+}
+
+impl Snapshot {
+    /// The counter named `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<&CounterSample> {
+        self.counters.iter().find(|c| c.name == name)
+    }
+
+    /// The gauge named `name`, if registered.
+    pub fn gauge(&self, name: &str) -> Option<&GaugeSample> {
+        self.gauges.iter().find(|g| g.name == name)
+    }
+}
+
+impl Counter {
+    /// Add `n` to both the cumulative total and the per-launch scope.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.total.fetch_add(n, Ordering::Relaxed);
+        self.cell.scope.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Cumulative value since registration.
+    pub fn total(&self) -> u64 {
+        self.cell.total.load(Ordering::Relaxed)
+    }
+
+    /// Value accumulated since the last [`Registry::reset_scope`].
+    pub fn scoped(&self) -> u64 {
+        self.cell.scope.load(Ordering::Relaxed)
+    }
+}
+
+impl Gauge {
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.cell.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Last value set (0.0 initially).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.cell.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Valid metric names: Prometheus identifier characters, with an optional
+/// literal `{label="value",…}` suffix baked into the name.
+fn check_name(name: &str) {
+    let base = name.split('{').next().unwrap_or(name);
+    assert!(
+        !base.is_empty()
+            && base
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+        "invalid metric name {name:?}"
+    );
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or register the counter `name`. The name may carry a literal
+    /// label suffix, e.g. `requests_total{reason="deadline"}`.
+    ///
+    /// Panics if `name` is already registered as a gauge.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self.inner.metrics.lock().expect("registry lock");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(CounterCell::default())))
+        {
+            Metric::Counter(c) => {
+                check_name(name);
+                Counter {
+                    cell: Arc::clone(c),
+                }
+            }
+            Metric::Gauge(_) => panic!("metric {name:?} is already registered as a gauge"),
+        }
+    }
+
+    /// Get or register the gauge `name`.
+    ///
+    /// Panics if `name` is already registered as a counter.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self.inner.metrics.lock().expect("registry lock");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(GaugeCell::default())))
+        {
+            Metric::Gauge(g) => {
+                check_name(name);
+                Gauge {
+                    cell: Arc::clone(g),
+                }
+            }
+            Metric::Counter(_) => panic!("metric {name:?} is already registered as a counter"),
+        }
+    }
+
+    /// Zero every counter's per-launch scope (cumulative totals are
+    /// untouched). Executors call this at the start of each launch.
+    pub fn reset_scope(&self) {
+        let m = self.inner.metrics.lock().expect("registry lock");
+        for metric in m.values() {
+            if let Metric::Counter(c) = metric {
+                c.scope.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Snapshot every metric, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let m = self.inner.metrics.lock().expect("registry lock");
+        let mut snap = Snapshot::default();
+        for (name, metric) in m.iter() {
+            match metric {
+                Metric::Counter(c) => snap.counters.push(CounterSample {
+                    name: name.clone(),
+                    total: c.total.load(Ordering::Relaxed),
+                    scoped: c.scope.load(Ordering::Relaxed),
+                }),
+                Metric::Gauge(g) => snap.gauges.push(GaugeSample {
+                    name: name.clone(),
+                    value: f64::from_bits(g.bits.load(Ordering::Relaxed)),
+                }),
+            }
+        }
+        snap
+    }
+
+    /// Prometheus-style text exposition: one `# TYPE` line per metric family
+    /// (the name up to any `{` suffix) followed by its samples' cumulative
+    /// values, in name order.
+    pub fn expose_text(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::new();
+        let mut last_family = String::new();
+        let type_line = |out: &mut String, name: &str, kind: &str, last: &mut String| {
+            let family = name.split('{').next().unwrap_or(name);
+            if family != last {
+                let _ = writeln!(out, "# TYPE {family} {kind}");
+                *last = family.to_string();
+            }
+        };
+        for c in &snap.counters {
+            type_line(&mut out, &c.name, "counter", &mut last_family);
+            let _ = writeln!(out, "{} {}", c.name, c.total);
+        }
+        for g in &snap.gauges {
+            type_line(&mut out, &g.name, "gauge", &mut last_family);
+            let _ = writeln!(out, "{} {}", g.name, g.value);
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Registry")
+            .field("metrics", &self.snapshot())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_registry_snapshot() {
+        let r = Registry::new();
+        let s = r.snapshot();
+        assert!(s.counters.is_empty());
+        assert!(s.gauges.is_empty());
+        assert_eq!(r.expose_text(), "");
+    }
+
+    #[test]
+    fn single_sample_snapshot() {
+        let r = Registry::new();
+        let c = r.counter("ops_total");
+        c.inc();
+        let s = r.snapshot();
+        assert_eq!(s.counters.len(), 1);
+        assert_eq!(s.counter("ops_total").unwrap().total, 1);
+        assert_eq!(s.counter("ops_total").unwrap().scoped, 1);
+        assert!(s.counter("missing").is_none());
+    }
+
+    #[test]
+    fn clones_share_cells_and_registry() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.clone().counter("x");
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.total(), 5);
+        assert_eq!(r.snapshot().counter("x").unwrap().total, 5);
+    }
+
+    #[test]
+    fn scope_resets_but_total_accumulates() {
+        let r = Registry::new();
+        let c = r.counter("launch_ops");
+        c.add(10);
+        r.reset_scope();
+        c.add(4);
+        assert_eq!(c.total(), 14);
+        assert_eq!(c.scoped(), 4);
+        let s = r.snapshot();
+        assert_eq!(s.counter("launch_ops").unwrap().scoped, 4);
+    }
+
+    #[test]
+    fn gauges_set_and_read() {
+        let r = Registry::new();
+        let g = r.gauge("p99_ms");
+        assert_eq!(g.get(), 0.0);
+        g.set(12.5);
+        assert_eq!(g.get(), 12.5);
+        assert_eq!(r.snapshot().gauge("p99_ms").unwrap().value, 12.5);
+    }
+
+    #[test]
+    fn exposition_groups_label_suffixed_families() {
+        let r = Registry::new();
+        r.counter("rejected_total{reason=\"deadline\"}").add(2);
+        r.counter("rejected_total{reason=\"queue_full\"}").add(1);
+        r.gauge("width_mean").set(3.5);
+        let text = r.expose_text();
+        // One TYPE line for the family, both samples under it, BTreeMap order.
+        assert_eq!(text.matches("# TYPE rejected_total counter").count(), 1);
+        assert!(text.contains("rejected_total{reason=\"deadline\"} 2\n"));
+        assert!(text.contains("rejected_total{reason=\"queue_full\"} 1\n"));
+        assert!(text.contains("# TYPE width_mean gauge\nwidth_mean 3.5\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as a gauge")]
+    fn kind_conflicts_panic() {
+        let r = Registry::new();
+        let _g = r.gauge("same");
+        let _c = r.counter("same");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_names_panic() {
+        let r = Registry::new();
+        let _c = r.counter("has space");
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let r = Registry::new();
+        let c = r.counter("hot");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.total(), 4000);
+    }
+}

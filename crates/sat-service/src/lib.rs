@@ -83,6 +83,11 @@ pub struct ServiceConfig {
     pub max_linger: Duration,
     /// Deadline applied when [`Client::submit`] passes `None`.
     pub default_deadline: Duration,
+    /// Observability sink. When enabled ([`obs::Obs::new`]) the service
+    /// emits request-lifecycle spans (admit → queue → batch → complete)
+    /// and the owned device shares the same trace and counter registry;
+    /// the default ([`obs::Obs::disabled`]) records nothing.
+    pub observer: obs::Obs,
 }
 
 impl Default for ServiceConfig {
@@ -94,6 +99,7 @@ impl Default for ServiceConfig {
             max_batch: 16,
             max_linger: Duration::from_micros(500),
             default_deadline: Duration::from_secs(5),
+            observer: obs::Obs::disabled(),
         }
     }
 }

@@ -1,43 +1,84 @@
 //! End-to-end instrumentation of the serving layer.
+//!
+//! Counters live on an [`obs::Registry`] (shared with the device when the
+//! service is constructed with an enabled [`obs::Obs`]), so one
+//! Prometheus-style scrape ([`Metrics::expose_text`]) covers both the
+//! serving layer (`sat_service_*`) and the device (`gpu_*`). Latency
+//! samples live in fixed-size rings: once a ring is full new samples
+//! overwrite the oldest, so percentiles always describe *recent* traffic
+//! instead of freezing on the first requests after start-up.
 
+use obs::{Counter, Registry};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
-/// Retained latency samples are capped so a long-lived service cannot grow
-/// without bound; percentiles then describe the first `MAX_SAMPLES`
-/// requests since the service started.
-const MAX_SAMPLES: usize = 1 << 20;
+/// Capacity of each latency ring. At one sample per request this spans the
+/// most recent 65 536 requests per distribution.
+pub(crate) const RING_CAPACITY: usize = 1 << 16;
+
+/// Fixed-size overwrite-oldest sample buffer.
+struct Ring {
+    buf: Vec<u64>,
+    /// Next slot to overwrite once `buf` is at capacity.
+    next: usize,
+    /// Samples ever offered (retained + overwritten).
+    pushed: u64,
+}
+
+impl Ring {
+    fn new() -> Ring {
+        Ring {
+            buf: Vec::new(),
+            next: 0,
+            pushed: 0,
+        }
+    }
+
+    fn push(&mut self, x: u64) {
+        self.pushed += 1;
+        if self.buf.len() < RING_CAPACITY {
+            self.buf.push(x);
+        } else {
+            self.buf[self.next] = x;
+            self.next = (self.next + 1) % RING_CAPACITY;
+        }
+    }
+
+    /// Samples evicted to make room for newer ones.
+    fn overwritten(&self) -> u64 {
+        self.pushed - self.buf.len() as u64
+    }
+}
 
 /// Shared counters and latency samples, updated by submitters and the
 /// batch-former.
-#[derive(Default)]
 pub(crate) struct Metrics {
     inner: Mutex<Inner>,
+    registry: Registry,
+    c: Counters,
 }
 
-#[derive(Default)]
+/// Registry-backed counter handles (cheap atomics; see `obs::Counter`).
+struct Counters {
+    submitted: Counter,
+    completed: Counter,
+    rejected_deadline: Counter,
+    rejected_queue_full: Counter,
+    rejected_shutdown: Counter,
+    rejected_invalid: Counter,
+    batches: Counter,
+    launches_issued: Counter,
+    launches_unbatched_equiv: Counter,
+    barriers_issued: Counter,
+    barriers_unbatched_equiv: Counter,
+    samples_dropped: Counter,
+}
+
 struct Inner {
-    submitted: u64,
-    completed: u64,
-    rejected_deadline: u64,
-    rejected_queue_full: u64,
-    rejected_shutdown: u64,
-    rejected_invalid: u64,
-    batches: u64,
     batch_width_hist: Vec<u64>,
-    launches_issued: u64,
-    launches_unbatched_equiv: u64,
-    barriers_issued: u64,
-    barriers_unbatched_equiv: u64,
-    queue_ns: Vec<u64>,
-    exec_ns: Vec<u64>,
-    total_ns: Vec<u64>,
-}
-
-fn push_sample(v: &mut Vec<u64>, x: u64) {
-    if v.len() < MAX_SAMPLES {
-        v.push(x);
-    }
+    queue_ns: Ring,
+    exec_ns: Ring,
+    total_ns: Ring,
 }
 
 /// One dispatched batch's accounting: its width, the launches/barriers it
@@ -55,60 +96,125 @@ pub(crate) struct BatchRecord<'a> {
 }
 
 impl Metrics {
+    /// Register the service's counters on `registry` (typically the one
+    /// behind the service's [`obs::Obs`], falling back to a private one).
+    pub(crate) fn new(registry: Registry) -> Metrics {
+        let c = Counters {
+            submitted: registry.counter("sat_service_submitted_total"),
+            completed: registry.counter("sat_service_completed_total"),
+            rejected_deadline: registry.counter("sat_service_rejected_total{reason=\"deadline\"}"),
+            rejected_queue_full: registry
+                .counter("sat_service_rejected_total{reason=\"queue_full\"}"),
+            rejected_shutdown: registry.counter("sat_service_rejected_total{reason=\"shutdown\"}"),
+            rejected_invalid: registry.counter("sat_service_rejected_total{reason=\"invalid\"}"),
+            batches: registry.counter("sat_service_batches_total"),
+            launches_issued: registry.counter("sat_service_launches_total{kind=\"issued\"}"),
+            launches_unbatched_equiv: registry
+                .counter("sat_service_launches_total{kind=\"unbatched_equiv\"}"),
+            barriers_issued: registry.counter("sat_service_barrier_steps_total{kind=\"issued\"}"),
+            barriers_unbatched_equiv: registry
+                .counter("sat_service_barrier_steps_total{kind=\"unbatched_equiv\"}"),
+            samples_dropped: registry.counter("sat_service_latency_samples_dropped_total"),
+        };
+        Metrics {
+            inner: Mutex::new(Inner {
+                batch_width_hist: Vec::new(),
+                queue_ns: Ring::new(),
+                exec_ns: Ring::new(),
+                total_ns: Ring::new(),
+            }),
+            registry,
+            c,
+        }
+    }
+
     pub(crate) fn on_submit(&self) {
-        self.inner.lock().submitted += 1;
+        self.c.submitted.inc();
     }
 
     pub(crate) fn on_reject(&self, err: &crate::ServiceError) {
-        let mut m = self.inner.lock();
         match err {
-            crate::ServiceError::QueueFull => m.rejected_queue_full += 1,
-            crate::ServiceError::DeadlineExceeded => m.rejected_deadline += 1,
-            crate::ServiceError::ShuttingDown => m.rejected_shutdown += 1,
-            crate::ServiceError::InvalidRequest(_) => m.rejected_invalid += 1,
+            crate::ServiceError::QueueFull => self.c.rejected_queue_full.inc(),
+            crate::ServiceError::DeadlineExceeded => self.c.rejected_deadline.inc(),
+            crate::ServiceError::ShuttingDown => self.c.rejected_shutdown.inc(),
+            crate::ServiceError::InvalidRequest(_) => self.c.rejected_invalid.inc(),
             crate::ServiceError::Internal(_) => {}
         }
     }
 
     /// Record one dispatched batch.
     pub(crate) fn on_batch(&self, b: &BatchRecord<'_>) {
+        self.c.batches.inc();
+        self.c.launches_issued.add(b.launches);
+        self.c.launches_unbatched_equiv.add(b.launches_equiv);
+        self.c.barriers_issued.add(b.barriers);
+        self.c.barriers_unbatched_equiv.add(b.barriers_equiv);
+        self.c.completed.add(b.width as u64);
         let mut m = self.inner.lock();
-        m.batches += 1;
         if m.batch_width_hist.len() <= b.width {
             m.batch_width_hist.resize(b.width + 1, 0);
         }
         m.batch_width_hist[b.width] += 1;
-        m.launches_issued += b.launches;
-        m.launches_unbatched_equiv += b.launches_equiv;
-        m.barriers_issued += b.barriers;
-        m.barriers_unbatched_equiv += b.barriers_equiv;
-        m.completed += b.width as u64;
+        let dropped_before =
+            m.queue_ns.overwritten() + m.exec_ns.overwritten() + m.total_ns.overwritten();
         for &q in b.queue_ns {
-            push_sample(&mut m.queue_ns, q);
-            push_sample(&mut m.exec_ns, b.exec_ns);
-            push_sample(&mut m.total_ns, q + b.exec_ns);
+            m.queue_ns.push(q);
+            m.exec_ns.push(b.exec_ns);
+            m.total_ns.push(q + b.exec_ns);
         }
+        let dropped_now =
+            m.queue_ns.overwritten() + m.exec_ns.overwritten() + m.total_ns.overwritten();
+        self.c.samples_dropped.add(dropped_now - dropped_before);
     }
 
     pub(crate) fn snapshot(&self) -> ServiceStats {
         let m = self.inner.lock();
         ServiceStats {
-            submitted: m.submitted,
-            completed: m.completed,
-            rejected_deadline: m.rejected_deadline,
-            rejected_queue_full: m.rejected_queue_full,
-            rejected_shutdown: m.rejected_shutdown,
-            rejected_invalid: m.rejected_invalid,
-            batches: m.batches,
+            submitted: self.c.submitted.total(),
+            completed: self.c.completed.total(),
+            rejected_deadline: self.c.rejected_deadline.total(),
+            rejected_queue_full: self.c.rejected_queue_full.total(),
+            rejected_shutdown: self.c.rejected_shutdown.total(),
+            rejected_invalid: self.c.rejected_invalid.total(),
+            batches: self.c.batches.total(),
             batch_width_hist: m.batch_width_hist.clone(),
-            launches_issued: m.launches_issued,
-            launches_unbatched_equiv: m.launches_unbatched_equiv,
-            barriers_issued: m.barriers_issued,
-            barriers_unbatched_equiv: m.barriers_unbatched_equiv,
-            queue_latency: LatencySummary::from_ns(&m.queue_ns),
-            exec_latency: LatencySummary::from_ns(&m.exec_ns),
-            total_latency: LatencySummary::from_ns(&m.total_ns),
+            launches_issued: self.c.launches_issued.total(),
+            launches_unbatched_equiv: self.c.launches_unbatched_equiv.total(),
+            barriers_issued: self.c.barriers_issued.total(),
+            barriers_unbatched_equiv: self.c.barriers_unbatched_equiv.total(),
+            latency_samples_dropped: self.c.samples_dropped.total(),
+            queue_latency: LatencySummary::from_ns(&m.queue_ns.buf),
+            exec_latency: LatencySummary::from_ns(&m.exec_ns.buf),
+            total_latency: LatencySummary::from_ns(&m.total_ns.buf),
         }
+    }
+
+    /// Prometheus-style text exposition: refresh the latency gauges from
+    /// the rings, then render every counter and gauge on the registry
+    /// (including the device's `gpu_*` family when the registry is shared).
+    pub(crate) fn expose_text(&self) -> String {
+        {
+            let m = self.inner.lock();
+            for (prefix, ring) in [
+                ("sat_service_queue_latency_ms", &m.queue_ns),
+                ("sat_service_exec_latency_ms", &m.exec_ns),
+                ("sat_service_total_latency_ms", &m.total_ns),
+            ] {
+                let s = LatencySummary::from_ns(&ring.buf);
+                for (stat, v) in [
+                    ("mean", s.mean_ms),
+                    ("p50", s.p50_ms),
+                    ("p95", s.p95_ms),
+                    ("p99", s.p99_ms),
+                    ("max", s.max_ms),
+                ] {
+                    self.registry
+                        .gauge(&format!("{prefix}{{stat=\"{stat}\"}}"))
+                        .set(v);
+                }
+            }
+        }
+        self.registry.expose_text()
     }
 }
 
@@ -140,6 +246,10 @@ pub struct ServiceStats {
     pub barriers_issued: u64,
     /// Barrier steps per-request execution would have issued.
     pub barriers_unbatched_equiv: u64,
+    /// Latency samples evicted from the retention rings to make room for
+    /// newer ones — nonzero means the percentiles below describe the most
+    /// recent window, not the whole history.
+    pub latency_samples_dropped: u64,
     /// Time from admission to batch dispatch, per request.
     pub queue_latency: LatencySummary,
     /// Device execution time of the request's batch.
@@ -227,6 +337,12 @@ impl LatencySummary {
     }
 }
 
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics::new(Registry::new())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,5 +390,82 @@ mod tests {
         assert_eq!(s.barrier_windows_saved(), 2);
         assert_eq!(s.launch_reduction(), 2.0);
         assert_eq!(s.total_latency.count, 2);
+        assert_eq!(s.latency_samples_dropped, 0);
+    }
+
+    #[test]
+    fn ring_keeps_recent_samples_and_counts_evictions() {
+        let mut r = Ring::new();
+        for i in 0..(RING_CAPACITY as u64 + 10) {
+            r.push(i);
+        }
+        assert_eq!(r.buf.len(), RING_CAPACITY);
+        assert_eq!(r.overwritten(), 10);
+        // The 10 oldest samples (0..10) were overwritten by the newest.
+        assert!(!r.buf.contains(&3));
+        assert!(r.buf.contains(&(RING_CAPACITY as u64 + 9)));
+    }
+
+    #[test]
+    fn percentiles_track_recent_traffic_after_wrap() {
+        // Fill the ring once with slow samples, then wrap it completely
+        // with fast ones: the percentiles must follow the new regime. The
+        // pre-fix first-N retention would have frozen p50 at the slow value.
+        let m = Metrics::default();
+        let slow = 100_000_000; // 100 ms
+        let fast = 1_000_000; // 1 ms
+        let slow_q = vec![slow; RING_CAPACITY];
+        m.on_batch(&BatchRecord {
+            width: RING_CAPACITY,
+            launches: 1,
+            launches_equiv: 1,
+            barriers: 0,
+            barriers_equiv: 0,
+            queue_ns: &slow_q,
+            exec_ns: 0,
+        });
+        assert_eq!(m.snapshot().queue_latency.p50_ms, 100.0);
+        let fast_q = vec![fast; RING_CAPACITY];
+        m.on_batch(&BatchRecord {
+            width: RING_CAPACITY,
+            launches: 1,
+            launches_equiv: 1,
+            barriers: 0,
+            barriers_equiv: 0,
+            queue_ns: &fast_q,
+            exec_ns: 0,
+        });
+        let s = m.snapshot();
+        assert_eq!(s.queue_latency.p50_ms, 1.0);
+        assert_eq!(s.queue_latency.p99_ms, 1.0);
+        assert_eq!(s.queue_latency.count, RING_CAPACITY as u64);
+        // queue + exec + total rings each evicted one full generation.
+        assert_eq!(s.latency_samples_dropped, 3 * RING_CAPACITY as u64);
+        // The cumulative counter still reflects every request ever served.
+        assert_eq!(s.completed, 2 * RING_CAPACITY as u64);
+    }
+
+    #[test]
+    fn expose_text_renders_counters_and_latency_gauges() {
+        let m = Metrics::default();
+        m.on_submit();
+        m.on_reject(&crate::ServiceError::DeadlineExceeded);
+        m.on_batch(&BatchRecord {
+            width: 1,
+            launches: 2,
+            launches_equiv: 2,
+            barriers: 1,
+            barriers_equiv: 1,
+            queue_ns: &[2_000_000],
+            exec_ns: 1_000_000,
+        });
+        let text = m.expose_text();
+        assert!(text.contains("# TYPE sat_service_submitted_total counter"));
+        assert!(text.contains("sat_service_submitted_total 1"));
+        assert!(text.contains("sat_service_rejected_total{reason=\"deadline\"} 1"));
+        assert!(text.contains("sat_service_launches_total{kind=\"issued\"} 2"));
+        assert!(text.contains("# TYPE sat_service_queue_latency_ms gauge"));
+        assert!(text.contains("sat_service_queue_latency_ms{stat=\"p50\"} 2"));
+        assert!(text.contains("sat_service_total_latency_ms{stat=\"max\"} 3"));
     }
 }

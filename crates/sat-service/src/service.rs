@@ -9,6 +9,7 @@ use std::time::{Duration, Instant};
 
 use gpu_exec::{Device, DeviceOptions};
 use hmm_model::cost::SatAlgorithm;
+use obs::{ArgValue, Track};
 use parking_lot::{Condvar, Mutex};
 use sat_core::{compute_sat, compute_sat_batch, Matrix, SumTable};
 
@@ -60,17 +61,21 @@ impl Service {
     pub fn start(cfg: ServiceConfig) -> Service {
         assert!(cfg.queue_capacity > 0, "queue capacity must be positive");
         assert!(cfg.max_batch > 0, "max batch must be positive");
-        let mut opts = DeviceOptions::new(cfg.machine);
+        let mut opts = DeviceOptions::new(cfg.machine).observer(cfg.observer.clone());
         if let Some(w) = cfg.device_workers {
             opts = opts.workers(w);
         }
         let dev = Device::new(opts);
+        // Share one registry between serving-layer and device counters so a
+        // single scrape covers both; fall back to a private registry when
+        // observability is off (ServiceStats keeps working either way).
+        let metrics = Metrics::new(cfg.observer.registry().unwrap_or_default());
         let shared = Arc::new(Shared {
             cfg,
             state: Mutex::new(QueueState::default()),
             space_cv: Condvar::new(),
             work_cv: Condvar::new(),
-            metrics: Metrics::default(),
+            metrics,
         });
         let for_batcher = Arc::clone(&shared);
         let batcher = std::thread::Builder::new()
@@ -93,6 +98,13 @@ impl Service {
     /// Snapshot the service's instrumentation.
     pub fn stats(&self) -> ServiceStats {
         self.shared.metrics.snapshot()
+    }
+
+    /// Prometheus-style text exposition of every counter and gauge the
+    /// service maintains (plus the device's `gpu_*` counters when the
+    /// service was started with an enabled observer).
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics.expose_text()
     }
 
     /// Stop admitting requests, drain everything already queued through the
@@ -143,6 +155,7 @@ impl Client {
         }
         let enqueued = Instant::now();
         let deadline_at = enqueued + deadline.unwrap_or(self.shared.cfg.default_deadline);
+        let (rows, cols) = (image.rows(), image.cols());
         let (tx, rx) = mpsc::sync_channel(1);
         {
             let mut st = self.shared.state.lock();
@@ -174,6 +187,15 @@ impl Client {
             });
         }
         self.shared.metrics.on_submit();
+        self.shared.cfg.observer.instant(
+            Track::wall(0),
+            "admit",
+            vec![
+                ("rows", ArgValue::from(rows)),
+                ("cols", ArgValue::from(cols)),
+                ("algo", ArgValue::from(algorithm.name())),
+            ],
+        );
         self.shared.work_cv.notify_all();
         match rx.recv() {
             Ok(result) => result,
@@ -186,6 +208,11 @@ impl Client {
     /// Snapshot the service's instrumentation.
     pub fn stats(&self) -> ServiceStats {
         self.shared.metrics.snapshot()
+    }
+
+    /// Prometheus-style text exposition; see [`Service::metrics_text`].
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics.expose_text()
     }
 }
 
@@ -311,6 +338,14 @@ fn batcher_loop(shared: &Shared, dev: &Device) {
         for r in expired {
             let err = ServiceError::DeadlineExceeded;
             shared.metrics.on_reject(&err);
+            shared.cfg.observer.instant(
+                Track::wall(0),
+                "deadline_expired",
+                vec![
+                    ("rows", ArgValue::from(r.image.rows())),
+                    ("cols", ArgValue::from(r.image.cols())),
+                ],
+            );
             let _ = r.reply.send(Err(err));
         }
         for d in ready {
@@ -334,6 +369,7 @@ fn execute(shared: &Shared, dev: &Device, d: Dispatch) {
         .iter()
         .map(|r| dispatched_at.duration_since(r.enqueued).as_nanos() as u64)
         .collect();
+    let enqueued_at: Vec<Instant> = d.requests.iter().map(|r| r.enqueued).collect();
     let mut images = Vec::with_capacity(width);
     let mut replies = Vec::with_capacity(width);
     for r in d.requests {
@@ -383,6 +419,42 @@ fn execute(shared: &Shared, dev: &Device, d: Dispatch) {
         queue_ns: &queue_ns,
         exec_ns,
     });
+
+    // Retro-emit the lifecycle spans now that the batch's end is known: a
+    // `batch` span covering device execution on lane 0 (the device's own
+    // per-launch spans nest inside it by containment) and one `queue` span
+    // per request from admission to dispatch, parented to the batch.
+    let obs = &shared.cfg.observer;
+    if obs.is_enabled() {
+        let done = Instant::now();
+        let batch = obs.wall_span_at(
+            Track::wall(0),
+            "batch",
+            dispatched_at,
+            done,
+            None,
+            vec![
+                ("width", ArgValue::from(width)),
+                ("algo", ArgValue::from(d.algorithm.name())),
+                ("launches", ArgValue::from(issued)),
+            ],
+        );
+        for (i, &enq) in enqueued_at.iter().enumerate() {
+            obs.wall_span_at(
+                Track::wall(1 + (i as u32 % 16)),
+                "queue",
+                enq,
+                dispatched_at,
+                batch,
+                vec![("request", ArgValue::from(i))],
+            );
+        }
+        obs.instant(
+            Track::wall(0),
+            "complete",
+            vec![("width", ArgValue::from(width))],
+        );
+    }
     for (reply, sat) in replies.into_iter().zip(results) {
         let _ = reply.send(Ok(SumTable::from_sat(sat)));
     }

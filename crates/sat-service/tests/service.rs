@@ -17,6 +17,7 @@ fn small_config() -> ServiceConfig {
         max_batch: 8,
         max_linger: Duration::from_millis(2),
         default_deadline: Duration::from_secs(30),
+        observer: obs::Obs::disabled(),
     }
 }
 
@@ -167,6 +168,7 @@ fn backpressure_rejects_when_queue_stays_full() {
         // Lingering occupant: holds the single queue slot for the whole test.
         max_linger: Duration::from_secs(3600),
         default_deadline: Duration::from_secs(3600),
+        observer: obs::Obs::disabled(),
     };
     let service = Service::start(cfg);
     let occupant = service.client();
@@ -240,6 +242,66 @@ fn empty_matrices_are_rejected_before_queueing() {
     let stats = service.shutdown();
     assert_eq!(stats.rejected_invalid, 1);
     assert_eq!(stats.submitted, 0);
+}
+
+#[test]
+fn observed_service_exposes_metrics_text_and_lifecycle_spans() {
+    let obs = obs::Obs::new();
+    let mut cfg = small_config();
+    cfg.observer = obs.clone();
+    let service = Service::start(cfg);
+    let client = service.client();
+    for t in 0..3usize {
+        client
+            .submit(image(16, 16, t), SatAlgorithm::OneR1W, None)
+            .expect("accepted");
+    }
+    let err = client
+        .submit(Matrix::zeros(0, 1), SatAlgorithm::OneR1W, None)
+        .expect_err("invalid");
+    assert!(matches!(err, ServiceError::InvalidRequest(_)));
+
+    // Prometheus-style exposition from the client handle: serving-layer
+    // counters and the shared device's gpu_* family in one scrape.
+    let text = client.metrics_text();
+    assert!(text.contains("# TYPE sat_service_submitted_total counter"));
+    assert!(text.contains("sat_service_submitted_total 3"));
+    assert!(text.contains("sat_service_completed_total 3"));
+    assert!(text.contains("sat_service_rejected_total{reason=\"invalid\"} 1"));
+    assert!(text.contains("# TYPE sat_service_queue_latency_ms gauge"));
+    assert!(text.contains("# TYPE gpu_launches counter"));
+    let launches_line = text
+        .lines()
+        .find(|l| l.starts_with("gpu_launches "))
+        .expect("device counters share the registry");
+    let launches: u64 = launches_line
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(launches >= 7, "16x16 at w=4 needs 2m-1=7 launches");
+
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 3);
+
+    // The trace holds the full request lifecycle on the wall clock and is
+    // valid Chrome trace-event JSON.
+    let json = obs.trace_json();
+    obs::chrome::validate(&json).expect("valid chrome trace");
+    let parsed = obs::json::JsonValue::parse(&json).unwrap();
+    let events = parsed.get("traceEvents").unwrap().as_array().unwrap();
+    let named = |want: &str| {
+        events
+            .iter()
+            .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some(want))
+            .count()
+    };
+    assert_eq!(named("admit"), 3);
+    assert_eq!(named("queue"), 3);
+    assert!(named("batch") >= 1);
+    assert!(named("launch") >= 7, "device spans share the trace");
+    assert!(named("complete") >= 1);
 }
 
 #[test]

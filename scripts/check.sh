@@ -24,4 +24,8 @@ cargo run --release -q -p sat-bench --bin loadgen -- \
 echo "== satlint over a traced service batch"
 cargo run --release -q -p sat-bench --bin satlint -- --n 64 --batch 8
 
+echo "== satprof smoke (Perfetto trace schema + exact 1R1W counter check)"
+cargo run --release -q -p sat-bench --bin satprof -- \
+    --algo 1r1w --n 256 --check --trace target/satprof_smoke.json
+
 echo "== all checks passed"

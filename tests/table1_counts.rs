@@ -132,3 +132,19 @@ fn measured_cost_matches_closed_form_within_slack() {
         );
     }
 }
+
+#[test]
+fn one_r1w_counts_match_exact_closed_form() {
+    // Beyond the leading-term slack above: for 1R1W on a block-aligned
+    // square the model has an *exact* closed form, and a real execution
+    // must reproduce every column of it (including barrier steps). This is
+    // the same equality the `satprof --check` gate enforces.
+    let (s, gc) = run(SatAlgorithm::OneR1W);
+    let exact = gc
+        .exact_counts(SatAlgorithm::OneR1W, N)
+        .expect("N is a multiple of W");
+    assert!(
+        exact.matches(&s),
+        "measured {s:?} diverges from exact closed form {exact:?}"
+    );
+}
