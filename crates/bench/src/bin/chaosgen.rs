@@ -1,0 +1,312 @@
+//! `chaosgen` — drive the serving layer through a schedule of injected
+//! fault scenarios and record whether self-healing held the line.
+//!
+//! ```sh
+//! cargo run --release -p sat-bench --bin chaosgen -- \
+//!     [--threads 4] [--requests 16] [--n 32] [--width 4] [--seed 7] \
+//!     [--slo-ms 250] [--scenarios abort,corrupt,loss,combined] \
+//!     [--json BENCH_chaos.json]
+//! ```
+//!
+//! Each scenario starts a fresh `sat-service` over a chaos device with one
+//! fault class armed (`combined` arms them all), then pushes the same
+//! loadgen-style workload through it: `--threads` client threads each
+//! submitting `--requests` SAT requests of an `--n × --n` integer-valued
+//! matrix. Every response is checked **bit-equal** against the sequential
+//! CPU reference, so a scenario passes only if retry, verification, the
+//! circuit breaker and CPU degradation together healed every injected
+//! fault. The per-scenario record holds SLO attainment at `--slo-ms`,
+//! the resilience counters (attempts, retries, degradations, breaker
+//! transitions, canaries) and the injection counts the device reported on
+//! the shared `obs` registry.
+//!
+//! Exits nonzero on any rejected request or result mismatch, and — for
+//! scenarios with a device-loss window — when the breaker never opened or
+//! no request completed on the degraded CPU path. `scripts/check.sh` runs
+//! the abort+corruption scenarios as the chaos smoke gate.
+
+use std::process::ExitCode;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use gpu_exec::{FaultPlan, LossWindow};
+use hmm_model::cost::SatAlgorithm;
+use hmm_model::MachineConfig;
+use sat_bench::{flag_value, parsed_flag};
+use sat_core::{seq::sat_reference, Matrix};
+use sat_service::{Service, ServiceConfig, ServiceStats};
+use serde::{Deserialize, Serialize};
+
+/// One scenario's outcome in `BENCH_chaos.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ScenarioRecord {
+    name: String,
+    wall_seconds: f64,
+    completed: u64,
+    rejected: u64,
+    mismatches: u64,
+    slo_attainment: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    attempts_ok: u64,
+    attempts_failed: u64,
+    retries: u64,
+    degraded: u64,
+    verify_pass: u64,
+    verify_fail: u64,
+    breaker_opened: u64,
+    breaker_half_open: u64,
+    breaker_closed: u64,
+    canary_probes: u64,
+    injected_aborts: u64,
+    injected_losses: u64,
+    injected_stragglers: u64,
+    injected_corruptions: u64,
+}
+
+/// The record `BENCH_chaos.json` holds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ChaosRecord {
+    threads: usize,
+    requests_per_thread: usize,
+    n: usize,
+    width: usize,
+    seed: u64,
+    slo_ms: f64,
+    scenarios: Vec<ScenarioRecord>,
+}
+
+/// The default schedule from the acceptance gate: abort p=0.05,
+/// corruption p=0.02, one 50 ms device-loss window; `combined` arms all
+/// of them plus a mild straggler.
+fn plan_for(name: &str, seed: u64) -> Option<FaultPlan> {
+    let loss = LossWindow::Wall {
+        start_after_launch: 0,
+        duration: Duration::from_millis(50),
+    };
+    match name {
+        "abort" => Some(FaultPlan::new(seed).launch_abort_p(0.05)),
+        "corrupt" => Some(FaultPlan::new(seed).corrupt_p(0.02)),
+        "loss" => Some(FaultPlan::new(seed).loss(loss)),
+        "combined" => Some(
+            FaultPlan::new(seed)
+                .launch_abort_p(0.05)
+                .corrupt_p(0.02)
+                .straggler(0.01, Duration::from_micros(5))
+                .loss(loss),
+        ),
+        _ => None,
+    }
+}
+
+/// Whether the scenario injects a device-loss window, i.e. must show
+/// breaker + degradation activity.
+fn has_loss(name: &str) -> bool {
+    matches!(name, "loss" | "combined")
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0 * sorted_ms.len() as f64).ceil() as usize).max(1) - 1;
+    sorted_ms[rank.min(sorted_ms.len() - 1)]
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_scenario(
+    name: &str,
+    plan: FaultPlan,
+    threads: usize,
+    requests: usize,
+    machine: MachineConfig,
+    pool: &[(Matrix<f64>, Matrix<f64>)],
+    slo_ms: f64,
+) -> ScenarioRecord {
+    let observer = obs::Obs::new();
+    let registry = observer.registry().expect("enabled observer");
+    let service = Service::start(ServiceConfig {
+        machine,
+        device_workers: None,
+        queue_capacity: (threads * 4).max(64),
+        max_batch: 8,
+        max_linger: Duration::from_micros(200),
+        default_deadline: Duration::from_secs(60),
+        observer,
+        fault_plan: Some(plan),
+        resilience: Default::default(),
+    });
+
+    let mismatches = Mutex::new(0u64);
+    let rejected = Mutex::new(0u64);
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let client = service.client();
+            let (mismatches, rejected, latencies) = (&mismatches, &rejected, &latencies);
+            s.spawn(move || {
+                let mut mine = Vec::with_capacity(requests);
+                for k in 0..requests {
+                    let tick = Instant::now();
+                    let (img, want) = &pool[(t * requests + k) % pool.len()];
+                    match client.submit(img.clone(), SatAlgorithm::OneR1W, None) {
+                        Ok(table) => {
+                            mine.push(tick.elapsed().as_secs_f64() * 1e3);
+                            if table.sat().as_slice() != want.as_slice() {
+                                *mismatches.lock().unwrap() += 1;
+                            }
+                        }
+                        Err(_) => *rejected.lock().unwrap() += 1,
+                    }
+                }
+                latencies.lock().unwrap().extend(mine);
+            });
+        }
+    });
+    let wall = started.elapsed().as_secs_f64();
+    let stats: ServiceStats = service.shutdown();
+
+    let mut lat = latencies.into_inner().unwrap();
+    lat.sort_by(|a, b| a.total_cmp(b));
+    let within_slo = lat.iter().filter(|&&ms| ms <= slo_ms).count();
+    let snap = registry.snapshot();
+    let injected = |kind: &str| {
+        snap.counter(&format!("gpu_fault_injections{{kind=\"{kind}\"}}"))
+            .map_or(0, |c| c.total)
+    };
+
+    let rejected = rejected.into_inner().unwrap();
+    let mismatches = mismatches.into_inner().unwrap();
+    ScenarioRecord {
+        name: name.to_string(),
+        wall_seconds: wall,
+        completed: stats.completed,
+        rejected,
+        mismatches,
+        slo_attainment: if lat.is_empty() {
+            0.0
+        } else {
+            within_slo as f64 / lat.len() as f64
+        },
+        p50_ms: percentile(&lat, 50.0),
+        p95_ms: percentile(&lat, 95.0),
+        p99_ms: percentile(&lat, 99.0),
+        attempts_ok: stats.attempts_ok,
+        attempts_failed: stats.attempts_failed,
+        retries: stats.retries,
+        degraded: stats.degraded,
+        verify_pass: stats.verify_pass,
+        verify_fail: stats.verify_fail,
+        breaker_opened: stats.breaker_opened,
+        breaker_half_open: stats.breaker_half_open,
+        breaker_closed: stats.breaker_closed,
+        canary_probes: stats.canary_probes,
+        injected_aborts: injected("launch_abort"),
+        injected_losses: injected("device_loss"),
+        injected_stragglers: injected("straggler"),
+        injected_corruptions: injected("corruption"),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads: usize = parsed_flag(&args, "--threads", 4);
+    let requests: usize = parsed_flag(&args, "--requests", 16);
+    let n: usize = parsed_flag(&args, "--n", 32);
+    let width: usize = parsed_flag(&args, "--width", 4);
+    let seed: u64 = parsed_flag(&args, "--seed", 7);
+    let slo_ms: f64 = parsed_flag(&args, "--slo-ms", 250.0);
+    let scenarios =
+        flag_value(&args, "--scenarios").unwrap_or_else(|| "abort,corrupt,loss,combined".into());
+    let json_path = flag_value(&args, "--json").unwrap_or_else(|| "BENCH_chaos.json".into());
+
+    let machine = MachineConfig::with_width(width);
+    // Integer-valued images sum exactly on every path, so GPU, batched and
+    // degraded-CPU results are all bit-identical to the reference.
+    let pool: Vec<(Matrix<f64>, Matrix<f64>)> = (0..8usize)
+        .map(|k| {
+            let img = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 7 + k * 13) % 29) as f64 - 14.0);
+            let want = sat_reference(&img);
+            (img, want)
+        })
+        .collect();
+
+    println!(
+        "chaosgen: {threads} threads x {requests} requests, {n}x{n}, w = {width}, \
+         seed {seed}, scenarios [{scenarios}]"
+    );
+    let mut records = Vec::new();
+    let mut failed = false;
+    for name in scenarios
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+    {
+        let Some(plan) = plan_for(name, seed) else {
+            eprintln!("chaosgen: unknown scenario '{name}' (abort, corrupt, loss, combined)");
+            return ExitCode::FAILURE;
+        };
+        let rec = run_scenario(name, plan, threads, requests, machine, &pool, slo_ms);
+        let expected = (threads * requests) as u64;
+        println!(
+            "  {name}: {}/{expected} bit-exact, slo {:.1}% at {slo_ms} ms, \
+             attempts {}+{} failed, retries {}, degraded {}, verify {}p/{}f, \
+             breaker o{}/h{}/c{}, injected a{} l{} s{} c{}",
+            rec.completed - rec.mismatches,
+            rec.slo_attainment * 100.0,
+            rec.attempts_ok,
+            rec.attempts_failed,
+            rec.retries,
+            rec.degraded,
+            rec.verify_pass,
+            rec.verify_fail,
+            rec.breaker_opened,
+            rec.breaker_half_open,
+            rec.breaker_closed,
+            rec.injected_aborts,
+            rec.injected_losses,
+            rec.injected_stragglers,
+            rec.injected_corruptions,
+        );
+        if rec.rejected > 0 || rec.mismatches > 0 || rec.completed != expected {
+            eprintln!(
+                "  {name}: FAILED — {} rejected, {} mismatches, {} completed of {expected}",
+                rec.rejected, rec.mismatches, rec.completed
+            );
+            failed = true;
+        }
+        if has_loss(name) && (rec.breaker_opened == 0 || rec.degraded == 0) {
+            eprintln!(
+                "  {name}: FAILED — loss window must open the breaker (opened {}) and \
+                 degrade at least one request (degraded {})",
+                rec.breaker_opened, rec.degraded
+            );
+            failed = true;
+        }
+        records.push(rec);
+    }
+
+    let record = ChaosRecord {
+        threads,
+        requests_per_thread: requests,
+        n,
+        width,
+        seed,
+        slo_ms,
+        scenarios: records,
+    };
+    let json = serde_json::to_string_pretty(&record).expect("serializable record");
+    if let Err(e) = std::fs::write(&json_path, json + "\n") {
+        eprintln!("chaosgen: cannot write {json_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {json_path}");
+
+    if failed {
+        eprintln!("chaosgen: FAILED");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

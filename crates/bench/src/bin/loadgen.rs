@@ -100,6 +100,8 @@ fn main() -> ExitCode {
         max_linger: Duration::from_micros(linger_us),
         default_deadline: Duration::from_secs(60),
         observer: obs::Obs::disabled(),
+        fault_plan: None,
+        resilience: Default::default(),
     });
 
     println!(

@@ -58,7 +58,7 @@ pub use element::SatElement;
 pub use matrix::Matrix;
 pub use rect::{Rect, SumTable};
 
-use gpu_exec::{Device, GlobalBuffer};
+use gpu_exec::{BufferPool, Device, GlobalBuffer};
 use hmm_model::cost::SatAlgorithm;
 
 /// Ratio used for [`SatAlgorithm::HybridR1W`] when going through
@@ -139,6 +139,70 @@ pub fn compute_sat_batch<T: SatElement>(dev: &Device, images: &[Matrix<T>]) -> V
     outs.into_iter()
         .map(|s| Matrix::from_vec(prows, pcols, s.into_vec()).cropped(rows, cols))
         .collect()
+}
+
+/// [`compute_sat_batch`] drawing its device buffers from a recycling
+/// [`BufferPool`] instead of allocating per call — the steady-state path of
+/// a serving layer.
+///
+/// Buffers are recycled as **clean** only when the device's
+/// [fault epoch](Device::fault_epoch) did not move across the batch; if any
+/// launch failed (fault injection), the buffers re-enter the pool dirty and
+/// are scrubbed before reuse, so a retry can never observe the failed
+/// attempt's partial writes.
+///
+/// # Panics
+/// Panics if the matrices do not all share one shape.
+pub fn compute_sat_batch_with<T: SatElement>(
+    dev: &Device,
+    pool: &BufferPool<T>,
+    images: &[Matrix<T>],
+) -> Vec<Matrix<T>> {
+    let Some(first) = images.first() else {
+        return Vec::new();
+    };
+    let (rows, cols) = (first.rows(), first.cols());
+    assert!(
+        images.iter().all(|a| a.rows() == rows && a.cols() == cols),
+        "compute_sat_batch_with requires same-shaped matrices"
+    );
+    if rows == 0 || cols == 0 {
+        return images.to_vec();
+    }
+    let (prows, pcols) = padded_dims(dev, first);
+    let epoch_before = dev.fault_epoch();
+    let ins: Vec<GlobalBuffer<T>> = images
+        .iter()
+        .map(|a| {
+            // Every word is overwritten from the padded image, so an
+            // unspecified-contents checkout is safe here.
+            let mut buf = pool.checkout_uninit(prows * pcols);
+            buf.as_mut_slice()
+                .copy_from_slice(a.zero_padded_to(prows, pcols).as_slice());
+            buf
+        })
+        .collect();
+    let outs: Vec<GlobalBuffer<T>> = images
+        .iter()
+        .map(|_| pool.checkout_zeroed(prows * pcols))
+        .collect();
+    par::sat_1r1w_batch(
+        dev,
+        &ins.iter().collect::<Vec<_>>(),
+        &outs.iter().collect::<Vec<_>>(),
+        prows,
+        pcols,
+    );
+    let clean = dev.fault_epoch() == epoch_before;
+    let mut outs = outs;
+    let results: Vec<Matrix<T>> = outs
+        .iter_mut()
+        .map(|s| Matrix::from_vec(prows, pcols, s.as_slice().to_vec()).cropped(rows, cols))
+        .collect();
+    for buf in ins.into_iter().chain(outs) {
+        pool.recycle(buf, clean);
+    }
+    results
 }
 
 fn padded_dims<T: SatElement>(dev: &Device, a: &Matrix<T>) -> (usize, usize) {
@@ -275,6 +339,78 @@ mod tests {
             compute_sat_batch(&dev, &imgs);
             assert_eq!(dev.launches() as usize, 2 * m - 1, "batch={batch}");
         }
+    }
+
+    #[test]
+    fn batch_transactions_are_width_times_exact_closed_form() {
+        // The fused kernel widens each diagonal launch B× without changing
+        // per-matrix arithmetic, so the global transaction counts of a
+        // batched run on block-aligned squares are exactly B× the paper's
+        // Table-I closed forms. sat-service's resilience layer relies on
+        // this equality to detect silently skipped blocks.
+        let w = 4usize;
+        let dev = dev(w);
+        let exact = hmm_model::cost::GlobalCost::new(*dev.config())
+            .exact_counts(SatAlgorithm::OneR1W, 16)
+            .unwrap();
+        for batch in [1usize, 3, 5] {
+            let imgs: Vec<Matrix<i64>> = (0..batch)
+                .map(|k| Matrix::from_fn(16, 16, |i, j| (i * 2 + j + k) as i64))
+                .collect();
+            dev.reset_stats();
+            compute_sat_batch(&dev, &imgs);
+            let s = dev.stats();
+            let b = batch as u64;
+            assert_eq!(s.coalesced_reads, b * exact.coalesced_reads, "B={batch}");
+            assert_eq!(s.coalesced_writes, b * exact.coalesced_writes, "B={batch}");
+            assert_eq!(s.stride_reads, b * exact.stride_reads, "B={batch}");
+            assert_eq!(s.stride_writes, b * exact.stride_writes, "B={batch}");
+        }
+    }
+
+    #[test]
+    fn pooled_batch_matches_and_reuses_buffers() {
+        let dev = dev(4);
+        let pool: BufferPool<f64> = BufferPool::new();
+        let imgs: Vec<Matrix<f64>> = (0..3)
+            .map(|k| Matrix::from_fn(9, 14, |i, j| ((i * 31 + j * 7 + k) % 97) as f64 * 0.1))
+            .collect();
+        let plain = compute_sat_batch(&dev, &imgs);
+        for round in 0..3 {
+            let pooled = compute_sat_batch_with(&dev, &pool, &imgs);
+            for (a, b) in plain.iter().zip(&pooled) {
+                assert_eq!(a.as_slice(), b.as_slice(), "round {round}");
+            }
+        }
+        let (allocated, reused, scrubbed) = pool.stats();
+        assert_eq!(
+            allocated, 6,
+            "only the first round allocates (3 in + 3 out)"
+        );
+        assert_eq!(scrubbed, 0, "no faults, no scrubs");
+        assert_eq!(reused, 12, "rounds 2 and 3 reuse round 1's buffers");
+    }
+
+    #[test]
+    fn pooled_batch_scrubs_after_faulted_run() {
+        // A fault plan that loses every launch: results are garbage, and
+        // every buffer the attempt touched must re-enter the pool dirty.
+        let faulty = Device::new(
+            DeviceOptions::new(MachineConfig::with_width(4))
+                .workers(0)
+                .fault_plan(
+                    gpu_exec::FaultPlan::new(3).loss(gpu_exec::LossWindow::Launches {
+                        start: 0,
+                        count: u64::MAX,
+                    }),
+                ),
+        );
+        let pool: BufferPool<f64> = BufferPool::new();
+        let imgs = vec![Matrix::from_fn(8, 8, |i, j| (i + j) as f64)];
+        let _ = compute_sat_batch_with(&faulty, &pool, &imgs);
+        assert!(faulty.fault_epoch() > 0, "launches were lost");
+        let (_, _, scrubbed) = pool.stats();
+        assert_eq!(scrubbed, 2, "input and output buffers scrubbed");
     }
 
     #[test]

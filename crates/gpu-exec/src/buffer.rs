@@ -20,6 +20,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use hmm_model::AccessKind;
 
+use crate::fault::corrupt_value;
 use crate::recorder::TxnRecorder;
 
 /// A word-addressed global memory region.
@@ -172,8 +173,11 @@ impl<'a, T: Copy> GlobalView<'a, T> {
 
     /// Single-lane write of word `addr`.
     #[inline]
-    pub fn write(&self, addr: usize, v: T, rec: &mut TxnRecorder) {
+    pub fn write(&self, addr: usize, mut v: T, rec: &mut TxnRecorder) {
         rec.record_single(AccessKind::Write, self.buf, addr);
+        if rec.corrupt_lane(1).is_some() {
+            v = corrupt_value(v);
+        }
         self.store(addr, v);
     }
 
@@ -189,7 +193,13 @@ impl<'a, T: Copy> GlobalView<'a, T> {
     /// Warp write of `vals` to `[base, base + vals.len())`.
     pub fn write_contig(&self, base: usize, vals: &[T], rec: &mut TxnRecorder) {
         rec.record_contig(AccessKind::Write, self.buf, base, vals.len());
+        let victim = rec.corrupt_lane(vals.len());
         for (t, &v) in vals.iter().enumerate() {
+            let v = if victim == Some(t) {
+                corrupt_value(v)
+            } else {
+                v
+            };
             self.store(base + t, v);
         }
     }
@@ -206,7 +216,13 @@ impl<'a, T: Copy> GlobalView<'a, T> {
     /// Warp write of `vals` at `base, base + stride, …`.
     pub fn write_strided(&self, base: usize, stride: usize, vals: &[T], rec: &mut TxnRecorder) {
         rec.record_strided(AccessKind::Write, self.buf, base, stride, vals.len());
+        let victim = rec.corrupt_lane(vals.len());
         for (t, &v) in vals.iter().enumerate() {
+            let v = if victim == Some(t) {
+                corrupt_value(v)
+            } else {
+                v
+            };
             self.store(base + t * stride, v);
         }
     }
@@ -224,7 +240,13 @@ impl<'a, T: Copy> GlobalView<'a, T> {
     pub fn write_scatter(&self, addrs: &[usize], vals: &[T], rec: &mut TxnRecorder) {
         assert_eq!(addrs.len(), vals.len());
         rec.record_gather(AccessKind::Write, self.buf, addrs);
-        for (&v, &a) in vals.iter().zip(addrs) {
+        let victim = rec.corrupt_lane(vals.len());
+        for (t, (&v, &a)) in vals.iter().zip(addrs).enumerate() {
+            let v = if victim == Some(t) {
+                corrupt_value(v)
+            } else {
+                v
+            };
             self.store(a, v);
         }
     }

@@ -1,6 +1,6 @@
 //! The virtual GPU device: launch machinery, block contexts and statistics.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
 use hmm_model::cost::CostCounters;
@@ -9,6 +9,7 @@ use obs::{ArgValue, Counter, Obs, Track};
 use parking_lot::Mutex;
 
 use crate::buffer::{GlobalBuffer, GlobalView};
+use crate::fault::{FaultEvent, FaultPlan};
 use crate::pool::Pool;
 use crate::recorder::TxnRecorder;
 use crate::shared::{SharedTile, TileLayout};
@@ -64,6 +65,9 @@ pub struct DeviceOptions {
     /// Additionally emit one span per *block* (tid = block id), parented to
     /// the launch span. Costly for large grids; off by default.
     pub observe_blocks: bool,
+    /// Deterministic fault schedule (see [`FaultPlan`]); `None` (the
+    /// default) injects nothing and adds no per-launch work.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl DeviceOptions {
@@ -79,6 +83,7 @@ impl DeviceOptions {
             order: BlockOrder::Forward,
             observer: Obs::disabled(),
             observe_blocks: false,
+            fault_plan: None,
         }
     }
 
@@ -133,6 +138,14 @@ impl DeviceOptions {
         self.observe_blocks = on;
         self
     }
+
+    /// Attach a deterministic fault schedule (see
+    /// [`DeviceOptions::fault_plan`]). An empty plan is dropped so the
+    /// fault path stays entirely off the no-injection fast path.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = (!plan.is_empty()).then_some(plan);
+        self
+    }
 }
 
 /// The device's handles into the observer's registry, registered once at
@@ -143,6 +156,65 @@ struct DeviceCounters {
     global_stages: Counter,
     launches: Counter,
     barrier_steps: Counter,
+}
+
+/// Registry counters for injected faults, one per fault class.
+struct FaultCounters {
+    abort: Counter,
+    loss: Counter,
+    straggler: Counter,
+    corruption: Counter,
+}
+
+/// Cap on the retained fault-event log; beyond it, events still count and
+/// fail launches but are no longer retained for [`Device::take_fault_events`].
+const FAULT_EVENT_CAP: usize = 65_536;
+
+/// The device side of an active [`FaultPlan`].
+struct FaultState {
+    plan: FaultPlan,
+    /// Fault events in canonical order (written only by launching threads,
+    /// under the launch gate).
+    events: Mutex<Vec<FaultEvent>>,
+    /// Launches that failed (abort or loss) since construction — the
+    /// device's *fault epoch*. Corruption is silent and does not move it.
+    failed_launches: AtomicU64,
+    /// Wall-clock loss window state (set at the first triggering launch).
+    loss_started: Mutex<Option<Instant>>,
+    counters: Option<FaultCounters>,
+}
+
+impl FaultState {
+    fn log(&self, ev: FaultEvent, obs: &Obs) {
+        if let Some(c) = &self.counters {
+            match ev {
+                FaultEvent::LaunchAborted { .. } => c.abort.inc(),
+                FaultEvent::DeviceLost { .. } => c.loss.inc(),
+                FaultEvent::Straggler { .. } => c.straggler.inc(),
+                FaultEvent::Corrupted { .. } => c.corruption.inc(),
+            }
+        }
+        if obs.is_enabled() {
+            obs.instant(
+                Track::wall(0),
+                ev.kind(),
+                vec![("launch", ArgValue::from(ev.launch()))],
+            );
+        }
+        let mut log = self.events.lock();
+        if log.len() < FAULT_EVENT_CAP {
+            log.push(ev);
+        }
+    }
+}
+
+/// The per-launch fault decision, fixed under the launch gate before any
+/// block runs so every worker (and the event log) agrees on it.
+struct FaultDecision {
+    lost: bool,
+    aborted: bool,
+    /// `(victim block, nth element store of that block)` to corrupt.
+    corrupt: Option<(usize, u64)>,
 }
 
 /// A virtual GPU executing kernels with asynchronous-HMM semantics.
@@ -170,10 +242,11 @@ pub struct Device {
     stats: Mutex<CostCounters>,
     trace: Mutex<RunTrace>,
     launches: AtomicU64,
-    /// Launches since *construction* (never reset): drives the cumulative
-    /// `gpu_barrier_steps` registry counter.
+    /// Launches since *construction* (never reset): keys every fault
+    /// decision and drives the cumulative `gpu_barrier_steps` counter.
     launches_total: AtomicU64,
     epoch: AtomicU64,
+    fault: Option<FaultState>,
 }
 
 impl Device {
@@ -192,6 +265,21 @@ impl Device {
             launches: reg.counter("gpu_launches"),
             barrier_steps: reg.counter("gpu_barrier_steps"),
         });
+        let fault = opts
+            .fault_plan
+            .filter(|p| !p.is_empty())
+            .map(|plan| FaultState {
+                plan,
+                events: Mutex::new(Vec::new()),
+                failed_launches: AtomicU64::new(0),
+                loss_started: Mutex::new(None),
+                counters: opts.observer.registry().map(|reg| FaultCounters {
+                    abort: reg.counter("gpu_fault_injections{kind=\"launch_abort\"}"),
+                    loss: reg.counter("gpu_fault_injections{kind=\"device_loss\"}"),
+                    straggler: reg.counter("gpu_fault_injections{kind=\"straggler\"}"),
+                    corruption: reg.counter("gpu_fault_injections{kind=\"corruption\"}"),
+                }),
+            });
         Device {
             cfg: opts.config,
             record_stats: opts.record_stats || opts.record_trace || opts.observer.is_enabled(),
@@ -208,6 +296,7 @@ impl Device {
             launches: AtomicU64::new(0),
             launches_total: AtomicU64::new(0),
             epoch: AtomicU64::new(0),
+            fault,
         }
     }
 
@@ -243,6 +332,22 @@ impl Device {
     {
         let _stream = self.launch_gate.lock();
         let launch_no = self.launches.fetch_add(1, Ordering::Relaxed);
+        // The never-reset launch index keys fault decisions (and the
+        // cumulative barrier counter below).
+        let fault_no = self.launches_total.fetch_add(1, Ordering::Relaxed);
+        let decision: Option<FaultDecision> = self.fault.as_ref().map(|f| {
+            let lost = f.plan.launch_lost(fault_no, &mut f.loss_started.lock());
+            FaultDecision {
+                lost,
+                aborted: !lost && f.plan.launch_aborts(fault_no),
+                corrupt: if lost {
+                    None
+                } else {
+                    f.plan.corruption(fault_no, grid)
+                },
+            }
+        });
+        let corrupt_hit = AtomicBool::new(false);
         let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
         let perm: Option<Vec<u32>> = match self.order {
             BlockOrder::Forward => None,
@@ -256,6 +361,7 @@ impl Device {
                 } else {
                     Vec::new()
                 },
+                lost: decision.as_ref().is_some_and(|d| d.lost),
             })
         });
         // Observability: everything below the `is_enabled` branches is the
@@ -279,6 +385,14 @@ impl Device {
                 None => idx,
                 Some(p) => p[idx] as usize,
             };
+            if let (Some(f), Some(d)) = (&self.fault, &decision) {
+                if d.lost || (d.aborted && f.plan.skips_block(fault_no, block_id as u64)) {
+                    return; // this block never runs
+                }
+                if f.plan.straggles(fault_no, block_id as u64) {
+                    std::thread::sleep(f.plan.straggler_delay);
+                }
+            }
             let block_start = observe_blocks.then(Instant::now);
             let mut ctx = BlockCtx {
                 dev: self,
@@ -293,7 +407,17 @@ impl Device {
                     self.record_trace && self.record_addrs,
                 ),
             };
+            if let Some(d) = &decision {
+                if let Some((victim, nth)) = d.corrupt {
+                    if block_id == victim {
+                        ctx.rec.arm_corruption(nth);
+                    }
+                }
+            }
             kernel(&mut ctx);
+            if ctx.rec.corruption_hit() {
+                corrupt_hit.store(true, Ordering::Relaxed);
+            }
             if self.record_stats {
                 self.stats.lock().merge_parallel(&ctx.rec.take());
             }
@@ -319,6 +443,53 @@ impl Device {
         if let Some(lt) = launch_trace {
             self.trace.lock().launches.push(lt.into_inner());
         }
+        if let (Some(f), Some(d)) = (&self.fault, &decision) {
+            // All events are logged here, on the launching thread, in a
+            // canonical order (failure, stragglers by block, corruption) so
+            // the log is identical across runs regardless of worker timing.
+            if d.lost {
+                f.log(FaultEvent::DeviceLost { launch: fault_no }, &self.obs);
+                f.failed_launches.fetch_add(1, Ordering::Relaxed);
+            } else {
+                if d.aborted {
+                    let skipped = (0..grid as u64)
+                        .filter(|&b| f.plan.skips_block(fault_no, b))
+                        .count() as u64;
+                    f.log(
+                        FaultEvent::LaunchAborted {
+                            launch: fault_no,
+                            skipped,
+                        },
+                        &self.obs,
+                    );
+                    f.failed_launches.fetch_add(1, Ordering::Relaxed);
+                }
+                if f.plan.straggler_p > 0.0 {
+                    for b in 0..grid as u64 {
+                        let skipped = d.aborted && f.plan.skips_block(fault_no, b);
+                        if !skipped && f.plan.straggles(fault_no, b) {
+                            f.log(
+                                FaultEvent::Straggler {
+                                    launch: fault_no,
+                                    block: b,
+                                },
+                                &self.obs,
+                            );
+                        }
+                    }
+                }
+                if corrupt_hit.load(Ordering::Relaxed) {
+                    let (victim, _) = d.corrupt.expect("hit implies armed");
+                    f.log(
+                        FaultEvent::Corrupted {
+                            launch: fault_no,
+                            block: victim as u64,
+                        },
+                        &self.obs,
+                    );
+                }
+            }
+        }
         if let (Some(before), Some(c)) = (stats_before, &self.counters) {
             let after = *self.stats.lock();
             let coalesced = after.coalesced_ops() - before.coalesced_ops();
@@ -328,7 +499,7 @@ impl Device {
             c.stride_ops.add(stride);
             c.global_stages.add(stages);
             c.launches.inc();
-            if self.launches_total.fetch_add(1, Ordering::Relaxed) > 0 {
+            if fault_no > 0 {
                 c.barrier_steps.inc();
             }
             if let Some(span) = &mut launch_span {
@@ -374,6 +545,31 @@ impl Device {
     /// per-launch scope is zeroed at each launch start.
     pub fn observer(&self) -> &Obs {
         &self.obs
+    }
+
+    /// Number of launches that *failed* (launch abort or device loss) since
+    /// construction. The virtual analogue of polling `cudaGetLastError`:
+    /// snapshot it around your launches; a delta means they did not all
+    /// complete. Silent corruption does **not** move the epoch — only
+    /// result verification can catch it. Always 0 without a fault plan.
+    pub fn fault_epoch(&self) -> u64 {
+        self.fault
+            .as_ref()
+            .map_or(0, |f| f.failed_launches.load(Ordering::Relaxed))
+    }
+
+    /// Drain the injected-fault event log (empty without a fault plan).
+    /// Events appear in a canonical deterministic order; the log retains at
+    /// most `65536` events per drain.
+    pub fn take_fault_events(&self) -> Vec<FaultEvent> {
+        self.fault
+            .as_ref()
+            .map_or_else(Vec::new, |f| std::mem::take(&mut f.events.lock()))
+    }
+
+    /// The fault plan the device was built with, if any non-empty plan.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref().map(|f| &f.plan)
     }
 }
 

@@ -55,6 +55,7 @@
 
 mod buffer;
 mod device;
+mod fault;
 mod pool;
 mod recorder;
 mod shared;
@@ -62,6 +63,8 @@ mod trace;
 
 pub use buffer::{GlobalBuffer, GlobalView};
 pub use device::{BlockCtx, BlockOrder, Device, DeviceOptions};
+pub use fault::{FaultEvent, FaultPlan, LossWindow};
+pub use pool::BufferPool;
 pub use recorder::TxnRecorder;
 pub use shared::{SharedTile, TileLayout};
 pub use trace::{AddrPattern, BlockTrace, LaunchTrace, RunTrace, TraceOp};

@@ -1,6 +1,7 @@
-//! A persistent worker pool executing scoped block jobs.
+//! A persistent worker pool executing scoped block jobs, and a recycling
+//! [`BufferPool`] for the global buffers launches write into.
 //!
-//! The pool is created once per [`crate::Device`] and reused by every
+//! The worker pool is created once per [`crate::Device`] and reused by every
 //! launch, so a wavefront algorithm issuing hundreds of small kernels does
 //! not pay thread spawn cost per kernel. A job is a borrowed closure plus an
 //! atomic block counter; workers (and the launching thread itself) steal
@@ -9,12 +10,15 @@
 //! launching thread — so race-detector panics in tests surface cleanly
 //! instead of deadlocking the pool.
 
+use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use parking_lot::{Condvar, Mutex};
+
+use crate::buffer::GlobalBuffer;
 
 /// Type-erased pointer to the launch closure. The launcher keeps the closure
 /// alive (and waits for all workers to leave the job) for the pointer's whole
@@ -182,6 +186,113 @@ impl Drop for Pool {
     }
 }
 
+/// A recycling free list of [`GlobalBuffer`]s, keyed by length.
+///
+/// Serving layers allocate the same buffer shapes over and over; checking
+/// them out of a pool amortises the allocation. The safety problem a naive
+/// free list has is **stale contents after a failed launch**: a launch that
+/// aborted mid-way (fault injection, kernel panic) leaves its output buffer
+/// partially written, and returning it to the free list as-is would leak one
+/// request's partial results into the next request's "fresh" buffer. The
+/// pool therefore tracks a `pristine` bit per entry: a buffer recycled with
+/// `clean = false` is scrubbed (every word reset to `T::default()`)
+/// immediately, *before* it re-enters the free list, so a poisoned buffer
+/// can never be observed by a later checkout.
+pub struct BufferPool<T> {
+    shelves: Mutex<HashMap<usize, Vec<PoolEntry<T>>>>,
+    allocated: AtomicU64,
+    reused: AtomicU64,
+    scrubbed: AtomicU64,
+}
+
+struct PoolEntry<T> {
+    buf: GlobalBuffer<T>,
+    /// Every word is `T::default()`.
+    pristine: bool,
+}
+
+impl<T: Copy + Default + Send + Sync> BufferPool<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        BufferPool {
+            shelves: Mutex::new(HashMap::new()),
+            allocated: AtomicU64::new(0),
+            reused: AtomicU64::new(0),
+            scrubbed: AtomicU64::new(0),
+        }
+    }
+
+    /// Check out a buffer of `len` words, every word `T::default()`.
+    pub fn checkout_zeroed(&self, len: usize) -> GlobalBuffer<T> {
+        match self.pop(len) {
+            Some(e) => {
+                let mut buf = e.buf;
+                if !e.pristine {
+                    buf.as_mut_slice().fill(T::default());
+                }
+                buf
+            }
+            None => {
+                self.allocated.fetch_add(1, Ordering::Relaxed);
+                GlobalBuffer::filled(T::default(), len)
+            }
+        }
+    }
+
+    /// Check out a buffer of `len` words with **unspecified** (but never
+    /// fault-poisoned) contents, for callers that overwrite every word
+    /// anyway — e.g. kernel inputs filled from a request image.
+    pub fn checkout_uninit(&self, len: usize) -> GlobalBuffer<T> {
+        match self.pop(len) {
+            Some(e) => e.buf,
+            None => {
+                self.allocated.fetch_add(1, Ordering::Relaxed);
+                GlobalBuffer::filled(T::default(), len)
+            }
+        }
+    }
+
+    /// Return a buffer to the pool. `clean` must be `false` whenever any
+    /// launch that wrote the buffer failed (aborted, device-lost, or
+    /// panicked) — the buffer is then scrubbed to `T::default()` before it
+    /// re-enters the free list, so no later checkout can observe the failed
+    /// launch's partial writes.
+    pub fn recycle(&self, mut buf: GlobalBuffer<T>, clean: bool) {
+        if !clean {
+            buf.as_mut_slice().fill(T::default());
+            self.scrubbed.fetch_add(1, Ordering::Relaxed);
+        }
+        let len = buf.len();
+        self.shelves.lock().entry(len).or_default().push(PoolEntry {
+            buf,
+            // Scrubbed buffers are pristine; clean returns hold kernel
+            // output and need zeroing on a `checkout_zeroed`.
+            pristine: !clean,
+        });
+    }
+
+    fn pop(&self, len: usize) -> Option<PoolEntry<T>> {
+        let e = self.shelves.lock().get_mut(&len)?.pop()?;
+        self.reused.fetch_add(1, Ordering::Relaxed);
+        Some(e)
+    }
+
+    /// `(fresh allocations, reuses, scrubs)` since construction.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (
+            self.allocated.load(Ordering::Relaxed),
+            self.reused.load(Ordering::Relaxed),
+            self.scrubbed.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl<T: Copy + Default + Send + Sync> Default for BufferPool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 fn worker_loop(shared: &Shared) {
     let mut last_seq = 0u64;
     loop {
@@ -266,6 +377,50 @@ mod tests {
                 panic!("boom block {b}");
             }
         });
+    }
+
+    #[test]
+    fn buffer_pool_reuses_and_zeroes() {
+        let pool: BufferPool<f64> = BufferPool::new();
+        let mut a = pool.checkout_zeroed(16);
+        a.as_mut_slice().fill(3.5);
+        pool.recycle(a, true);
+        // Clean recycle: reused, but `checkout_zeroed` must still zero it.
+        let mut b = pool.checkout_zeroed(16);
+        assert!(b.as_slice().iter().all(|&x| x == 0.0));
+        pool.recycle(b, true);
+        let (allocated, reused, scrubbed) = pool.stats();
+        assert_eq!((allocated, reused, scrubbed), (1, 1, 0));
+    }
+
+    #[test]
+    fn buffer_pool_scrubs_dirty_recycles_before_reuse() {
+        // A buffer written by a failed launch must never re-surface with its
+        // partial contents — not even through `checkout_uninit`.
+        let pool: BufferPool<u64> = BufferPool::new();
+        let mut a = pool.checkout_zeroed(8);
+        a.as_mut_slice().fill(0xDEAD);
+        pool.recycle(a, false); // the launch that wrote it failed
+        let mut b = pool.checkout_uninit(8);
+        assert!(
+            b.as_slice().iter().all(|&x| x == 0),
+            "poisoned buffer leaked stale contents"
+        );
+        let (_, reused, scrubbed) = pool.stats();
+        assert_eq!((reused, scrubbed), (1, 1));
+    }
+
+    #[test]
+    fn buffer_pool_shelves_by_length() {
+        let pool: BufferPool<u32> = BufferPool::new();
+        pool.recycle(GlobalBuffer::filled(0, 4), true);
+        // Different length: a fresh allocation, not the shelved buffer.
+        let b = pool.checkout_zeroed(8);
+        assert_eq!(b.len(), 8);
+        let c = pool.checkout_zeroed(4);
+        assert_eq!(c.len(), 4);
+        let (allocated, reused, _) = pool.stats();
+        assert_eq!((allocated, reused), (1, 1));
     }
 
     #[test]

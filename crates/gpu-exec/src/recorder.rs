@@ -24,6 +24,10 @@ pub struct TxnRecorder {
     counters: CostCounters,
     trace: Option<BlockTrace>,
     addrs: Option<Vec<AddrPattern>>,
+    /// Fault injection: element stores remaining until one is corrupted
+    /// (armed by the device on a victim block; independent of `enabled`).
+    corrupt_countdown: Option<u64>,
+    corrupted: bool,
 }
 
 impl TxnRecorder {
@@ -36,6 +40,8 @@ impl TxnRecorder {
             counters: CostCounters::new(),
             trace: None,
             addrs: None,
+            corrupt_countdown: None,
+            corrupted: false,
         }
     }
 
@@ -60,6 +66,38 @@ impl TxnRecorder {
             counters: CostCounters::new(),
             trace: trace.then(Vec::new),
             addrs: addrs.then(Vec::new),
+            corrupt_countdown: None,
+            corrupted: false,
+        }
+    }
+
+    /// Fault injection: arm this recorder so the `nth` element store that
+    /// flows through its block's write accessors is silently corrupted.
+    pub(crate) fn arm_corruption(&mut self, nth: u64) {
+        self.corrupt_countdown = Some(nth);
+        self.corrupted = false;
+    }
+
+    /// Whether an armed corruption actually landed on a store.
+    pub(crate) fn corruption_hit(&self) -> bool {
+        self.corrupted
+    }
+
+    /// Fault injection hook called by write accessors with the number of
+    /// element stores they are about to perform: returns the lane index
+    /// within this batch to corrupt, if the armed countdown lands inside it.
+    /// Works even when statistics recording is disabled.
+    #[inline]
+    pub(crate) fn corrupt_lane(&mut self, lanes: usize) -> Option<usize> {
+        let n = self.corrupt_countdown.as_mut()?;
+        if *n >= lanes as u64 {
+            *n -= lanes as u64;
+            None
+        } else {
+            let k = *n as usize;
+            self.corrupt_countdown = None;
+            self.corrupted = true;
+            Some(k)
         }
     }
 

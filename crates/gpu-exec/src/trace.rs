@@ -163,6 +163,10 @@ pub struct LaunchTrace {
     /// recording is on, `addrs[b][k]` is the provenance of `blocks[b][k]`.
     /// Empty when the trace was recorded without addresses.
     pub addrs: Vec<Vec<AddrPattern>>,
+    /// Whether this launch fell into an injected device-loss window. A
+    /// well-behaved runtime performs **no global writes** during a lost
+    /// launch (the no-write-after-loss contract `hmm-lint` checks).
+    pub lost: bool,
 }
 
 impl LaunchTrace {
@@ -171,6 +175,7 @@ impl LaunchTrace {
         LaunchTrace {
             blocks,
             addrs: Vec::new(),
+            lost: false,
         }
     }
 

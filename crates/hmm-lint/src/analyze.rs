@@ -70,6 +70,7 @@ pub fn analyze(
     let w = cfg.width;
     for (li, launch) in trace.launches.iter().enumerate() {
         check_bank_conflicts(&mut r, li, launch, w);
+        check_write_after_loss(&mut r, li, launch);
         if launch.has_addrs() {
             check_barrier_races(&mut r, li, launch);
             check_shared_reset(&mut r, li, launch);
@@ -259,6 +260,41 @@ fn check_shared_reset(r: &mut Reporter, li: usize, launch: &LaunchTrace) {
                     );
                 }
             }
+        }
+    }
+}
+
+/// Rule 6 — global writes recorded in a launch the fault injector marked
+/// lost. A lost device retains nothing, so recovery logic (retry, CPU
+/// degradation) assumes such launches left global memory untouched; a
+/// write in the trace means the kernel or harness broke that contract.
+fn check_write_after_loss(r: &mut Reporter, li: usize, launch: &LaunchTrace) {
+    if !launch.lost {
+        return;
+    }
+    for (b, ops) in launch.blocks.iter().enumerate() {
+        for (k, op) in ops.iter().enumerate() {
+            if op.space != MemSpace::Global || op.kind != AccessKind::Write {
+                continue;
+            }
+            let what = launch
+                .addrs
+                .get(b)
+                .and_then(|pats| pats.get(k))
+                .map(describe)
+                .unwrap_or_else(|| "a global write".to_string());
+            r.push(
+                Rule::WriteAfterLoss,
+                Severity::Error,
+                format!(
+                    "{what} was recorded in launch {li}, which the fault \
+                     injector marked lost — a lost device retains nothing, \
+                     so no global write may survive it"
+                ),
+                Some(li),
+                Some(b),
+                Some(k),
+            );
         }
     }
 }

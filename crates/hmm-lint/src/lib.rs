@@ -25,6 +25,10 @@
 //! * **cost-divergence** — the measured `C`/`S`/`B` counters drift beyond
 //!   tolerance from the Table I closed forms for the algorithm, i.e. the
 //!   implementation no longer matches its own cost analysis.
+//! * **write-after-loss** — a launch the fault injector marked lost still
+//!   shows global writes in its trace. Recovery (retry, CPU degradation)
+//!   assumes a lost launch left global memory untouched; any recorded
+//!   write breaks that no-write-after-loss contract.
 //!
 //! Entry points: [`analyze`] for a bare report, [`analyze_run`] to also
 //! replay the trace on the [`hmm_sim::AsyncHmm`] and attach the barrier

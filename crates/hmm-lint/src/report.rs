@@ -34,16 +34,22 @@ pub enum Rule {
     /// Measured `C`/`S`/`B` counters drift beyond tolerance from the
     /// Table I closed-form predictions for the kernel's algorithm.
     CostDivergence,
+    /// A launch marked lost by fault injection still shows global writes
+    /// in its trace. A lost device retains nothing: any observed write
+    /// breaks the no-write-after-loss recovery contract that retry and
+    /// degradation logic depend on.
+    WriteAfterLoss,
 }
 
 impl Rule {
     /// Every rule, in report order.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 6] = [
         Rule::BankConflict,
         Rule::Uncoalesced,
         Rule::BarrierRace,
         Rule::SharedReset,
         Rule::CostDivergence,
+        Rule::WriteAfterLoss,
     ];
 
     /// Stable kebab-case name (used in reports and JSON).
@@ -54,6 +60,7 @@ impl Rule {
             Rule::BarrierRace => "barrier-race",
             Rule::SharedReset => "shared-reset",
             Rule::CostDivergence => "cost-divergence",
+            Rule::WriteAfterLoss => "write-after-loss",
         }
     }
 }

@@ -184,6 +184,62 @@ fn wrong_table_row_is_a_cost_divergence() {
     assert!(report.is_clean(), "{}", report.render());
 }
 
+/// A launch marked lost must show no global writes. The real device skips
+/// every block of a lost launch, so the violation has to be hand-crafted:
+/// flip `lost` on a trace that did write, exactly what a buggy harness
+/// that "recovers" by trusting partial output would produce.
+#[test]
+fn writes_in_a_lost_launch_break_the_recovery_contract() {
+    use gpu_exec::{FaultPlan, LossWindow};
+
+    let dev = tracing_device();
+    let buf = GlobalBuffer::filled(0.0f64, 2 * W);
+    dev.launch(2, |ctx| {
+        let g = ctx.view(&buf);
+        let vals = [1.0; W];
+        g.write_contig(ctx.block_id() * W, &vals, ctx.rec());
+    });
+    let counters = dev.stats();
+    let mut trace = dev.take_trace();
+    trace.launches[0].lost = true;
+    let report = analyze(
+        &trace,
+        &counters,
+        &cfg(),
+        &KernelContract::unconstrained("lying-lost-launch"),
+    );
+    assert_eq!(report.count(Rule::WriteAfterLoss), 2, "{}", report.render());
+    let d = &report.diagnostics[0];
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("marked lost"), "{}", d.message);
+    assert_eq!((d.launch, d.block), (Some(0), Some(0)));
+
+    // An honest device honours the contract: during an injected loss
+    // window every block is skipped, so the lost launch traces no writes
+    // and the rule stays silent.
+    let dev = Device::new(
+        DeviceOptions::new(cfg())
+            .workers(0)
+            .record_trace(true)
+            .fault_plan(FaultPlan::new(3).loss(LossWindow::Launches { start: 0, count: 1 })),
+    );
+    dev.launch(2, |ctx| {
+        let g = ctx.view(&buf);
+        let vals = [1.0; W];
+        g.write_contig(ctx.block_id() * W, &vals, ctx.rec());
+    });
+    let counters = dev.stats();
+    let trace = dev.take_trace();
+    assert!(trace.launches[0].lost, "the window covers launch 0");
+    let report = analyze(
+        &trace,
+        &counters,
+        &cfg(),
+        &KernelContract::unconstrained("honest-lost-launch"),
+    );
+    assert!(!report.has(Rule::WriteAfterLoss), "{}", report.render());
+}
+
 /// Reports serialize to JSON for `satlint --json` and tooling on top.
 #[test]
 fn reports_serialize_to_json() {

@@ -42,8 +42,18 @@
 //!   trades a bounded sliver of latency for launch-count amortisation.
 //! * Requests whose **deadline** passes while queued are rejected
 //!   ([`ServiceError::DeadlineExceeded`]) rather than wedging the queue.
-//! * [`Service::shutdown`] stops admissions, **drains** every queued
-//!   request through the device, then joins the batch-former.
+//! * [`Service::shutdown`] stops admissions and **fails fast**: requests
+//!   still queued are answered [`ServiceError::Shutdown`] immediately
+//!   (counted under `reason="shutdown_drain"`) instead of being left to
+//!   hit their deadlines; then the batch-former is joined. A request
+//!   already dispatched to the device still completes.
+//! * The executor **self-heals** ([`ResilienceConfig`]): failed or
+//!   corrupted device attempts (detected via the device's fault epoch, the
+//!   paper's Table-I closed-form operation counts, and a SAT checksum /
+//!   recurrence sweep) are retried with exponential backoff; consecutive
+//!   launch failures open a circuit breaker that degrades dispatches to
+//!   the sequential CPU path — requests complete slower instead of
+//!   erroring — until a half-open canary probe re-closes it.
 //! * Everything is instrumented ([`ServiceStats`]): per-request queue /
 //!   execute / total latency, a batch-width histogram, and the launches and
 //!   barrier windows actually issued vs. what per-request execution would
@@ -56,9 +66,11 @@
 #![warn(missing_docs)]
 
 mod metrics;
+mod resilience;
 mod service;
 
 pub use metrics::{LatencySummary, ServiceStats};
+pub use resilience::{ResilienceConfig, VerifyMode};
 pub use service::{Client, Service};
 
 use std::fmt;
@@ -88,6 +100,11 @@ pub struct ServiceConfig {
     /// and the owned device shares the same trace and counter registry;
     /// the default ([`obs::Obs::disabled`]) records nothing.
     pub observer: obs::Obs,
+    /// Deterministic fault schedule injected into the owned device —
+    /// chaos-testing hook; `None` (the default) injects nothing.
+    pub fault_plan: Option<gpu_exec::FaultPlan>,
+    /// Retry / circuit-breaker / verification tuning.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for ServiceConfig {
@@ -100,6 +117,8 @@ impl Default for ServiceConfig {
             max_linger: Duration::from_micros(500),
             default_deadline: Duration::from_secs(5),
             observer: obs::Obs::disabled(),
+            fault_plan: None,
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -113,6 +132,10 @@ pub enum ServiceError {
     DeadlineExceeded,
     /// The service is shutting down and no longer admits requests.
     ShuttingDown,
+    /// The service shut down before the queued request was dispatched
+    /// (fail-fast drain; distinct from [`ServiceError::ShuttingDown`],
+    /// which rejects at admission time).
+    Shutdown,
     /// The request was malformed (e.g. an empty matrix).
     InvalidRequest(String),
     /// The serving thread died before answering (a bug, not load).
@@ -125,6 +148,9 @@ impl fmt::Display for ServiceError {
             ServiceError::QueueFull => write!(f, "submission queue full past the deadline"),
             ServiceError::DeadlineExceeded => write!(f, "deadline expired while queued"),
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::Shutdown => {
+                write!(f, "service shut down before the request was dispatched")
+            }
             ServiceError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
             ServiceError::Internal(m) => write!(f, "internal service error: {m}"),
         }

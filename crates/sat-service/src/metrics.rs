@@ -72,6 +72,17 @@ struct Counters {
     barriers_issued: Counter,
     barriers_unbatched_equiv: Counter,
     samples_dropped: Counter,
+    rejected_shutdown_drain: Counter,
+    attempts_ok: Counter,
+    attempts_failed: Counter,
+    retries: Counter,
+    degraded: Counter,
+    verify_pass: Counter,
+    verify_fail: Counter,
+    breaker_opened: Counter,
+    breaker_half_open: Counter,
+    breaker_closed: Counter,
+    canaries: Counter,
 }
 
 struct Inner {
@@ -115,6 +126,20 @@ impl Metrics {
             barriers_unbatched_equiv: registry
                 .counter("sat_service_barrier_steps_total{kind=\"unbatched_equiv\"}"),
             samples_dropped: registry.counter("sat_service_latency_samples_dropped_total"),
+            rejected_shutdown_drain: registry
+                .counter("sat_service_rejected_total{reason=\"shutdown_drain\"}"),
+            attempts_ok: registry.counter("sat_service_attempts_total{result=\"ok\"}"),
+            attempts_failed: registry.counter("sat_service_attempts_total{result=\"failed\"}"),
+            retries: registry.counter("sat_service_retries_total"),
+            degraded: registry.counter("sat_service_degraded_total"),
+            verify_pass: registry.counter("sat_service_verifications_total{result=\"pass\"}"),
+            verify_fail: registry.counter("sat_service_verifications_total{result=\"fail\"}"),
+            breaker_opened: registry.counter("sat_service_breaker_transitions_total{to=\"open\"}"),
+            breaker_half_open: registry
+                .counter("sat_service_breaker_transitions_total{to=\"half_open\"}"),
+            breaker_closed: registry
+                .counter("sat_service_breaker_transitions_total{to=\"closed\"}"),
+            canaries: registry.counter("sat_service_canary_probes_total"),
         };
         Metrics {
             inner: Mutex::new(Inner {
@@ -137,9 +162,52 @@ impl Metrics {
             crate::ServiceError::QueueFull => self.c.rejected_queue_full.inc(),
             crate::ServiceError::DeadlineExceeded => self.c.rejected_deadline.inc(),
             crate::ServiceError::ShuttingDown => self.c.rejected_shutdown.inc(),
+            crate::ServiceError::Shutdown => self.c.rejected_shutdown_drain.inc(),
             crate::ServiceError::InvalidRequest(_) => self.c.rejected_invalid.inc(),
             crate::ServiceError::Internal(_) => {}
         }
+    }
+
+    /// Record one device attempt (a whole batch dispatch counts as one).
+    pub(crate) fn on_attempt(&self, ok: bool) {
+        if ok {
+            self.c.attempts_ok.inc();
+        } else {
+            self.c.attempts_failed.inc();
+        }
+    }
+
+    /// A failed attempt is about to be retried (after backoff).
+    pub(crate) fn on_retry(&self) {
+        self.c.retries.inc();
+    }
+
+    /// One request completed on the degraded CPU path.
+    pub(crate) fn on_degraded(&self) {
+        self.c.degraded.inc();
+    }
+
+    /// One per-result verification finished.
+    pub(crate) fn on_verify(&self, ok: bool) {
+        if ok {
+            self.c.verify_pass.inc();
+        } else {
+            self.c.verify_fail.inc();
+        }
+    }
+
+    /// The circuit breaker moved to `to` ("open" / "half_open" / "closed").
+    pub(crate) fn on_breaker(&self, to: &str) {
+        match to {
+            "open" => self.c.breaker_opened.inc(),
+            "half_open" => self.c.breaker_half_open.inc(),
+            _ => self.c.breaker_closed.inc(),
+        }
+    }
+
+    /// A half-open canary launch probed the device.
+    pub(crate) fn on_canary(&self) {
+        self.c.canaries.inc();
     }
 
     /// Record one dispatched batch.
@@ -183,6 +251,17 @@ impl Metrics {
             barriers_issued: self.c.barriers_issued.total(),
             barriers_unbatched_equiv: self.c.barriers_unbatched_equiv.total(),
             latency_samples_dropped: self.c.samples_dropped.total(),
+            rejected_shutdown_drain: self.c.rejected_shutdown_drain.total(),
+            attempts_ok: self.c.attempts_ok.total(),
+            attempts_failed: self.c.attempts_failed.total(),
+            retries: self.c.retries.total(),
+            degraded: self.c.degraded.total(),
+            verify_pass: self.c.verify_pass.total(),
+            verify_fail: self.c.verify_fail.total(),
+            breaker_opened: self.c.breaker_opened.total(),
+            breaker_half_open: self.c.breaker_half_open.total(),
+            breaker_closed: self.c.breaker_closed.total(),
+            canary_probes: self.c.canaries.total(),
             queue_latency: LatencySummary::from_ns(&m.queue_ns.buf),
             exec_latency: LatencySummary::from_ns(&m.exec_ns.buf),
             total_latency: LatencySummary::from_ns(&m.total_ns.buf),
@@ -250,6 +329,29 @@ pub struct ServiceStats {
     /// newer ones — nonzero means the percentiles below describe the most
     /// recent window, not the whole history.
     pub latency_samples_dropped: u64,
+    /// Requests failed with [`crate::ServiceError::Shutdown`] because the
+    /// service shut down while they were still queued.
+    pub rejected_shutdown_drain: u64,
+    /// Device attempts (one per batch dispatch) that passed every check.
+    pub attempts_ok: u64,
+    /// Device attempts that failed a launch or a verification.
+    pub attempts_failed: u64,
+    /// Failed attempts retried after backoff.
+    pub retries: u64,
+    /// Requests completed on the degraded sequential CPU path.
+    pub degraded: u64,
+    /// Per-result SAT verifications that passed.
+    pub verify_pass: u64,
+    /// Per-result SAT verifications that failed (result discarded, retried).
+    pub verify_fail: u64,
+    /// Circuit-breaker transitions into `Open`.
+    pub breaker_opened: u64,
+    /// Circuit-breaker transitions into `HalfOpen`.
+    pub breaker_half_open: u64,
+    /// Circuit-breaker transitions back into `Closed`.
+    pub breaker_closed: u64,
+    /// Half-open canary launches issued to probe the device.
+    pub canary_probes: u64,
     /// Time from admission to batch dispatch, per request.
     pub queue_latency: LatencySummary,
     /// Device execution time of the request's batch.

@@ -1,0 +1,391 @@
+//! Self-healing machinery: retry budgets with deterministic backoff, the
+//! device circuit breaker, and cheap result verification.
+//!
+//! The serving layer assumes the device can fail the way real GPUs do
+//! (lost launches, aborted launches, silently corrupted results — see
+//! [`gpu_exec::FaultPlan`]) and recovers in three layers:
+//!
+//! 1. **Detect.** After each dispatch the executor checks the device's
+//!    [fault epoch](gpu_exec::Device::fault_epoch) (launch abort / device
+//!    loss are detectable, like a CUDA error code), compares measured
+//!    operation counts against the paper's Table-I closed forms
+//!    (missing work from skipped blocks shows up as missing transactions),
+//!    and runs [`verify_sat`] on each result — the last row/column of a
+//!    valid SAT are prefix sums of the input's margins, and every interior
+//!    cell must satisfy the defining recurrence
+//!    `s(i,j) − s(i−1,j) − s(i,j−1) + s(i−1,j−1) = a(i,j)`.
+//! 2. **Retry.** Failed attempts are retried with exponential backoff and
+//!    deterministic jitter, up to [`ResilienceConfig::max_attempts`].
+//! 3. **Degrade.** Consecutive launch failures open a [`CircuitBreaker`];
+//!    while it is open, dispatches complete on the sequential CPU path
+//!    ([`sat_core::seq::sat_4r1w_cpu`]) instead of erroring, and after
+//!    [`ResilienceConfig::breaker_cooldown`] a half-open canary launch
+//!    probes whether the device recovered.
+
+use std::time::{Duration, Instant};
+
+use gpu_exec::Device;
+use hmm_model::cost::SatAlgorithm;
+use sat_core::{compute_sat, Matrix};
+
+/// When the executor verifies device results against the input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyMode {
+    /// Verify iff the service was configured with a fault plan (the
+    /// default: fault-free production traffic skips the sweep entirely).
+    #[default]
+    Auto,
+    /// Always verify, even without injected faults.
+    Always,
+    /// Never verify (results are returned as the device produced them).
+    Never,
+}
+
+/// Tuning for the self-healing path. The defaults match the chaos
+/// acceptance gate: three GPU attempts, sub-millisecond backoff, a breaker
+/// that opens after three consecutive launch failures and probes again
+/// after 25 ms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceConfig {
+    /// GPU attempts per dispatch before degrading to the CPU path.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Upper bound on the (pre-jitter) backoff.
+    pub max_backoff: Duration,
+    /// Seed of the deterministic backoff jitter.
+    pub backoff_seed: u64,
+    /// Consecutive launch failures that open the circuit breaker.
+    pub breaker_threshold: u32,
+    /// How long the breaker stays open before a half-open canary probe.
+    pub breaker_cooldown: Duration,
+    /// Result verification policy.
+    pub verify: VerifyMode,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            max_attempts: 3,
+            base_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_millis(5),
+            backoff_seed: 0x5EED,
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(25),
+            verify: VerifyMode::Auto,
+        }
+    }
+}
+
+/// The classic closed → open → half-open breaker, owned exclusively by the
+/// batch-former thread (no locking).
+#[derive(Debug)]
+pub(crate) struct CircuitBreaker {
+    state: State,
+    threshold: u32,
+    cooldown: Duration,
+}
+
+#[derive(Debug)]
+enum State {
+    /// Healthy; counts consecutive launch failures.
+    Closed { failures: u32 },
+    /// Tripped; GPU dispatches degrade to CPU until the cooldown elapses.
+    Open { since: Instant },
+    /// Cooldown elapsed; one canary probe decides re-close vs. re-open.
+    HalfOpen,
+}
+
+/// What the executor should do with the device right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Disposition {
+    /// Breaker closed: use the GPU normally.
+    Use,
+    /// Breaker half-open: run a canary probe before trusting the device.
+    Probe,
+    /// Breaker open: degrade to the CPU path.
+    Degrade,
+}
+
+impl CircuitBreaker {
+    pub(crate) fn new(cfg: &ResilienceConfig) -> Self {
+        CircuitBreaker {
+            state: State::Closed { failures: 0 },
+            threshold: cfg.breaker_threshold.max(1),
+            cooldown: cfg.breaker_cooldown,
+        }
+    }
+
+    /// Advance time-driven transitions and return the current disposition
+    /// plus the transition that just happened, if any (for metrics).
+    pub(crate) fn poll(&mut self, now: Instant) -> (Disposition, Option<&'static str>) {
+        match self.state {
+            State::Closed { .. } => (Disposition::Use, None),
+            State::HalfOpen => (Disposition::Probe, None),
+            State::Open { since } => {
+                if now.duration_since(since) >= self.cooldown {
+                    self.state = State::HalfOpen;
+                    (Disposition::Probe, Some("half_open"))
+                } else {
+                    (Disposition::Degrade, None)
+                }
+            }
+        }
+    }
+
+    /// A launch (or canary) succeeded.
+    pub(crate) fn on_success(&mut self) -> Option<&'static str> {
+        match self.state {
+            State::Closed { failures: 0 } => None,
+            State::Closed { .. } => {
+                self.state = State::Closed { failures: 0 };
+                None
+            }
+            State::HalfOpen | State::Open { .. } => {
+                self.state = State::Closed { failures: 0 };
+                Some("closed")
+            }
+        }
+    }
+
+    /// A launch (or canary) failed.
+    pub(crate) fn on_failure(&mut self, now: Instant) -> Option<&'static str> {
+        match self.state {
+            State::Closed { failures } => {
+                let failures = failures + 1;
+                if failures >= self.threshold {
+                    self.state = State::Open { since: now };
+                    Some("open")
+                } else {
+                    self.state = State::Closed { failures };
+                    None
+                }
+            }
+            State::HalfOpen => {
+                self.state = State::Open { since: now };
+                Some("open")
+            }
+            State::Open { .. } => None,
+        }
+    }
+
+    #[cfg(test)]
+    fn is_open(&self) -> bool {
+        matches!(self.state, State::Open { .. })
+    }
+}
+
+/// Deterministic exponential backoff with jitter: `base · 2^(attempt−1)`
+/// capped at `max`, scaled by a jitter factor in `[0.5, 1.0)` drawn from a
+/// splitmix64 stream — so two runs of the same fault schedule sleep the
+/// same amounts, keeping chaos runs reproducible.
+pub(crate) fn backoff_delay(cfg: &ResilienceConfig, attempt: u32, salt: u64) -> Duration {
+    let exp = attempt.saturating_sub(1).min(20);
+    let raw = cfg
+        .base_backoff
+        .saturating_mul(1u32 << exp)
+        .min(cfg.max_backoff);
+    let h = splitmix(cfg.backoff_seed ^ (u64::from(attempt) << 32) ^ salt);
+    let jitter = 0.5 + ((h >> 11) as f64) * (0.5 / (1u64 << 53) as f64);
+    raw.mul_f64(jitter)
+}
+
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Relative tolerance of the verification sweeps. Injected corruption flips
+/// an exponent bit — a relative deviation near 1 — while honest float
+/// reassociation across GPU/batch/CPU paths stays many orders below this.
+const VERIFY_REL_TOL: f64 = 1e-9;
+
+#[inline]
+fn close(a: f64, b: f64) -> bool {
+    // A corrupted exponent can land on ±inf/NaN, where `inf ≤ tol·inf`
+    // would pass the relative test; only exact equality counts there.
+    if !a.is_finite() || !b.is_finite() {
+        return a == b;
+    }
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= VERIFY_REL_TOL * scale
+}
+
+/// Cheap validity check of a SAT against its input, without recomputing the
+/// SAT: the margins checksum (the last row and column of a valid SAT are
+/// prefix sums of the input's column and row margins) catches global drift,
+/// and the defining recurrence `s(i,j) − s(i−1,j) − s(i,j−1) + s(i−1,j−1) =
+/// a(i,j)` — four reads per cell, no allocation — catches any corrupted
+/// interior word. Returns `true` when the SAT is consistent with `image`.
+pub(crate) fn verify_sat(image: &Matrix<f64>, sat: &Matrix<f64>) -> bool {
+    let (rows, cols) = (image.rows(), image.cols());
+    if sat.rows() != rows || sat.cols() != cols {
+        return false;
+    }
+    if rows == 0 || cols == 0 {
+        return true;
+    }
+    // Margins: last row = prefix sums of the column margins.
+    let mut acc = 0.0f64;
+    for j in 0..cols {
+        let col_margin: f64 = (0..rows).map(|i| image.get(i, j)).sum();
+        acc += col_margin;
+        if !close(sat.get(rows - 1, j), acc) {
+            return false;
+        }
+    }
+    // Margins: last column = prefix sums of the row margins.
+    let mut acc = 0.0f64;
+    for i in 0..rows {
+        let row_margin: f64 = (0..cols).map(|j| image.get(i, j)).sum();
+        acc += row_margin;
+        if !close(sat.get(i, cols - 1), acc) {
+            return false;
+        }
+    }
+    // Recurrence sweep with zero boundary.
+    for i in 0..rows {
+        for j in 0..cols {
+            let up = if i > 0 { sat.get(i - 1, j) } else { 0.0 };
+            let left = if j > 0 { sat.get(i, j - 1) } else { 0.0 };
+            let diag = if i > 0 && j > 0 {
+                sat.get(i - 1, j - 1)
+            } else {
+                0.0
+            };
+            if !close(sat.get(i, j) - up - left + diag, image.get(i, j)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Half-open probe: one tiny `w × w` SAT on the device, checked for launch
+/// failure *and* result validity. Cheap (a `w × w` grid is one block, one
+/// wavefront) but exercises the full launch → kernel → readback path.
+pub(crate) fn canary_ok(dev: &Device) -> bool {
+    let w = dev.width();
+    let image = Matrix::from_fn(w, w, |i, j| (i * 3 + j + 1) as f64);
+    let epoch = dev.fault_epoch();
+    let sat = compute_sat(dev, SatAlgorithm::OneR1W, &image);
+    dev.fault_epoch() == epoch && verify_sat(&image, &sat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sat_core::seq::sat_reference;
+
+    fn cfg() -> ResilienceConfig {
+        ResilienceConfig {
+            breaker_cooldown: Duration::from_millis(5),
+            ..ResilienceConfig::default()
+        }
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_recovers_via_half_open() {
+        let mut b = CircuitBreaker::new(&cfg());
+        let t0 = Instant::now();
+        assert_eq!(b.poll(t0).0, Disposition::Use);
+        assert_eq!(b.on_failure(t0), None);
+        assert_eq!(b.on_failure(t0), None);
+        assert_eq!(b.on_failure(t0), Some("open"));
+        assert!(b.is_open());
+        assert_eq!(b.poll(t0).0, Disposition::Degrade);
+        // Cooldown elapsed: half-open probe.
+        let later = t0 + Duration::from_millis(6);
+        assert_eq!(b.poll(later), (Disposition::Probe, Some("half_open")));
+        assert_eq!(b.poll(later), (Disposition::Probe, None));
+        // Failed canary re-opens; a later successful one closes.
+        assert_eq!(b.on_failure(later), Some("open"));
+        let again = later + Duration::from_millis(6);
+        assert_eq!(b.poll(again).0, Disposition::Probe);
+        assert_eq!(b.on_success(), Some("closed"));
+        assert_eq!(b.poll(again).0, Disposition::Use);
+    }
+
+    #[test]
+    fn breaker_success_resets_failure_streak() {
+        let mut b = CircuitBreaker::new(&cfg());
+        let t = Instant::now();
+        b.on_failure(t);
+        b.on_failure(t);
+        assert_eq!(b.on_success(), None);
+        // The streak restarted: two more failures do not open it.
+        b.on_failure(t);
+        b.on_failure(t);
+        assert!(!b.is_open());
+        assert_eq!(b.on_failure(t), Some("open"));
+    }
+
+    #[test]
+    fn backoff_grows_caps_and_is_deterministic() {
+        let c = cfg();
+        let d1 = backoff_delay(&c, 1, 9);
+        let d2 = backoff_delay(&c, 2, 9);
+        let d9 = backoff_delay(&c, 9, 9);
+        assert_eq!(d1, backoff_delay(&c, 1, 9), "deterministic");
+        assert!(d1 >= c.base_backoff / 2 && d1 < c.base_backoff);
+        assert!(d2 > d1, "exponential growth");
+        assert!(d9 <= c.max_backoff, "capped");
+        assert!(d9 >= c.max_backoff / 2, "jitter keeps at least half");
+        assert_ne!(
+            backoff_delay(&c, 1, 1),
+            backoff_delay(&c, 1, 2),
+            "salt decorrelates"
+        );
+    }
+
+    #[test]
+    fn verify_accepts_valid_sats_and_rejects_corruption() {
+        for (rows, cols) in [(1usize, 1usize), (5, 3), (8, 8), (13, 7)] {
+            let image = Matrix::from_fn(rows, cols, |i, j| ((i * 31 + j * 7) % 29) as f64 - 14.0);
+            let sat = sat_reference(&image);
+            assert!(verify_sat(&image, &sat), "{rows}x{cols}");
+            // Corrupt each word in turn the way fault injection does
+            // (exponent-bit flip): every single corruption must be caught.
+            for i in 0..rows {
+                for j in 0..cols {
+                    let mut bad = sat.clone();
+                    let v = bad.get(i, j);
+                    let flipped = f64::from_bits(v.to_bits() ^ (0x40u64 << 56));
+                    bad.set(i, j, flipped);
+                    if flipped != v {
+                        assert!(!verify_sat(&image, &bad), "missed corruption at {i},{j}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn verify_rejects_shape_mismatch_and_accepts_empty() {
+        let image = Matrix::from_fn(3, 3, |i, j| (i + j) as f64);
+        let sat = sat_reference(&image);
+        assert!(verify_sat(&image, &sat));
+        let wrong: Matrix<f64> = Matrix::zeros(3, 4);
+        assert!(!verify_sat(&image, &wrong));
+        let empty: Matrix<f64> = Matrix::zeros(0, 0);
+        assert!(verify_sat(&empty, &empty));
+    }
+
+    #[test]
+    fn verify_tolerates_float_reassociation() {
+        // Sums accumulated in a different association order drift by ulps,
+        // not by the 1e-9 relative tolerance.
+        let image = Matrix::from_fn(16, 16, |i, j| ((i * 7 + j) % 5) as f64 * 0.1 + 0.01);
+        let sat = sat_reference(&image);
+        let mut nudged = sat.clone();
+        for i in 0..16 {
+            for j in 0..16 {
+                let v = nudged.get(i, j);
+                nudged.set(i, j, v * (1.0 + f64::EPSILON));
+            }
+        }
+        assert!(verify_sat(&image, &nudged));
+    }
+}

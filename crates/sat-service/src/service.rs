@@ -7,14 +7,15 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use gpu_exec::{Device, DeviceOptions};
-use hmm_model::cost::SatAlgorithm;
+use gpu_exec::{BufferPool, Device, DeviceOptions};
+use hmm_model::cost::{CostCounters, GlobalCost, SatAlgorithm};
 use obs::{ArgValue, Track};
 use parking_lot::{Condvar, Mutex};
-use sat_core::{compute_sat, compute_sat_batch, Matrix, SumTable};
+use sat_core::{compute_sat, compute_sat_batch_with, Matrix, SumTable};
 
 use crate::metrics::Metrics;
-use crate::{ServiceConfig, ServiceError, ServiceStats};
+use crate::resilience::{backoff_delay, canary_ok, verify_sat, CircuitBreaker, Disposition};
+use crate::{ServiceConfig, ServiceError, ServiceStats, VerifyMode};
 
 type Reply = mpsc::SyncSender<Result<SumTable<f64>, ServiceError>>;
 
@@ -44,7 +45,7 @@ struct Shared {
 
 /// A running SAT service. Created by [`Service::start`]; hand out
 /// [`Client`]s with [`Service::client`]. Dropping the service shuts it
-/// down gracefully (drains the queue).
+/// down (still-queued requests fail fast with [`ServiceError::Shutdown`]).
 pub struct Service {
     shared: Arc<Shared>,
     batcher: Option<JoinHandle<()>>,
@@ -64,6 +65,9 @@ impl Service {
         let mut opts = DeviceOptions::new(cfg.machine).observer(cfg.observer.clone());
         if let Some(w) = cfg.device_workers {
             opts = opts.workers(w);
+        }
+        if let Some(plan) = cfg.fault_plan.clone() {
+            opts = opts.fault_plan(plan);
         }
         let dev = Device::new(opts);
         // Share one registry between serving-layer and device counters so a
@@ -107,8 +111,10 @@ impl Service {
         self.shared.metrics.expose_text()
     }
 
-    /// Stop admitting requests, drain everything already queued through the
-    /// device, join the batch-former, and return the final statistics.
+    /// Stop admitting requests, fail everything still queued with
+    /// [`ServiceError::Shutdown`] (counted under `reason="shutdown_drain"`),
+    /// join the batch-former, and return the final statistics. A dispatch
+    /// already on the device completes normally first.
     pub fn shutdown(mut self) -> ServiceStats {
         self.begin_shutdown();
         self.shared.metrics.snapshot()
@@ -231,14 +237,44 @@ struct GroupView {
     oldest: Instant,
 }
 
+/// Per-batcher resilience state: the circuit breaker and buffer pool are
+/// owned by this one thread, so neither needs a lock.
+struct ExecState {
+    breaker: CircuitBreaker,
+    pool: BufferPool<f64>,
+    /// Whether result verification runs (resolved from [`VerifyMode`]).
+    verify_on: bool,
+    /// Decorrelates successive backoff jitters within one batcher lifetime.
+    salt: u64,
+}
+
 fn batcher_loop(shared: &Shared, dev: &Device) {
+    let verify_on = match shared.cfg.resilience.verify {
+        VerifyMode::Always => true,
+        VerifyMode::Never => false,
+        VerifyMode::Auto => dev.fault_plan().is_some(),
+    };
+    let mut ex = ExecState {
+        breaker: CircuitBreaker::new(&shared.cfg.resilience),
+        pool: BufferPool::new(),
+        verify_on,
+        salt: 0,
+    };
     loop {
         let mut expired: Vec<Request> = Vec::new();
+        let mut drained: Vec<Request> = Vec::new();
         let mut ready: Vec<Dispatch> = Vec::new();
         let mut exit = false;
         {
             let mut st = shared.state.lock();
             loop {
+                // Fail fast on shutdown: everything still queued is answered
+                // `Shutdown` immediately instead of riding out its deadline.
+                if st.shutdown {
+                    drained.extend(st.queue.drain(..));
+                    exit = true;
+                    break;
+                }
                 let now = Instant::now();
                 let before = st.queue.len();
 
@@ -276,12 +312,12 @@ fn batcher_loop(shared: &Shared, dev: &Device) {
                 }
 
                 // Adaptive window: a group dispatches when full, when its
-                // oldest request has lingered long enough, when the
-                // algorithm cannot batch anyway, or on shutdown drain.
+                // oldest request has lingered long enough, or when the
+                // algorithm cannot batch anyway.
                 for g in &groups {
                     let batchable = g.algorithm == SatAlgorithm::OneR1W;
                     let linger_hit = g.oldest + shared.cfg.max_linger <= now;
-                    if g.count >= shared.cfg.max_batch || linger_hit || !batchable || st.shutdown {
+                    if g.count >= shared.cfg.max_batch || linger_hit || !batchable {
                         // Non-batchable algorithms dispatch one at a time so
                         // the width histogram reflects true fused widths.
                         let cap = if batchable { shared.cfg.max_batch } else { 1 };
@@ -308,10 +344,6 @@ fn batcher_loop(shared: &Shared, dev: &Device) {
                     shared.space_cv.notify_all();
                 }
                 if !ready.is_empty() || !expired.is_empty() {
-                    break;
-                }
-                if st.shutdown && st.queue.is_empty() {
-                    exit = true;
                     break;
                 }
 
@@ -348,8 +380,20 @@ fn batcher_loop(shared: &Shared, dev: &Device) {
             );
             let _ = r.reply.send(Err(err));
         }
+        if !drained.is_empty() {
+            shared.cfg.observer.instant(
+                Track::wall(0),
+                "shutdown_drain",
+                vec![("count", ArgValue::from(drained.len()))],
+            );
+            for r in drained {
+                let err = ServiceError::Shutdown;
+                shared.metrics.on_reject(&err);
+                let _ = r.reply.send(Err(err));
+            }
+        }
         for d in ready {
-            execute(shared, dev, d);
+            execute(shared, dev, d, &mut ex);
         }
         if exit {
             return;
@@ -357,8 +401,74 @@ fn batcher_loop(shared: &Shared, dev: &Device) {
     }
 }
 
-/// Run one dispatch on the device and answer its requests.
-fn execute(shared: &Shared, dev: &Device, d: Dispatch) {
+/// Report a circuit-breaker transition, if one happened.
+fn report_breaker(shared: &Shared, transition: Option<&'static str>) {
+    if let Some(to) = transition {
+        shared.metrics.on_breaker(to);
+        shared
+            .cfg
+            .observer
+            .instant(Track::wall(0), "breaker", vec![("to", ArgValue::from(to))]);
+    }
+}
+
+/// Complete every still-pending request on the sequential CPU path
+/// ([`sat_core::seq::sat_4r1w_cpu`]): slower, but immune to device faults.
+fn degrade_pending(
+    shared: &Shared,
+    images: &[Matrix<f64>],
+    pending: &mut Vec<usize>,
+    results: &mut [Option<Matrix<f64>>],
+) {
+    shared.cfg.observer.instant(
+        Track::wall(0),
+        "degraded",
+        vec![("count", ArgValue::from(pending.len()))],
+    );
+    for &i in pending.iter() {
+        let mut m = images[i].clone();
+        sat_core::seq::sat_4r1w_cpu(&mut m);
+        results[i] = Some(m);
+        shared.metrics.on_degraded();
+    }
+    pending.clear();
+}
+
+/// Table-I closed-form check: on block-aligned squares the batched 1R1W
+/// kernel must cost exactly `B×` the single-run exact counts
+/// ([`GlobalCost::exact_counts`]) in coalesced and stride transactions —
+/// blocks silently skipped by a fault show up as missing work. Returns
+/// `true` (no evidence of failure) for shapes without a closed form.
+fn counts_match_closed_form(
+    dev: &Device,
+    before: &CostCounters,
+    batch: usize,
+    rows: usize,
+    cols: usize,
+) -> bool {
+    let w = dev.width();
+    let prows = rows.max(1).next_multiple_of(w);
+    let pcols = cols.max(1).next_multiple_of(w);
+    if prows != pcols {
+        return true;
+    }
+    let Some(exact) = GlobalCost::new(*dev.config()).exact_counts(SatAlgorithm::OneR1W, prows)
+    else {
+        return true;
+    };
+    let after = dev.stats();
+    let b = batch as u64;
+    after.coalesced_reads.wrapping_sub(before.coalesced_reads) == b * exact.coalesced_reads
+        && after.coalesced_writes.wrapping_sub(before.coalesced_writes)
+            == b * exact.coalesced_writes
+        && after.stride_reads.wrapping_sub(before.stride_reads) == b * exact.stride_reads
+        && after.stride_writes.wrapping_sub(before.stride_writes) == b * exact.stride_writes
+}
+
+/// Run one dispatch through the self-healing attempt loop and answer its
+/// requests. Every request is answered `Ok` — a device that keeps failing
+/// degrades to the CPU path rather than erroring.
+fn execute(shared: &Shared, dev: &Device, d: Dispatch, ex: &mut ExecState) {
     let width = d.requests.len();
     if width == 0 {
         return;
@@ -380,22 +490,117 @@ fn execute(shared: &Shared, dev: &Device, d: Dispatch) {
     let w = dev.width();
     // Launches one per-request 1R1W run of this shape would cost: the
     // padded grid has `m_r × m_c` blocks and `m_r + m_c − 1` diagonals.
+    let (rows, cols) = (images[0].rows(), images[0].cols());
     let per_single = {
-        let first = &images[0];
-        let m_r = first.rows().max(1).div_ceil(w);
-        let m_c = first.cols().max(1).div_ceil(w);
+        let m_r = rows.max(1).div_ceil(w);
+        let m_c = cols.max(1).div_ceil(w);
         m_r + m_c - 1
     } as u64;
 
+    let rcfg = &shared.cfg.resilience;
     let before = dev.launches();
-    let results: Vec<Matrix<f64>> = if d.algorithm == SatAlgorithm::OneR1W {
-        compute_sat_batch(dev, &images)
-    } else {
-        images
-            .iter()
-            .map(|a| compute_sat(dev, d.algorithm, a))
-            .collect()
-    };
+    let mut results: Vec<Option<Matrix<f64>>> = (0..width).map(|_| None).collect();
+    let mut pending: Vec<usize> = (0..width).collect();
+    let mut attempts = 0u32;
+    while !pending.is_empty() {
+        // Attempt budget exhausted: stop fighting the device.
+        if attempts >= rcfg.max_attempts {
+            degrade_pending(shared, &images, &mut pending, &mut results);
+            break;
+        }
+        let (disposition, transition) = ex.breaker.poll(Instant::now());
+        report_breaker(shared, transition);
+        match disposition {
+            Disposition::Degrade => {
+                degrade_pending(shared, &images, &mut pending, &mut results);
+                break;
+            }
+            Disposition::Probe => {
+                shared.metrics.on_canary();
+                let ok = canary_ok(dev);
+                shared.cfg.observer.instant(
+                    Track::wall(0),
+                    "canary",
+                    vec![("ok", ArgValue::from(usize::from(ok)))],
+                );
+                let t = if ok {
+                    ex.breaker.on_success()
+                } else {
+                    ex.breaker.on_failure(Instant::now())
+                };
+                report_breaker(shared, t);
+                continue; // Re-poll: the probe decided Use vs. Degrade.
+            }
+            Disposition::Use => {}
+        }
+
+        if attempts > 0 {
+            shared.metrics.on_retry();
+            ex.salt = ex.salt.wrapping_add(1);
+            std::thread::sleep(backoff_delay(rcfg, attempts, ex.salt));
+        }
+        attempts += 1;
+
+        let epoch_before = dev.fault_epoch();
+        let stats_before =
+            (ex.verify_on && d.algorithm == SatAlgorithm::OneR1W).then(|| dev.stats());
+        let out: Vec<Matrix<f64>> = if d.algorithm == SatAlgorithm::OneR1W {
+            if pending.len() == width {
+                compute_sat_batch_with(dev, &ex.pool, &images)
+            } else {
+                let retry: Vec<Matrix<f64>> = pending.iter().map(|&i| images[i].clone()).collect();
+                compute_sat_batch_with(dev, &ex.pool, &retry)
+            }
+        } else {
+            pending
+                .iter()
+                .map(|&i| compute_sat(dev, d.algorithm, &images[i]))
+                .collect()
+        };
+
+        // A fault-epoch bump is the "CUDA error code" analogue; the
+        // closed-form mismatch catches work lost without an error.
+        let launch_failed = dev.fault_epoch() != epoch_before
+            || stats_before
+                .is_some_and(|s| !counts_match_closed_form(dev, &s, pending.len(), rows, cols));
+        shared.metrics.on_attempt(!launch_failed);
+        if launch_failed {
+            shared.cfg.observer.instant(
+                Track::wall(0),
+                "attempt_failed",
+                vec![("attempt", ArgValue::from(attempts as usize))],
+            );
+            report_breaker(shared, ex.breaker.on_failure(Instant::now()));
+            continue;
+        }
+        report_breaker(shared, ex.breaker.on_success());
+
+        // Verify each result; failures stay pending for the next attempt
+        // (they do not feed the breaker — the launch itself was healthy).
+        let mut unverified = 0usize;
+        let mut still: Vec<usize> = Vec::new();
+        for (i, sat) in pending.iter().copied().zip(out) {
+            let ok = !ex.verify_on || verify_sat(&images[i], &sat);
+            if ex.verify_on {
+                shared.metrics.on_verify(ok);
+            }
+            if ok {
+                results[i] = Some(sat);
+            } else {
+                unverified += 1;
+                still.push(i);
+            }
+        }
+        if unverified > 0 {
+            shared.cfg.observer.instant(
+                Track::wall(0),
+                "verify_failed",
+                vec![("count", ArgValue::from(unverified))],
+            );
+        }
+        pending = still;
+    }
+
     let issued = dev.launches() - before;
     let exec_ns = dispatched_at.elapsed().as_nanos() as u64;
 
@@ -456,6 +661,7 @@ fn execute(shared: &Shared, dev: &Device, d: Dispatch) {
         );
     }
     for (reply, sat) in replies.into_iter().zip(results) {
+        let sat = sat.expect("the attempt loop resolves every request");
         let _ = reply.send(Ok(SumTable::from_sat(sat)));
     }
 }

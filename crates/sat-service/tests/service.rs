@@ -18,6 +18,8 @@ fn small_config() -> ServiceConfig {
         max_linger: Duration::from_millis(2),
         default_deadline: Duration::from_secs(30),
         observer: obs::Obs::disabled(),
+        fault_plan: None,
+        resilience: Default::default(),
     }
 }
 
@@ -169,6 +171,8 @@ fn backpressure_rejects_when_queue_stays_full() {
         max_linger: Duration::from_secs(3600),
         default_deadline: Duration::from_secs(3600),
         observer: obs::Obs::disabled(),
+        fault_plan: None,
+        resilience: Default::default(),
     };
     let service = Service::start(cfg);
     let occupant = service.client();
@@ -187,15 +191,17 @@ fn backpressure_rejects_when_queue_stays_full() {
         )
         .expect_err("queue is full");
     assert_eq!(err, ServiceError::QueueFull);
-    // Graceful shutdown drains the occupant rather than dropping it.
+    // Shutdown fails the still-queued occupant fast with the distinct
+    // drain-time reason instead of computing it or letting it time out.
     let stats = service.shutdown();
-    assert!(handle.join().unwrap().is_ok());
-    assert_eq!(stats.completed, 1);
+    assert_eq!(handle.join().unwrap().err(), Some(ServiceError::Shutdown));
+    assert_eq!(stats.completed, 0);
     assert_eq!(stats.rejected_queue_full, 1);
+    assert_eq!(stats.rejected_shutdown_drain, 1);
 }
 
 #[test]
-fn shutdown_drains_queued_requests() {
+fn shutdown_fails_queued_requests_fast() {
     let mut cfg = small_config();
     cfg.max_linger = Duration::from_secs(3600); // nothing dispatches on its own
     cfg.max_batch = 64;
@@ -212,11 +218,14 @@ fn shutdown_drains_queued_requests() {
     }
     let stats = service.shutdown();
     for h in handles {
-        assert!(h.join().unwrap().is_ok(), "drained, not dropped");
+        // Fail-fast drain: a distinct rejection, not a deadline timeout
+        // (their deadlines were 30 s out) and not a computed result.
+        assert_eq!(h.join().unwrap().err(), Some(ServiceError::Shutdown));
     }
-    assert_eq!(stats.completed, 6);
-    // The drain dispatched them as one fused batch.
-    assert_eq!(stats.batches, 1);
+    assert_eq!(stats.completed, 0);
+    assert_eq!(stats.rejected_shutdown_drain, 6);
+    assert_eq!(stats.rejected_deadline, 0);
+    assert_eq!(stats.batches, 0);
 }
 
 #[test]

@@ -21,6 +21,11 @@ cargo run --release -q -p sat-bench --bin loadgen -- \
     --threads 4 --requests 8 --n 32 --width 4 \
     --json target/BENCH_service_smoke.json
 
+echo "== chaosgen smoke (fault injection + self-healing, abort+corruption)"
+cargo run --release -q -p sat-bench --bin chaosgen -- \
+    --threads 4 --requests 8 --n 16 --width 4 --seed 7 \
+    --scenarios abort,corrupt --json target/BENCH_chaos_smoke.json
+
 echo "== satlint over a traced service batch"
 cargo run --release -q -p sat-bench --bin satlint -- --n 64 --batch 8
 
