@@ -1,0 +1,583 @@
+//! benchdiff — the gated benchmark trajectory: measure every algorithm at
+//! fixed sizes, write a canonical `BENCH_perf.json`, append the run to a
+//! committed `BENCH_history.jsonl`, and **fail** when the current tree
+//! regresses against the committed baseline.
+//!
+//! ```sh
+//! cargo run --release -p sat-bench --bin benchdiff            # compare
+//! cargo run --release -p sat-bench --bin benchdiff -- --write # re-baseline
+//! ```
+//!
+//! Flags:
+//!
+//! * `--sizes LIST` — comma-separated matrix sides (default `128,256`);
+//! * `--width W` — machine width (default 32);
+//! * `--runs K` — timing repetitions per cell; the median is kept
+//!   (default 5);
+//! * `--baseline PATH` — baseline to compare against (default
+//!   `BENCH_perf.json`);
+//! * `--history PATH` — history file `--write` appends to (default
+//!   `BENCH_history.jsonl`);
+//! * `--tolerance F` — relative band for the calibration-normalized wall
+//!   clock (default 0.6, i.e. ±60%);
+//! * `--write` — rewrite the baseline from this run and append a history
+//!   record instead of comparing;
+//! * `--inject-slowdown ALGO:FACTOR` — scale the measured wall clock of
+//!   one algorithm (test hook for the gate itself);
+//! * `--validate-history PATH` — parse a history file and check its
+//!   invariants (schema tag, strictly increasing `seq`, non-decreasing
+//!   `unix_ms`), then exit.
+//!
+//! ## Tolerance policy
+//!
+//! Deterministic metrics — coalesced ops, stride ops, barrier steps and
+//! the modeled cost `C/w + S + Λ(B+1)` they imply — are compared
+//! **exactly**: any drift is a semantic change, not noise. Wall clock is
+//! noisy and host-dependent, so each cell's median-of-`K` is divided by a
+//! fixed CPU calibration loop timed in the same process, and only that
+//! normalized ratio is compared, within `--tolerance`.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use gpu_exec::{Device, DeviceOptions};
+use hmm_model::cost::{GlobalCost, SatAlgorithm};
+use hmm_model::MachineConfig;
+use obs::json::JsonValue;
+use obs::profile::CostModel;
+use obs::Obs;
+use sat_bench::{bench_device, flag_value, parsed_flag, run_real};
+use serde::Serialize;
+
+const PERF_SCHEMA: &str = "sat-hmm/bench-perf/v1";
+const HISTORY_SCHEMA: &str = "sat-hmm/bench-history/v1";
+
+/// The canonical perf snapshot (`BENCH_perf.json`).
+#[derive(Serialize)]
+struct PerfFile {
+    schema: String,
+    width: usize,
+    runs: usize,
+    /// Median seconds of the fixed calibration loop on the generating host.
+    calibration_seconds: f64,
+    host: Host,
+    entries: Vec<PerfEntry>,
+}
+
+#[derive(Serialize)]
+struct Host {
+    os: String,
+    arch: String,
+    cpus: usize,
+}
+
+/// One (algorithm, n) cell of the benchmark matrix.
+#[derive(Serialize, Clone)]
+struct PerfEntry {
+    algorithm: String,
+    n: usize,
+    /// Deterministic transaction counters from the measured run.
+    coalesced_ops: u64,
+    stride_ops: u64,
+    barrier_steps: u64,
+    /// The paper's global access cost on those counters, in time units.
+    modeled_cost_units: f64,
+    /// Per-phase attribution totals reconstructed from the launch trace
+    /// (`obs::profile::attribution_from_trace`); `launches` is the row
+    /// count, `modeled_cost_units` the report's recomputed total.
+    attribution: Attribution,
+    wall: WallStats,
+}
+
+#[derive(Serialize, Clone)]
+struct Attribution {
+    launches: usize,
+    modeled_cost_units: f64,
+}
+
+#[derive(Serialize, Clone)]
+struct WallStats {
+    runs: usize,
+    median_seconds: f64,
+    min_seconds: f64,
+    max_seconds: f64,
+    /// `median_seconds` divided by the host's calibration median — the
+    /// only wall metric the gate compares.
+    normalized: f64,
+}
+
+/// One appended line of `BENCH_history.jsonl`.
+#[derive(Serialize)]
+struct HistoryRecord {
+    schema: String,
+    /// Strictly increasing per file; `--validate-history` enforces it.
+    seq: u64,
+    unix_ms: u64,
+    commit: String,
+    width: usize,
+    calibration_seconds: f64,
+    entries: Vec<HistoryEntry>,
+}
+
+#[derive(Serialize)]
+struct HistoryEntry {
+    algorithm: String,
+    n: usize,
+    normalized_wall: f64,
+    modeled_cost_units: f64,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if let Some(path) = flag_value(&args, "--validate-history") {
+        return validate_history(&path);
+    }
+
+    let sizes: Vec<usize> = flag_value(&args, "--sizes")
+        .unwrap_or_else(|| "128,256".to_string())
+        .split(',')
+        .map(|s| s.trim().parse().unwrap_or(0))
+        .collect();
+    let width: usize = parsed_flag(&args, "--width", 32);
+    let runs: usize = parsed_flag(&args, "--runs", 5).max(1);
+    let baseline_path = flag_value(&args, "--baseline").unwrap_or_else(|| "BENCH_perf.json".into());
+    let history_path =
+        flag_value(&args, "--history").unwrap_or_else(|| "BENCH_history.jsonl".into());
+    let tolerance: f64 = parsed_flag(&args, "--tolerance", 0.6);
+    let write = args.iter().any(|a| a == "--write");
+    let inject = match flag_value(&args, "--inject-slowdown").map(|s| parse_injection(&s)) {
+        Some(Err(e)) => {
+            eprintln!("error: --inject-slowdown: {e}");
+            return ExitCode::from(2);
+        }
+        Some(Ok(pair)) => Some(pair),
+        None => None,
+    };
+    if sizes.iter().any(|&n| n == 0 || n % width != 0) {
+        eprintln!("error: --sizes must be positive multiples of --width {width}");
+        return ExitCode::from(2);
+    }
+
+    let calibration_seconds = calibrate();
+    println!(
+        "benchdiff — w = {width}, sizes {sizes:?}, {runs} runs/cell, calibration {:.4} s",
+        calibration_seconds
+    );
+
+    let cfg = MachineConfig::with_width(width);
+    let mut entries = Vec::new();
+    println!(
+        "{:<11} {:>6} | {:>12} {:>9} {:>9} | {:>12} | {:>12} {:>8}",
+        "algorithm", "n", "coalesced", "stride", "barriers", "modeled(u)", "wall med(s)", "norm"
+    );
+    for &n in &sizes {
+        for alg in SatAlgorithm::ALL {
+            let mut e = measure_cell(cfg, alg, n, runs, calibration_seconds);
+            if let Some((ref name, factor)) = inject {
+                if alg.name().eq_ignore_ascii_case(name) {
+                    e.wall.median_seconds *= factor;
+                    e.wall.min_seconds *= factor;
+                    e.wall.max_seconds *= factor;
+                    e.wall.normalized *= factor;
+                }
+            }
+            println!(
+                "{:<11} {:>6} | {:>12} {:>9} {:>9} | {:>12.1} | {:>12.6} {:>8.3}",
+                e.algorithm,
+                e.n,
+                e.coalesced_ops,
+                e.stride_ops,
+                e.barrier_steps,
+                e.modeled_cost_units,
+                e.wall.median_seconds,
+                e.wall.normalized
+            );
+            entries.push(e);
+        }
+    }
+
+    let perf = PerfFile {
+        schema: PERF_SCHEMA.to_string(),
+        width,
+        runs,
+        calibration_seconds,
+        host: Host {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            cpus: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        },
+        entries,
+    };
+
+    if write {
+        return write_baseline(&perf, &baseline_path, &history_path);
+    }
+    compare(&perf, &baseline_path, tolerance)
+}
+
+/// Parse `ALGO:FACTOR` (e.g. `1r1w:2.0`).
+fn parse_injection(s: &str) -> Result<(String, f64), String> {
+    let (name, factor) = s
+        .split_once(':')
+        .ok_or_else(|| format!("expected ALGO:FACTOR, got {s:?}"))?;
+    let factor: f64 = factor
+        .parse()
+        .map_err(|_| format!("unparsable factor {factor:?}"))?;
+    if SatAlgorithm::ALL
+        .iter()
+        .all(|a| !a.name().eq_ignore_ascii_case(name))
+    {
+        return Err(format!("unknown algorithm {name:?}"));
+    }
+    Ok((name.to_string(), factor))
+}
+
+/// Median seconds of a fixed, allocation-free integer loop. Dividing the
+/// measured wall clocks by this folds away absolute host speed, so a
+/// baseline generated on one machine gates runs on another.
+fn calibrate() -> f64 {
+    let spin = || {
+        let start = Instant::now();
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for _ in 0..1 << 24 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+        }
+        std::hint::black_box(x);
+        start.elapsed().as_secs_f64()
+    };
+    let mut t: Vec<f64> = (0..5).map(|_| spin()).collect();
+    t.sort_by(f64::total_cmp);
+    t[t.len() / 2]
+}
+
+/// Measure one cell: `runs` timed executions on a bare sequential device
+/// (median wall), one traced execution for the attribution totals.
+fn measure_cell(
+    cfg: MachineConfig,
+    alg: SatAlgorithm,
+    n: usize,
+    runs: usize,
+    calibration: f64,
+) -> PerfEntry {
+    let gc = GlobalCost::new(cfg);
+    let r = if alg == SatAlgorithm::HybridR1W {
+        gc.optimal_r(n)
+    } else {
+        0.0
+    };
+    let dev = bench_device(cfg);
+    let mut walls = Vec::with_capacity(runs);
+    let mut stats = None;
+    for _ in 0..runs {
+        let (s, secs) = run_real(&dev, alg, r, n);
+        walls.push(secs);
+        stats = Some(s);
+    }
+    let stats = stats.expect("runs >= 1");
+    walls.sort_by(f64::total_cmp);
+    let median = walls[walls.len() / 2];
+
+    // Attribution pass: re-run once on an observed device and rebuild the
+    // per-launch report from the trace; its totals must agree with the
+    // device's own counters (two independent observation paths).
+    let obs = Obs::new();
+    let traced = Device::new(DeviceOptions::new(cfg).workers(0).observer(obs.clone()));
+    run_real(&traced, alg, r, n);
+    let report = obs::profile::attribution_from_trace(
+        &obs,
+        CostModel {
+            width: cfg.width as u64,
+            window_overhead: cfg.window_overhead(),
+        },
+    );
+    let total = report.total();
+    assert_eq!(
+        total.coalesced_ops,
+        stats.coalesced_reads + stats.coalesced_writes,
+        "{} n={n}: attribution and device counters diverged",
+        alg.name()
+    );
+
+    PerfEntry {
+        algorithm: alg.name().to_string(),
+        n,
+        coalesced_ops: stats.coalesced_reads + stats.coalesced_writes,
+        stride_ops: stats.stride_reads + stats.stride_writes,
+        barrier_steps: stats.barrier_steps,
+        modeled_cost_units: stats.global_cost(&cfg),
+        attribution: Attribution {
+            launches: report.rows.len(),
+            modeled_cost_units: total.modeled_cost,
+        },
+        wall: WallStats {
+            runs,
+            median_seconds: median,
+            min_seconds: walls[0],
+            max_seconds: *walls.last().unwrap(),
+            normalized: median / calibration,
+        },
+    }
+}
+
+fn write_baseline(perf: &PerfFile, baseline_path: &str, history_path: &str) -> ExitCode {
+    let json = serde_json::to_string_pretty(perf).expect("serializable perf file");
+    if let Err(e) = std::fs::write(baseline_path, json + "\n") {
+        eprintln!("error: writing {baseline_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {baseline_path} ({} entries)", perf.entries.len());
+
+    let next_seq = match last_history_seq(history_path) {
+        Ok(seq) => seq + 1,
+        Err(e) => {
+            eprintln!("error: {history_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let record = HistoryRecord {
+        schema: HISTORY_SCHEMA.to_string(),
+        seq: next_seq,
+        unix_ms: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_millis() as u64),
+        commit: current_commit(),
+        width: perf.width,
+        calibration_seconds: perf.calibration_seconds,
+        entries: perf
+            .entries
+            .iter()
+            .map(|e| HistoryEntry {
+                algorithm: e.algorithm.clone(),
+                n: e.n,
+                normalized_wall: e.wall.normalized,
+                modeled_cost_units: e.modeled_cost_units,
+            })
+            .collect(),
+    };
+    let line = serde_json::to_string(&record).expect("serializable history record");
+    let mut contents = std::fs::read_to_string(history_path).unwrap_or_default();
+    if !contents.is_empty() && !contents.ends_with('\n') {
+        contents.push('\n');
+    }
+    contents.push_str(&line);
+    contents.push('\n');
+    if let Err(e) = std::fs::write(history_path, contents) {
+        eprintln!("error: appending to {history_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("appended seq {next_seq} to {history_path}");
+    ExitCode::SUCCESS
+}
+
+/// Largest `seq` already in the history file (0 when absent/empty).
+fn last_history_seq(path: &str) -> Result<u64, String> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Ok(0);
+    };
+    let mut last = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = JsonValue::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let seq = v
+            .get("seq")
+            .and_then(|s| s.as_f64())
+            .ok_or_else(|| format!("line {}: missing seq", i + 1))? as u64;
+        last = last.max(seq);
+    }
+    Ok(last)
+}
+
+/// `BENCH_COMMIT` env override, else `git rev-parse --short HEAD`, else
+/// `"unknown"` — the history stays appendable outside a git checkout.
+fn current_commit() -> String {
+    if let Ok(c) = std::env::var("BENCH_COMMIT") {
+        return c;
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Compare the fresh measurement against the committed baseline. Exits
+/// nonzero naming every regressed metric.
+fn compare(perf: &PerfFile, baseline_path: &str, tolerance: f64) -> ExitCode {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: reading baseline {baseline_path}: {e} (generate one with --write)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let base = match JsonValue::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: baseline {baseline_path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if base.get("schema").and_then(|s| s.as_str()) != Some(PERF_SCHEMA) {
+        eprintln!("error: baseline {baseline_path} lacks schema {PERF_SCHEMA:?}");
+        return ExitCode::FAILURE;
+    }
+    let base_width = base.get("width").and_then(|w| w.as_f64()).unwrap_or(0.0) as usize;
+    if base_width != perf.width {
+        eprintln!(
+            "error: baseline width {base_width} != current width {} (re-baseline with --write)",
+            perf.width
+        );
+        return ExitCode::FAILURE;
+    }
+    let empty: [JsonValue; 0] = [];
+    let base_entries = base
+        .get("entries")
+        .and_then(|e| e.as_array())
+        .unwrap_or(&empty);
+
+    println!(
+        "\ncomparing {} cells against {baseline_path} (wall tolerance ±{:.0}%)",
+        perf.entries.len(),
+        tolerance * 100.0
+    );
+    let mut failures = Vec::new();
+    for e in &perf.entries {
+        let Some(b) = base_entries.iter().find(|b| {
+            b.get("algorithm").and_then(|a| a.as_str()) == Some(e.algorithm.as_str())
+                && b.get("n").and_then(|n| n.as_f64()) == Some(e.n as f64)
+        }) else {
+            failures.push(format!(
+                "{} n={}: no baseline entry (add it with --write)",
+                e.algorithm, e.n
+            ));
+            continue;
+        };
+        let num = |key: &str| b.get(key).and_then(|v| v.as_f64()).unwrap_or(f64::NAN);
+        // Deterministic metrics: exact.
+        for (metric, cur, basev) in [
+            (
+                "coalesced_ops",
+                e.coalesced_ops as f64,
+                num("coalesced_ops"),
+            ),
+            ("stride_ops", e.stride_ops as f64, num("stride_ops")),
+            (
+                "barrier_steps",
+                e.barrier_steps as f64,
+                num("barrier_steps"),
+            ),
+            (
+                "modeled_cost_units",
+                e.modeled_cost_units,
+                num("modeled_cost_units"),
+            ),
+        ] {
+            if cur != basev {
+                failures.push(format!(
+                    "REGRESSION {} n={}: {metric} {cur} vs baseline {basev} (deterministic metric must match exactly)",
+                    e.algorithm, e.n
+                ));
+            }
+        }
+        // Wall clock: normalized ratio within the tolerance band.
+        let base_norm = b
+            .get("wall")
+            .and_then(|w| w.get("normalized"))
+            .and_then(|v| v.as_f64())
+            .unwrap_or(f64::NAN);
+        let cur_norm = e.wall.normalized;
+        // A NaN baseline must fail the gate, so test for being *within*
+        // the band and negate the boolean.
+        let within = (cur_norm - base_norm).abs() <= tolerance * base_norm;
+        if !within {
+            failures.push(format!(
+                "REGRESSION {} n={}: normalized_wall {cur_norm:.3} vs baseline {base_norm:.3} ({:+.1}% outside ±{:.0}%)",
+                e.algorithm,
+                e.n,
+                (cur_norm / base_norm - 1.0) * 100.0,
+                tolerance * 100.0
+            ));
+        }
+    }
+
+    if failures.is_empty() {
+        println!("benchdiff: OK — no regressions");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        eprintln!("benchdiff: FAIL ({} regressed metric(s))", failures.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// `--validate-history`: every line parses, carries the history schema,
+/// `seq` strictly increases and `unix_ms` never decreases.
+fn validate_history(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: reading {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut prev_seq: Option<u64> = None;
+    let mut prev_ms: Option<u64> = None;
+    let mut records = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = i + 1;
+        let v = match JsonValue::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("error: {path}:{lineno}: invalid JSON: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if v.get("schema").and_then(|s| s.as_str()) != Some(HISTORY_SCHEMA) {
+            eprintln!("error: {path}:{lineno}: schema is not {HISTORY_SCHEMA:?}");
+            return ExitCode::FAILURE;
+        }
+        let (Some(seq), Some(ms)) = (
+            v.get("seq").and_then(|s| s.as_f64()).map(|s| s as u64),
+            v.get("unix_ms").and_then(|s| s.as_f64()).map(|s| s as u64),
+        ) else {
+            eprintln!("error: {path}:{lineno}: missing seq / unix_ms");
+            return ExitCode::FAILURE;
+        };
+        if v.get("commit").and_then(|c| c.as_str()).is_none() {
+            eprintln!("error: {path}:{lineno}: missing commit");
+            return ExitCode::FAILURE;
+        }
+        if prev_seq.is_some_and(|p| seq <= p) {
+            eprintln!(
+                "error: {path}:{lineno}: seq {seq} does not increase (previous {})",
+                prev_seq.unwrap()
+            );
+            return ExitCode::FAILURE;
+        }
+        if prev_ms.is_some_and(|p| ms < p) {
+            eprintln!(
+                "error: {path}:{lineno}: unix_ms {ms} went backwards (previous {})",
+                prev_ms.unwrap()
+            );
+            return ExitCode::FAILURE;
+        }
+        prev_seq = Some(seq);
+        prev_ms = Some(ms);
+        records += 1;
+    }
+    println!("{path}: ok — {records} record(s), monotone seq and timestamps");
+    ExitCode::SUCCESS
+}

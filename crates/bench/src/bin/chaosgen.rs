@@ -136,6 +136,7 @@ fn run_scenario(
         observer,
         fault_plan: Some(plan),
         resilience: Default::default(),
+        slo: Default::default(),
     });
 
     let mismatches = Mutex::new(0u64);

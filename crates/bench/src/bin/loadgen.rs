@@ -102,6 +102,7 @@ fn main() -> ExitCode {
         observer: obs::Obs::disabled(),
         fault_plan: None,
         resilience: Default::default(),
+        slo: Default::default(),
     });
 
     println!(

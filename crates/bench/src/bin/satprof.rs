@@ -20,11 +20,17 @@
 //!   process 2), overlaying model time next to wall time;
 //! * `--burst K` — instead of bare algorithm runs, push `K` requests
 //!   through a `sat-service` instance sharing the same observer, then
-//!   print its Prometheus exposition;
+//!   print its Prometheus exposition; the burst's trace goes through the
+//!   same `chrome::validate` schema gate as the single-algo path, and the
+//!   exposition must carry the request-latency histogram series;
+//! * `--phases` — print each algorithm's per-launch cost attribution
+//!   table (`obs::profile`); the attribution counter tracks land in the
+//!   trace regardless, so Perfetto overlays modeled-vs-measured cost;
 //! * `--check` — verify measured C/S/B counters against `hmm_model`'s
 //!   closed forms (exact equality for 1R1W on block-aligned sizes, the
-//!   Table I leading terms within 25% otherwise) and exit nonzero on any
-//!   mismatch.
+//!   Table I leading terms within 25% otherwise) **and** that the
+//!   trace-reconstructed attribution totals agree with the device's own
+//!   counters, exiting nonzero on any mismatch.
 //!
 //! Recording overhead: the observer's disabled path is a no-op (no clock
 //! reads, no allocation — asserted by `obs`'s `disabled_path_is_cheap`
@@ -38,6 +44,7 @@ use gpu_exec::{Device, DeviceOptions};
 use hmm_model::cost::{GlobalCost, SatAlgorithm};
 use hmm_model::MachineConfig;
 use hmm_sim::{export_sim_timeline, trace_and_simulate};
+use obs::profile::{attribution_from_trace, CostModel, PhaseReport};
 use obs::{ArgValue, Obs, Registry, Track};
 use sat_bench::{flag_value, parsed_flag, run_real, workload};
 use sat_service::{Service, ServiceConfig};
@@ -64,6 +71,7 @@ fn main() -> ExitCode {
     let burst: usize = parsed_flag(&args, "--burst", 0);
     let check = args.iter().any(|a| a == "--check");
     let sim = args.iter().any(|a| a == "--sim");
+    let phases = args.iter().any(|a| a == "--phases");
 
     let algorithms: Vec<SatAlgorithm> = if algo_flag.eq_ignore_ascii_case("all") {
         SatAlgorithm::ALL.to_vec()
@@ -95,7 +103,7 @@ fn main() -> ExitCode {
     let mut failed = false;
 
     if burst > 0 {
-        run_burst(&obs, cfg, n, burst);
+        failed |= !run_burst(&obs, cfg, n, burst);
     } else {
         println!("satprof — machine w = {width}, matrix {n} x {n}");
         println!(
@@ -113,7 +121,7 @@ fn main() -> ExitCode {
                 println!("{:<11} | skipped (2n-1 launches prohibitive)", alg.name());
                 continue;
             }
-            failed |= !profile_algorithm(&obs, &registry, &gc, cfg, alg, n, check, sim);
+            failed |= !profile_algorithm(&obs, &registry, &gc, cfg, alg, n, check, sim, phases);
         }
     }
 
@@ -124,8 +132,8 @@ fn main() -> ExitCode {
     }
     match obs::chrome::validate(&json) {
         Ok(stats) => println!(
-            "\nwrote {trace_path}: {} events ({} complete spans, {} instants) — load it at ui.perfetto.dev",
-            stats.events, stats.complete, stats.instants
+            "\nwrote {trace_path}: {} events ({} complete spans, {} instants, {} counter samples) — load it at ui.perfetto.dev",
+            stats.events, stats.complete, stats.instants, stats.counters
         ),
         Err(e) => {
             eprintln!("error: {trace_path} failed trace-schema validation: {e}");
@@ -153,14 +161,22 @@ fn profile_algorithm(
     n: usize,
     check: bool,
     sim: bool,
+    phases: bool,
 ) -> bool {
     let r = if alg == SatAlgorithm::HybridR1W {
         gc.optimal_r(n)
     } else {
         0.0
     };
+    let model = CostModel {
+        width: cfg.width as u64,
+        window_overhead: cfg.window_overhead(),
+    };
     let dev = Device::new(DeviceOptions::new(cfg).workers(0).observer(obs.clone()));
     let (coal_before, stride_before) = device_counter_totals(registry);
+    // The trace is shared across algorithms; remember how many launch rows
+    // it already holds so this algorithm's attribution covers only its own.
+    let rows_before = attribution_from_trace(obs, model).rows.len();
     let mut guard = obs.span(Track::wall(0), alg.name());
     guard.arg("n", ArgValue::from(n));
     let (stats, _) = run_real(&dev, alg, r, n);
@@ -181,6 +197,39 @@ fn profile_algorithm(
         stats.stride_reads + stats.stride_writes,
         "registry and device stats diverged (stride)"
     );
+
+    // Per-launch cost attribution, reconstructed from the launch spans this
+    // algorithm just appended to the trace. The counter tracks go back into
+    // the same trace so Perfetto overlays modeled cost next to wall time.
+    let attribution = PhaseReport {
+        model,
+        rows: attribution_from_trace(obs, model).rows[rows_before..].to_vec(),
+    };
+    attribution.export_counter_tracks(obs);
+    if phases {
+        println!(
+            "\nper-launch attribution — {}:\n{}",
+            alg.name(),
+            attribution.to_table()
+        );
+    }
+    let at = attribution.total();
+    let attr_ok = at.coalesced_ops == coal_meas
+        && at.stride_ops == stride_meas
+        && at.barrier_steps == stats.barrier_steps;
+    if !attr_ok {
+        eprintln!(
+            "{}: attribution totals diverge from device counters \
+             (C {} vs {}, S {} vs {}, B {} vs {})",
+            alg.name(),
+            at.coalesced_ops,
+            coal_meas,
+            at.stride_ops,
+            stride_meas,
+            at.barrier_steps,
+            stats.barrier_steps
+        );
+    }
 
     if sim {
         let run = trace_and_simulate(cfg, |d| {
@@ -227,7 +276,7 @@ fn profile_algorithm(
         );
         ok
     };
-    !check || ok
+    !check || (ok && attr_ok)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -255,8 +304,11 @@ fn print_row(
 }
 
 /// Push `burst` same-shape 1R1W requests through a service sharing `obs`,
-/// then print its Prometheus exposition.
-fn run_burst(obs: &Obs, machine: MachineConfig, n: usize, burst: usize) {
+/// then print its Prometheus exposition. Returns `false` when the burst
+/// produced no trace events or the exposition lacks the request-latency
+/// histogram series (`_bucket`/`_sum`/`_count`) — the caller then also
+/// schema-validates the written trace, exactly like the single-algo path.
+fn run_burst(obs: &Obs, machine: MachineConfig, n: usize, burst: usize) -> bool {
     println!("satprof — burst of {burst} requests ({n} x {n}, 1R1W) through sat-service");
     let service = Service::start(ServiceConfig {
         machine,
@@ -278,7 +330,8 @@ fn run_burst(obs: &Obs, machine: MachineConfig, n: usize, burst: usize) {
             });
         }
     });
-    println!("\n{}", service.metrics_text());
+    let text = service.metrics_text();
+    println!("\n{text}");
     let stats = service.shutdown();
     println!(
         "completed {} requests in {} batches (mean width {:.2}, {} launches saved)",
@@ -287,4 +340,20 @@ fn run_burst(obs: &Obs, machine: MachineConfig, n: usize, burst: usize) {
         stats.mean_batch_width(),
         stats.launches_saved()
     );
+    let mut ok = true;
+    for series in [
+        "sat_service_request_latency_seconds_bucket{le=",
+        "sat_service_request_latency_seconds_sum",
+        "sat_service_request_latency_seconds_count",
+    ] {
+        if !text.contains(series) {
+            eprintln!("error: burst exposition is missing {series}…");
+            ok = false;
+        }
+    }
+    if obs.event_count() == 0 {
+        eprintln!("error: burst produced no trace events");
+        ok = false;
+    }
+    ok
 }

@@ -5,7 +5,7 @@ use std::time::Instant;
 
 use hmm_model::cost::CostCounters;
 use hmm_model::MachineConfig;
-use obs::{ArgValue, Counter, Obs, Track};
+use obs::{ArgValue, Counter, Histogram, Obs, Track};
 use parking_lot::Mutex;
 
 use crate::buffer::{GlobalBuffer, GlobalView};
@@ -156,6 +156,7 @@ struct DeviceCounters {
     global_stages: Counter,
     launches: Counter,
     barrier_steps: Counter,
+    launch_duration: Histogram,
 }
 
 /// Registry counters for injected faults, one per fault class.
@@ -264,6 +265,7 @@ impl Device {
             global_stages: reg.counter("gpu_global_stages"),
             launches: reg.counter("gpu_launches"),
             barrier_steps: reg.counter("gpu_barrier_steps"),
+            launch_duration: reg.histogram("gpu_launch_duration_seconds"),
         });
         let fault = opts
             .fault_plan
@@ -368,6 +370,7 @@ impl Device {
         // no-op fast path when no observer is attached.
         let mut launch_span = None;
         let mut stats_before = None;
+        let launch_started = self.obs.is_enabled().then(Instant::now);
         if self.obs.is_enabled() {
             if let Some(reg) = self.obs.registry() {
                 reg.reset_scope();
@@ -508,6 +511,9 @@ impl Device {
                 span.arg("global_stages", ArgValue::from(stages));
             }
         }
+        if let (Some(started), Some(c)) = (launch_started, &self.counters) {
+            c.launch_duration.observe_duration(started.elapsed());
+        }
     }
 
     /// Reset the accumulated statistics (typically before timing a run).
@@ -540,7 +546,8 @@ impl Device {
     /// The observability handle the device was built with (disabled unless
     /// [`DeviceOptions::observer`] was set). Registry counters
     /// (`gpu_coalesced_ops`, `gpu_stride_ops`, `gpu_global_stages`,
-    /// `gpu_launches`, `gpu_barrier_steps`) are cumulative since
+    /// `gpu_launches`, `gpu_barrier_steps`, plus the
+    /// `gpu_launch_duration_seconds` histogram) are cumulative since
     /// construction and are *not* zeroed by [`Device::reset_stats`]; the
     /// per-launch scope is zeroed at each launch start.
     pub fn observer(&self) -> &Obs {
@@ -830,6 +837,10 @@ mod tests {
         assert_eq!(snap.counter("gpu_stride_ops").unwrap().total, 0);
         assert_eq!(snap.counter("gpu_launches").unwrap().total, 3);
         assert_eq!(snap.counter("gpu_barrier_steps").unwrap().total, 2);
+        // Every launch lands one observation in the duration histogram.
+        let dur = snap.histogram("gpu_launch_duration_seconds").unwrap();
+        assert_eq!(dur.count, 3);
+        assert!(dur.sum > 0.0);
         // One span per launch, schema-valid.
         assert_eq!(obs.event_count(), 3);
         let stats = obs::chrome::validate(&obs.trace_json()).unwrap();

@@ -52,7 +52,8 @@ pub fn trace_and_simulate(cfg: MachineConfig, algo: impl FnOnce(&Device)) -> Tra
 /// [`obs::Track::SIM_PID`]): one umbrella span named `label` covering the
 /// whole program on lane 0, and one `window` span per barrier-delimited
 /// launch window on lane 1, parented to the umbrella, carrying the
-/// window's stage and block counts as args. In Perfetto the resulting
+/// window's stage and block counts as args — plus a `sim stages` counter
+/// track sampling each window's global/shared stage counts. In Perfetto the resulting
 /// track sits alongside the wall-clock track of the *real* execution, so
 /// the paper's simulated-vs-measured comparison becomes a visual overlay.
 ///
@@ -92,6 +93,25 @@ pub fn export_sim_timeline(obs: &Obs, report: &SimReport, label: &str) -> Option
                 ("global_stages", ArgValue::from(w.global_stages)),
                 ("shared_stages", ArgValue::from(w.shared_stages)),
             ],
+        );
+        // Modeled-stage counter track: Perfetto draws the per-window stage
+        // counts as a step function under the window spans.
+        obs.counter_event(
+            obs::Track::sim(1),
+            "sim stages",
+            w.start as f64,
+            &[
+                ("global", w.global_stages as f64),
+                ("shared", w.shared_stages as f64),
+            ],
+        );
+    }
+    if let Some(last) = windows.last() {
+        obs.counter_event(
+            obs::Track::sim(1),
+            "sim stages",
+            last.end as f64,
+            &[("global", 0.0), ("shared", 0.0)],
         );
     }
     root
@@ -146,12 +166,15 @@ mod tests {
 
         let obs = Obs::new();
         let root = export_sim_timeline(&obs, &run.sim, "harness").expect("enabled obs yields id");
-        // Umbrella + one window per launch (single-launch windows here).
-        assert_eq!(obs.event_count(), 1 + run.sim.per_launch.len());
+        // Umbrella + one window span and one stage-counter sample per
+        // window (single-launch windows here), plus the closing zero.
+        let windows = run.sim.per_launch.len();
+        assert_eq!(obs.event_count(), 1 + 2 * windows + 1);
 
         let json = obs.trace_json();
         let stats = obs::chrome::validate(&json).expect("valid chrome trace");
-        assert_eq!(stats.complete, 1 + run.sim.per_launch.len());
+        assert_eq!(stats.complete, 1 + windows);
+        assert_eq!(stats.counters, windows + 1);
 
         // Every emitted event sits on the simulated-clock process, and the
         // windows point back at the umbrella span.

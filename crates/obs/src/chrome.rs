@@ -4,14 +4,16 @@
 //! is the JSON Perfetto and `chrome://tracing` load: an object whose
 //! `traceEvents` array holds one object per event, with `ph` (phase),
 //! `ts` (timestamp, µs), `pid`/`tid` and `name`. We emit complete events
-//! (`ph: "X"`, with `dur`), instant events (`ph: "i"`) and process-name
-//! metadata (`ph: "M"`) naming the two clocks.
+//! (`ph: "X"`, with `dur`), instant events (`ph: "i"`), counter samples
+//! (`ph: "C"`, whose args are the series values Perfetto draws as
+//! value-over-time tracks) and process-name metadata (`ph: "M"`) naming
+//! the two clocks.
 
 use std::fmt::Write as _;
 
 use crate::json::JsonValue;
 pub(crate) use crate::span::Event;
-use crate::span::{ArgValue, Track};
+use crate::span::{ArgValue, EventKind, Track};
 
 /// Tallies returned by [`validate`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -22,6 +24,8 @@ pub struct TraceStats {
     pub complete: usize,
     /// Instant (`"i"`) events.
     pub instants: usize,
+    /// Counter (`"C"`) events.
+    pub counters: usize,
     /// Metadata (`"M"`) events.
     pub metadata: usize,
 }
@@ -52,6 +56,18 @@ fn num(v: f64) -> f64 {
     }
 }
 
+fn write_arg_value(out: &mut String, v: &ArgValue) {
+    match v {
+        ArgValue::U64(u) => {
+            let _ = write!(out, "{u}");
+        }
+        ArgValue::F64(f) => {
+            let _ = write!(out, "{}", num(*f));
+        }
+        ArgValue::Str(s) => escape_into(out, s),
+    }
+}
+
 fn write_args(out: &mut String, ev: &Event) {
     out.push_str(",\"args\":{");
     let _ = write!(out, "\"id\":{}", ev.id);
@@ -62,15 +78,22 @@ fn write_args(out: &mut String, ev: &Event) {
         out.push(',');
         escape_into(out, k);
         out.push(':');
-        match v {
-            ArgValue::U64(u) => {
-                let _ = write!(out, "{u}");
-            }
-            ArgValue::F64(f) => {
-                let _ = write!(out, "{}", num(*f));
-            }
-            ArgValue::Str(s) => escape_into(out, s),
+        write_arg_value(out, v);
+    }
+    out.push('}');
+}
+
+/// Counter events carry *only* the series values: an injected `id` key
+/// would render as a bogus series in the Perfetto counter track.
+fn write_counter_args(out: &mut String, ev: &Event) {
+    out.push_str(",\"args\":{");
+    for (i, (k, v)) in ev.args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
         }
+        escape_into(out, k);
+        out.push(':');
+        write_arg_value(out, v);
     }
     out.push('}');
 }
@@ -107,13 +130,20 @@ pub(crate) fn serialize(events: &[Event]) -> String {
             ev.track.tid,
             num(ev.ts)
         );
-        match ev.dur {
-            Some(d) => {
-                let _ = write!(out, ",\"ph\":\"X\",\"dur\":{}", num(d));
+        match ev.kind {
+            EventKind::Complete { dur } => {
+                let _ = write!(out, ",\"ph\":\"X\",\"dur\":{}", num(dur));
+                write_args(&mut out, ev);
             }
-            None => out.push_str(",\"ph\":\"i\",\"s\":\"t\""),
+            EventKind::Instant => {
+                out.push_str(",\"ph\":\"i\",\"s\":\"t\"");
+                write_args(&mut out, ev);
+            }
+            EventKind::Counter => {
+                out.push_str(",\"ph\":\"C\"");
+                write_counter_args(&mut out, ev);
+            }
         }
-        write_args(&mut out, ev);
         out.push('}');
     }
     out.push_str("]}");
@@ -162,6 +192,10 @@ pub fn validate(text: &str) -> Result<TraceStats, String> {
                 stats.complete += 1;
             }
             "i" | "I" => stats.instants += 1,
+            "C" => {
+                field("args")?;
+                stats.counters += 1;
+            }
             "M" => stats.metadata += 1,
             _ => {}
         }
@@ -193,7 +227,7 @@ mod tests {
                 id: 1,
                 parent: None,
                 ts: 0.5,
-                dur: Some(10.0),
+                kind: EventKind::Complete { dur: 10.0 },
                 args: vec![
                     ("grid", ArgValue::U64(64)),
                     ("ratio", ArgValue::F64(0.25)),
@@ -206,7 +240,7 @@ mod tests {
                 id: 2,
                 parent: Some(1),
                 ts: 1.0,
-                dur: None,
+                kind: EventKind::Instant,
                 args: Vec::new(),
             },
         ];
@@ -236,7 +270,7 @@ mod tests {
             id: 1,
             parent: None,
             ts: f64::NAN,
-            dur: Some(f64::INFINITY),
+            kind: EventKind::Complete { dur: f64::INFINITY },
             args: vec![("x", ArgValue::F64(f64::NEG_INFINITY))],
         }];
         let json = serialize(&events);
@@ -269,5 +303,30 @@ mod tests {
         assert_eq!(stats.complete, 2);
         assert_eq!(stats.instants, 1);
         assert_eq!(stats.metadata, 2);
+    }
+
+    #[test]
+    fn counter_events_carry_only_series_values() {
+        let obs = Obs::new();
+        obs.counter_event(
+            Track::wall(0),
+            "cost",
+            12.0,
+            &[("modeled", 5.0), ("measured", 7.5)],
+        );
+        let json = obs.trace_json();
+        let stats = validate(&json).unwrap();
+        assert_eq!(stats.counters, 1);
+        let v = JsonValue::parse(&json).unwrap();
+        let evs = v.get("traceEvents").unwrap().as_array().unwrap();
+        let c = evs
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("C"))
+            .unwrap();
+        let args = c.get("args").unwrap();
+        assert_eq!(args.get("modeled").unwrap().as_f64(), Some(5.0));
+        assert_eq!(args.get("measured").unwrap().as_f64(), Some(7.5));
+        // No injected span-bookkeeping key: it would render as a series.
+        assert!(args.get("id").is_none());
     }
 }

@@ -1,0 +1,413 @@
+//! Log-bucketed histograms: mergeable, atomic on the hot path.
+//!
+//! A [`Histogram`] is a fixed set of exponentially growing buckets plus a
+//! running sum, count and max. `observe` is lock-free: one binary search
+//! over the (immutable) bucket bounds and three relaxed atomic updates.
+//! Snapshots ([`HistogramSample`]) carry per-bucket counts and can be
+//! merged across registries or estimated for quantiles — the estimate is
+//! exact to within one bucket boundary, which is what log spacing buys:
+//! constant *relative* error instead of constant absolute error.
+//!
+//! Exposition follows the Prometheus histogram contract: cumulative
+//! `_bucket{le="…"}` series ending in `le="+Inf"`, plus `_sum` and
+//! `_count` (see [`crate::Registry::expose_text`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Upper limit on bucket count — enough for 2^64 dynamic range at growth
+/// factor 2, while keeping snapshots and exposition small.
+pub const MAX_BUCKETS: usize = 64;
+
+/// The bucket layout of a histogram: a geometric series of upper bounds.
+///
+/// Bucket `i` counts observations `v` with `bounds[i-1] < v <= bounds[i]`
+/// (the first bucket has implicit lower bound 0, values are clamped
+/// non-negative). One extra overflow bucket (`le="+Inf"`) catches values
+/// above the last finite bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BucketLayout {
+    start: f64,
+    growth: f64,
+    count: usize,
+}
+
+impl BucketLayout {
+    /// Log-spaced bounds `start, start·growth, start·growth², …` with
+    /// `count` finite buckets.
+    ///
+    /// Panics unless `start > 0`, `growth > 1` and `1 <= count <= 64`.
+    pub fn log(start: f64, growth: f64, count: usize) -> Self {
+        assert!(
+            start > 0.0 && start.is_finite(),
+            "bucket start must be positive and finite, got {start}"
+        );
+        assert!(
+            growth > 1.0 && growth.is_finite(),
+            "bucket growth must be > 1, got {growth}"
+        );
+        assert!(
+            (1..=MAX_BUCKETS).contains(&count),
+            "bucket count must be in 1..={MAX_BUCKETS}, got {count}"
+        );
+        Self {
+            start,
+            growth,
+            count,
+        }
+    }
+
+    /// The default layout for latencies in seconds: 1 µs to ~34 s in
+    /// ×2 steps (36 finite buckets), so every estimate is within a factor
+    /// of two of the true value across nine decades.
+    pub fn default_latency_seconds() -> Self {
+        Self::log(1e-6, 2.0, 36)
+    }
+
+    /// The finite upper bounds, ascending.
+    pub fn bounds(&self) -> Vec<f64> {
+        (0..self.count)
+            .map(|i| self.start * self.growth.powi(i as i32))
+            .collect()
+    }
+}
+
+impl Default for BucketLayout {
+    fn default() -> Self {
+        Self::default_latency_seconds()
+    }
+}
+
+/// Shared histogram state. Bounds are immutable after construction; every
+/// mutation is a relaxed atomic, so `observe` never blocks.
+pub(crate) struct HistogramCell {
+    /// Finite upper bounds, ascending. `buckets.len() == bounds.len() + 1`;
+    /// the final bucket is the `+Inf` overflow.
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of observations, as `f64` bits updated by CAS loop.
+    sum_bits: AtomicU64,
+    /// Max observation, as `f64` bits. Non-negative IEEE-754 doubles order
+    /// the same as their bit patterns, so `fetch_max` on the bits works.
+    max_bits: AtomicU64,
+}
+
+impl HistogramCell {
+    pub(crate) fn new(layout: &BucketLayout) -> Self {
+        let bounds = layout.bounds();
+        let buckets = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0),
+            max_bits: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn same_layout(&self, layout: &BucketLayout) -> bool {
+        self.bounds == layout.bounds()
+    }
+
+    fn observe(&self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        let v = v.max(0.0);
+        // First bound >= v, i.e. the tightest `le` bucket; values above the
+        // last finite bound land in the +Inf overflow bucket.
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        self.max_bits.fetch_max(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub(crate) fn sample(&self, name: &str) -> HistogramSample {
+        HistogramSample {
+            name: name.to_string(),
+            bounds: self.bounds.clone(),
+            counts: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            max: f64::from_bits(self.max_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A histogram handle. Cheap to clone; `observe` is lock-free.
+#[derive(Clone)]
+pub struct Histogram {
+    pub(crate) cell: Arc<HistogramCell>,
+}
+
+impl Histogram {
+    /// Record one observation. Negative values clamp to 0; NaN is dropped.
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        self.cell.observe(v);
+    }
+
+    /// Record a duration, in seconds.
+    #[inline]
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.cell.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.cell.sum_bits.load(Ordering::Relaxed))
+    }
+}
+
+/// One histogram's state at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSample {
+    /// Metric name, possibly with a `{label="value"}` suffix.
+    pub name: String,
+    /// Finite bucket upper bounds, ascending.
+    pub bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) counts; `counts.len() == bounds.len()+1`,
+    /// the last entry being the `+Inf` overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+}
+
+impl HistogramSample {
+    /// Cumulative `(upper_bound, count_le)` pairs, ending with the `+Inf`
+    /// bucket (`f64::INFINITY`) whose count equals [`Self::count`]. This is
+    /// the Prometheus `_bucket` series.
+    pub fn cumulative(&self) -> Vec<(f64, u64)> {
+        let mut cum = 0u64;
+        let mut out = Vec::with_capacity(self.counts.len());
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            let le = self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            out.push((le, cum));
+        }
+        out
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Estimate the `q`-quantile (`0 <= q <= 1`) from bucket counts by
+    /// linear interpolation within the target bucket. The estimate lies in
+    /// the same bucket as the true sample quantile, so the error is bounded
+    /// by one bucket width (a constant *ratio* for log-spaced layouts).
+    ///
+    /// Returns 0 when empty. Quantiles landing in the `+Inf` overflow
+    /// bucket report the max observation.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Nearest-rank target, 1-based: the smallest rank covering q.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                cum += c;
+                continue;
+            }
+            if cum + c >= rank {
+                if i >= self.bounds.len() {
+                    // Overflow bucket: no finite upper bound; the max is the
+                    // tightest statement we can make.
+                    return self.max;
+                }
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let hi = self.bounds[i];
+                let into = (rank - cum) as f64 / c as f64;
+                return lo + (hi - lo) * into;
+            }
+            cum += c;
+        }
+        self.max
+    }
+
+    /// Fraction of observations `<= threshold`, rounded **up** to the next
+    /// bucket boundary (conservative: may overcount, never undercounts).
+    /// Used for SLO attainment estimates.
+    pub fn fraction_le(&self, threshold: f64) -> f64 {
+        if self.count == 0 {
+            return 1.0;
+        }
+        let idx = self.bounds.partition_point(|&b| b < threshold);
+        let le: u64 = self.counts.iter().take(idx + 1).sum();
+        le as f64 / self.count as f64
+    }
+
+    /// Merge another sample into this one (sums per-bucket counts, totals
+    /// and takes the max). Panics if the bucket layouts differ — merging is
+    /// only meaningful for identical bounds.
+    pub fn merge(&mut self, other: &HistogramSample) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bucket layouts"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(layout: BucketLayout) -> (Histogram, String) {
+        (
+            Histogram {
+                cell: Arc::new(HistogramCell::new(&layout)),
+            },
+            "h".to_string(),
+        )
+    }
+
+    #[test]
+    fn bounds_are_geometric() {
+        let b = BucketLayout::log(1.0, 2.0, 4).bounds();
+        assert_eq!(b, vec![1.0, 2.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    fn observe_buckets_by_le() {
+        let (h, name) = hist(BucketLayout::log(1.0, 2.0, 3)); // bounds 1,2,4
+        for v in [0.5, 1.0, 1.5, 4.0, 100.0] {
+            h.observe(v);
+        }
+        let s = h.cell.sample(&name);
+        // 0.5,1.0 -> le=1; 1.5 -> le=2; 4.0 -> le=4; 100.0 -> +Inf.
+        assert_eq!(s.counts, vec![2, 1, 1, 1]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 107.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.cumulative().last().unwrap(), &(f64::INFINITY, 5));
+    }
+
+    #[test]
+    fn negative_clamps_nan_drops() {
+        let (h, name) = hist(BucketLayout::log(1.0, 2.0, 3));
+        h.observe(-5.0);
+        h.observe(f64::NAN);
+        let s = h.cell.sample(&name);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.counts[0], 1);
+        assert_eq!(s.sum, 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_bucket() {
+        let (h, name) = hist(BucketLayout::log(1.0, 2.0, 4)); // 1,2,4,8
+        for _ in 0..100 {
+            h.observe(3.0); // all in (2,4]
+        }
+        let s = h.cell.sample(&name);
+        let p50 = s.quantile(0.5);
+        assert!(p50 > 2.0 && p50 <= 4.0, "p50={p50} outside (2,4]");
+        assert_eq!(s.quantile(0.0), s.quantile(1.0 / 100.0));
+    }
+
+    #[test]
+    fn quantile_overflow_reports_max() {
+        let (h, name) = hist(BucketLayout::log(1.0, 2.0, 2)); // 1,2
+        h.observe(50.0);
+        h.observe(60.0);
+        let s = h.cell.sample(&name);
+        assert_eq!(s.quantile(0.99), 60.0);
+    }
+
+    #[test]
+    fn merge_sums_counts_and_rejects_mismatch() {
+        let (a, name) = hist(BucketLayout::log(1.0, 2.0, 3));
+        let (b, _) = hist(BucketLayout::log(1.0, 2.0, 3));
+        a.observe(1.0);
+        b.observe(3.0);
+        b.observe(100.0);
+        let mut sa = a.cell.sample(&name);
+        let sb = b.cell.sample(&name);
+        sa.merge(&sb);
+        assert_eq!(sa.count, 3);
+        assert_eq!(sa.max, 100.0);
+        assert_eq!(sa.sum, 104.0);
+        let (c, _) = hist(BucketLayout::log(1.0, 3.0, 3));
+        let sc = c.cell.sample(&name);
+        let err = std::panic::catch_unwind(move || {
+            let mut sa = sa;
+            sa.merge(&sc);
+        });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn fraction_le_is_conservative() {
+        let (h, name) = hist(BucketLayout::log(1.0, 2.0, 3)); // 1,2,4
+        for v in [0.5, 1.5, 3.0, 9.0] {
+            h.observe(v);
+        }
+        let s = h.cell.sample(&name);
+        // Threshold 1.6 rounds up to bucket le=2: counts 0.5,1.5 => 2/4.
+        assert_eq!(s.fraction_le(1.6), 0.5);
+        // Threshold above all finite bounds counts everything.
+        assert_eq!(s.fraction_le(100.0), 1.0);
+    }
+
+    #[test]
+    fn concurrent_observes_lose_nothing() {
+        let (h, name) = hist(BucketLayout::default_latency_seconds());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        h.observe(1e-6 * (t * 1000 + i) as f64);
+                    }
+                });
+            }
+        });
+        let s = h.cell.sample(&name);
+        assert_eq!(s.count, 4000);
+        assert_eq!(s.counts.iter().sum::<u64>(), 4000);
+        let exact_sum: f64 = (0..4000).map(|i| 1e-6 * i as f64).sum();
+        assert!((s.sum - exact_sum).abs() < 1e-9, "sum drifted: {}", s.sum);
+    }
+}

@@ -5,9 +5,14 @@
 //! configuration (Table II). This crate gives every layer of the workspace a
 //! shared vocabulary for that accounting:
 //!
-//! * a **counter/gauge [`Registry`]** — lock-cheap atomic cells behind typed
-//!   handles, with *cumulative* and *per-launch* scopes and Prometheus-style
-//!   text exposition ([`Registry::expose_text`]);
+//! * a **counter/gauge/histogram [`Registry`]** — lock-cheap atomic cells
+//!   behind typed handles, with *cumulative* and *per-launch* scopes,
+//!   log-bucketed mergeable [`Histogram`]s with bucket-derived quantiles,
+//!   and Prometheus-style text exposition ([`Registry::expose_text`],
+//!   including the `_bucket`/`_sum`/`_count` histogram series);
+//! * a **per-phase cost attribution profiler** ([`profile`]) — counter
+//!   deltas and spans rendered as a `C/w + S + L·(B+1)` ledger per phase,
+//!   as a table and as Perfetto counter tracks (modeled vs measured);
 //! * a **structured span API** ([`Obs`]) — begin/end events with parent ids
 //!   and thread/block attribution, on **two clocks**: the wall clock
 //!   (`pid 1`) and the simulated HMM clock (`pid 2`), so a real execution
@@ -44,9 +49,12 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+mod histogram;
 pub mod json;
+pub mod profile;
 mod registry;
 mod span;
 
+pub use histogram::{BucketLayout, Histogram, HistogramSample, MAX_BUCKETS};
 pub use registry::{Counter, CounterSample, Gauge, GaugeSample, Registry, Snapshot};
 pub use span::{ArgValue, Obs, SpanGuard, SpanId, Track};

@@ -98,6 +98,20 @@ impl From<String> for ArgValue {
     }
 }
 
+/// How a recorded event renders in the Chrome trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum EventKind {
+    /// A complete span (`ph: "X"`) with a duration.
+    Complete {
+        /// Duration in the track's clock units.
+        dur: f64,
+    },
+    /// An instant event (`ph: "i"`).
+    Instant,
+    /// A counter sample (`ph: "C"`): args are the series values.
+    Counter,
+}
+
 /// One recorded trace event (crate-internal; serialized by [`chrome`]).
 #[derive(Debug, Clone)]
 pub(crate) struct Event {
@@ -107,8 +121,7 @@ pub(crate) struct Event {
     pub parent: Option<u64>,
     /// Timestamp in the track's clock (µs on wall, time units on sim).
     pub ts: f64,
-    /// Duration; `None` renders an instant event.
-    pub dur: Option<f64>,
+    pub kind: EventKind,
     pub args: Vec<(&'static str, ArgValue)>,
 }
 
@@ -217,11 +230,53 @@ impl Obs {
                     id: Self::alloc_id(inner),
                     parent: None,
                     ts,
-                    dur: None,
+                    kind: EventKind::Instant,
                     args,
                 },
             );
         }
+    }
+
+    /// Record a counter sample (`ph: "C"`) at an explicit timestamp in the
+    /// track's clock units (µs on wall, time units on sim). Counter events
+    /// render as value-over-time tracks in Perfetto — one series per
+    /// `(key, value)` pair — which is how modeled-vs-measured cost per
+    /// phase is drawn next to the spans it annotates.
+    pub fn counter_event(
+        &self,
+        track: Track,
+        name: impl Into<Cow<'static, str>>,
+        ts: f64,
+        values: &[(&'static str, f64)],
+    ) {
+        if let Some(inner) = &self.inner {
+            Self::push(
+                inner,
+                Event {
+                    name: name.into(),
+                    track,
+                    id: Self::alloc_id(inner),
+                    parent: None,
+                    ts,
+                    kind: EventKind::Counter,
+                    args: values.iter().map(|&(k, v)| (k, ArgValue::F64(v))).collect(),
+                },
+            );
+        }
+    }
+
+    /// Run `f` over the recorded events (`None` when disabled). Used by
+    /// [`crate::profile`] to reconstruct per-launch attribution from spans.
+    pub(crate) fn with_events<R>(&self, f: impl FnOnce(&[Event]) -> R) -> Option<R> {
+        self.inner
+            .as_ref()
+            .map(|inner| f(&inner.events.lock().expect("obs event lock")))
+    }
+
+    /// Translate an `Instant` into this handle's wall-clock microseconds
+    /// (`None` when disabled).
+    pub(crate) fn wall_us_of(&self, at: Instant) -> Option<f64> {
+        self.inner.as_ref().map(|inner| Self::wall_us(inner, at))
     }
 
     /// Record a completed wall-clock span from explicit instants (layers
@@ -251,7 +306,7 @@ impl Obs {
                 id,
                 parent: parent.map(|p| p.0),
                 ts,
-                dur: Some(dur),
+                kind: EventKind::Complete { dur },
                 args,
             },
         );
@@ -279,7 +334,9 @@ impl Obs {
                 id,
                 parent: parent.map(|p| p.0),
                 ts: start_units as f64,
-                dur: Some(end_units.saturating_sub(start_units) as f64),
+                kind: EventKind::Complete {
+                    dur: end_units.saturating_sub(start_units) as f64,
+                },
                 args,
             },
         );
@@ -360,7 +417,7 @@ impl Drop for SpanGuard {
                     id: self.id,
                     parent: self.parent.map(|p| p.0),
                     ts,
-                    dur: Some(dur),
+                    kind: EventKind::Complete { dur },
                     args: std::mem::take(&mut self.args),
                 },
             );

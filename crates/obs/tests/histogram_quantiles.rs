@@ -1,0 +1,74 @@
+//! Property: bucket-derived quantiles are within one bucket boundary of
+//! the exact sorted-sample quantiles. Exercised on the two distribution
+//! shapes serving latencies actually take: log-normal-ish (one skewed
+//! mode) and bimodal (fast path vs slow path).
+
+use obs::{BucketLayout, Registry};
+use proptest::prelude::*;
+
+/// Nearest-rank quantile of a sorted sample (matches the estimator's rank
+/// definition).
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Index of the bucket (by `le` upper bound) a value falls into.
+fn bucket_index(bounds: &[f64], v: f64) -> usize {
+    bounds.partition_point(|&b| b < v)
+}
+
+fn assert_within_one_bucket(samples: &[f64]) {
+    let r = Registry::new();
+    let layout = BucketLayout::default_latency_seconds();
+    let h = r.histogram_with("lat_seconds", &layout);
+    for &v in samples {
+        h.observe(v);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let snap = r.snapshot();
+    let sample = snap.histogram("lat_seconds").unwrap();
+    let bounds = layout.bounds();
+    for q in [0.5, 0.95, 0.99] {
+        let exact = exact_quantile(&sorted, q);
+        let est = sample.quantile(q);
+        let (bi_exact, bi_est) = (bucket_index(&bounds, exact), bucket_index(&bounds, est));
+        prop_assert!(
+            bi_est.abs_diff(bi_exact) <= 1,
+            "p{q}: estimate {est} (bucket {bi_est}) vs exact {exact} (bucket {bi_exact})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Log-normal-ish inputs: exp of an approximately normal exponent
+    /// (Irwin–Hall sum of uniforms), scaled into the layout's range.
+    #[test]
+    fn lognormal_quantiles_within_one_bucket(
+        parts in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0), 20..200)
+    ) {
+        let samples: Vec<f64> = parts
+            .iter()
+            .map(|(a, b, c)| {
+                let z = (a + b + c - 1.5) * 2.0; // approx N(0, ~1.2), in [-3, 3]
+                1e-3 * z.exp()
+            })
+            .collect();
+        assert_within_one_bucket(&samples);
+    }
+
+    /// Bimodal inputs: a fast mode around 0.2 ms and a slow mode around
+    /// 60 ms, mixed per element.
+    #[test]
+    fn bimodal_quantiles_within_one_bucket(
+        samples in proptest::collection::vec(
+            prop_oneof![1e-4f64..3e-4, 5e-2f64..9e-2],
+            20..200,
+        )
+    ) {
+        assert_within_one_bucket(&samples);
+    }
+}

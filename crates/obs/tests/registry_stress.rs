@@ -1,0 +1,74 @@
+//! Concurrent registry stress: threads race *registration* (not just
+//! increments) of counters, gauges and histograms on the same names. The
+//! get-or-register path must hand every thread the same cell — one metric
+//! per name in the snapshot, no lost counts.
+
+use obs::{BucketLayout, Registry};
+
+const THREADS: usize = 8;
+const ITERS: u64 = 2_000;
+
+#[test]
+fn racing_registration_yields_one_cell_per_name_and_loses_nothing() {
+    let r = Registry::new();
+    let counter_names = ["stress_total", "stress_total{lane=\"a\"}"];
+    let layout = BucketLayout::log(1e-3, 2.0, 16);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let r = r.clone();
+            let layout = layout.clone();
+            s.spawn(move || {
+                for i in 0..ITERS {
+                    // Re-resolve the handles every iteration so the
+                    // registration path itself is contended.
+                    for name in counter_names {
+                        r.counter(name).inc();
+                    }
+                    r.gauge("stress_gauge").set((t as f64) + i as f64);
+                    r.histogram_with("stress_seconds", &layout)
+                        .observe(1e-3 * (1 + i % 7) as f64);
+                }
+            });
+        }
+    });
+    let snap = r.snapshot();
+    // Exactly one metric per registered name.
+    assert_eq!(snap.counters.len(), counter_names.len());
+    assert_eq!(snap.gauges.len(), 1);
+    assert_eq!(snap.histograms.len(), 1);
+    let expected = THREADS as u64 * ITERS;
+    for name in counter_names {
+        assert_eq!(
+            snap.counter(name).unwrap().total,
+            expected,
+            "lost increments on {name}"
+        );
+    }
+    let h = snap.histogram("stress_seconds").unwrap();
+    assert_eq!(h.count, expected, "lost observations");
+    assert_eq!(h.counts.iter().sum::<u64>(), expected);
+    // The gauge holds *some* thread's final write, and it parses as one of
+    // the written values.
+    let g = snap.gauge("stress_gauge").unwrap().value;
+    assert!(g >= 0.0 && g < THREADS as f64 + ITERS as f64);
+}
+
+#[test]
+fn racing_handles_share_cells_across_clones() {
+    let r = Registry::new();
+    let handles: Vec<_> = (0..THREADS).map(|_| r.clone()).collect();
+    std::thread::scope(|s| {
+        for reg in &handles {
+            s.spawn(|| {
+                let c = reg.counter("shared_total");
+                for _ in 0..ITERS {
+                    c.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(
+        r.snapshot().counter("shared_total").unwrap().total,
+        THREADS as u64 * ITERS
+    );
+}

@@ -69,7 +69,7 @@ mod metrics;
 mod resilience;
 mod service;
 
-pub use metrics::{LatencySummary, ServiceStats};
+pub use metrics::{LatencySummary, ServiceStats, SloConfig};
 pub use resilience::{ResilienceConfig, VerifyMode};
 pub use service::{Client, Service};
 
@@ -105,6 +105,9 @@ pub struct ServiceConfig {
     pub fault_plan: Option<gpu_exec::FaultPlan>,
     /// Retry / circuit-breaker / verification tuning.
     pub resilience: ResilienceConfig,
+    /// Latency objective the service reports against (target gauge,
+    /// attainment ratio and error-budget burn on the metrics endpoint).
+    pub slo: SloConfig,
 }
 
 impl Default for ServiceConfig {
@@ -119,6 +122,7 @@ impl Default for ServiceConfig {
             observer: obs::Obs::disabled(),
             fault_plan: None,
             resilience: ResilienceConfig::default(),
+            slo: SloConfig::default(),
         }
     }
 }

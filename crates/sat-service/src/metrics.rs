@@ -3,60 +3,68 @@
 //! Counters live on an [`obs::Registry`] (shared with the device when the
 //! service is constructed with an enabled [`obs::Obs`]), so one
 //! Prometheus-style scrape ([`Metrics::expose_text`]) covers both the
-//! serving layer (`sat_service_*`) and the device (`gpu_*`). Latency
-//! samples live in fixed-size rings: once a ring is full new samples
-//! overwrite the oldest, so percentiles always describe *recent* traffic
-//! instead of freezing on the first requests after start-up.
+//! serving layer (`sat_service_*`) and the device (`gpu_*`). Latencies
+//! live in log-bucketed [`obs::Histogram`]s — `sat_service_request_latency_seconds`
+//! per request plus `sat_service_stage_latency_seconds{stage=…}` for the
+//! queue, batch-formation and execute stages — so percentiles come from
+//! mergeable buckets (exposed as `_bucket`/`_sum`/`_count` series) rather
+//! than from sorting a bounded ring, never drop samples, and cost one
+//! atomic increment per observation. SLO gauges (target, attainment,
+//! error-budget burn) are derived from the request histogram at scrape
+//! time.
 
-use obs::{Counter, Registry};
+use std::time::Duration;
+
+use obs::{Counter, Histogram, HistogramSample, Registry};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
-/// Capacity of each latency ring. At one sample per request this spans the
-/// most recent 65 536 requests per distribution.
-pub(crate) const RING_CAPACITY: usize = 1 << 16;
-
-/// Fixed-size overwrite-oldest sample buffer.
-struct Ring {
-    buf: Vec<u64>,
-    /// Next slot to overwrite once `buf` is at capacity.
-    next: usize,
-    /// Samples ever offered (retained + overwritten).
-    pushed: u64,
+/// The latency objective the service reports against: a target for
+/// per-request latency and the fraction of requests allowed to miss it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloConfig {
+    /// Per-request latency target (queue + execute).
+    pub target: Duration,
+    /// Fraction of requests allowed to exceed the target before the error
+    /// budget is spent (burn rate 1.0 = spending exactly the budget).
+    pub error_budget: f64,
 }
 
-impl Ring {
-    fn new() -> Ring {
-        Ring {
-            buf: Vec::new(),
-            next: 0,
-            pushed: 0,
+impl Default for SloConfig {
+    fn default() -> SloConfig {
+        SloConfig {
+            target: Duration::from_millis(100),
+            error_budget: 0.01,
         }
-    }
-
-    fn push(&mut self, x: u64) {
-        self.pushed += 1;
-        if self.buf.len() < RING_CAPACITY {
-            self.buf.push(x);
-        } else {
-            self.buf[self.next] = x;
-            self.next = (self.next + 1) % RING_CAPACITY;
-        }
-    }
-
-    /// Samples evicted to make room for newer ones.
-    fn overwritten(&self) -> u64 {
-        self.pushed - self.buf.len() as u64
     }
 }
 
-/// Shared counters and latency samples, updated by submitters and the
+/// Shared counters and latency histograms, updated by submitters and the
 /// batch-former.
 pub(crate) struct Metrics {
     inner: Mutex<Inner>,
     registry: Registry,
     c: Counters,
+    h: Hists,
+    slo: SloConfig,
 }
+
+/// Registry-backed latency histograms (per-request plus per-stage).
+struct Hists {
+    /// Queue + execute per request.
+    request: Histogram,
+    /// Admission → batch dispatch, per request.
+    queue: Histogram,
+    /// Batch formation window (oldest member's wait), per batch.
+    batch: Histogram,
+    /// Device execution of the request's batch, per request.
+    exec: Histogram,
+}
+
+const REQUEST_HIST: &str = "sat_service_request_latency_seconds";
+const QUEUE_HIST: &str = "sat_service_stage_latency_seconds{stage=\"queue\"}";
+const BATCH_HIST: &str = "sat_service_stage_latency_seconds{stage=\"batch\"}";
+const EXEC_HIST: &str = "sat_service_stage_latency_seconds{stage=\"execute\"}";
 
 /// Registry-backed counter handles (cheap atomics; see `obs::Counter`).
 struct Counters {
@@ -71,7 +79,6 @@ struct Counters {
     launches_unbatched_equiv: Counter,
     barriers_issued: Counter,
     barriers_unbatched_equiv: Counter,
-    samples_dropped: Counter,
     rejected_shutdown_drain: Counter,
     attempts_ok: Counter,
     attempts_failed: Counter,
@@ -87,9 +94,6 @@ struct Counters {
 
 struct Inner {
     batch_width_hist: Vec<u64>,
-    queue_ns: Ring,
-    exec_ns: Ring,
-    total_ns: Ring,
 }
 
 /// One dispatched batch's accounting: its width, the launches/barriers it
@@ -107,9 +111,10 @@ pub(crate) struct BatchRecord<'a> {
 }
 
 impl Metrics {
-    /// Register the service's counters on `registry` (typically the one
-    /// behind the service's [`obs::Obs`], falling back to a private one).
-    pub(crate) fn new(registry: Registry) -> Metrics {
+    /// Register the service's counters and histograms on `registry`
+    /// (typically the one behind the service's [`obs::Obs`], falling back
+    /// to a private one).
+    pub(crate) fn new(registry: Registry, slo: SloConfig) -> Metrics {
         let c = Counters {
             submitted: registry.counter("sat_service_submitted_total"),
             completed: registry.counter("sat_service_completed_total"),
@@ -125,7 +130,6 @@ impl Metrics {
             barriers_issued: registry.counter("sat_service_barrier_steps_total{kind=\"issued\"}"),
             barriers_unbatched_equiv: registry
                 .counter("sat_service_barrier_steps_total{kind=\"unbatched_equiv\"}"),
-            samples_dropped: registry.counter("sat_service_latency_samples_dropped_total"),
             rejected_shutdown_drain: registry
                 .counter("sat_service_rejected_total{reason=\"shutdown_drain\"}"),
             attempts_ok: registry.counter("sat_service_attempts_total{result=\"ok\"}"),
@@ -141,15 +145,23 @@ impl Metrics {
                 .counter("sat_service_breaker_transitions_total{to=\"closed\"}"),
             canaries: registry.counter("sat_service_canary_probes_total"),
         };
+        let h = Hists {
+            request: registry.histogram(REQUEST_HIST),
+            queue: registry.histogram(QUEUE_HIST),
+            batch: registry.histogram(BATCH_HIST),
+            exec: registry.histogram(EXEC_HIST),
+        };
+        registry
+            .gauge("sat_service_slo_target_seconds")
+            .set(slo.target.as_secs_f64());
         Metrics {
             inner: Mutex::new(Inner {
                 batch_width_hist: Vec::new(),
-                queue_ns: Ring::new(),
-                exec_ns: Ring::new(),
-                total_ns: Ring::new(),
             }),
             registry,
             c,
+            h,
+            slo,
         }
     }
 
@@ -218,24 +230,51 @@ impl Metrics {
         self.c.barriers_issued.add(b.barriers);
         self.c.barriers_unbatched_equiv.add(b.barriers_equiv);
         self.c.completed.add(b.width as u64);
-        let mut m = self.inner.lock();
-        if m.batch_width_hist.len() <= b.width {
-            m.batch_width_hist.resize(b.width + 1, 0);
+        {
+            let mut m = self.inner.lock();
+            if m.batch_width_hist.len() <= b.width {
+                m.batch_width_hist.resize(b.width + 1, 0);
+            }
+            m.batch_width_hist[b.width] += 1;
         }
-        m.batch_width_hist[b.width] += 1;
-        let dropped_before =
-            m.queue_ns.overwritten() + m.exec_ns.overwritten() + m.total_ns.overwritten();
+        let secs = |ns: u64| ns as f64 * 1e-9;
         for &q in b.queue_ns {
-            m.queue_ns.push(q);
-            m.exec_ns.push(b.exec_ns);
-            m.total_ns.push(q + b.exec_ns);
+            self.h.queue.observe(secs(q));
+            self.h.exec.observe(secs(b.exec_ns));
+            self.h.request.observe(secs(q + b.exec_ns));
         }
-        let dropped_now =
-            m.queue_ns.overwritten() + m.exec_ns.overwritten() + m.total_ns.overwritten();
-        self.c.samples_dropped.add(dropped_now - dropped_before);
+        // The batch-formation window is the oldest member's wait: from its
+        // admission until the batch dispatched.
+        self.h
+            .batch
+            .observe(secs(b.queue_ns.iter().copied().max().unwrap_or(0)));
+    }
+
+    /// Sample the four latency histograms (queue, exec, request, batch).
+    fn latency_samples(
+        &self,
+    ) -> (
+        HistogramSample,
+        HistogramSample,
+        HistogramSample,
+        HistogramSample,
+    ) {
+        let snap = self.registry.snapshot();
+        let get = |name: &str| {
+            snap.histogram(name)
+                .cloned()
+                .expect("latency histogram registered at construction")
+        };
+        (
+            get(QUEUE_HIST),
+            get(EXEC_HIST),
+            get(REQUEST_HIST),
+            get(BATCH_HIST),
+        )
     }
 
     pub(crate) fn snapshot(&self) -> ServiceStats {
+        let (queue, exec, request, _) = self.latency_samples();
         let m = self.inner.lock();
         ServiceStats {
             submitted: self.c.submitted.total(),
@@ -250,7 +289,6 @@ impl Metrics {
             launches_unbatched_equiv: self.c.launches_unbatched_equiv.total(),
             barriers_issued: self.c.barriers_issued.total(),
             barriers_unbatched_equiv: self.c.barriers_unbatched_equiv.total(),
-            latency_samples_dropped: self.c.samples_dropped.total(),
             rejected_shutdown_drain: self.c.rejected_shutdown_drain.total(),
             attempts_ok: self.c.attempts_ok.total(),
             attempts_failed: self.c.attempts_failed.total(),
@@ -262,37 +300,54 @@ impl Metrics {
             breaker_half_open: self.c.breaker_half_open.total(),
             breaker_closed: self.c.breaker_closed.total(),
             canary_probes: self.c.canaries.total(),
-            queue_latency: LatencySummary::from_ns(&m.queue_ns.buf),
-            exec_latency: LatencySummary::from_ns(&m.exec_ns.buf),
-            total_latency: LatencySummary::from_ns(&m.total_ns.buf),
+            queue_latency: LatencySummary::from_histogram(&queue),
+            exec_latency: LatencySummary::from_histogram(&exec),
+            total_latency: LatencySummary::from_histogram(&request),
         }
     }
 
-    /// Prometheus-style text exposition: refresh the latency gauges from
-    /// the rings, then render every counter and gauge on the registry
-    /// (including the device's `gpu_*` family when the registry is shared).
+    /// Prometheus-style text exposition: refresh the latency-summary and
+    /// SLO gauges from the histogram buckets, then render every metric on
+    /// the registry — counters, gauges and the histograms' own
+    /// `_bucket`/`_sum`/`_count` series (including the device's `gpu_*`
+    /// family when the registry is shared).
     pub(crate) fn expose_text(&self) -> String {
-        {
-            let m = self.inner.lock();
-            for (prefix, ring) in [
-                ("sat_service_queue_latency_ms", &m.queue_ns),
-                ("sat_service_exec_latency_ms", &m.exec_ns),
-                ("sat_service_total_latency_ms", &m.total_ns),
+        let (queue, exec, request, _) = self.latency_samples();
+        for (prefix, sample) in [
+            ("sat_service_queue_latency_ms", &queue),
+            ("sat_service_exec_latency_ms", &exec),
+            ("sat_service_total_latency_ms", &request),
+        ] {
+            let s = LatencySummary::from_histogram(sample);
+            for (stat, v) in [
+                ("mean", s.mean_ms),
+                ("p50", s.p50_ms),
+                ("p95", s.p95_ms),
+                ("p99", s.p99_ms),
+                ("max", s.max_ms),
             ] {
-                let s = LatencySummary::from_ns(&ring.buf);
-                for (stat, v) in [
-                    ("mean", s.mean_ms),
-                    ("p50", s.p50_ms),
-                    ("p95", s.p95_ms),
-                    ("p99", s.p99_ms),
-                    ("max", s.max_ms),
-                ] {
-                    self.registry
-                        .gauge(&format!("{prefix}{{stat=\"{stat}\"}}"))
-                        .set(v);
-                }
+                self.registry
+                    .gauge(&format!("{prefix}{{stat=\"{stat}\"}}"))
+                    .set(v);
             }
         }
+        // SLO attainment from the request histogram: the `<= target`
+        // fraction is rounded up to a bucket boundary (conservative in the
+        // service's favour is the wrong direction for an SLO, so the burn
+        // rate derived from it is a *lower bound* — the bucket containing
+        // the target bounds the error either way within one bucket).
+        let attainment = request.fraction_le(self.slo.target.as_secs_f64());
+        self.registry
+            .gauge("sat_service_slo_attainment_ratio")
+            .set(attainment);
+        let burn = if self.slo.error_budget > 0.0 {
+            (1.0 - attainment) / self.slo.error_budget
+        } else {
+            0.0
+        };
+        self.registry
+            .gauge("sat_service_slo_error_budget_burn")
+            .set(burn);
         self.registry.expose_text()
     }
 }
@@ -325,10 +380,6 @@ pub struct ServiceStats {
     pub barriers_issued: u64,
     /// Barrier steps per-request execution would have issued.
     pub barriers_unbatched_equiv: u64,
-    /// Latency samples evicted from the retention rings to make room for
-    /// newer ones — nonzero means the percentiles below describe the most
-    /// recent window, not the whole history.
-    pub latency_samples_dropped: u64,
     /// Requests failed with [`crate::ServiceError::Shutdown`] because the
     /// service shut down while they were still queued.
     pub rejected_shutdown_drain: u64,
@@ -352,11 +403,12 @@ pub struct ServiceStats {
     pub breaker_closed: u64,
     /// Half-open canary launches issued to probe the device.
     pub canary_probes: u64,
-    /// Time from admission to batch dispatch, per request.
+    /// Time from admission to batch dispatch, per request
+    /// (bucket-estimated; see [`LatencySummary::from_histogram`]).
     pub queue_latency: LatencySummary,
-    /// Device execution time of the request's batch.
+    /// Device execution time of the request's batch (bucket-estimated).
     pub exec_latency: LatencySummary,
-    /// Queue + execute, per request.
+    /// Queue + execute, per request (bucket-estimated).
     pub total_latency: LatencySummary,
 }
 
@@ -437,11 +489,26 @@ impl LatencySummary {
             max_ms: ms(*sorted.last().unwrap()),
         }
     }
+
+    /// Summarise a latency histogram (seconds) in milliseconds. Percentiles
+    /// are bucket-boundary estimates (within one log bucket — ≈ a factor of
+    /// the layout's growth — of the exact sample quantile); the mean and
+    /// max are exact.
+    pub fn from_histogram(h: &HistogramSample) -> Self {
+        LatencySummary {
+            count: h.count,
+            mean_ms: h.mean() * 1e3,
+            p50_ms: h.quantile(0.50) * 1e3,
+            p95_ms: h.quantile(0.95) * 1e3,
+            p99_ms: h.quantile(0.99) * 1e3,
+            max_ms: h.max * 1e3,
+        }
+    }
 }
 
 impl Default for Metrics {
     fn default() -> Metrics {
-        Metrics::new(Registry::new())
+        Metrics::new(Registry::new(), SloConfig::default())
     }
 }
 
@@ -492,63 +559,44 @@ mod tests {
         assert_eq!(s.barrier_windows_saved(), 2);
         assert_eq!(s.launch_reduction(), 2.0);
         assert_eq!(s.total_latency.count, 2);
-        assert_eq!(s.latency_samples_dropped, 0);
+        // Histograms never drop samples; the count covers all history.
+        assert_eq!(s.queue_latency.count, 2);
+        assert_eq!(s.exec_latency.count, 2);
     }
 
     #[test]
-    fn ring_keeps_recent_samples_and_counts_evictions() {
-        let mut r = Ring::new();
-        for i in 0..(RING_CAPACITY as u64 + 10) {
-            r.push(i);
-        }
-        assert_eq!(r.buf.len(), RING_CAPACITY);
-        assert_eq!(r.overwritten(), 10);
-        // The 10 oldest samples (0..10) were overwritten by the newest.
-        assert!(!r.buf.contains(&3));
-        assert!(r.buf.contains(&(RING_CAPACITY as u64 + 9)));
-    }
-
-    #[test]
-    fn percentiles_track_recent_traffic_after_wrap() {
-        // Fill the ring once with slow samples, then wrap it completely
-        // with fast ones: the percentiles must follow the new regime. The
-        // pre-fix first-N retention would have frozen p50 at the slow value.
+    fn summaries_come_from_histogram_buckets() {
         let m = Metrics::default();
-        let slow = 100_000_000; // 100 ms
-        let fast = 1_000_000; // 1 ms
-        let slow_q = vec![slow; RING_CAPACITY];
-        m.on_batch(&BatchRecord {
-            width: RING_CAPACITY,
-            launches: 1,
-            launches_equiv: 1,
-            barriers: 0,
-            barriers_equiv: 0,
-            queue_ns: &slow_q,
-            exec_ns: 0,
-        });
-        assert_eq!(m.snapshot().queue_latency.p50_ms, 100.0);
-        let fast_q = vec![fast; RING_CAPACITY];
-        m.on_batch(&BatchRecord {
-            width: RING_CAPACITY,
-            launches: 1,
-            launches_equiv: 1,
-            barriers: 0,
-            barriers_equiv: 0,
-            queue_ns: &fast_q,
-            exec_ns: 0,
-        });
-        let s = m.snapshot();
-        assert_eq!(s.queue_latency.p50_ms, 1.0);
-        assert_eq!(s.queue_latency.p99_ms, 1.0);
-        assert_eq!(s.queue_latency.count, RING_CAPACITY as u64);
-        // queue + exec + total rings each evicted one full generation.
-        assert_eq!(s.latency_samples_dropped, 3 * RING_CAPACITY as u64);
-        // The cumulative counter still reflects every request ever served.
-        assert_eq!(s.completed, 2 * RING_CAPACITY as u64);
+        // 100 requests: queue k ms (k = 1..=100), exec 0.
+        for k in 1..=100u64 {
+            m.on_batch(&BatchRecord {
+                width: 1,
+                launches: 1,
+                launches_equiv: 1,
+                barriers: 0,
+                barriers_equiv: 0,
+                queue_ns: &[k * 1_000_000],
+                exec_ns: 0,
+            });
+        }
+        let s = m.snapshot().queue_latency;
+        assert_eq!(s.count, 100);
+        // The default layout's buckets are log-spaced (×2), so the
+        // bucket-derived percentiles sit within a factor of 2 of the exact
+        // nearest-rank values (50 / 95 / 99 ms).
+        for (est, exact) in [(s.p50_ms, 50.0), (s.p95_ms, 95.0), (s.p99_ms, 99.0)] {
+            assert!(
+                est >= exact && est <= exact * 2.0,
+                "estimate {est} vs exact {exact}"
+            );
+        }
+        // Mean and max are tracked exactly, not bucketed.
+        assert!((s.mean_ms - 50.5).abs() < 1e-6);
+        assert!((s.max_ms - 100.0).abs() < 1e-6);
     }
 
     #[test]
-    fn expose_text_renders_counters_and_latency_gauges() {
+    fn expose_text_renders_counters_latency_gauges_and_buckets() {
         let m = Metrics::default();
         m.on_submit();
         m.on_reject(&crate::ServiceError::DeadlineExceeded);
@@ -566,8 +614,64 @@ mod tests {
         assert!(text.contains("sat_service_submitted_total 1"));
         assert!(text.contains("sat_service_rejected_total{reason=\"deadline\"} 1"));
         assert!(text.contains("sat_service_launches_total{kind=\"issued\"} 2"));
+        // Continuity gauges, now bucket-derived: the 2 ms queue sample's
+        // p50 is the containing bucket's upper bound, 2.048 ms.
         assert!(text.contains("# TYPE sat_service_queue_latency_ms gauge"));
-        assert!(text.contains("sat_service_queue_latency_ms{stat=\"p50\"} 2"));
+        assert!(text.contains("sat_service_queue_latency_ms{stat=\"p50\"} 2.048"));
         assert!(text.contains("sat_service_total_latency_ms{stat=\"max\"} 3"));
+        // Raw Prometheus histogram series.
+        assert!(text.contains("# TYPE sat_service_request_latency_seconds histogram"));
+        assert!(text.contains("sat_service_request_latency_seconds_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("sat_service_request_latency_seconds_count 1"));
+        assert!(text.contains("sat_service_request_latency_seconds_sum 0.003"));
+        assert!(text
+            .contains("sat_service_stage_latency_seconds_bucket{stage=\"queue\",le=\"+Inf\"} 1"));
+    }
+
+    #[test]
+    fn slo_gauges_follow_the_request_histogram() {
+        let m = Metrics::new(
+            Registry::new(),
+            SloConfig {
+                target: Duration::from_millis(10),
+                error_budget: 0.1,
+            },
+        );
+        // 3 fast requests (1 ms) and 1 slow (1 s): attainment 0.75, and a
+        // burn rate of (1 - 0.75) / 0.1 = 2.5.
+        m.on_batch(&BatchRecord {
+            width: 4,
+            launches: 1,
+            launches_equiv: 4,
+            barriers: 0,
+            barriers_equiv: 0,
+            queue_ns: &[0, 0, 0, 0],
+            exec_ns: 0,
+        });
+        let text = m.expose_text();
+        assert!(text.contains("sat_service_slo_target_seconds 0.01"));
+        assert!(text.contains("sat_service_slo_attainment_ratio 1"));
+        // Fresh metrics, mixed latencies: one of four requests misses.
+        let m = Metrics::new(
+            Registry::new(),
+            SloConfig {
+                target: Duration::from_millis(10),
+                error_budget: 0.1,
+            },
+        );
+        for exec_ns in [1_000_000, 1_000_000, 1_000_000, 1_000_000_000] {
+            m.on_batch(&BatchRecord {
+                width: 1,
+                launches: 1,
+                launches_equiv: 1,
+                barriers: 0,
+                barriers_equiv: 0,
+                queue_ns: &[0],
+                exec_ns,
+            });
+        }
+        let text = m.expose_text();
+        assert!(text.contains("sat_service_slo_attainment_ratio 0.75"));
+        assert!(text.contains("sat_service_slo_error_budget_burn 2.5"));
     }
 }

@@ -73,7 +73,7 @@ impl Service {
         // Share one registry between serving-layer and device counters so a
         // single scrape covers both; fall back to a private registry when
         // observability is off (ServiceStats keeps working either way).
-        let metrics = Metrics::new(cfg.observer.registry().unwrap_or_default());
+        let metrics = Metrics::new(cfg.observer.registry().unwrap_or_default(), cfg.slo);
         let shared = Arc::new(Shared {
             cfg,
             state: Mutex::new(QueueState::default()),

@@ -32,6 +32,7 @@ fn chaos_config(plan: FaultPlan) -> ServiceConfig {
             breaker_cooldown: Duration::from_millis(10),
             ..ResilienceConfig::default()
         },
+        slo: sat_service::SloConfig::default(),
     }
 }
 

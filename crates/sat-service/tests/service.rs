@@ -20,6 +20,7 @@ fn small_config() -> ServiceConfig {
         observer: obs::Obs::disabled(),
         fault_plan: None,
         resilience: Default::default(),
+        slo: Default::default(),
     }
 }
 
@@ -173,6 +174,7 @@ fn backpressure_rejects_when_queue_stays_full() {
         observer: obs::Obs::disabled(),
         fault_plan: None,
         resilience: Default::default(),
+        slo: Default::default(),
     };
     let service = Service::start(cfg);
     let occupant = service.client();

@@ -33,4 +33,16 @@ echo "== satprof smoke (Perfetto trace schema + exact 1R1W counter check)"
 cargo run --release -q -p sat-bench --bin satprof -- \
     --algo 1r1w --n 256 --check --trace target/satprof_smoke.json
 
+echo "== satprof burst smoke (service trace schema + histogram exposition)"
+cargo run --release -q -p sat-bench --bin satprof -- \
+    --burst 16 --n 64 --trace target/satprof_burst_smoke.json
+
+echo "== benchdiff smoke (small n, loose tolerance, vs committed baseline)"
+cargo run --release -q -p sat-bench --bin benchdiff -- \
+    --sizes 128 --runs 3 --tolerance 0.9
+
+echo "== benchdiff history invariants (schema, monotone seq / timestamps)"
+cargo run --release -q -p sat-bench --bin benchdiff -- \
+    --validate-history BENCH_history.jsonl
+
 echo "== all checks passed"

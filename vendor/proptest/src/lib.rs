@@ -172,6 +172,15 @@ macro_rules! impl_range_strategies {
 
 impl_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+// Half-open float ranges (the vendored `rand` only samples `Range<f64>`,
+// not `RangeInclusive<f64>`).
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rand::Rng::gen_range(rng.rng(), self.clone())
+    }
+}
+
 macro_rules! impl_tuple_strategies {
     ($(($($name:ident),+))*) => {$(
         impl<$($name: Strategy),+> Strategy for ($($name,)+) {
