@@ -111,6 +111,49 @@ pub fn run_real(dev: &Device, alg: SatAlgorithm, r: f64, n: usize) -> (CostCount
     (dev.stats(), start.elapsed().as_secs_f64())
 }
 
+/// Run one algorithm on `dev` and return a bit-exact fingerprint of its SAT
+/// output, for adversarial schedule replay (`satlint --schedules`).
+pub fn run_fingerprint(dev: &Device, alg: SatAlgorithm, r: f64, n: usize) -> u64 {
+    let a = workload(n);
+    let out: Vec<f64> = match alg {
+        SatAlgorithm::TwoR2W => {
+            let buf = GlobalBuffer::from_vec(a.into_vec());
+            par::sat_2r2w(dev, &buf, n, n);
+            buf.into_vec()
+        }
+        SatAlgorithm::FourR4W => {
+            let buf = GlobalBuffer::from_vec(a.into_vec());
+            let tmp = GlobalBuffer::filled(0.0f64, n * n);
+            par::sat_4r4w(dev, &buf, &tmp, n, n);
+            buf.into_vec()
+        }
+        SatAlgorithm::FourR1W => {
+            let buf = GlobalBuffer::from_vec(a.into_vec());
+            par::sat_4r1w(dev, &buf, n, n);
+            buf.into_vec()
+        }
+        SatAlgorithm::TwoR1W => {
+            let buf = GlobalBuffer::from_vec(a.into_vec());
+            let s = GlobalBuffer::filled(0.0f64, n * n);
+            par::sat_2r1w(dev, &buf, &s, n, n);
+            s.into_vec()
+        }
+        SatAlgorithm::OneR1W => {
+            let buf = GlobalBuffer::from_vec(a.into_vec());
+            let s = GlobalBuffer::filled(0.0f64, n * n);
+            par::sat_1r1w(dev, &buf, &s, n, n);
+            s.into_vec()
+        }
+        SatAlgorithm::HybridR1W => {
+            let buf = GlobalBuffer::from_vec(a.into_vec());
+            let s = GlobalBuffer::filled(0.0f64, n * n);
+            par::sat_hybrid(dev, &buf, &s, n, n, r);
+            s.into_vec()
+        }
+    };
+    gpu_exec::replay::fingerprint_f64(&out)
+}
+
 /// Produce the record for `(alg, n)`: measured when `n ≤ measured_max`
 /// (4R1W is additionally capped — its `2n − 1` launches are prohibitive),
 /// closed-form otherwise.

@@ -1,6 +1,7 @@
 //! End-to-end check of the `satlint` binary: the whole paper suite is
-//! lint-clean on every machine of the grid, and `--json` emits one record
-//! per (machine, algorithm) cell.
+//! lint-clean on every machine of the grid, `--json` emits one record per
+//! (machine, algorithm) cell, and the `--fixtures` self-test output is
+//! pinned bit-for-bit by a golden file.
 
 use std::process::Command;
 
@@ -39,5 +40,62 @@ fn json_flag_writes_one_record_per_cell() {
         assert!(line.contains("\"algorithm\""), "{line}");
         assert!(line.contains("\"clean\":true"), "{line}");
         assert!(line.contains("\"windows\""), "{line}");
+        // Consumers key on the schema version; pin the current one.
+        assert!(
+            line.contains(&format!("\"schema_version\":{}", hmm_lint::SCHEMA_VERSION)),
+            "{line}"
+        );
+        assert!(line.contains("\"schedules\":1"), "{line}");
     }
+}
+
+/// The `--fixtures --schedules 4 --json` output is fully deterministic
+/// (sequential devices, seeded schedules, simulated clocks), so the whole
+/// report shape — schema fields, rule names, findings, conflict
+/// provenance, divergence counts — is pinned bit-for-bit by a golden
+/// file. Regenerate deliberately with `UPDATE_GOLDEN=1 cargo test -p
+/// sat-bench --test satlint_cli` after an intentional schema bump.
+#[test]
+fn fixture_json_matches_the_golden_file() {
+    let path = std::env::temp_dir().join(format!("satlint-golden-{}.jsonl", std::process::id()));
+    let out = satlint()
+        .args([
+            "--fixtures",
+            "--schedules",
+            "4",
+            "--json",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("satlint runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Exit 1 = findings present and detectors agree (the designed outcome);
+    // exit 2 would mean the analyzer and the replay explorer disagreed.
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("analyzer and replay agree"), "{stdout}");
+    let got = std::fs::read_to_string(&path).expect("json written");
+    std::fs::remove_file(&path).ok();
+
+    let golden = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/satlint_fixtures.jsonl"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden, &got).expect("golden regenerated");
+        return;
+    }
+    let want = std::fs::read_to_string(golden).expect("golden file present");
+    assert_eq!(
+        got, want,
+        "satlint --fixtures JSON drifted from the golden file; if the schema \
+         change is intentional, bump hmm_lint::SCHEMA_VERSION and regenerate \
+         with UPDATE_GOLDEN=1"
+    );
+    // Spot-check the pinned shape carries the race findings' provenance.
+    assert!(want.contains("\"rule\":\"ScheduleRace\"") || want.contains("schedule-race"));
+    assert!(want.contains("handoff-before-ready") || want.contains("HandoffBeforeReady"));
+    assert!(
+        want.contains("\"conflict\":{"),
+        "provenance missing from golden"
+    );
 }

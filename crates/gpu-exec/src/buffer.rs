@@ -42,6 +42,12 @@ pub struct GlobalBuffer<T> {
 /// the buffer's identity to tell two buffers' word 0 apart.
 static NEXT_BUFFER_ID: AtomicU64 = AtomicU64::new(1);
 
+/// Draw a fresh process-unique identity from the buffer-id sequence (shared
+/// with [`crate::HandoffFlags`], whose flag sets live in the same id space).
+pub(crate) fn next_buffer_id() -> u64 {
+    NEXT_BUFFER_ID.fetch_add(1, Ordering::Relaxed)
+}
+
 // SAFETY: concurrent access is governed by the launch contract documented
 // above; the race detector can verify it dynamically. `T: Send + Sync` is
 // required so values may be read and written from worker threads.
@@ -54,7 +60,7 @@ impl<T: Copy> GlobalBuffer<T> {
         GlobalBuffer {
             cells: data.into_iter().map(UnsafeCell::new).collect(),
             race: None,
-            id: NEXT_BUFFER_ID.fetch_add(1, Ordering::Relaxed),
+            id: next_buffer_id(),
         }
     }
 
@@ -138,6 +144,12 @@ impl<'a, T: Copy> GlobalView<'a, T> {
     /// Number of words in the underlying buffer.
     pub fn len(&self) -> usize {
         self.cells.len()
+    }
+
+    /// Identity of the underlying buffer (see [`GlobalBuffer::id`]), as
+    /// recorded in the trace's address channel.
+    pub fn buffer_id(&self) -> u64 {
+        self.buf
     }
 
     /// `true` if the underlying buffer holds no words.

@@ -24,9 +24,20 @@ pub enum BlockOrder {
     /// Blocks are claimed in increasing id order (still interleaved
     /// arbitrarily across workers).
     Forward,
+    /// Blocks are claimed in decreasing id order — the exact mirror of
+    /// [`BlockOrder::Forward`], the cheapest schedule that exposes
+    /// "block b+1 ran first" hazards.
+    Reverse,
     /// Blocks are claimed in a pseudo-random permutation derived from the
     /// seed and the launch number.
     Shuffled(u64),
+    /// Adversarial schedule: a seeded pseudo-random permutation (distinct
+    /// from [`BlockOrder::Shuffled`]'s stream) *plus* seeded per-block
+    /// start delays on parallel devices, actively trying to realise
+    /// interleavings the natural order never exhibits. On a sequential
+    /// device (0 workers) the permutation alone determines the schedule,
+    /// so replay under this order is fully deterministic per seed.
+    Adversarial(u64),
 }
 
 /// Per-block spans fold onto this many wall-clock lanes so huge grids do
@@ -353,7 +364,20 @@ impl Device {
         let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
         let perm: Option<Vec<u32>> = match self.order {
             BlockOrder::Forward => None,
+            BlockOrder::Reverse => Some((0..grid as u32).rev().collect()),
             BlockOrder::Shuffled(seed) => Some(permutation(grid, seed ^ launch_no)),
+            // A distinct stream from Shuffled's, so `Adversarial(s)` and
+            // `Shuffled(s)` explore different permutations of each launch.
+            BlockOrder::Adversarial(seed) => {
+                Some(permutation(grid, seed ^ launch_no ^ 0xADE5_A21A_15EE_D000))
+            }
+        };
+        // Adversarial delays: only meaningful when blocks actually overlap.
+        let stagger_seed = match self.order {
+            BlockOrder::Adversarial(seed) if self.pool.extra_workers() > 0 => {
+                Some(seed ^ launch_no)
+            }
+            _ => None,
         };
         let launch_trace: Option<Mutex<LaunchTrace>> = self.record_trace.then(|| {
             Mutex::new(LaunchTrace {
@@ -394,6 +418,15 @@ impl Device {
                 }
                 if f.plan.straggles(fault_no, block_id as u64) {
                     std::thread::sleep(f.plan.straggler_delay);
+                }
+            }
+            if let Some(seed) = stagger_seed {
+                // Roughly a quarter of the blocks start up to ~40 µs late —
+                // enough to scramble worker interleavings without making
+                // large grids crawl.
+                let h = splitmix64(seed.wrapping_add(block_id as u64));
+                if h % 4 == 0 {
+                    std::thread::sleep(std::time::Duration::from_micros((h >> 8) % 40 + 1));
                 }
             }
             let block_start = observe_blocks.then(Instant::now);
@@ -640,6 +673,15 @@ impl<'a> BlockCtx<'a> {
     }
 }
 
+/// The splitmix64 finaliser: a deterministic 64-bit hash with good
+/// avalanche, used for shuffles and adversarial stagger decisions.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Deterministic pseudo-random permutation of `0..n` (Fisher–Yates driven by
 /// a splitmix64 stream; no external RNG dependency).
 fn permutation(n: usize, seed: u64) -> Vec<u32> {
@@ -648,10 +690,7 @@ fn permutation(n: usize, seed: u64) -> Vec<u32> {
     let mut s = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut next = || {
         s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = s;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        splitmix64(s)
     };
     for i in (1..v.len()).rev() {
         let j = (next() % (i as u64 + 1)) as usize;
@@ -724,7 +763,12 @@ mod tests {
 
     #[test]
     fn shuffled_order_gives_same_result() {
-        for order in [BlockOrder::Forward, BlockOrder::Shuffled(42)] {
+        for order in [
+            BlockOrder::Forward,
+            BlockOrder::Reverse,
+            BlockOrder::Shuffled(42),
+            BlockOrder::Adversarial(42),
+        ] {
             let dev = Device::new(
                 DeviceOptions::new(MachineConfig::with_width(4))
                     .workers(3)

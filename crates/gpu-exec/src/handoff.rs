@@ -1,0 +1,268 @@
+//! Flagged handoff slots: release/acquire publication of global data
+//! between blocks.
+//!
+//! The asynchronous HMM's only built-in synchronisation is the barrier (the
+//! launch boundary). Persistent-block and software-systolic kernels need a
+//! finer primitive: a producer block fills a region of a [`GlobalBuffer`]
+//! and *publishes* it by raising a flag; a consumer block *acquires* the
+//! flag before reading the region. [`HandoffFlags`] is that primitive —
+//! a set of atomic flag words with release/acquire semantics, separate from
+//! the non-atomic data cells (which must never be raced directly).
+//!
+//! Every publish and poll also records itself in the trace's address
+//! channel ([`AddrPattern::FlagWrite`] / [`AddrPattern::FlagRead`]), which
+//! is what lets `hmm-lint`'s schedule-generalizing race analysis
+//! reconstruct the release→acquire happens-before edges and check the
+//! `handoff-before-ready` rule: any read of a published region must be
+//! ordered after the corresponding flag write under *every* legal schedule.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::buffer::{next_buffer_id, GlobalView};
+use crate::recorder::TxnRecorder;
+use crate::trace::AddrPattern;
+
+/// A set of atomic handoff flags, one per slot.
+///
+/// Unlike [`GlobalBuffer`](crate::GlobalBuffer) words, flag cells are
+/// atomics: concurrent publish/poll from different blocks is sound by
+/// construction. The *data* a slot publishes still lives in a normal
+/// buffer and is still subject to the launch contract — the flag only
+/// provides the ordering that makes a cross-block handoff legal.
+pub struct HandoffFlags {
+    cells: Box<[AtomicU64]>,
+    id: u64,
+}
+
+impl HandoffFlags {
+    /// A set of `slots` flags, all initially unpublished (zero).
+    pub fn new(slots: usize) -> Self {
+        HandoffFlags {
+            cells: (0..slots).map(|_| AtomicU64::new(0)).collect(),
+            id: next_buffer_id(),
+        }
+    }
+
+    /// Process-unique identity of this flag set, as recorded in the
+    /// trace's address channel (drawn from the same id space as
+    /// [`GlobalBuffer::id`](crate::GlobalBuffer::id)).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` if the set holds no slots.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Owner-side reset of every slot to unpublished (no launch may be in
+    /// flight, which `&mut self` guarantees).
+    pub fn reset(&mut self) {
+        for c in self.cells.iter() {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether `slot` has been published, without recording a trace op
+    /// (owner-side inspection between launches).
+    pub fn is_published(&self, slot: usize) -> bool {
+        self.cells[slot].load(Ordering::Acquire) != 0
+    }
+
+    /// Release-publish `slot`, announcing that the `len` words of `data`
+    /// starting at `base` are ready. The release store orders the
+    /// producer's preceding data writes before any acquire that observes
+    /// the flag.
+    pub fn publish<T: Copy>(
+        &self,
+        slot: usize,
+        data: &GlobalView<'_, T>,
+        base: usize,
+        len: usize,
+        rec: &mut TxnRecorder,
+    ) {
+        assert!(
+            base + len <= data.len(),
+            "published region [{base}, {}) exceeds buffer of {} words",
+            base + len,
+            data.len()
+        );
+        self.cells[slot].store(1, Ordering::Release);
+        rec.record_flag_write(self.id, slot, data.buffer_id(), base, len);
+    }
+
+    /// Acquire-poll `slot` once, returning whether it has been published.
+    /// An observed `true` orders this block after the publisher's release.
+    pub fn poll(&self, slot: usize, rec: &mut TxnRecorder) -> bool {
+        let ready = self.cells[slot].load(Ordering::Acquire) != 0;
+        rec.record_flag_read(self.id, slot, ready);
+        ready
+    }
+
+    /// Acquire-poll `slot` up to `max_polls` times (spinning between
+    /// attempts), returning whether it became published. Records a single
+    /// flag read with the final outcome so bounded spinning does not flood
+    /// the trace.
+    ///
+    /// Note the schedule hazard this API cannot hide: on a sequential
+    /// device a same-launch producer may simply not have run yet, so spin
+    /// counts must never be used as a correctness mechanism — publish in
+    /// one launch and consume after the barrier, or prove the handoff with
+    /// `satlint --races`.
+    pub fn acquire(&self, slot: usize, max_polls: usize, rec: &mut TxnRecorder) -> bool {
+        let mut ready = false;
+        for _ in 0..max_polls.max(1) {
+            if self.cells[slot].load(Ordering::Acquire) != 0 {
+                ready = true;
+                break;
+            }
+            std::hint::spin_loop();
+        }
+        rec.record_flag_read(self.id, slot, ready);
+        ready
+    }
+
+    /// The [`AddrPattern`] a publish of (`slot`, region) records — exposed
+    /// so analyzers and tests can construct traces without a device.
+    pub fn write_pattern(
+        &self,
+        slot: usize,
+        data_buf: u64,
+        base: usize,
+        len: usize,
+    ) -> AddrPattern {
+        AddrPattern::FlagWrite {
+            flags: self.id,
+            slot,
+            data_buf,
+            base,
+            len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::GlobalBuffer;
+    use crate::device::{Device, DeviceOptions};
+    use hmm_model::{AccessKind, MachineConfig, MemSpace};
+
+    #[test]
+    fn publish_then_poll_observes_readiness_and_traces_flag_ops() {
+        let dev = Device::new(
+            DeviceOptions::new(MachineConfig::with_width(4))
+                .workers(0)
+                .record_trace(true),
+        );
+        let data = GlobalBuffer::filled(0u64, 8);
+        let flags = HandoffFlags::new(2);
+        // Launch 0: block 0 fills and publishes slot 0.
+        dev.launch(1, |ctx| {
+            let g = ctx.view(&data);
+            let vals = [7u64; 4];
+            g.write_contig(0, &vals, ctx.rec());
+            flags.publish(0, &g, 0, 4, ctx.rec());
+        });
+        assert!(flags.is_published(0));
+        assert!(!flags.is_published(1));
+        // Launch 1: consumer polls (barrier-ordered, so always ready).
+        let seen = GlobalBuffer::filled(0u64, 1);
+        dev.launch(1, |ctx| {
+            let g = ctx.view(&data);
+            let out = ctx.view(&seen);
+            if flags.poll(0, ctx.rec()) {
+                let mut got = [0u64; 4];
+                g.read_contig(0, &mut got, ctx.rec());
+                out.write(0, got.iter().sum(), ctx.rec());
+            }
+        });
+        assert_eq!(seen.into_vec()[0], 28);
+
+        let trace = dev.take_trace();
+        let l0 = &trace.launches[0];
+        let fw = l0.addrs[0]
+            .iter()
+            .find_map(|p| match p {
+                AddrPattern::FlagWrite {
+                    flags: f,
+                    slot,
+                    data_buf,
+                    base,
+                    len,
+                } => Some((*f, *slot, *data_buf, *base, *len)),
+                _ => None,
+            })
+            .expect("publish recorded");
+        assert_eq!(fw, (flags.id(), 0, data.id(), 0, 4));
+        // The flag op is a one-op, one-stage global write.
+        let k = l0.addrs[0]
+            .iter()
+            .position(|p| matches!(p, AddrPattern::FlagWrite { .. }))
+            .unwrap();
+        let op = l0.blocks[0][k];
+        assert_eq!(
+            (op.space, op.kind, op.ops, op.stages),
+            (MemSpace::Global, AccessKind::Write, 1, 1)
+        );
+        let l1 = &trace.launches[1];
+        assert!(l1.addrs[0]
+            .iter()
+            .any(|p| matches!(p, AddrPattern::FlagRead { ready: true, .. })));
+    }
+
+    #[test]
+    fn acquire_gives_up_after_bounded_polls_and_records_the_outcome() {
+        let dev = Device::new(
+            DeviceOptions::new(MachineConfig::with_width(4))
+                .workers(0)
+                .record_trace(true),
+        );
+        let flags = HandoffFlags::new(1);
+        dev.launch(1, |ctx| {
+            assert!(!flags.acquire(0, 16, ctx.rec()));
+        });
+        let trace = dev.take_trace();
+        // Bounded spinning records exactly one (not-ready) flag read.
+        let reads: Vec<_> = trace.launches[0].addrs[0]
+            .iter()
+            .filter(|p| matches!(p, AddrPattern::FlagRead { .. }))
+            .collect();
+        assert_eq!(reads.len(), 1);
+        assert!(matches!(
+            reads[0],
+            AddrPattern::FlagRead { ready: false, .. }
+        ));
+    }
+
+    #[test]
+    fn reset_unpublishes_every_slot() {
+        let mut flags = HandoffFlags::new(3);
+        let data = GlobalBuffer::filled(0u32, 4);
+        let dev = Device::new(DeviceOptions::new(MachineConfig::with_width(4)).workers(0));
+        dev.launch(1, |ctx| {
+            let g = ctx.view(&data);
+            flags.publish(2, &g, 0, 4, ctx.rec());
+        });
+        assert!(flags.is_published(2));
+        flags.reset();
+        assert!((0..3).all(|s| !flags.is_published(s)));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds buffer")]
+    fn publishing_out_of_range_region_panics() {
+        let dev = Device::new(DeviceOptions::new(MachineConfig::with_width(4)).workers(0));
+        let data = GlobalBuffer::filled(0u32, 4);
+        let flags = HandoffFlags::new(1);
+        dev.launch(1, |ctx| {
+            let g = ctx.view(&data);
+            flags.publish(0, &g, 2, 4, ctx.rec());
+        });
+    }
+}

@@ -56,15 +56,19 @@
 mod buffer;
 mod device;
 mod fault;
+mod handoff;
 mod pool;
 mod recorder;
+pub mod replay;
 mod shared;
 mod trace;
 
 pub use buffer::{GlobalBuffer, GlobalView};
 pub use device::{BlockCtx, BlockOrder, Device, DeviceOptions};
 pub use fault::{FaultEvent, FaultPlan, LossWindow};
+pub use handoff::HandoffFlags;
 pub use pool::BufferPool;
 pub use recorder::TxnRecorder;
+pub use replay::{replay_schedules, ReplayReport, ScheduleRun};
 pub use shared::{SharedTile, TileLayout};
 pub use trace::{AddrPattern, BlockTrace, LaunchTrace, RunTrace, TraceOp};

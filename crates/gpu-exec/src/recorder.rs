@@ -256,6 +256,45 @@ impl TxnRecorder {
         self.record_global(kind, 1, 1, || AddrPattern::Single { buf, addr });
     }
 
+    /// Record the release-publication of a handoff slot (see
+    /// [`crate::HandoffFlags::publish`]): one atomic flag store — one op in
+    /// one address group — whose provenance names the published data region.
+    #[inline]
+    pub fn record_flag_write(
+        &mut self,
+        flags: u64,
+        slot: usize,
+        data_buf: u64,
+        base: usize,
+        len: usize,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.record_global(AccessKind::Write, 1, 1, || AddrPattern::FlagWrite {
+            flags,
+            slot,
+            data_buf,
+            base,
+            len,
+        });
+    }
+
+    /// Record an acquire-poll of a handoff slot flag (see
+    /// [`crate::HandoffFlags::poll`]): one atomic load, with the observed
+    /// readiness kept as provenance for happens-before reconstruction.
+    #[inline]
+    pub fn record_flag_read(&mut self, flags: u64, slot: usize, ready: bool) {
+        if !self.enabled {
+            return;
+        }
+        self.record_global(AccessKind::Read, 1, 1, || AddrPattern::FlagRead {
+            flags,
+            slot,
+            ready,
+        });
+    }
+
     /// Record a shared-memory warp access with a precomputed stage count
     /// (layouts know their bank-conflict degree analytically) and no tile
     /// provenance.

@@ -1,0 +1,214 @@
+//! Adversarial schedule replay: bounded exploration of the legal-schedule
+//! space with bit-exact output diffing.
+//!
+//! The asynchronous HMM promises nothing about inter-block order, so a
+//! kernel that is only correct on the one schedule a device happened to run
+//! is wrong on real hardware. [`replay_schedules`] re-runs a workload under
+//! `k` distinct block schedules — forward, reverse, then seeded shuffled
+//! and adversarial permutations — and diffs the output fingerprints
+//! bit-exactly against the first (forward) run. Any divergence is a
+//! schedule dependence: concrete, dynamic evidence for what the static
+//! happens-before analysis in `hmm-lint` reports from one trace.
+//!
+//! The caller owns device construction (so worker counts, tracing and race
+//! checking stay in its hands) and returns a fingerprint of whatever output
+//! it considers the result; [`fingerprint_bits`] and [`fingerprint_f64`]
+//! build one from raw words.
+
+use crate::device::BlockOrder;
+
+/// One explored schedule and the output fingerprint it produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleRun {
+    /// The block order the run used.
+    pub order: BlockOrder,
+    /// Bit-exact fingerprint of the run's output.
+    pub fingerprint: u64,
+}
+
+/// The outcome of a bounded schedule exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Every explored schedule with its fingerprint, reference run first.
+    pub runs: Vec<ScheduleRun>,
+    /// Indices into `runs` whose fingerprint differs from run 0's.
+    pub divergent: Vec<usize>,
+}
+
+impl ReplayReport {
+    /// `true` when every schedule produced bit-identical output.
+    pub fn bit_exact(&self) -> bool {
+        self.divergent.is_empty()
+    }
+
+    /// Number of schedules explored.
+    pub fn schedules(&self) -> usize {
+        self.runs.len()
+    }
+}
+
+/// The deterministic schedule set a `k`-schedule exploration walks:
+/// forward (the reference), reverse, then alternating adversarial and
+/// shuffled permutations derived from `seed`. Distinct entries are distinct
+/// schedules for any grid with at least two blocks.
+pub fn schedule_set(k: usize, seed: u64) -> Vec<BlockOrder> {
+    let mut orders = Vec::with_capacity(k);
+    for i in 0..k {
+        orders.push(match i {
+            0 => BlockOrder::Forward,
+            1 => BlockOrder::Reverse,
+            i if i % 2 == 0 => BlockOrder::Adversarial(seed.wrapping_add(i as u64 / 2)),
+            i => BlockOrder::Shuffled(seed.wrapping_add(i as u64 / 2)),
+        });
+    }
+    orders
+}
+
+/// Re-run a workload under `k` distinct schedules and diff the outputs.
+///
+/// `run` receives each [`BlockOrder`] in turn (the deterministic
+/// [`schedule_set`]), builds its own device with that order, executes the
+/// workload and returns a bit-exact fingerprint of the output. Run 0
+/// (forward order) is the reference; every differing fingerprint lands in
+/// [`ReplayReport::divergent`].
+///
+/// For deterministic exploration — same seed ⇒ same schedules ⇒ same
+/// verdict — build sequential devices (`workers(0)`): the permutation then
+/// *is* the schedule.
+pub fn replay_schedules<F>(k: usize, seed: u64, mut run: F) -> ReplayReport
+where
+    F: FnMut(BlockOrder) -> u64,
+{
+    let runs: Vec<ScheduleRun> = schedule_set(k.max(1), seed)
+        .into_iter()
+        .map(|order| ScheduleRun {
+            order,
+            fingerprint: run(order),
+        })
+        .collect();
+    let reference = runs[0].fingerprint;
+    let divergent = runs
+        .iter()
+        .enumerate()
+        .skip(1)
+        .filter(|(_, r)| r.fingerprint != reference)
+        .map(|(i, _)| i)
+        .collect();
+    ReplayReport { runs, divergent }
+}
+
+/// FNV-1a over a word stream: a cheap, deterministic, build-stable
+/// fingerprint for bit-exact output comparison.
+pub fn fingerprint_bits(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for w in words {
+        for byte in w.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+/// Fingerprint of an `f64` slice by bit pattern (NaNs and signed zeros
+/// included — this is bit-exact comparison, not numeric comparison).
+pub fn fingerprint_f64(vals: &[f64]) -> u64 {
+    fingerprint_bits(vals.iter().map(|v| v.to_bits()))
+}
+
+/// Fingerprint of an `i64` slice by bit pattern.
+pub fn fingerprint_i64(vals: &[i64]) -> u64 {
+    fingerprint_bits(vals.iter().map(|&v| v as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::GlobalBuffer;
+    use crate::device::{Device, DeviceOptions};
+    use hmm_model::MachineConfig;
+
+    fn sequential(order: BlockOrder) -> Device {
+        Device::new(
+            DeviceOptions::new(MachineConfig::with_width(4))
+                .workers(0)
+                .order(order),
+        )
+    }
+
+    #[test]
+    fn schedule_set_is_deterministic_and_distinct() {
+        let a = schedule_set(6, 99);
+        let b = schedule_set(6, 99);
+        assert_eq!(a, b);
+        assert_eq!(a[0], BlockOrder::Forward);
+        assert_eq!(a[1], BlockOrder::Reverse);
+        for (i, x) in a.iter().enumerate() {
+            for y in &a[i + 1..] {
+                assert_ne!(x, y, "{a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn order_independent_kernel_is_bit_exact() {
+        let report = replay_schedules(5, 7, |order| {
+            let dev = sequential(order);
+            let out = GlobalBuffer::filled(0i64, 32);
+            dev.launch(8, |ctx| {
+                let g = ctx.view(&out);
+                let b = ctx.block_id();
+                let vals = [b as i64; 4];
+                g.write_contig(b * 4, &vals, ctx.rec());
+            });
+            fingerprint_i64(&out.into_vec())
+        });
+        assert!(report.bit_exact(), "{report:?}");
+        assert_eq!(report.schedules(), 5);
+    }
+
+    #[test]
+    fn order_dependent_kernel_diverges() {
+        // Last writer wins on a shared word: the output is the schedule.
+        let report = replay_schedules(4, 7, |order| {
+            let dev = sequential(order);
+            let out = GlobalBuffer::filled(0i64, 1);
+            dev.launch(8, |ctx| {
+                let g = ctx.view(&out);
+                g.write(0, ctx.block_id() as i64, ctx.rec());
+            });
+            fingerprint_i64(&out.into_vec())
+        });
+        assert!(!report.bit_exact(), "{report:?}");
+        // Reverse order (run 1) must differ from forward.
+        assert!(report.divergent.contains(&1), "{report:?}");
+    }
+
+    #[test]
+    fn replay_is_deterministic_per_seed() {
+        let run = |seed| {
+            replay_schedules(6, seed, |order| {
+                let dev = sequential(order);
+                let out = GlobalBuffer::filled(0i64, 1);
+                dev.launch(5, |ctx| {
+                    let g = ctx.view(&out);
+                    g.write(0, ctx.block_id() as i64 * 3, ctx.rec());
+                });
+                fingerprint_i64(&out.into_vec())
+            })
+        };
+        assert_eq!(run(11), run(11));
+        // A different seed explores different permutations.
+        assert_ne!(
+            run(11).runs.iter().map(|r| r.order).collect::<Vec<_>>(),
+            run(12).runs.iter().map(|r| r.order).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn fingerprints_distinguish_bit_patterns() {
+        assert_ne!(fingerprint_f64(&[0.0]), fingerprint_f64(&[-0.0]));
+        assert_ne!(fingerprint_i64(&[1, 2]), fingerprint_i64(&[2, 1]));
+        assert_eq!(fingerprint_bits([]), fingerprint_bits([]));
+    }
+}

@@ -83,6 +83,34 @@ pub enum AddrPattern {
         /// Logical column index.
         index: u32,
     },
+    /// Release-publication of a handoff slot: the producer marks the `len`
+    /// data words starting at `base` of buffer `data_buf` as ready by
+    /// storing a nonzero flag into slot `slot` of flag set `flags` (see
+    /// [`crate::HandoffFlags`]). The flag word itself is a synchronisation
+    /// cell, not data — it contributes no global data words.
+    FlagWrite {
+        /// Identity of the [`crate::HandoffFlags`] set.
+        flags: u64,
+        /// Slot index within the flag set.
+        slot: usize,
+        /// Identity of the [`crate::GlobalBuffer`] the slot publishes.
+        data_buf: u64,
+        /// First published word of `data_buf`.
+        base: usize,
+        /// Number of published words.
+        len: usize,
+    },
+    /// Acquire-poll of a handoff slot flag; `ready` records whether the
+    /// published (nonzero) value was observed. An observed `ready = true`
+    /// orders the polling block after the corresponding [`Self::FlagWrite`].
+    FlagRead {
+        /// Identity of the [`crate::HandoffFlags`] set.
+        flags: u64,
+        /// Slot index within the flag set.
+        slot: usize,
+        /// Whether the poll observed the published flag.
+        ready: bool,
+    },
     /// No address information available (differential-test paths).
     Opaque,
 }
@@ -109,7 +137,14 @@ impl AddrPattern {
             AddrPattern::Gather { buf, addrs } => {
                 out.extend(addrs.iter().map(|&a| (*buf, a)));
             }
-            AddrPattern::TileRow { .. } | AddrPattern::TileCol { .. } | AddrPattern::Opaque => {}
+            // Flag accesses touch only the synchronisation cell, which is
+            // atomic and allowed to race; the *data* words a FlagWrite
+            // publishes are covered by the producer's own write patterns.
+            AddrPattern::FlagWrite { .. }
+            | AddrPattern::FlagRead { .. }
+            | AddrPattern::TileRow { .. }
+            | AddrPattern::TileCol { .. }
+            | AddrPattern::Opaque => {}
         }
     }
 
@@ -145,6 +180,8 @@ impl AddrPattern {
                 groups.dedup();
                 Some(groups.len() as u32)
             }
+            // A flag access is one word in one address group.
+            AddrPattern::FlagWrite { .. } | AddrPattern::FlagRead { .. } => Some(1),
             AddrPattern::TileRow { .. } | AddrPattern::TileCol { .. } | AddrPattern::Opaque => None,
         }
     }

@@ -8,14 +8,15 @@ use hmm_model::cost::CostCounters;
 use hmm_model::{min_stages, AccessKind, MachineConfig, MemSpace};
 
 use crate::contract::KernelContract;
-use crate::report::{Diagnostic, LintReport, Rule, Severity};
+use crate::races;
+use crate::report::{ConflictSite, Diagnostic, LintReport, Rule, Severity};
 
 /// Per-rule cap on reported findings: a broken kernel violates a rule once
 /// per transaction, and the first few sites are what a human needs.
 pub const MAX_PER_RULE: usize = 8;
 
 /// Collects diagnostics with the per-rule cap.
-struct Reporter {
+pub(crate) struct Reporter {
     diagnostics: Vec<Diagnostic>,
     suppressed: usize,
 }
@@ -29,7 +30,7 @@ impl Reporter {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn push(
+    pub(crate) fn push(
         &mut self,
         rule: Rule,
         severity: Severity,
@@ -37,6 +38,7 @@ impl Reporter {
         launch: Option<usize>,
         block: Option<usize>,
         op: Option<usize>,
+        conflict: Option<ConflictSite>,
     ) {
         let seen = self.diagnostics.iter().filter(|d| d.rule == rule).count();
         if seen >= MAX_PER_RULE {
@@ -50,6 +52,7 @@ impl Reporter {
             launch,
             block,
             op,
+            conflict,
         });
     }
 }
@@ -68,12 +71,19 @@ pub fn analyze(
 ) -> LintReport {
     let mut r = Reporter::new();
     let w = cfg.width;
+    let slots = races::SlotDirectory::collect(trace);
     for (li, launch) in trace.launches.iter().enumerate() {
         check_bank_conflicts(&mut r, li, launch, w);
         check_write_after_loss(&mut r, li, launch);
         if launch.has_addrs() {
-            check_barrier_races(&mut r, li, launch);
+            // Handoff kernels deliberately exchange data inside a launch
+            // window; the classic rule has no notion of release→acquire
+            // edges, so the schedule-generalizing pass below takes over.
+            if !contract.allow_handoffs {
+                check_barrier_races(&mut r, li, launch);
+            }
             check_shared_reset(&mut r, li, launch);
+            races::check_launch(&mut r, li, launch, &slots);
         }
     }
     check_coalescing(&mut r, trace, counters, contract, w);
@@ -107,6 +117,21 @@ fn describe(pat: &AddrPattern) -> String {
         }
         AddrPattern::TileRow { tile, index } => format!("row {index} of shared tile {tile}"),
         AddrPattern::TileCol { tile, index } => format!("column {index} of shared tile {tile}"),
+        AddrPattern::FlagWrite {
+            flags,
+            slot,
+            data_buf,
+            base,
+            len,
+        } => format!(
+            "publication of slot {slot} of flag set {flags} \
+             (words [{base}, {}) of buffer {data_buf})",
+            base + len
+        ),
+        AddrPattern::FlagRead { flags, slot, ready } => format!(
+            "poll of slot {slot} of flag set {flags} ({})",
+            if *ready { "ready" } else { "not ready" }
+        ),
         AddrPattern::Opaque => "an unrecorded address pattern".to_string(),
     }
 }
@@ -140,6 +165,7 @@ fn check_bank_conflicts(r: &mut Reporter, li: usize, launch: &LaunchTrace, w: us
                 Some(li),
                 Some(b),
                 Some(k),
+                None,
             );
         }
     }
@@ -178,6 +204,12 @@ fn check_barrier_races(r: &mut Reporter, li: usize, launch: &LaunchTrace) {
                                 Some(li),
                                 Some(b),
                                 Some(k),
+                                Some(ConflictSite {
+                                    buf: word.0,
+                                    word: word.1,
+                                    first_block: (other as usize).min(b),
+                                    second_block: (other as usize).max(b),
+                                }),
                             );
                             flagged = true;
                         }
@@ -211,6 +243,12 @@ fn check_barrier_races(r: &mut Reporter, li: usize, launch: &LaunchTrace) {
                             Some(li),
                             Some(b),
                             Some(k),
+                            Some(ConflictSite {
+                                buf: word.0,
+                                word: word.1,
+                                first_block: (other as usize).min(b),
+                                second_block: (other as usize).max(b),
+                            }),
                         );
                         break; // one finding per op
                     }
@@ -257,6 +295,7 @@ fn check_shared_reset(r: &mut Reporter, li: usize, launch: &LaunchTrace) {
                         Some(li),
                         Some(b),
                         Some(k),
+                        None,
                     );
                 }
             }
@@ -294,6 +333,7 @@ fn check_write_after_loss(r: &mut Reporter, li: usize, launch: &LaunchTrace) {
                 Some(li),
                 Some(b),
                 Some(k),
+                None,
             );
         }
     }
@@ -365,6 +405,7 @@ fn check_coalescing(
         launch,
         block,
         op,
+        None,
     );
 }
 
@@ -408,6 +449,7 @@ fn check_cost_divergence(r: &mut Reporter, counters: &CostCounters, contract: &K
                     abs,
                     contract.rel_tolerance * 100.0
                 ),
+                None,
                 None,
                 None,
                 None,

@@ -31,6 +31,13 @@ pub struct KernelContract {
     pub ops_slack: f64,
     /// Absolute slack (in steps) on the barrier divergence check.
     pub barrier_slack: f64,
+    /// The kernel deliberately exchanges data between blocks of one launch
+    /// through flagged handoff slots ([`gpu_exec::HandoffFlags`]). Skips
+    /// the classic `barrier-race` rule (which has no notion of
+    /// release→acquire edges and would flag every handoff); safety is then
+    /// carried entirely by the schedule-generalizing `schedule-race` and
+    /// `handoff-before-ready` rules, which understand those edges.
+    pub allow_handoffs: bool,
 }
 
 impl KernelContract {
@@ -56,6 +63,7 @@ impl KernelContract {
             // leading-term rows drop.
             ops_slack: 2.0 * n2 / (cfg.width as f64) + 4.0 * (n as f64),
             barrier_slack,
+            allow_handoffs: false,
         }
     }
 
@@ -70,7 +78,15 @@ impl KernelContract {
             rel_tolerance: 0.25,
             ops_slack: 0.0,
             barrier_slack: 2.0,
+            allow_handoffs: false,
         }
+    }
+
+    /// Mark the kernel as a deliberate user of flagged handoff slots (see
+    /// [`KernelContract::allow_handoffs`]).
+    pub fn with_handoffs(mut self) -> Self {
+        self.allow_handoffs = true;
+        self
     }
 
     /// A contract demanding essentially full coalescing (fringe slack only)

@@ -1,0 +1,246 @@
+//! Deliberately-broken kernels (and their fixed twins) that pin the
+//! analyzer and the schedule explorer to each other.
+//!
+//! Each [`Fixture`] is one canonical way to break the asynchronous HMM's
+//! scheduling contract, paired with the minimal fix. The broken variant
+//! must be flagged by the static happens-before analysis ([`crate::analyze`])
+//! *and* produce divergent output under adversarial schedule replay
+//! ([`gpu_exec::replay_schedules`]); the fixed variant must be clean under
+//! both. `satlint --fixtures` and the agreement tests run every fixture
+//! through both detectors and fail if they ever disagree.
+
+use gpu_exec::replay::fingerprint_i64;
+use gpu_exec::{Device, GlobalBuffer, HandoffFlags, TileLayout};
+
+use crate::contract::KernelContract;
+use crate::report::Rule;
+
+/// Elements each block owns in a fixture kernel.
+pub const CHUNK: usize = 8;
+/// Blocks each fixture launches.
+pub const GRID: usize = 4;
+
+/// One canonical scheduling-contract violation with a fixed twin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fixture {
+    /// Producer/consumer chunks fused into one launch: each block writes
+    /// its own chunk, then reads its neighbour's — inter-block data flow
+    /// with no barrier between write and read. Fixed: split into two
+    /// launches.
+    MissingBarrier,
+    /// A consumer reads a flagged handoff region *before* polling the
+    /// flag (check-after-use): the poll succeeds on lucky schedules, but
+    /// the read is never ordered after the publication. Fixed: publish in
+    /// one launch, acquire-then-read in the next.
+    PrematureHandoffRead,
+    /// Two bugs the shared-reset and schedule rules split between them:
+    /// a block reads a shared tile row it never wrote (reset at the
+    /// barrier — observes zeroes), and every block writes the same global
+    /// words (last writer wins). Fixed: write the tile first and give
+    /// each block a disjoint region.
+    SharedResetOverlap,
+}
+
+impl Fixture {
+    /// Every fixture, in report order.
+    pub const ALL: [Fixture; 3] = [
+        Fixture::MissingBarrier,
+        Fixture::PrematureHandoffRead,
+        Fixture::SharedResetOverlap,
+    ];
+
+    /// Stable kebab-case name (used in `satlint --fixtures` records).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Fixture::MissingBarrier => "missing-barrier",
+            Fixture::PrematureHandoffRead => "premature-handoff-read",
+            Fixture::SharedResetOverlap => "shared-reset-overlap",
+        }
+    }
+
+    /// Rules the analyzer must fire on the broken variant. The fixed
+    /// variant must fire none of them.
+    pub fn expected_rules(&self) -> &'static [Rule] {
+        match self {
+            Fixture::MissingBarrier => &[Rule::ScheduleRace],
+            Fixture::PrematureHandoffRead => &[Rule::HandoffBeforeReady],
+            Fixture::SharedResetOverlap => &[Rule::ScheduleRace, Rule::SharedReset],
+        }
+    }
+
+    /// The contract to analyze a fixture run under. Handoff fixtures opt
+    /// out of the classic barrier-race rule so the broken variant's
+    /// verdict is carried entirely by the schedule-generalizing rules.
+    pub fn contract(&self, broken: bool) -> KernelContract {
+        let variant = if broken { "broken" } else { "fixed" };
+        let c = KernelContract::unconstrained(format!("fixture:{}:{variant}", self.name()));
+        match self {
+            Fixture::PrematureHandoffRead => c.with_handoffs(),
+            _ => c,
+        }
+    }
+}
+
+/// Run one fixture variant on `dev` and fingerprint its output buffer.
+///
+/// The caller owns the device (block order, worker count, tracing), so the
+/// same kernel serves both the static analysis (tracing device, one run)
+/// and schedule replay (sequential devices, one per explored order).
+pub fn run_fixture(dev: &Device, fixture: Fixture, broken: bool) -> u64 {
+    match fixture {
+        Fixture::MissingBarrier => missing_barrier(dev, broken),
+        Fixture::PrematureHandoffRead => premature_handoff_read(dev, broken),
+        Fixture::SharedResetOverlap => shared_reset_overlap(dev, broken),
+    }
+}
+
+fn missing_barrier(dev: &Device, broken: bool) -> u64 {
+    let data = GlobalBuffer::filled(0i64, GRID * CHUNK);
+    let out = GlobalBuffer::filled(0i64, GRID * CHUNK);
+    let write_own = |ctx: &mut gpu_exec::BlockCtx<'_>| {
+        let g = ctx.view(&data);
+        let b = ctx.block_id();
+        let vals = [(b + 1) as i64; CHUNK];
+        g.write_contig(b * CHUNK, &vals, ctx.rec());
+    };
+    let read_neighbour = |ctx: &mut gpu_exec::BlockCtx<'_>| {
+        let g = ctx.view(&data);
+        let o = ctx.view(&out);
+        let b = ctx.block_id();
+        let mut vals = [0i64; CHUNK];
+        g.read_contig(((b + 1) % GRID) * CHUNK, &mut vals, ctx.rec());
+        for v in &mut vals {
+            *v *= 10;
+        }
+        o.write_contig(b * CHUNK, &vals, ctx.rec());
+    };
+    if broken {
+        // Fused: the read observes the neighbour's write only if the
+        // neighbour happened to run first.
+        dev.launch(GRID, |ctx| {
+            write_own(ctx);
+            read_neighbour(ctx);
+        });
+    } else {
+        dev.launch(GRID, write_own);
+        dev.launch(GRID, read_neighbour);
+    }
+    fingerprint_i64(&out.into_vec())
+}
+
+fn premature_handoff_read(dev: &Device, broken: bool) -> u64 {
+    let data = GlobalBuffer::filled(0i64, CHUNK);
+    let out = GlobalBuffer::filled(0i64, CHUNK);
+    let flags = HandoffFlags::new(1);
+    let produce = |ctx: &mut gpu_exec::BlockCtx<'_>| {
+        let g = ctx.view(&data);
+        let vals = [7i64; CHUNK];
+        g.write_contig(0, &vals, ctx.rec());
+        flags.publish(0, &g, 0, CHUNK, ctx.rec());
+    };
+    let consume = |ctx: &mut gpu_exec::BlockCtx<'_>, check_first: bool| {
+        let g = ctx.view(&data);
+        let o = ctx.view(&out);
+        let mut vals = [0i64; CHUNK];
+        if check_first {
+            // Correct shape: acquire, then read.
+            let ready = flags.acquire(0, 64, ctx.rec());
+            debug_assert!(ready, "slot published in the previous launch");
+            g.read_contig(0, &mut vals, ctx.rec());
+        } else {
+            // Check-after-use: the poll may well say "ready", but the
+            // read it was meant to guard has already happened.
+            g.read_contig(0, &mut vals, ctx.rec());
+            let _ready = flags.poll(0, ctx.rec());
+        }
+        o.write_contig(0, &vals, ctx.rec());
+    };
+    if broken {
+        dev.launch(2, |ctx| match ctx.block_id() {
+            0 => produce(ctx),
+            _ => consume(ctx, false),
+        });
+    } else {
+        dev.launch(2, |ctx| {
+            if ctx.block_id() == 0 {
+                produce(ctx);
+            }
+        });
+        dev.launch(2, |ctx| {
+            if ctx.block_id() == 1 {
+                consume(ctx, true);
+            }
+        });
+    }
+    fingerprint_i64(&out.into_vec())
+}
+
+fn shared_reset_overlap(dev: &Device, broken: bool) -> u64 {
+    let out = GlobalBuffer::filled(0i64, GRID * CHUNK);
+    dev.launch(GRID, |ctx| {
+        let w = ctx.width();
+        let b = ctx.block_id();
+        let mut tile = ctx.shared_tile::<i64>(TileLayout::Diagonal);
+        let mut row = vec![0i64; w];
+        if !broken {
+            let vals = vec![(b + 1) as i64; w];
+            tile.write_row(0, &vals, ctx.rec());
+        }
+        // Broken: the tile was never written in this launch window, so
+        // the barrier reset means this observes only zeroes.
+        tile.read_row(0, &mut row, ctx.rec());
+        let o = ctx.view(&out);
+        let vals = [row[0] + b as i64; CHUNK];
+        if broken {
+            // Every block writes the same words: last writer wins.
+            o.write_contig(0, &vals, ctx.rec());
+        } else {
+            o.write_contig(b * CHUNK, &vals, ctx.rec());
+        }
+    });
+    fingerprint_i64(&out.into_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_exec::{BlockOrder, DeviceOptions};
+    use hmm_model::MachineConfig;
+
+    fn sequential(order: BlockOrder) -> Device {
+        Device::new(
+            DeviceOptions::new(MachineConfig::with_width(8))
+                .workers(0)
+                .order(order),
+        )
+    }
+
+    #[test]
+    fn fixture_names_are_distinct() {
+        for (i, a) in Fixture::ALL.iter().enumerate() {
+            for b in &Fixture::ALL[i + 1..] {
+                assert_ne!(a.name(), b.name());
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_variants_are_schedule_independent() {
+        for f in Fixture::ALL {
+            let fwd = run_fixture(&sequential(BlockOrder::Forward), f, false);
+            let rev = run_fixture(&sequential(BlockOrder::Reverse), f, false);
+            let adv = run_fixture(&sequential(BlockOrder::Adversarial(3)), f, false);
+            assert_eq!(fwd, rev, "{}", f.name());
+            assert_eq!(fwd, adv, "{}", f.name());
+        }
+    }
+
+    #[test]
+    fn broken_variants_depend_on_the_schedule() {
+        for f in Fixture::ALL {
+            let fwd = run_fixture(&sequential(BlockOrder::Forward), f, true);
+            let rev = run_fixture(&sequential(BlockOrder::Reverse), f, true);
+            assert_ne!(fwd, rev, "{} should diverge forward vs reverse", f.name());
+        }
+    }
+}

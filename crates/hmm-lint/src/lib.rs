@@ -29,21 +29,34 @@
 //!   shows global writes in its trace. Recovery (retry, CPU degradation)
 //!   assumes a lost launch left global memory untouched; any recorded
 //!   write breaks that no-write-after-loss contract.
+//! * **schedule-race** — two blocks of one launch make conflicting accesses
+//!   to the same global word with no happens-before path between them
+//!   (program order + barrier edges + release→acquire handoff edges): a
+//!   data race under *some* legal HMM schedule, even if the recorded run
+//!   got lucky. Properly acquired [`gpu_exec::HandoffFlags`] handoffs are
+//!   exempt — mark the contract with [`KernelContract::with_handoffs`].
+//! * **handoff-before-ready** — a read of a flagged handoff slot's data
+//!   region that is not ordered after the corresponding flag write; the
+//!   consumer may observe the region before the producer published it.
 //!
 //! Entry points: [`analyze`] for a bare report, [`analyze_run`] to also
 //! replay the trace on the [`hmm_sim::AsyncHmm`] and attach the barrier
-//! window timeline. The `satlint` binary (in the `bench` crate) runs the
-//! whole paper suite through this analyzer.
+//! window timeline. The `fixtures` module holds deliberately-broken
+//! kernels (and their fixes) that pin analyzer↔replay agreement. The
+//! `satlint` binary (in the `bench` crate) runs the whole paper suite
+//! through this analyzer.
 
 #![warn(missing_docs)]
 
 mod analyze;
 mod contract;
+pub mod fixtures;
+mod races;
 mod report;
 
 pub use analyze::{analyze, MAX_PER_RULE};
 pub use contract::KernelContract;
-pub use report::{Diagnostic, LintReport, Rule, Severity};
+pub use report::{ConflictSite, Diagnostic, LintReport, Rule, Severity, SCHEMA_VERSION};
 
 use gpu_exec::RunTrace;
 use hmm_model::cost::CostCounters;

@@ -2,6 +2,15 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Version of the serialized report shape (`LintReport`, `Diagnostic`,
+/// `ConflictSite`), surfaced as `schema_version` in `satlint --json`
+/// records. Bump on any field addition/removal/rename.
+///
+/// History: 1 = the original shape; 2 = added `Diagnostic::conflict`
+/// provenance, the `schedule-race` / `handoff-before-ready` rules and the
+/// `schema_version` field itself.
+pub const SCHEMA_VERSION: u32 = 2;
+
 /// How bad a finding is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Severity {
@@ -39,17 +48,31 @@ pub enum Rule {
     /// breaks the no-write-after-loss recovery contract that retry and
     /// degradation logic depend on.
     WriteAfterLoss,
+    /// Two blocks of one launch make conflicting accesses to the same
+    /// global word with no happens-before path between them — a data race
+    /// under *some* legal HMM schedule, even if the recorded one got
+    /// lucky. Unlike [`Rule::BarrierRace`] this rule understands
+    /// release→acquire handoff edges, so properly acquired flagged
+    /// handoffs are exempt.
+    ScheduleRace,
+    /// A read of a flagged handoff slot's data region that is not ordered
+    /// after the corresponding flag write — the consumer may observe the
+    /// region before the producer published it. Persistent-block
+    /// execution relies on this rule.
+    HandoffBeforeReady,
 }
 
 impl Rule {
     /// Every rule, in report order.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 8] = [
         Rule::BankConflict,
         Rule::Uncoalesced,
         Rule::BarrierRace,
         Rule::SharedReset,
         Rule::CostDivergence,
         Rule::WriteAfterLoss,
+        Rule::ScheduleRace,
+        Rule::HandoffBeforeReady,
     ];
 
     /// Stable kebab-case name (used in reports and JSON).
@@ -61,8 +84,25 @@ impl Rule {
             Rule::SharedReset => "shared-reset",
             Rule::CostDivergence => "cost-divergence",
             Rule::WriteAfterLoss => "write-after-loss",
+            Rule::ScheduleRace => "schedule-race",
+            Rule::HandoffBeforeReady => "handoff-before-ready",
         }
     }
+}
+
+/// Structured provenance of a cross-block conflict: which word of which
+/// buffer, and which two blocks collide. Attached to race-family findings
+/// so JSON consumers need not parse messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConflictSite {
+    /// Identity of the buffer (or flag set) the conflict is on.
+    pub buf: u64,
+    /// Word address within the buffer.
+    pub word: usize,
+    /// One conflicting block (the earlier-indexed one).
+    pub first_block: usize,
+    /// The other conflicting block.
+    pub second_block: usize,
 }
 
 /// One finding, pinpointed as far as the trace allows.
@@ -80,6 +120,8 @@ pub struct Diagnostic {
     pub block: Option<usize>,
     /// Op index within the block's trace, when localised.
     pub op: Option<usize>,
+    /// Cross-block conflict provenance (race-family rules only).
+    pub conflict: Option<ConflictSite>,
 }
 
 impl Diagnostic {
@@ -187,7 +229,24 @@ mod tests {
             launch: Some(1),
             block: Some(2),
             op: None,
+            conflict: None,
         }
+    }
+
+    #[test]
+    fn conflict_site_is_carried_and_serialized() {
+        let mut d = diag(Rule::ScheduleRace, Severity::Error);
+        d.conflict = Some(ConflictSite {
+            buf: 7,
+            word: 42,
+            first_block: 0,
+            second_block: 3,
+        });
+        let json = serde_json::to_string(&d).unwrap();
+        assert!(json.contains("\"conflict\""), "{json}");
+        assert!(json.contains("\"word\":42"), "{json}");
+        assert!(json.contains("\"second_block\":3"), "{json}");
+        assert!(d.render().contains("schedule-race"));
     }
 
     #[test]

@@ -29,6 +29,24 @@ cargo run --release -q -p sat-bench --bin chaosgen -- \
 echo "== satlint over a traced service batch"
 cargo run --release -q -p sat-bench --bin satlint -- --n 64 --batch 8
 
+echo "== satlint race gate (happens-before analysis + 4-schedule replay)"
+cargo run --release -q -p sat-bench --bin satlint -- --n 64 --races --schedules 4
+
+echo "== satlint broken-fixture self-test (must exit nonzero with detectors agreeing)"
+if out=$(cargo run --release -q -p sat-bench --bin satlint -- --fixtures 2>&1); then
+    echo "$out"
+    echo "error: satlint --fixtures exited 0 — broken fixtures were not flagged" >&2
+    exit 1
+fi
+if ! grep -q "analyzer and replay agree" <<<"$out"; then
+    echo "$out"
+    echo "error: satlint --fixtures: analyzer and schedule replay disagree" >&2
+    exit 1
+fi
+
+echo "== unsafe-code audit (every unsafe block carries a SAFETY comment)"
+./scripts/unsafe_audit.sh
+
 echo "== satprof smoke (Perfetto trace schema + exact 1R1W counter check)"
 cargo run --release -q -p sat-bench --bin satprof -- \
     --algo 1r1w --n 256 --check --trace target/satprof_smoke.json

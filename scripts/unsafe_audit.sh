@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Unsafe-code audit: every `unsafe` block, impl or fn in the workspace
+# (vendored crates included) must be immediately preceded by a `// SAFETY:`
+# comment line explaining why the invariants hold. Grep-enforced so a new
+# unannotated unsafe block fails the gate before review.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+while IFS=: read -r file line _; do
+    # Walk upwards over attribute lines, comment lines (multi-line SAFETY
+    # prose) and sibling `unsafe impl` lines (one comment may justify a
+    # Send/Sync pair) to find the justification.
+    ok=0
+    prev=$((line - 1))
+    while [ "$prev" -ge 1 ]; do
+        text=$(sed -n "${prev}p" "$file")
+        case "$text" in
+            *"// SAFETY:"*) ok=1; break ;;
+            *"#["*|*"//"*|*"unsafe impl"*) prev=$((prev - 1)) ;;
+            *) break ;;
+        esac
+    done
+    if [ "$ok" -eq 0 ]; then
+        echo "missing // SAFETY: comment before unsafe at $file:$line" >&2
+        fail=1
+    fi
+done < <(grep -rn --include='*.rs' -E '\bunsafe\b' crates vendor \
+         | grep -vE '^\S+:[0-9]+:\s*//' \
+         | grep -vE 'forbid\(unsafe_code\)|deny\(unsafe_code\)|unsafe_code')
+
+if [ "$fail" -ne 0 ]; then
+    echo "unsafe audit failed" >&2
+    exit 1
+fi
+echo "unsafe audit: all unsafe blocks annotated"

@@ -20,8 +20,10 @@ fn results_identical_across_worker_counts_and_orders() {
     for workers in [0usize, 1, 3, 7] {
         for order in [
             BlockOrder::Forward,
+            BlockOrder::Reverse,
             BlockOrder::Shuffled(1),
             BlockOrder::Shuffled(0xDEAD_BEEF),
+            BlockOrder::Adversarial(0xC0FF_EE00),
         ] {
             let dev = Device::new(
                 DeviceOptions::new(MachineConfig::with_width(4))
@@ -136,7 +138,12 @@ fn stats_are_schedule_invariant() {
     let n = 32;
     let a = input(n);
     let mut baseline = None;
-    for (workers, order) in [(0usize, BlockOrder::Forward), (4, BlockOrder::Shuffled(7))] {
+    for (workers, order) in [
+        (0usize, BlockOrder::Forward),
+        (0, BlockOrder::Reverse),
+        (4, BlockOrder::Shuffled(7)),
+        (4, BlockOrder::Adversarial(7)),
+    ] {
         let dev = Device::new(
             DeviceOptions::new(MachineConfig::with_width(4))
                 .workers(workers)
