@@ -41,16 +41,19 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use gpu_exec::{Device, DeviceOptions};
-use hmm_model::cost::{GlobalCost, SatAlgorithm};
+use hmm_model::cost::{CostCounters, GlobalCost, SatAlgorithm};
 use hmm_model::MachineConfig;
 use obs::json::JsonValue;
 use obs::profile::CostModel;
 use obs::Obs;
-use sat_bench::{bench_device, flag_value, parsed_flag, run_real};
+use sat_bench::{bench_device, flag_value, parsed_flag, run_persistent, run_real};
 use serde::Serialize;
 
 const PERF_SCHEMA: &str = "sat-hmm/bench-perf/v1";
 const HISTORY_SCHEMA: &str = "sat-hmm/bench-history/v1";
+/// The persistent-block 1R1W cell name (a named execution mode of 1R1W,
+/// not a `SatAlgorithm` variant).
+const PERSIST_NAME: &str = "1R1W-persist";
 
 /// The canonical perf snapshot (`BENCH_perf.json`).
 #[derive(Serialize)]
@@ -171,30 +174,79 @@ fn main() -> ExitCode {
         "{:<11} {:>6} | {:>12} {:>9} {:>9} | {:>12} | {:>12} {:>8}",
         "algorithm", "n", "coalesced", "stride", "barriers", "modeled(u)", "wall med(s)", "norm"
     );
+    let record = |mut e: PerfEntry, entries: &mut Vec<PerfEntry>| {
+        if let Some((ref name, factor)) = inject {
+            if e.algorithm.eq_ignore_ascii_case(name) {
+                e.wall.median_seconds *= factor;
+                e.wall.min_seconds *= factor;
+                e.wall.max_seconds *= factor;
+                e.wall.normalized *= factor;
+            }
+        }
+        println!(
+            "{:<11} {:>6} | {:>12} {:>9} {:>9} | {:>12.1} | {:>12.6} {:>8.3}",
+            e.algorithm,
+            e.n,
+            e.coalesced_ops,
+            e.stride_ops,
+            e.barrier_steps,
+            e.modeled_cost_units,
+            e.wall.median_seconds,
+            e.wall.normalized
+        );
+        entries.push(e);
+    };
     for &n in &sizes {
         for alg in SatAlgorithm::ALL {
-            let mut e = measure_cell(cfg, alg, n, runs, calibration_seconds);
-            if let Some((ref name, factor)) = inject {
-                if alg.name().eq_ignore_ascii_case(name) {
-                    e.wall.median_seconds *= factor;
-                    e.wall.min_seconds *= factor;
-                    e.wall.max_seconds *= factor;
-                    e.wall.normalized *= factor;
-                }
-            }
-            println!(
-                "{:<11} {:>6} | {:>12} {:>9} {:>9} | {:>12.1} | {:>12.6} {:>8.3}",
-                e.algorithm,
-                e.n,
-                e.coalesced_ops,
-                e.stride_ops,
-                e.barrier_steps,
-                e.modeled_cost_units,
-                e.wall.median_seconds,
-                e.wall.normalized
+            record(
+                measure_cell(cfg, alg, n, runs, calibration_seconds),
+                &mut entries,
             );
-            entries.push(e);
         }
+        record(
+            measure_persistent_cell(cfg, n, runs, calibration_seconds),
+            &mut entries,
+        );
+    }
+
+    // The persistent gate: at every benchmarked size, the persistent cell's
+    // modeled barrier term `Λ·(B + 1)` must be *strictly* below
+    // launch-per-stage 1R1W's — that term is the whole point of the mode.
+    let lam = cfg.window_overhead() as f64;
+    let mut barrier_failures = Vec::new();
+    for &n in &sizes {
+        let staged = entries
+            .iter()
+            .find(|e| e.algorithm == SatAlgorithm::OneR1W.name() && e.n == n)
+            .expect("1R1W is always measured");
+        let pers = entries
+            .iter()
+            .find(|e| e.algorithm == PERSIST_NAME && e.n == n)
+            .expect("the persistent cell is always measured");
+        let staged_term = lam * (staged.barrier_steps + 1) as f64;
+        let pers_term = lam * (pers.barrier_steps + 1) as f64;
+        if pers_term < staged_term {
+            println!(
+                "persistent barrier term at n = {n}: {pers_term:.0} u vs staged {staged_term:.0} u \
+                 ({:.1}x cheaper)",
+                staged_term / pers_term
+            );
+        } else {
+            barrier_failures.push(format!(
+                "n = {n}: persistent barrier term {pers_term:.0} u is not strictly below \
+                 staged 1R1W's {staged_term:.0} u"
+            ));
+        }
+    }
+    if !barrier_failures.is_empty() {
+        for f in &barrier_failures {
+            eprintln!("  {f}");
+        }
+        eprintln!(
+            "benchdiff: FAIL ({} persistent barrier-term violation(s))",
+            barrier_failures.len()
+        );
+        return ExitCode::FAILURE;
     }
 
     let perf = PerfFile {
@@ -224,9 +276,10 @@ fn parse_injection(s: &str) -> Result<(String, f64), String> {
     let factor: f64 = factor
         .parse()
         .map_err(|_| format!("unparsable factor {factor:?}"))?;
-    if SatAlgorithm::ALL
-        .iter()
-        .all(|a| !a.name().eq_ignore_ascii_case(name))
+    if !name.eq_ignore_ascii_case(PERSIST_NAME)
+        && SatAlgorithm::ALL
+            .iter()
+            .all(|a| !a.name().eq_ignore_ascii_case(name))
     {
         return Err(format!("unknown algorithm {name:?}"));
     }
@@ -268,11 +321,40 @@ fn measure_cell(
     } else {
         0.0
     };
+    measure_named_cell(cfg, alg.name(), n, runs, calibration, &|dev| {
+        run_real(dev, alg, r, n)
+    })
+}
+
+/// Measure the persistent-block 1R1W cell — same harness, different driver.
+fn measure_persistent_cell(
+    cfg: MachineConfig,
+    n: usize,
+    runs: usize,
+    calibration: f64,
+) -> PerfEntry {
+    measure_named_cell(cfg, PERSIST_NAME, n, runs, calibration, &|dev| {
+        run_persistent(dev, n)
+    })
+}
+
+/// The shared cell harness behind [`measure_cell`] /
+/// [`measure_persistent_cell`]: `runs` timed executions (median wall), one
+/// traced execution for the attribution totals, which must agree with the
+/// device's own counters (two independent observation paths).
+fn measure_named_cell(
+    cfg: MachineConfig,
+    name: &str,
+    n: usize,
+    runs: usize,
+    calibration: f64,
+    run: &dyn Fn(&Device) -> (CostCounters, f64),
+) -> PerfEntry {
     let dev = bench_device(cfg);
     let mut walls = Vec::with_capacity(runs);
     let mut stats = None;
     for _ in 0..runs {
-        let (s, secs) = run_real(&dev, alg, r, n);
+        let (s, secs) = run(&dev);
         walls.push(secs);
         stats = Some(s);
     }
@@ -280,12 +362,9 @@ fn measure_cell(
     walls.sort_by(f64::total_cmp);
     let median = walls[walls.len() / 2];
 
-    // Attribution pass: re-run once on an observed device and rebuild the
-    // per-launch report from the trace; its totals must agree with the
-    // device's own counters (two independent observation paths).
     let obs = Obs::new();
     let traced = Device::new(DeviceOptions::new(cfg).workers(0).observer(obs.clone()));
-    run_real(&traced, alg, r, n);
+    run(&traced);
     let report = obs::profile::attribution_from_trace(
         &obs,
         CostModel {
@@ -297,12 +376,11 @@ fn measure_cell(
     assert_eq!(
         total.coalesced_ops,
         stats.coalesced_reads + stats.coalesced_writes,
-        "{} n={n}: attribution and device counters diverged",
-        alg.name()
+        "{name} n={n}: attribution and device counters diverged"
     );
 
     PerfEntry {
-        algorithm: alg.name().to_string(),
+        algorithm: name.to_string(),
         n,
         coalesced_ops: stats.coalesced_reads + stats.coalesced_writes,
         stride_ops: stats.stride_reads + stats.stride_writes,

@@ -33,7 +33,10 @@ use hmm_lint::fixtures::{run_fixture, Fixture};
 use hmm_lint::{analyze_run, KernelContract, Rule, RunAnalysis, SCHEMA_VERSION};
 use hmm_model::cost::{GlobalCost, SatAlgorithm};
 use hmm_model::MachineConfig;
-use sat_bench::{maybe_write_json, parsed_flag, run_fingerprint, run_real, workload};
+use sat_bench::{
+    maybe_write_json, parsed_flag, run_fingerprint, run_persistent, run_persistent_fingerprint,
+    run_real, workload,
+};
 use sat_core::par::sat_1r1w_batch;
 use sat_core::Matrix;
 use serde::{Deserialize, Serialize};
@@ -174,6 +177,59 @@ fn main() -> ExitCode {
                 analysis,
             });
         }
+        println!();
+    }
+    // The persistent-block 1R1W cell: one launch, handoff flags instead of
+    // launch barriers. Always analyzed (it is a first-class execution mode,
+    // not an opt-in extra): held to `KernelContract::for_persistent_1r1w`
+    // — identical data movement plus flag words, zero barrier steps — and,
+    // under `--schedules`, replayed on a multi-worker device so reverse /
+    // adversarial / shuffled resident interleavings actually happen.
+    for (label, cfg) in machine_grid() {
+        println!("== machine {label}, persistent-block 1R1W ==");
+        let dev = Device::new(DeviceOptions::new(cfg).workers(0).record_trace(true));
+        let (counters, _) = run_persistent(&dev, n);
+        let trace = dev.take_trace();
+        let contract = KernelContract::for_persistent_1r1w(n, cfg);
+        let analysis = analyze_run(&trace, &counters, &cfg, &contract);
+        if !analysis.report.is_clean() {
+            dirty += 1;
+        }
+        let (sr, hbr) = race_counts(&analysis);
+        race_findings.0 += sr;
+        race_findings.1 += hbr;
+        print!("{}", analysis.report.render());
+        let mut explored = 1;
+        let mut divergent = 0;
+        if schedules > 0 {
+            let replay = replay_schedules(schedules, seed, |order| {
+                let rdev = Device::new(DeviceOptions::new(cfg).workers(3).order(order));
+                run_persistent_fingerprint(&rdev, n)
+            });
+            explored = replay.schedules();
+            divergent = replay.divergent.len();
+            if divergent > 0 {
+                dirty += 1;
+                println!(
+                    "  replay: {divergent} of {explored} schedules diverge \
+                     bit-exactly from the forward run"
+                );
+            } else {
+                println!("  replay: {explored} schedules bit-exact");
+            }
+        }
+        records.push(SatlintRecord {
+            schema_version: SCHEMA_VERSION,
+            config: label.clone(),
+            width: cfg.width,
+            latency: cfg.latency,
+            n,
+            algorithm: contract.name.clone(),
+            clean: analysis.report.is_clean() && divergent == 0,
+            schedules: explored,
+            divergent,
+            analysis,
+        });
         println!();
     }
     // `--batch B`: additionally lint the fused batched 1R1W launch sequence

@@ -46,7 +46,7 @@ use hmm_model::MachineConfig;
 use hmm_sim::{export_sim_timeline, trace_and_simulate};
 use obs::profile::{attribution_from_trace, CostModel, PhaseReport};
 use obs::{ArgValue, Obs, Registry, Track};
-use sat_bench::{flag_value, parsed_flag, run_real, workload};
+use sat_bench::{flag_value, parsed_flag, run_persistent, run_real, workload};
 use sat_service::{Service, ServiceConfig};
 
 fn algo_by_name(s: &str) -> Option<SatAlgorithm> {
@@ -73,14 +73,22 @@ fn main() -> ExitCode {
     let sim = args.iter().any(|a| a == "--sim");
     let phases = args.iter().any(|a| a == "--phases");
 
-    let algorithms: Vec<SatAlgorithm> = if algo_flag.eq_ignore_ascii_case("all") {
+    // `1r1w-persist` is the persistent-block execution mode of 1R1W — a
+    // named cell, not a `SatAlgorithm` variant. `--algo all` includes it.
+    let all = algo_flag.eq_ignore_ascii_case("all");
+    let persist_only = algo_flag.eq_ignore_ascii_case("1r1w-persist");
+    let with_persistent = all || persist_only;
+    let algorithms: Vec<SatAlgorithm> = if all {
         SatAlgorithm::ALL.to_vec()
+    } else if persist_only {
+        Vec::new()
     } else {
         match algo_by_name(&algo_flag) {
             Some(a) => vec![a],
             None => {
                 eprintln!(
-                    "error: --algo got unknown algorithm {algo_flag:?} (expected one of {} or all)",
+                    "error: --algo got unknown algorithm {algo_flag:?} \
+                     (expected one of {}, 1r1w-persist or all)",
                     SatAlgorithm::ALL.map(|a| a.name()).join(", ")
                 );
                 return ExitCode::from(2);
@@ -122,6 +130,9 @@ fn main() -> ExitCode {
                 continue;
             }
             failed |= !profile_algorithm(&obs, &registry, &gc, cfg, alg, n, check, sim, phases);
+        }
+        if with_persistent {
+            failed |= !profile_persistent(&obs, &registry, &gc, cfg, n, check, phases);
         }
     }
 
@@ -243,7 +254,7 @@ fn profile_algorithm(
     let ok = if let Some(exact) = gc.exact_counts(alg, n) {
         let ok = exact.matches(&stats);
         print_row(
-            alg,
+            alg.name(),
             coal_meas,
             exact.coalesced_ops(),
             stride_meas,
@@ -265,7 +276,7 @@ fn profile_algorithm(
             && within(stride_meas, stride_pred)
             && within(stats.barrier_steps, row.barrier_steps);
         print_row(
-            alg,
+            alg.name(),
             coal_meas,
             coal_pred.round() as u64,
             stride_meas,
@@ -279,9 +290,104 @@ fn profile_algorithm(
     !check || (ok && attr_ok)
 }
 
+/// Profile the **persistent-block** 1R1W driver: the whole wavefront in a
+/// single launch with flagged handoffs instead of launch barriers. Checked
+/// against [`GlobalCost::persistent_1r1w_exact_counts`] — 1R1W's exact data
+/// movement plus one coalesced word per flag operation, and zero barrier
+/// steps — and the run must really have been one launch.
+fn profile_persistent(
+    obs: &Obs,
+    registry: &Registry,
+    gc: &GlobalCost,
+    cfg: MachineConfig,
+    n: usize,
+    check: bool,
+    phases: bool,
+) -> bool {
+    const NAME: &str = "1R1W-persist";
+    let model = CostModel {
+        width: cfg.width as u64,
+        window_overhead: cfg.window_overhead(),
+    };
+    let dev = Device::new(DeviceOptions::new(cfg).workers(0).observer(obs.clone()));
+    let (coal_before, stride_before) = device_counter_totals(registry);
+    let rows_before = attribution_from_trace(obs, model).rows.len();
+    let mut guard = obs.span(Track::wall(0), NAME);
+    guard.arg("n", ArgValue::from(n));
+    let (stats, _) = run_persistent(&dev, n);
+    drop(guard);
+
+    let (coal_after, stride_after) = device_counter_totals(registry);
+    let coal_meas = coal_after - coal_before;
+    let stride_meas = stride_after - stride_before;
+    assert_eq!(
+        coal_meas,
+        stats.coalesced_reads + stats.coalesced_writes,
+        "registry and device stats diverged (coalesced)"
+    );
+    assert_eq!(
+        stride_meas,
+        stats.stride_reads + stats.stride_writes,
+        "registry and device stats diverged (stride)"
+    );
+
+    // The persistent launch span is still named "launch" (with a
+    // `mode: persistent` arg), so attribution reconstruction covers it.
+    let attribution = PhaseReport {
+        model,
+        rows: attribution_from_trace(obs, model).rows[rows_before..].to_vec(),
+    };
+    attribution.export_counter_tracks(obs);
+    if phases {
+        println!(
+            "\nper-launch attribution — {NAME}:\n{}",
+            attribution.to_table()
+        );
+    }
+    let at = attribution.total();
+    let attr_ok = at.coalesced_ops == coal_meas
+        && at.stride_ops == stride_meas
+        && at.barrier_steps == stats.barrier_steps;
+    if !attr_ok {
+        eprintln!(
+            "{NAME}: attribution totals diverge from device counters \
+             (C {} vs {}, S {} vs {}, B {} vs {})",
+            at.coalesced_ops,
+            coal_meas,
+            at.stride_ops,
+            stride_meas,
+            at.barrier_steps,
+            stats.barrier_steps
+        );
+    }
+
+    let exact = gc
+        .persistent_1r1w_exact_counts(n)
+        .expect("satprof already rejected non-block-aligned sizes");
+    let single_launch = dev.launches() == 1;
+    let ok = exact.matches(&stats) && single_launch;
+    print_row(
+        NAME,
+        coal_meas,
+        exact.coalesced_ops(),
+        stride_meas,
+        exact.stride_ops(),
+        stats.barrier_steps,
+        exact.barrier_steps,
+        if ok {
+            "exact"
+        } else if single_launch {
+            "MISMATCH"
+        } else {
+            "MISMATCH (not one launch)"
+        },
+    );
+    !check || (ok && attr_ok)
+}
+
 #[allow(clippy::too_many_arguments)]
 fn print_row(
-    alg: SatAlgorithm,
+    name: &str,
     coal_meas: u64,
     coal_pred: u64,
     stride_meas: u64,
@@ -292,14 +398,7 @@ fn print_row(
 ) {
     println!(
         "{:<11} | {:>13} {:>13} | {:>11} {:>11} | {:>9} {:>9} | {}",
-        alg.name(),
-        coal_meas,
-        coal_pred,
-        stride_meas,
-        stride_pred,
-        barr_meas,
-        barr_pred,
-        verdict
+        name, coal_meas, coal_pred, stride_meas, stride_pred, barr_meas, barr_pred, verdict
     );
 }
 

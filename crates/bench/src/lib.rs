@@ -154,6 +154,30 @@ pub fn run_fingerprint(dev: &Device, alg: SatAlgorithm, r: f64, n: usize) -> u64
     gpu_exec::replay::fingerprint_f64(&out)
 }
 
+/// Run the **persistent-block** 1R1W driver for real, returning its
+/// counters and host wall-clock. Same data movement as
+/// [`SatAlgorithm::OneR1W`] via [`run_real`], but the whole wavefront runs
+/// in a single launch with flagged handoffs instead of launch barriers.
+pub fn run_persistent(dev: &Device, n: usize) -> (CostCounters, f64) {
+    let a = workload(n);
+    dev.reset_stats();
+    let start = Instant::now();
+    let buf = GlobalBuffer::from_vec(a.into_vec());
+    let s = GlobalBuffer::filled(0.0f64, n * n);
+    par::sat_1r1w_persistent(dev, &buf, &s, n, n);
+    (dev.stats(), start.elapsed().as_secs_f64())
+}
+
+/// Bit-exact output fingerprint of the persistent-block 1R1W driver, for
+/// adversarial schedule replay (`satlint --schedules`).
+pub fn run_persistent_fingerprint(dev: &Device, n: usize) -> u64 {
+    let a = workload(n);
+    let buf = GlobalBuffer::from_vec(a.into_vec());
+    let s = GlobalBuffer::filled(0.0f64, n * n);
+    par::sat_1r1w_persistent(dev, &buf, &s, n, n);
+    gpu_exec::replay::fingerprint_f64(&s.into_vec())
+}
+
 /// Produce the record for `(alg, n)`: measured when `n ≤ measured_max`
 /// (4R1W is additionally capped — its `2n − 1` launches are prohibitive),
 /// closed-form otherwise.

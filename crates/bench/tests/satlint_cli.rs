@@ -17,9 +17,9 @@ fn paper_suite_is_clean_on_the_machine_grid() {
         .expect("satlint runs");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(out.status.success(), "satlint found violations:\n{stdout}");
-    assert!(stdout.contains("all 18 runs clean"), "{stdout}");
+    assert!(stdout.contains("all 21 runs clean"), "{stdout}");
     // Every algorithm appears per machine section.
-    for name in ["2R2W", "4R4W", "4R1W", "2R1W", "1R1W"] {
+    for name in ["2R2W", "4R4W", "4R1W", "2R1W", "1R1W", "1R1W-persist"] {
         assert!(stdout.contains(&format!("{name}: clean")), "{stdout}");
     }
 }
@@ -35,7 +35,11 @@ fn json_flag_writes_one_record_per_cell() {
     let text = std::fs::read_to_string(&path).expect("json written");
     std::fs::remove_file(&path).ok();
     let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
-    assert_eq!(lines.len(), 18, "3 machines × 6 algorithms");
+    assert_eq!(
+        lines.len(),
+        21,
+        "3 machines × (6 algorithms + the persistent 1R1W cell)"
+    );
     for line in lines {
         assert!(line.contains("\"algorithm\""), "{line}");
         assert!(line.contains("\"clean\":true"), "{line}");

@@ -145,11 +145,14 @@ pub fn compute_sat_batch<T: SatElement>(dev: &Device, images: &[Matrix<T>]) -> V
 /// [`BufferPool`] instead of allocating per call — the steady-state path of
 /// a serving layer.
 ///
-/// Buffers are recycled as **clean** only when the device's
-/// [fault epoch](Device::fault_epoch) did not move across the batch; if any
-/// launch failed (fault injection), the buffers re-enter the pool dirty and
-/// are scrubbed before reuse, so a retry can never observe the failed
-/// attempt's partial writes.
+/// Fault hygiene is per *buffer*, not per batch: every write made under a
+/// failed launch sets the buffer's poison flag, and [`BufferPool::recycle`]
+/// scrubs poisoned buffers before they re-enter the free list. A buffer
+/// that merely lived through a fault-epoch bump without being written by
+/// the failing launch — the input images here, or any buffer held across a
+/// lost launch that never ran a block — recycles clean, so a retry can
+/// never observe partial writes yet untouched buffers aren't re-zeroed for
+/// nothing.
 ///
 /// # Panics
 /// Panics if the matrices do not all share one shape.
@@ -170,7 +173,6 @@ pub fn compute_sat_batch_with<T: SatElement>(
         return images.to_vec();
     }
     let (prows, pcols) = padded_dims(dev, first);
-    let epoch_before = dev.fault_epoch();
     let ins: Vec<GlobalBuffer<T>> = images
         .iter()
         .map(|a| {
@@ -193,14 +195,15 @@ pub fn compute_sat_batch_with<T: SatElement>(
         prows,
         pcols,
     );
-    let clean = dev.fault_epoch() == epoch_before;
     let mut outs = outs;
     let results: Vec<Matrix<T>> = outs
         .iter_mut()
         .map(|s| Matrix::from_vec(prows, pcols, s.as_slice().to_vec()).cropped(rows, cols))
         .collect();
     for buf in ins.into_iter().chain(outs) {
-        pool.recycle(buf, clean);
+        // `clean` from the caller's view — the per-buffer poison flag
+        // forces a scrub for exactly the buffers a failed launch wrote.
+        pool.recycle(buf, true);
     }
     results
 }
@@ -392,9 +395,11 @@ mod tests {
     }
 
     #[test]
-    fn pooled_batch_scrubs_after_faulted_run() {
-        // A fault plan that loses every launch: results are garbage, and
-        // every buffer the attempt touched must re-enter the pool dirty.
+    fn pooled_batch_stays_clean_across_lost_launches() {
+        // A fault plan that loses every launch: no block ever runs, so no
+        // buffer is written by a failed launch — nothing is poisoned and
+        // nothing needs scrubbing, even though the fault epoch moved. (The
+        // old per-batch epoch compare would have scrubbed both buffers.)
         let faulty = Device::new(
             DeviceOptions::new(MachineConfig::with_width(4))
                 .workers(0)
@@ -410,7 +415,32 @@ mod tests {
         let _ = compute_sat_batch_with(&faulty, &pool, &imgs);
         assert!(faulty.fault_epoch() > 0, "launches were lost");
         let (_, _, scrubbed) = pool.stats();
-        assert_eq!(scrubbed, 2, "input and output buffers scrubbed");
+        assert_eq!(scrubbed, 0, "lost launches wrote nothing — no scrub");
+    }
+
+    #[test]
+    fn pooled_batch_scrubs_only_buffers_a_failed_launch_wrote() {
+        // Aborted launches skip about half their blocks; the surviving
+        // blocks still write the *output* buffer, poisoning it. The input
+        // buffers are only read, so they recycle clean.
+        let faulty = Device::new(
+            DeviceOptions::new(MachineConfig::with_width(4))
+                .workers(0)
+                .fault_plan(gpu_exec::FaultPlan::new(3).launch_abort_p(1.0)),
+        );
+        let pool: BufferPool<f64> = BufferPool::new();
+        let imgs = vec![Matrix::from_fn(8, 8, |i, j| (i + j) as f64)];
+        let _ = compute_sat_batch_with(&faulty, &pool, &imgs);
+        assert!(faulty.fault_epoch() > 0, "launches were aborted");
+        let (_, _, scrubbed) = pool.stats();
+        assert_eq!(
+            scrubbed, 1,
+            "exactly the poisoned output buffer is scrubbed"
+        );
+        // The next checkout must never observe the aborted attempt's
+        // partial writes.
+        let mut back = pool.checkout_uninit(8 * 8);
+        assert!(back.as_slice().iter().all(|&x| x == 0.0));
     }
 
     #[test]

@@ -17,7 +17,9 @@ pub use four_r1w::sat_4r1w;
 pub use four_r4w::sat_4r4w;
 pub use hybrid::{sat_hybrid, triangle_diagonals};
 pub use kogge_stone::sat_kogge_stone;
-pub use one_r1w::{one_r1w_stage, sat_1r1w, sat_1r1w_mirror};
+pub use one_r1w::{
+    one_r1w_persistent, one_r1w_stage, sat_1r1w, sat_1r1w_mirror, sat_1r1w_persistent,
+};
 pub use region::{sat_2r1w_region, Region};
 pub use two_r1w::sat_2r1w;
 pub use two_r2w::{column_prefix_kernel, row_prefix_kernel, sat_2r2w};

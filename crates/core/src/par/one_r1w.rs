@@ -28,7 +28,7 @@
 //! stages, whose latency dominates for small matrices — hence the hybrid
 //! `(1+r²)R1W`.
 
-use gpu_exec::{Device, GlobalBuffer, SharedTile};
+use gpu_exec::{BlockCtx, Device, GlobalBuffer, HandoffFlags, SharedTile};
 
 use crate::element::SatElement;
 use crate::par::common::{default_tile, load_block, tile_sat, Grid};
@@ -101,6 +101,176 @@ pub fn one_r1w_stage<T: SatElement>(
             gs.write_contig(grid.addr(r0 + i, c0), &row, &mut ctx.rec);
         }
     });
+}
+
+/// Polls per [`HandoffFlags::acquire`] call before the resident re-checks
+/// whether its launch failed and yields the core.
+const SPIN_POLLS: usize = 1 << 12;
+/// Yield rounds before a resident declares the handoff starved. A healthy
+/// persistent schedule publishes within a few rounds; exhausting this means
+/// a producer died without the launch being marked failed.
+const STARVE_ROUNDS: usize = 1 << 20;
+/// Per-stage retry bound of the launch-per-stage fallback.
+const STAGE_RETRY_LIMIT: usize = 1000;
+
+/// **1R1W, persistent-block**: the whole wavefront in **one** launch.
+///
+/// The launch-per-stage driver [`sat_1r1w`] pays a barrier (`Λ` in the cost
+/// model) per block anti-diagonal — `2·(n/w) − 1` launches. This driver
+/// launches a grid of `R = min(mr, resident_capacity)` *resident* blocks
+/// once; resident `r` computes block-rows `r, r + R, r + 2R, …`, tiles left
+/// to right, and the inter-stage ordering the barrier used to provide is
+/// carried by [`HandoffFlags`] release/acquire instead:
+///
+/// * finishing tile `(bi, bj)` publishes its bottom SAT row (`w` coalesced
+///   words) under slot `bi·mc + bj` when a block-row below exists;
+/// * before computing tile `(bi, bj)` with `bi > 0`, the resident acquires
+///   slot `(bi−1)·mc + bj` — the top fringe *and* (through the acquire made
+///   one tile earlier) the corner are then safely readable;
+/// * the left fringe needs no flag at all: tile `(bi, bj−1)` was computed
+///   by the same resident moments ago, so program order suffices.
+///
+/// Data movement is bit-identical to [`sat_1r1w`]; the launch-boundary cost
+/// `Λ·(B+1)` collapses to a single `Λ` plus `2·(m−1)·m` one-word flag
+/// operations (`m = n/w`), which the device reports as
+/// `handoff_publishes` / `handoff_acquires`.
+///
+/// If fault injection fails the persistent launch (abort or device loss),
+/// residents notice via [`BlockCtx::launch_failed`], stop waiting on
+/// handoffs that will never come, and the driver falls back to the
+/// launch-per-stage path with a bounded per-stage retry — still bit-exact,
+/// at the cost of the barriers the persistent mode exists to avoid.
+pub fn sat_1r1w_persistent<T: SatElement>(
+    dev: &Device,
+    a: &GlobalBuffer<T>,
+    s: &GlobalBuffer<T>,
+    rows: usize,
+    cols: usize,
+) {
+    let grid = Grid::new(rows, cols, dev.width());
+    assert!(
+        a.len() >= rows * cols && s.len() >= rows * cols,
+        "buffers too small"
+    );
+    let residents = grid.mr.min(dev.resident_capacity());
+    let flags = HandoffFlags::new(grid.blocks());
+    let epoch_before = dev.fault_epoch();
+    dev.launch_persistent(residents, |ctx| {
+        one_r1w_persistent(ctx, a, s, &flags, grid, residents);
+    });
+    if dev.fault_epoch() == epoch_before {
+        return;
+    }
+    // The persistent launch was aborted or lost: recompute stage by stage.
+    // Every stage rewrites its blocks completely, so no scrub is needed,
+    // and a stage whose launch fails is simply run again.
+    for d in 0..grid.diagonals() {
+        let mut tries = 0;
+        loop {
+            let e0 = dev.fault_epoch();
+            one_r1w_stage(dev, a, s, grid, d);
+            if dev.fault_epoch() == e0 {
+                break;
+            }
+            tries += 1;
+            assert!(
+                tries < STAGE_RETRY_LIMIT,
+                "stage {d} kept failing after {STAGE_RETRY_LIMIT} retries"
+            );
+        }
+    }
+}
+
+/// The persistent-block 1R1W kernel body: resident `ctx.block_id()` of `R =
+/// residents` computes block-rows `block_id, block_id + R, …` of the
+/// wavefront, synchronising with the row above through `flags` (one slot
+/// per block, `bi·mc + bj`). See [`sat_1r1w_persistent`] for the protocol;
+/// exposed so harnesses can drive the kernel under custom launches.
+pub fn one_r1w_persistent<T: SatElement>(
+    ctx: &mut BlockCtx<'_>,
+    a: &GlobalBuffer<T>,
+    s: &GlobalBuffer<T>,
+    flags: &HandoffFlags,
+    grid: Grid,
+    residents: usize,
+) {
+    let w = grid.w;
+    let ga = ctx.view(a);
+    let gs = ctx.view(s);
+    // One tile per resident, reused for every block it owns (`load_block`
+    // overwrites all w² words) — persistent blocks must live within the
+    // same shared-memory budget as a single launch-per-stage block.
+    let mut tile: SharedTile<T> = default_tile(ctx);
+    let mut top = vec![T::ZERO; w];
+    let mut left = vec![T::ZERO; w];
+    let mut row = vec![T::ZERO; w];
+    let mut bi = ctx.block_id();
+    while bi < grid.mr {
+        for bj in 0..grid.mc {
+            let (r0, c0) = grid.origin(bi, bj);
+            if bi > 0 {
+                // The handoff that replaces the launch barrier: wait for
+                // the block above, then read its bottom row — coalesced.
+                if !acquire_ready(flags, (bi - 1) * grid.mc + bj, ctx) {
+                    return; // launch failed; the producer will never publish
+                }
+                gs.read_contig(grid.addr(r0 - 1, c0), &mut top, &mut ctx.rec);
+            } else {
+                top.fill(T::ZERO);
+            }
+            load_block(ctx, &ga, grid, bi, bj, &mut tile);
+            tile_sat(ctx, &mut tile);
+            if bj > 0 {
+                // Same-resident program order: tile (bi, bj−1) is already
+                // final. Stride w reads, as in the launch-per-stage kernel.
+                gs.read_strided(grid.addr(r0, c0 - 1), grid.cols, &mut left, &mut ctx.rec);
+            } else {
+                left.fill(T::ZERO);
+            }
+            // The corner lies in the bottom row of block (bi−1, bj−1),
+            // whose slot this resident acquired one tile ago.
+            let corner = if bi > 0 && bj > 0 {
+                gs.read(grid.addr(r0 - 1, c0 - 1), &mut ctx.rec)
+            } else {
+                T::ZERO
+            };
+            for (i, l) in left.iter().enumerate() {
+                tile.read_row(i, &mut row, &mut ctx.rec);
+                let li = l.sub(corner);
+                for j in 0..w {
+                    row[j] = row[j].add(top[j]).add(li);
+                }
+                gs.write_contig(grid.addr(r0 + i, c0), &row, &mut ctx.rec);
+            }
+            if bi + 1 < grid.mr {
+                // Release the finished bottom row to the block-row below.
+                flags.publish(
+                    bi * grid.mc + bj,
+                    &gs,
+                    grid.addr(r0 + w - 1, c0),
+                    w,
+                    &mut ctx.rec,
+                );
+            }
+        }
+        bi += residents;
+    }
+}
+
+/// Acquire `slot` or report that it never will be published: spins in
+/// bounded bursts, re-checking [`BlockCtx::launch_failed`] and yielding
+/// between bursts so a skipped producer cannot wedge the pool.
+fn acquire_ready(flags: &HandoffFlags, slot: usize, ctx: &mut BlockCtx<'_>) -> bool {
+    for _ in 0..STARVE_ROUNDS {
+        if flags.acquire(slot, SPIN_POLLS, ctx.rec()) {
+            return true;
+        }
+        if ctx.launch_failed() {
+            return false;
+        }
+        std::thread::yield_now();
+    }
+    panic!("persistent handoff starved: slot {slot} was never published");
 }
 
 /// **1R1W with a column mirror** — removes the last stride access.
@@ -315,6 +485,105 @@ mod tests {
             sat_1r1w(&dev, &ab, &sb, n, n);
             assert_eq!(sb.into_vec(), want.as_slice(), "seed={seed}");
         }
+    }
+
+    #[test]
+    fn persistent_matches_reference_various_shapes_and_workers() {
+        for (w, rows, cols) in [
+            (4, 4, 4),
+            (4, 16, 16),
+            (4, 8, 32),
+            (4, 32, 8),
+            (3, 27, 9),
+            (5, 35, 35),
+        ] {
+            let a = Matrix::from_fn(rows, cols, |i, j| ((i * 31 + j * 17) % 23) as i64 - 11);
+            let want = sat_reference(&a);
+            for workers in [0usize, 1, 3] {
+                let dev =
+                    Device::new(DeviceOptions::new(MachineConfig::with_width(w)).workers(workers));
+                let ab = GlobalBuffer::from_vec(a.as_slice().to_vec());
+                let sb = GlobalBuffer::filled(0i64, rows * cols);
+                sat_1r1w_persistent(&dev, &ab, &sb, rows, cols);
+                assert_eq!(
+                    sb.into_vec(),
+                    want.as_slice(),
+                    "w={w} {rows}x{cols} workers={workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn persistent_is_one_launch_with_handoffs_instead_of_barriers() {
+        // Same data movement as launch-per-stage 1R1W, plus one coalesced
+        // word per flag operation — and zero barrier steps.
+        let (w, n) = (8usize, 64usize);
+        let m = n / w;
+        let a = GlobalBuffer::filled(1i64, n * n);
+
+        let staged = dev(w);
+        let s1 = GlobalBuffer::filled(0i64, n * n);
+        staged.reset_stats();
+        sat_1r1w(&staged, &a, &s1, n, n);
+        let st_staged = staged.stats();
+
+        let pers = Device::new(DeviceOptions::new(MachineConfig::with_width(w)).workers(0));
+        let s2 = GlobalBuffer::filled(0i64, n * n);
+        pers.reset_stats();
+        sat_1r1w_persistent(&pers, &a, &s2, n, n);
+        let st = pers.stats();
+
+        assert_eq!(pers.launches(), 1, "the whole wavefront in one launch");
+        assert_eq!(st.barrier_steps, 0);
+        assert_eq!(st_staged.barrier_steps, (2 * m - 2) as u64);
+        let fl = ((m - 1) * m) as u64; // blocks with a row below = blocks with a row above
+        assert_eq!(st.handoff_publishes, fl);
+        // workers(0) ⇒ one resident ⇒ every acquire succeeds on its first
+        // poll, so acquires are deterministic too.
+        assert_eq!(st.handoff_acquires, fl);
+        assert_eq!(st_staged.handoff_publishes, 0);
+        // Flag words ride the normal coalesced counters: one write per
+        // publish, one read per (first-poll-success) acquire.
+        assert_eq!(st.coalesced_writes, st_staged.coalesced_writes + fl);
+        assert_eq!(st.coalesced_reads, st_staged.coalesced_reads + fl);
+        assert_eq!(st.stride_reads, st_staged.stride_reads);
+        assert_eq!(s2.into_vec(), s1.into_vec());
+    }
+
+    #[test]
+    fn persistent_hazard_free_under_race_detector_and_adversarial_order() {
+        // Race-checked buffers + adversarial claim order + staggered
+        // residents: the handoff protocol alone must order every
+        // cross-resident access.
+        let (w, n) = (4usize, 32usize);
+        let a = Matrix::from_fn(n, n, |i, j| ((i * 3 + j * 7) % 13) as i64);
+        for seed in [2u64, 11, 42] {
+            let dev = Device::new(
+                DeviceOptions::new(MachineConfig::with_width(w))
+                    .workers(3)
+                    .order(BlockOrder::Adversarial(seed)),
+            );
+            let ab = GlobalBuffer::from_vec_checked(a.as_slice().to_vec());
+            let sb = GlobalBuffer::from_vec_checked(vec![0i64; n * n]);
+            sat_1r1w_persistent(&dev, &ab, &sb, n, n);
+            assert_eq!(sb.into_vec(), sat_reference(&a).into_vec(), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn persistent_grid_respects_resident_capacity() {
+        // mr = 8 block-rows but only workers+1 = 3 residents may be
+        // launched; the kernel multiplexes rows onto them.
+        let (w, n) = (4usize, 32usize);
+        let dev = Device::new(DeviceOptions::new(MachineConfig::with_width(w)).workers(2));
+        assert_eq!(dev.resident_capacity(), 3);
+        let a = Matrix::from_fn(n, n, |i, j| (i * 5 + j) as i64 % 9);
+        let ab = GlobalBuffer::from_vec(a.as_slice().to_vec());
+        let sb = GlobalBuffer::filled(0i64, n * n);
+        sat_1r1w_persistent(&dev, &ab, &sb, n, n);
+        assert_eq!(dev.launches(), 1);
+        assert_eq!(sb.into_vec(), sat_reference(&a).into_vec());
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! never needs clearing and cross-launch reuse is free.
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use hmm_model::AccessKind;
 
@@ -35,6 +35,12 @@ pub struct GlobalBuffer<T> {
     cells: Box<[UnsafeCell<T>]>,
     race: Option<RaceTable>,
     id: u64,
+    /// Set when a *failed* launch (aborted or lost) wrote any word: the
+    /// contents may be partial. [`BufferPool`](crate::BufferPool) consults
+    /// this instead of comparing fault epochs, so a buffer that merely
+    /// lived *across* an epoch bump — e.g. through a persistent launch's
+    /// retry loop — is not condemned along with the genuinely dirty ones.
+    poisoned: AtomicBool,
 }
 
 /// Process-wide buffer identity source: addresses in the recorded
@@ -61,6 +67,7 @@ impl<T: Copy> GlobalBuffer<T> {
             cells: data.into_iter().map(UnsafeCell::new).collect(),
             race: None,
             id: next_buffer_id(),
+            poisoned: AtomicBool::new(false),
         }
     }
 
@@ -116,12 +123,26 @@ impl<T: Copy> GlobalBuffer<T> {
             .collect()
     }
 
-    pub(crate) fn make_view(&self, epoch: u64, block: u64) -> GlobalView<'_, T> {
+    /// Whether a failed (aborted or lost) launch wrote into this buffer,
+    /// leaving possibly partial contents. Sticky until
+    /// [`clear_poison`](Self::clear_poison).
+    pub fn poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Reset the poison mark (owner-side, e.g. after scrubbing).
+    pub fn clear_poison(&mut self) {
+        self.poisoned.store(false, Ordering::Release);
+    }
+
+    pub(crate) fn make_view(&self, epoch: u64, block: u64, failed: bool) -> GlobalView<'_, T> {
         GlobalView {
             cells: &self.cells,
             race: self.race.as_ref(),
+            poison: &self.poisoned,
             epoch,
             block,
+            failed,
             buf: self.id,
         }
     }
@@ -135,8 +156,13 @@ impl<T: Copy> GlobalBuffer<T> {
 pub struct GlobalView<'a, T> {
     cells: &'a [UnsafeCell<T>],
     race: Option<&'a RaceTable>,
+    poison: &'a AtomicBool,
     epoch: u64,
     block: u64,
+    /// The owning launch failed (aborted or lost): every store through this
+    /// view marks the buffer poisoned, because sibling blocks were skipped
+    /// and the launch's writes are partial.
+    failed: bool,
     buf: u64,
 }
 
@@ -172,8 +198,22 @@ impl<'a, T: Copy> GlobalView<'a, T> {
         if let Some(r) = self.race {
             r.check_write(i, self.epoch, self.block);
         }
+        if self.failed {
+            self.poison.store(true, Ordering::Release);
+        }
         // SAFETY: launch contract — this block exclusively writes word `i`.
         unsafe { *self.cells[i].get() = v }
+    }
+
+    /// Release per-word race ownership of `[base, base + len)` for the rest
+    /// of this launch epoch: called by a handoff publish, whose release
+    /// store orders the publisher's preceding writes before any acquiring
+    /// reader, making the cross-block access legal. No-op without a race
+    /// table.
+    pub(crate) fn release_race_region(&self, base: usize, len: usize) {
+        if let Some(r) = self.race {
+            r.release_region(base, len, self.epoch);
+        }
     }
 
     /// Single-lane read of word `addr`.
@@ -298,6 +338,16 @@ impl RaceTable {
         }
     }
 
+    /// Mark `[base, base + len)` as owned by *no* block in `epoch`: the
+    /// words were published through a handoff flag, so later same-epoch
+    /// reads (and takeover writes) by other blocks are ordered and legal.
+    #[inline]
+    fn release_region(&self, base: usize, len: usize, epoch: u64) {
+        for e in &self.entries[base..base + len] {
+            e.store(epoch << BLOCK_BITS, Ordering::Relaxed);
+        }
+    }
+
     #[inline]
     fn check_read(&self, i: usize, epoch: u64, block: u64) {
         let prev = self.entries[i].load(Ordering::Relaxed);
@@ -330,7 +380,7 @@ mod tests {
     #[test]
     fn view_reads_and_writes() {
         let b = GlobalBuffer::filled(0i64, 16);
-        let v = b.make_view(1, 0);
+        let v = b.make_view(1, 0, false);
         let mut rec = TxnRecorder::new(4, true);
         v.write_contig(4, &[1, 2, 3, 4], &mut rec);
         let mut out = [0i64; 4];
@@ -343,7 +393,7 @@ mod tests {
     #[test]
     fn strided_and_gather() {
         let b = GlobalBuffer::from_vec((0..32i32).collect());
-        let v = b.make_view(1, 0);
+        let v = b.make_view(1, 0, false);
         let mut rec = TxnRecorder::new(4, true);
         let mut out = [0i32; 4];
         v.read_strided(1, 8, &mut out, &mut rec);
@@ -357,7 +407,7 @@ mod tests {
     #[test]
     fn race_detector_allows_same_block_rw() {
         let b = GlobalBuffer::from_vec_checked(vec![0u64; 8]);
-        let v = b.make_view(7, 3);
+        let v = b.make_view(7, 3, false);
         let mut rec = TxnRecorder::new(4, false);
         v.write(2, 5, &mut rec);
         assert_eq!(v.read(2, &mut rec), 5);
@@ -368,8 +418,8 @@ mod tests {
     fn race_detector_catches_write_write() {
         let b = GlobalBuffer::from_vec_checked(vec![0u64; 8]);
         let mut rec = TxnRecorder::new(4, false);
-        b.make_view(7, 0).write(2, 5, &mut rec);
-        b.make_view(7, 1).write(2, 6, &mut rec);
+        b.make_view(7, 0, false).write(2, 5, &mut rec);
+        b.make_view(7, 1, false).write(2, 6, &mut rec);
     }
 
     #[test]
@@ -377,17 +427,17 @@ mod tests {
     fn race_detector_catches_cross_block_read() {
         let b = GlobalBuffer::from_vec_checked(vec![0u64; 8]);
         let mut rec = TxnRecorder::new(4, false);
-        b.make_view(7, 0).write(2, 5, &mut rec);
-        b.make_view(7, 1).read(2, &mut rec);
+        b.make_view(7, 0, false).write(2, 5, &mut rec);
+        b.make_view(7, 1, false).read(2, &mut rec);
     }
 
     #[test]
     fn race_detector_resets_across_epochs() {
         let b = GlobalBuffer::from_vec_checked(vec![0u64; 8]);
         let mut rec = TxnRecorder::new(4, false);
-        b.make_view(7, 0).write(2, 5, &mut rec);
+        b.make_view(7, 0, false).write(2, 5, &mut rec);
         // New epoch = after a barrier: another block may now read and write.
-        assert_eq!(b.make_view(8, 1).read(2, &mut rec), 5);
-        b.make_view(8, 1).write(2, 6, &mut rec);
+        assert_eq!(b.make_view(8, 1, false).read(2, &mut rec), 5);
+        b.make_view(8, 1, false).write(2, 6, &mut rec);
     }
 }

@@ -167,6 +167,8 @@ struct DeviceCounters {
     global_stages: Counter,
     launches: Counter,
     barrier_steps: Counter,
+    handoff_publishes: Counter,
+    handoff_acquires: Counter,
     launch_duration: Histogram,
 }
 
@@ -276,6 +278,8 @@ impl Device {
             global_stages: reg.counter("gpu_global_stages"),
             launches: reg.counter("gpu_launches"),
             barrier_steps: reg.counter("gpu_barrier_steps"),
+            handoff_publishes: reg.counter("gpu_handoff_publishes"),
+            handoff_acquires: reg.counter("gpu_handoff_acquires"),
             launch_duration: reg.histogram("gpu_launch_duration_seconds"),
         });
         let fault = opts
@@ -343,6 +347,51 @@ impl Device {
     where
         F: Fn(&mut BlockCtx<'_>) + Sync,
     {
+        self.launch_impl(grid, kernel, false);
+    }
+
+    /// Number of blocks that can stay *resident* simultaneously: the extra
+    /// workers plus the launching thread. A persistent-block kernel whose
+    /// grid exceeds this would deadlock (a claimed block runs to completion
+    /// on its thread, so an unclaimed producer could never start), which is
+    /// exactly the occupancy constraint of persistent grids on real GPUs.
+    pub fn resident_capacity(&self) -> usize {
+        self.pool.extra_workers() + 1
+    }
+
+    /// Launch `grid` blocks of `kernel` in **persistent** mode: the grid is
+    /// launched once, blocks stay resident for the kernel's whole lifetime,
+    /// and inter-block ordering is carried by
+    /// [`HandoffFlags`](crate::HandoffFlags) release/acquire slots instead
+    /// of launch-boundary barriers. One launch ⇒ the run contributes zero
+    /// barrier steps to [`stats`](Self::stats); the synchronisation cost
+    /// shows up as `handoff_publishes` / `handoff_acquires` instead.
+    ///
+    /// Panics when `grid` exceeds [`resident_capacity`](Self::resident_capacity):
+    /// on this virtual device a claimed block occupies its thread until it
+    /// returns, so a grid beyond the resident capacity could spin forever
+    /// on a handoff whose producer block was never scheduled.
+    ///
+    /// Inside the kernel, [`BlockCtx::launch_failed`] reports whether the
+    /// launch was aborted or lost by fault injection — resident blocks must
+    /// use it to stop waiting on handoffs that will never be published.
+    pub fn launch_persistent<F>(&self, grid: usize, kernel: F)
+    where
+        F: Fn(&mut BlockCtx<'_>) + Sync,
+    {
+        assert!(
+            grid <= self.resident_capacity(),
+            "persistent grid of {grid} blocks exceeds the resident capacity of {} \
+             (extra workers + the launching thread); a non-resident producer would deadlock",
+            self.resident_capacity()
+        );
+        self.launch_impl(grid, kernel, true);
+    }
+
+    fn launch_impl<F>(&self, grid: usize, kernel: F, persistent: bool)
+    where
+        F: Fn(&mut BlockCtx<'_>) + Sync,
+    {
         let _stream = self.launch_gate.lock();
         let launch_no = self.launches.fetch_add(1, Ordering::Relaxed);
         // The never-reset launch index keys fault decisions (and the
@@ -402,11 +451,19 @@ impl Device {
             let mut span = self.obs.span(Track::wall(0), "launch");
             span.arg("launch", ArgValue::from(launch_no));
             span.arg("grid", ArgValue::from(grid));
+            if persistent {
+                span.arg("mode", ArgValue::from("persistent"));
+            }
             stats_before = Some(*self.stats.lock());
             launch_span = Some(span);
         }
         let span_id = launch_span.as_ref().and_then(|s| s.id());
         let observe_blocks = self.observe_blocks && self.obs.is_enabled();
+        // A block must be able to tell that its launch failed: a persistent
+        // kernel spinning on a handoff whose producer was skipped would
+        // otherwise never return. Also gates buffer poisoning — only writes
+        // made under a failed launch taint a buffer.
+        let launch_failed = decision.as_ref().is_some_and(|d| d.lost || d.aborted);
         let wrapper = |idx: usize| {
             let block_id = match &perm {
                 None => idx,
@@ -434,6 +491,7 @@ impl Device {
                 dev: self,
                 block_id,
                 epoch,
+                failed: launch_failed,
                 shared_used: 0,
                 tiles_allocated: 0,
                 rec: TxnRecorder::with_options(
@@ -534,6 +592,10 @@ impl Device {
             c.coalesced_ops.add(coalesced);
             c.stride_ops.add(stride);
             c.global_stages.add(stages);
+            c.handoff_publishes
+                .add(after.handoff_publishes - before.handoff_publishes);
+            c.handoff_acquires
+                .add(after.handoff_acquires - before.handoff_acquires);
             c.launches.inc();
             if fault_no > 0 {
                 c.barrier_steps.inc();
@@ -618,6 +680,7 @@ pub struct BlockCtx<'a> {
     dev: &'a Device,
     block_id: usize,
     epoch: u64,
+    failed: bool,
     shared_used: usize,
     tiles_allocated: u32,
     /// The block's transaction recorder. Pass `ctx.rec()` (or borrow this
@@ -647,9 +710,17 @@ impl<'a> BlockCtx<'a> {
         &mut self.rec
     }
 
+    /// Whether this block is running under a launch the fault injector
+    /// failed (aborted or lost). Persistent kernels consult this to stop
+    /// polling handoff flags whose producer block will never publish; the
+    /// virtual analogue of a grid noticing `cudaGetLastError` went bad.
+    pub fn launch_failed(&self) -> bool {
+        self.failed
+    }
+
     /// Obtain this block's view of a global buffer.
     pub fn view<'b, T: Copy>(&self, buf: &'b GlobalBuffer<T>) -> GlobalView<'b, T> {
-        buf.make_view(self.epoch, self.block_id as u64)
+        buf.make_view(self.epoch, self.block_id as u64, self.failed)
     }
 
     /// Allocate a zeroed `w × w` shared-memory tile with the given bank

@@ -92,6 +92,11 @@ impl HandoffFlags {
             base + len,
             data.len()
         );
+        // Hand the region's per-word race ownership over *before* raising
+        // the flag: acquiring readers are ordered after the release store,
+        // so their same-epoch reads of the region are legal by construction
+        // and the dynamic race table must not condemn them.
+        data.release_race_region(base, len);
         self.cells[slot].store(1, Ordering::Release);
         rec.record_flag_write(self.id, slot, data.buffer_id(), base, len);
     }
@@ -104,10 +109,12 @@ impl HandoffFlags {
         ready
     }
 
-    /// Acquire-poll `slot` up to `max_polls` times (spinning between
-    /// attempts), returning whether it became published. Records a single
-    /// flag read with the final outcome so bounded spinning does not flood
-    /// the trace.
+    /// Acquire-poll `slot` with up to `max_polls` *retries* (spinning
+    /// between attempts), returning whether it became published:
+    /// `max_polls == 0` means one check and no retry, so an
+    /// already-published slot is always observed. Records a single flag
+    /// read with the final outcome so bounded spinning does not flood the
+    /// trace.
     ///
     /// Note the schedule hazard this API cannot hide: on a sequential
     /// device a same-launch producer may simply not have run yet, so spin
@@ -116,12 +123,14 @@ impl HandoffFlags {
     /// `satlint --races`.
     pub fn acquire(&self, slot: usize, max_polls: usize, rec: &mut TxnRecorder) -> bool {
         let mut ready = false;
-        for _ in 0..max_polls.max(1) {
+        for attempt in 0..=max_polls {
             if self.cells[slot].load(Ordering::Acquire) != 0 {
                 ready = true;
                 break;
             }
-            std::hint::spin_loop();
+            if attempt < max_polls {
+                std::hint::spin_loop();
+            }
         }
         rec.record_flag_read(self.id, slot, ready);
         ready
@@ -238,6 +247,82 @@ mod tests {
             reads[0],
             AddrPattern::FlagRead { ready: false, .. }
         ));
+    }
+
+    #[test]
+    fn acquire_with_zero_polls_observes_a_published_slot() {
+        // `max_polls == 0` = one check, no retry — it must still see a slot
+        // that is already published, and record exactly one ready FlagRead.
+        let dev = Device::new(
+            DeviceOptions::new(MachineConfig::with_width(4))
+                .workers(0)
+                .record_trace(true),
+        );
+        let data = GlobalBuffer::filled(3u64, 4);
+        let flags = HandoffFlags::new(1);
+        dev.launch(1, |ctx| {
+            let g = ctx.view(&data);
+            flags.publish(0, &g, 0, 4, ctx.rec());
+        });
+        dev.launch(1, |ctx| {
+            assert!(flags.acquire(0, 0, ctx.rec()));
+        });
+        let trace = dev.take_trace();
+        let reads: Vec<_> = trace.launches[1].addrs[0]
+            .iter()
+            .filter(|p| matches!(p, AddrPattern::FlagRead { .. }))
+            .collect();
+        assert_eq!(reads.len(), 1);
+        assert!(matches!(
+            reads[0],
+            AddrPattern::FlagRead { ready: true, .. }
+        ));
+    }
+
+    #[test]
+    fn acquire_with_zero_polls_gives_up_on_an_unpublished_slot() {
+        let dev = Device::new(
+            DeviceOptions::new(MachineConfig::with_width(4))
+                .workers(0)
+                .record_trace(true),
+        );
+        let flags = HandoffFlags::new(1);
+        dev.launch(1, |ctx| {
+            assert!(!flags.acquire(0, 0, ctx.rec()));
+        });
+        let trace = dev.take_trace();
+        let reads: Vec<_> = trace.launches[0].addrs[0]
+            .iter()
+            .filter(|p| matches!(p, AddrPattern::FlagRead { .. }))
+            .collect();
+        assert_eq!(reads.len(), 1, "one check, one recorded read");
+        assert!(matches!(
+            reads[0],
+            AddrPattern::FlagRead { ready: false, .. }
+        ));
+    }
+
+    #[test]
+    fn publish_releases_race_ownership_of_the_region() {
+        // A race-checked handoff within one launch: without the publish
+        // releasing the region, the dynamic race table would panic on the
+        // consumer's same-epoch read.
+        let dev = Device::new(DeviceOptions::new(MachineConfig::with_width(4)).workers(0));
+        let data = GlobalBuffer::from_vec_checked(vec![0u64; 8]);
+        let flags = HandoffFlags::new(1);
+        let out = GlobalBuffer::filled(0u64, 1);
+        dev.launch(2, |ctx| {
+            let g = ctx.view(&data);
+            if ctx.block_id() == 0 {
+                g.write_contig(0, &[5u64; 4], ctx.rec());
+                flags.publish(0, &g, 0, 4, ctx.rec());
+            } else if flags.acquire(0, 1 << 20, ctx.rec()) {
+                let mut got = [0u64; 4];
+                g.read_contig(0, &mut got, ctx.rec());
+                ctx.view(&out).write(0, got.iter().sum(), ctx.rec());
+            }
+        });
+        assert_eq!(out.into_vec()[0], 20);
     }
 
     #[test]

@@ -195,9 +195,12 @@ impl Drop for Pool {
 /// partially written, and returning it to the free list as-is would leak one
 /// request's partial results into the next request's "fresh" buffer. The
 /// pool therefore tracks a `pristine` bit per entry: a buffer recycled with
-/// `clean = false` is scrubbed (every word reset to `T::default()`)
-/// immediately, *before* it re-enters the free list, so a poisoned buffer
-/// can never be observed by a later checkout.
+/// `clean = false` — or one whose own poison flag says a failed launch wrote
+/// it (see [`GlobalBuffer::poisoned`]) — is scrubbed (every word reset to
+/// `T::default()`) immediately, *before* it re-enters the free list, so a
+/// poisoned buffer can never be observed by a later checkout. Buffers that
+/// merely *lived through* a fault epoch bump without being written by the
+/// failing launch are not poisoned and recycle clean.
 pub struct BufferPool<T> {
     shelves: Mutex<HashMap<usize, Vec<PoolEntry<T>>>>,
     allocated: AtomicU64,
@@ -252,14 +255,26 @@ impl<T: Copy + Default + Send + Sync> BufferPool<T> {
         }
     }
 
-    /// Return a buffer to the pool. `clean` must be `false` whenever any
-    /// launch that wrote the buffer failed (aborted, device-lost, or
-    /// panicked) — the buffer is then scrubbed to `T::default()` before it
-    /// re-enters the free list, so no later checkout can observe the failed
-    /// launch's partial writes.
+    /// Return a buffer to the pool. The buffer is scrubbed to `T::default()`
+    /// before it re-enters the free list when either
+    ///
+    /// * the caller passes `clean = false` (it knows out-of-band that the
+    ///   contents are suspect — e.g. a kernel panicked while holding it), or
+    /// * the buffer's own [`poison`](GlobalBuffer::poisoned) flag is set,
+    ///   meaning a *failed* launch actually wrote into it.
+    ///
+    /// The poison flag is what makes long-lived buffers safe across fault
+    /// epochs: a persistent launch (or a batch) can span an epoch bump
+    /// caused by a *lost* launch that never wrote a word, and such a buffer
+    /// recycles clean. Only buffers a failed launch really touched are
+    /// scrubbed — callers should pass `clean = true` and let the flag
+    /// decide, rather than conservatively dirtying a whole batch off a
+    /// `fault_epoch` delta.
     pub fn recycle(&self, mut buf: GlobalBuffer<T>, clean: bool) {
-        if !clean {
+        let dirty = !clean || buf.poisoned();
+        if dirty {
             buf.as_mut_slice().fill(T::default());
+            buf.clear_poison();
             self.scrubbed.fetch_add(1, Ordering::Relaxed);
         }
         let len = buf.len();
@@ -267,7 +282,7 @@ impl<T: Copy + Default + Send + Sync> BufferPool<T> {
             buf,
             // Scrubbed buffers are pristine; clean returns hold kernel
             // output and need zeroing on a `checkout_zeroed`.
-            pristine: !clean,
+            pristine: dirty,
         });
     }
 
@@ -408,6 +423,47 @@ mod tests {
         );
         let (_, reused, scrubbed) = pool.stats();
         assert_eq!((reused, scrubbed), (1, 1));
+    }
+
+    #[test]
+    fn buffer_pool_scrubs_poisoned_buffers_even_when_recycled_clean() {
+        // A failed launch's block wrote into the buffer (setting its poison
+        // flag); the caller recycles it `clean = true` because no *epoch*
+        // delta was visible to it. The flag must force the scrub anyway.
+        let pool: BufferPool<u64> = BufferPool::new();
+        let buf = pool.checkout_zeroed(4);
+        {
+            let view = buf.make_view(1, 0, true); // failed launch writes
+            let mut rec = crate::TxnRecorder::new(4, false);
+            view.write(0, 0xBEEF, &mut rec);
+        }
+        assert!(buf.poisoned());
+        pool.recycle(buf, true);
+        let mut back = pool.checkout_uninit(4);
+        assert!(
+            back.as_slice().iter().all(|&x| x == 0),
+            "poison flag did not force a scrub"
+        );
+        assert!(!back.poisoned(), "scrub must clear the poison flag");
+        let (_, _, scrubbed) = pool.stats();
+        assert_eq!(scrubbed, 1);
+    }
+
+    #[test]
+    fn buffer_pool_keeps_unpoisoned_buffers_clean_across_fault_writes_elsewhere() {
+        // Writes under a *successful* launch never poison; the recycle is a
+        // no-scrub fast path even if some other launch failed meanwhile.
+        let pool: BufferPool<u64> = BufferPool::new();
+        let buf = pool.checkout_zeroed(4);
+        {
+            let view = buf.make_view(1, 0, false);
+            let mut rec = crate::TxnRecorder::new(4, false);
+            view.write(0, 7, &mut rec);
+        }
+        assert!(!buf.poisoned());
+        pool.recycle(buf, true);
+        let (_, _, scrubbed) = pool.stats();
+        assert_eq!(scrubbed, 0);
     }
 
     #[test]

@@ -271,6 +271,7 @@ impl TxnRecorder {
         if !self.enabled {
             return;
         }
+        self.counters.handoff_publishes += 1;
         self.record_global(AccessKind::Write, 1, 1, || AddrPattern::FlagWrite {
             flags,
             slot,
@@ -288,6 +289,7 @@ impl TxnRecorder {
         if !self.enabled {
             return;
         }
+        self.counters.handoff_acquires += 1;
         self.record_global(AccessKind::Read, 1, 1, || AddrPattern::FlagRead {
             flags,
             slot,

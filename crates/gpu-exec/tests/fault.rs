@@ -3,7 +3,9 @@
 
 use std::time::Duration;
 
-use gpu_exec::{Device, DeviceOptions, FaultEvent, FaultPlan, GlobalBuffer, LossWindow};
+use gpu_exec::{
+    BufferPool, Device, DeviceOptions, FaultEvent, FaultPlan, GlobalBuffer, LossWindow,
+};
 use hmm_model::MachineConfig;
 use proptest::prelude::*;
 
@@ -133,6 +135,59 @@ fn stragglers_delay_but_never_change_results() {
         .all(|e| matches!(e, FaultEvent::Straggler { .. })));
     assert_eq!(events.len(), 2 * GRID, "every block of every launch");
     assert_eq!(faulty, clean, "stragglers only shift timing");
+}
+
+#[test]
+fn buffer_held_across_a_lost_epoch_is_not_poisoned() {
+    // Regression: a buffer that *lives through* a fault-epoch bump must not
+    // be treated as dirty unless a failed launch actually wrote it. A lost
+    // launch runs no block at all, so the buffer contents — written by the
+    // earlier healthy launch — are intact and recycle clean.
+    let dev = dev_with(
+        FaultPlan::new(5).loss(LossWindow::Launches { start: 1, count: 1 }),
+        2,
+    );
+    let mut buf = GlobalBuffer::filled(1u64, GRID * PER_BLOCK);
+    run_round(&dev, &buf, 0); // healthy launch writes
+    let healthy = buf.as_slice().to_vec();
+    run_round(&dev, &buf, 1); // lost: epoch bumps, nothing runs
+    assert_eq!(dev.fault_epoch(), 1, "the loss moved the epoch");
+    assert!(
+        !buf.poisoned(),
+        "a lost launch wrote nothing — the buffer must stay unpoisoned"
+    );
+    assert_eq!(buf.as_slice(), &healthy[..], "contents untouched");
+    let pool: BufferPool<u64> = BufferPool::new();
+    pool.recycle(buf, true);
+    let (_, _, scrubbed) = pool.stats();
+    assert_eq!(scrubbed, 0, "no scrub for an epoch bump alone");
+    let mut back = pool.checkout_uninit(GRID * PER_BLOCK);
+    assert_eq!(back.as_slice(), &healthy[..], "contents survive the pool");
+}
+
+#[test]
+fn buffer_written_by_an_aborted_launch_is_poisoned_and_scrubbed() {
+    // Abort with p = 1: roughly half the blocks are skipped, the rest
+    // write — partial output, so the buffer must be poisoned and the pool
+    // must scrub it before reuse.
+    let dev = dev_with(FaultPlan::new(5).launch_abort_p(1.0), 2);
+    let buf = GlobalBuffer::filled(1u64, GRID * PER_BLOCK);
+    run_round(&dev, &buf, 0);
+    assert!(dev.fault_epoch() > 0, "the launch aborted");
+    assert!(
+        buf.poisoned(),
+        "surviving blocks wrote under a failed launch"
+    );
+    let pool: BufferPool<u64> = BufferPool::new();
+    pool.recycle(buf, true);
+    let (_, _, scrubbed) = pool.stats();
+    assert_eq!(scrubbed, 1, "poisoned buffer scrubbed on recycle");
+    let mut back = pool.checkout_uninit(GRID * PER_BLOCK);
+    assert!(
+        back.as_slice().iter().all(|&x| x == 0),
+        "partial writes must never resurface"
+    );
+    assert!(!back.poisoned());
 }
 
 proptest! {

@@ -67,6 +67,34 @@ impl KernelContract {
         }
     }
 
+    /// The contract of the **persistent-block** 1R1W driver
+    /// (`sat_1r1w_persistent`): identical data movement to
+    /// [`SatAlgorithm::OneR1W`] plus one coalesced word per handoff flag
+    /// operation, but the whole wavefront runs in a *single* launch —
+    /// expected barrier steps drop from `2n/w − 2` to `0`, and the modeled
+    /// cost pays `Λ` once instead of per stage. Handoffs are declared
+    /// (`allow_handoffs`), so safety is checked by the
+    /// schedule-generalizing `schedule-race` / `handoff-before-ready`
+    /// rules rather than the barrier-race rule.
+    pub fn for_persistent_1r1w(n: usize, cfg: MachineConfig) -> Self {
+        let mut c = Self::for_algorithm(SatAlgorithm::OneR1W, n, cfg).with_handoffs();
+        c.name = "1R1W-persist".to_string();
+        if let Some(row) = &mut c.expected {
+            let m = (n / cfg.width) as f64;
+            let l = cfg.window_overhead() as f64;
+            // Flag traffic rides the coalesced counters: one write per
+            // publish, one read per (first-poll-success) acquire.
+            row.coalesced_reads += (m - 1.0) * m;
+            row.coalesced_writes += (m - 1.0) * m;
+            row.barrier_steps = 0.0;
+            // Same closed form as 1R1W with its `2·(n/w)·Λ` barrier term
+            // replaced by the single launch's `Λ`, plus the flag words'
+            // coalesced pipeline share.
+            row.cost += l - 2.0 * m * l + 2.0 * (m - 1.0) * m / (cfg.width as f64);
+        }
+        c
+    }
+
     /// A contract that only enforces the structural rules: any stride
     /// fraction is allowed and no Table I row is checked.
     pub fn unconstrained(name: impl Into<String>) -> Self {
@@ -120,6 +148,25 @@ mod tests {
         // 1R1W: only the left-fringe reads are stride — a few percent.
         let c = KernelContract::for_algorithm(SatAlgorithm::OneR1W, 256, cfg);
         assert!(c.stride_budget > 0.0 && c.stride_budget < 0.05);
+    }
+
+    #[test]
+    fn persistent_1r1w_contract_drops_barriers_and_declares_handoffs() {
+        let cfg = MachineConfig::with_width(16);
+        let base = KernelContract::for_algorithm(SatAlgorithm::OneR1W, 256, cfg);
+        let p = KernelContract::for_persistent_1r1w(256, cfg);
+        assert_eq!(p.name, "1R1W-persist");
+        assert!(p.allow_handoffs);
+        let pb = p.expected.unwrap();
+        let bb = base.expected.unwrap();
+        assert_eq!(pb.barrier_steps, 0.0);
+        assert!(bb.barrier_steps > 0.0);
+        assert!(pb.coalesced_reads > bb.coalesced_reads, "flag reads ride C");
+        assert!(
+            pb.cost < bb.cost,
+            "one launch must model cheaper than {} barrier steps",
+            bb.barrier_steps
+        );
     }
 
     #[test]

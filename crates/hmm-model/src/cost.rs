@@ -52,6 +52,13 @@ pub struct CostCounters {
     pub shared_writes: u64,
     /// Exact DMM pipeline stages occupied by all shared transactions.
     pub shared_stages: u64,
+    /// Handoff-flag publishes (release stores). Persistent-block kernels
+    /// replace per-stage launch barriers with these; the flag word itself
+    /// is also counted as one coalesced global write.
+    pub handoff_publishes: u64,
+    /// Handoff-flag acquire/poll calls (each records one flag read
+    /// regardless of how many times it spun).
+    pub handoff_acquires: u64,
 }
 
 impl CostCounters {
@@ -107,6 +114,8 @@ impl CostCounters {
         self.shared_reads += other.shared_reads;
         self.shared_writes += other.shared_writes;
         self.shared_stages += other.shared_stages;
+        self.handoff_publishes += other.handoff_publishes;
+        self.handoff_acquires += other.handoff_acquires;
     }
 
     /// Merge a per-worker counter set that must not contribute barrier steps.
@@ -540,6 +549,28 @@ impl GlobalCost {
             _ => None,
         }
     }
+
+    /// Exact operation counts of the **persistent-block** 1R1W driver
+    /// (single launch, flagged handoffs) on a square `n × n` input with
+    /// `w | n`, fully deterministic at one resident block.
+    ///
+    /// Identical data movement to [`Self::exact_counts`] for
+    /// [`SatAlgorithm::OneR1W`], plus one coalesced word per handoff flag
+    /// operation: every block below the last block-row publishes its bottom
+    /// SAT row once (`(m−1)·m` coalesced writes) and every block below the
+    /// first block-row acquires the flag above it (`(m−1)·m` coalesced
+    /// reads when each acquire succeeds on its first poll). The launch
+    /// barrier disappears entirely: `B = 0`.
+    pub fn persistent_1r1w_exact_counts(&self, n: usize) -> Option<ExactCounts> {
+        let base = self.exact_counts(SatAlgorithm::OneR1W, n)?;
+        let m = (n / self.cfg.width) as u64;
+        Some(ExactCounts {
+            coalesced_reads: base.coalesced_reads + (m - 1) * m,
+            coalesced_writes: base.coalesced_writes + (m - 1) * m,
+            barrier_steps: 0,
+            ..base
+        })
+    }
 }
 
 #[cfg(test)]
@@ -827,6 +858,24 @@ mod tests {
         assert_eq!(e.coalesced_ops(), e.coalesced_reads + e.coalesced_writes);
         let m = (n / w) as u64;
         assert_eq!(e.stride_ops(), (m - 1) * m * w as u64);
+    }
+
+    #[test]
+    fn persistent_exact_counts_add_flag_words_and_drop_barriers() {
+        let g = gc(); // w = 32
+        let n = 256;
+        let m = (n / 32) as u64;
+        let base = g.exact_counts(SatAlgorithm::OneR1W, n).unwrap();
+        let p = g.persistent_1r1w_exact_counts(n).unwrap();
+        assert_eq!(p.coalesced_reads, base.coalesced_reads + (m - 1) * m);
+        assert_eq!(p.coalesced_writes, base.coalesced_writes + (m - 1) * m);
+        assert_eq!(p.stride_reads, base.stride_reads);
+        assert_eq!(p.stride_writes, 0);
+        assert_eq!(p.barrier_steps, 0, "no launch barrier survives");
+        assert!(base.barrier_steps > 0);
+        // Same alignment requirements as the staged form.
+        assert!(g.persistent_1r1w_exact_counts(100).is_none());
+        assert!(g.persistent_1r1w_exact_counts(0).is_none());
     }
 
     #[test]

@@ -51,7 +51,8 @@ pub struct ResilienceConfig {
     pub max_attempts: u32,
     /// Backoff before the first retry; doubles per attempt.
     pub base_backoff: Duration,
-    /// Upper bound on the (pre-jitter) backoff.
+    /// Hard upper bound on the delay actually slept: applied *after*
+    /// jitter, so no retry ever waits longer than this.
     pub max_backoff: Duration,
     /// Seed of the deterministic backoff jitter.
     pub backoff_seed: u64,
@@ -176,18 +177,18 @@ impl CircuitBreaker {
 }
 
 /// Deterministic exponential backoff with jitter: `base · 2^(attempt−1)`
-/// capped at `max`, scaled by a jitter factor in `[0.5, 1.0)` drawn from a
-/// splitmix64 stream — so two runs of the same fault schedule sleep the
-/// same amounts, keeping chaos runs reproducible.
+/// scaled by a jitter factor in `[0.5, 1.0)` drawn from a splitmix64
+/// stream — so two runs of the same fault schedule sleep the same amounts,
+/// keeping chaos runs reproducible — then clamped to `max_backoff`. The
+/// clamp is applied *after* jitter: `max_backoff` bounds the delay actually
+/// slept, not some pre-jitter intermediate, so the documented ceiling holds
+/// for every `(attempt, salt)` pair.
 pub(crate) fn backoff_delay(cfg: &ResilienceConfig, attempt: u32, salt: u64) -> Duration {
     let exp = attempt.saturating_sub(1).min(20);
-    let raw = cfg
-        .base_backoff
-        .saturating_mul(1u32 << exp)
-        .min(cfg.max_backoff);
+    let raw = cfg.base_backoff.saturating_mul(1u32 << exp);
     let h = splitmix(cfg.backoff_seed ^ (u64::from(attempt) << 32) ^ salt);
     let jitter = 0.5 + ((h >> 11) as f64) * (0.5 / (1u64 << 53) as f64);
-    raw.mul_f64(jitter)
+    raw.mul_f64(jitter).min(cfg.max_backoff)
 }
 
 fn splitmix(x: u64) -> u64 {
@@ -338,6 +339,41 @@ mod tests {
             backoff_delay(&c, 1, 2),
             "salt decorrelates"
         );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig {
+            cases: 64, ..Default::default()
+        })]
+
+        /// The documented ceiling is a hard one: for every attempt number
+        /// (including the degenerate 0) and any salt, the post-jitter delay
+        /// never exceeds `max_backoff`, and jitter never eats more than
+        /// half of the (capped) exponential term.
+        #[test]
+        fn backoff_is_capped_post_jitter_for_all_attempts(
+            attempt in 0u32..=64,
+            salt in 0u64..1_000,
+            base_us in 1u64..10_000,
+            max_us in 1u64..10_000,
+        ) {
+            let c = ResilienceConfig {
+                base_backoff: Duration::from_micros(base_us),
+                max_backoff: Duration::from_micros(max_us),
+                ..ResilienceConfig::default()
+            };
+            let d = backoff_delay(&c, attempt, salt);
+            proptest::prop_assert!(
+                d <= c.max_backoff,
+                "attempt {} slept {:?} past the {:?} cap", attempt, d, c.max_backoff
+            );
+            let exp = attempt.saturating_sub(1).min(20);
+            let raw = c.base_backoff.saturating_mul(1u32 << exp).min(c.max_backoff);
+            proptest::prop_assert!(
+                d + Duration::from_nanos(1) >= raw / 2,
+                "attempt {} slept {:?}, below half of {:?}", attempt, d, raw
+            );
+        }
     }
 
     #[test]

@@ -29,7 +29,8 @@ cargo run --release -q -p sat-bench --bin chaosgen -- \
 echo "== satlint over a traced service batch"
 cargo run --release -q -p sat-bench --bin satlint -- --n 64 --batch 8
 
-echo "== satlint race gate (happens-before analysis + 4-schedule replay)"
+echo "== satlint race gate (happens-before analysis + 4-schedule replay;"
+echo "   includes the persistent-block 1R1W cell, which must be clean)"
 cargo run --release -q -p sat-bench --bin satlint -- --n 64 --races --schedules 4
 
 echo "== satlint broken-fixture self-test (must exit nonzero with detectors agreeing)"
@@ -51,11 +52,16 @@ echo "== satprof smoke (Perfetto trace schema + exact 1R1W counter check)"
 cargo run --release -q -p sat-bench --bin satprof -- \
     --algo 1r1w --n 256 --check --trace target/satprof_smoke.json
 
+echo "== satprof persistent smoke (one launch, exact counts incl. flag words, B = 0)"
+cargo run --release -q -p sat-bench --bin satprof -- \
+    --algo 1r1w-persist --n 256 --check --trace target/satprof_persist_smoke.json
+
 echo "== satprof burst smoke (service trace schema + histogram exposition)"
 cargo run --release -q -p sat-bench --bin satprof -- \
     --burst 16 --n 64 --trace target/satprof_burst_smoke.json
 
-echo "== benchdiff smoke (small n, loose tolerance, vs committed baseline)"
+echo "== benchdiff smoke (small n, loose tolerance, vs committed baseline;"
+echo "   the persistent cell's barrier term must be strictly below staged 1R1W's)"
 cargo run --release -q -p sat-bench --bin benchdiff -- \
     --sizes 128 --runs 3 --tolerance 0.9
 

@@ -133,6 +133,89 @@ fn a_deliberately_racy_kernel_is_caught() {
 }
 
 #[test]
+fn persistent_1r1w_matches_reference_across_schedules_and_workers() {
+    // The persistent-block driver replaces every launch barrier with a
+    // flagged handoff; its output must still be bit-equal to the sequential
+    // reference whatever the worker count and block schedule. Buffers are
+    // race-checked: an unpublished read would panic, not just miscompare.
+    let n = 32;
+    let a = input(n);
+    let want = seq::sat_reference(&a);
+    for workers in [0usize, 1, 3, 7] {
+        for order in [
+            BlockOrder::Forward,
+            BlockOrder::Reverse,
+            BlockOrder::Shuffled(0xDEAD_BEEF),
+            BlockOrder::Adversarial(0xC0FF_EE00),
+        ] {
+            let dev = Device::new(
+                DeviceOptions::new(MachineConfig::with_width(4))
+                    .workers(workers)
+                    .order(order),
+            );
+            let buf = GlobalBuffer::from_vec_checked(a.as_slice().to_vec());
+            let s = GlobalBuffer::from_vec_checked(vec![0i64; n * n]);
+            par::sat_1r1w_persistent(&dev, &buf, &s, n, n);
+            assert_eq!(
+                s.into_vec(),
+                want.as_slice(),
+                "persistent 1R1W workers={workers} {order:?}"
+            );
+            assert_eq!(dev.launches(), 1, "one launch, no fallback");
+        }
+    }
+}
+
+#[test]
+fn persistent_1r1w_survives_abort_faults_via_staged_fallback() {
+    // When fault injection aborts the persistent launch, residents notice
+    // `launch_failed`, stop waiting on handoffs, and the driver falls back
+    // to the launch-per-stage path with per-stage retry — still bit-exact.
+    use gpu_exec::FaultPlan;
+    let n = 32;
+    let a = input(n);
+    let want = seq::sat_reference(&a);
+    for seed in [1u64, 9, 23] {
+        let dev = Device::new(
+            DeviceOptions::new(MachineConfig::with_width(4))
+                .workers(3)
+                .fault_plan(FaultPlan::new(seed).launch_abort_p(0.5)),
+        );
+        let buf = GlobalBuffer::from_vec(a.as_slice().to_vec());
+        let s = GlobalBuffer::from_vec(vec![0i64; n * n]);
+        par::sat_1r1w_persistent(&dev, &buf, &s, n, n);
+        assert_eq!(s.into_vec(), want.as_slice(), "seed {seed}");
+    }
+}
+
+#[test]
+fn persistent_1r1w_trace_is_clean_under_hmm_lint() {
+    // The handoff-aware analyzer must prove the persistent run clean: the
+    // barrier-race rule is skipped (handoffs declared), and safety rests on
+    // the schedule-generalizing rules, which understand release→acquire
+    // edges. Counters must also track the persistent contract's Table I row.
+    use hmm_lint::{analyze_run, KernelContract};
+    let n = 64;
+    let cfg = MachineConfig::with_width(8);
+    let a = input(n);
+    let dev = Device::new(DeviceOptions::new(cfg).workers(0).record_trace(true));
+    let buf = GlobalBuffer::from_vec(a.as_slice().to_vec());
+    let s = GlobalBuffer::from_vec(vec![0i64; n * n]);
+    par::sat_1r1w_persistent(&dev, &buf, &s, n, n);
+    let counters = dev.stats();
+    let trace = dev.take_trace();
+    let contract = KernelContract::for_persistent_1r1w(n, cfg);
+    let analysis = analyze_run(&trace, &counters, &cfg, &contract);
+    assert!(
+        analysis.report.is_clean(),
+        "persistent trace has findings:\n{}",
+        analysis.report.render()
+    );
+    assert_eq!(counters.barrier_steps, 0, "no launch barrier survives");
+    assert!(counters.handoff_publishes > 0 && counters.handoff_acquires > 0);
+}
+
+#[test]
 fn stats_are_schedule_invariant() {
     // Transaction counts are a property of the algorithm, not the schedule.
     let n = 32;
