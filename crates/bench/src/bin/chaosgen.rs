@@ -5,7 +5,8 @@
 //! cargo run --release -p sat-bench --bin chaosgen -- \
 //!     [--threads 4] [--requests 16] [--n 32] [--width 4] [--seed 7] \
 //!     [--slo-ms 250] [--scenarios abort,corrupt,loss,combined] \
-//!     [--json BENCH_chaos.json]
+//!     [--json BENCH_chaos.json] [--postmortem-dir results] \
+//!     [--metrics-snapshot metrics.prom]
 //! ```
 //!
 //! Each scenario starts a fresh `sat-service` over a chaos device with one
@@ -19,6 +20,13 @@
 //! the resilience counters (attempts, retries, degradations, breaker
 //! transitions, canaries) and the injection counts the device reported on
 //! the shared `obs` registry.
+//!
+//! With `--postmortem-dir DIR` each scenario's service is armed to dump at
+//! most one flight-recorder post-mortem bundle into DIR (named
+//! `postmortem-<scenario>-…`); a breaker-opening scenario must then emit
+//! exactly one bundle that passes [`obs::flight::validate`]. With
+//! `--metrics-snapshot PATH` the final scenario's Prometheus exposition is
+//! written to PATH.
 //!
 //! Exits nonzero on any rejected request or result mismatch, and — for
 //! scenarios with a device-loss window — when the breaker never opened or
@@ -34,7 +42,7 @@ use hmm_model::cost::SatAlgorithm;
 use hmm_model::MachineConfig;
 use sat_bench::{flag_value, parsed_flag};
 use sat_core::{seq::sat_reference, Matrix};
-use sat_service::{Service, ServiceConfig, ServiceStats};
+use sat_service::{PostmortemConfig, Service, ServiceConfig, ServiceStats};
 use serde::{Deserialize, Serialize};
 
 /// One scenario's outcome in `BENCH_chaos.json`.
@@ -63,6 +71,9 @@ struct ScenarioRecord {
     injected_losses: u64,
     injected_stragglers: u64,
     injected_corruptions: u64,
+    /// Post-mortem bundles this scenario dumped (0 unless
+    /// `--postmortem-dir` was given; capped at 1 per scenario).
+    postmortem_bundles: u64,
 }
 
 /// The record `BENCH_chaos.json` holds.
@@ -123,9 +134,19 @@ fn run_scenario(
     machine: MachineConfig,
     pool: &[(Matrix<f64>, Matrix<f64>)],
     slo_ms: f64,
-) -> ScenarioRecord {
+    postmortem_dir: Option<&std::path::Path>,
+) -> (ScenarioRecord, String) {
     let observer = obs::Obs::new();
     let registry = observer.registry().expect("enabled observer");
+    let postmortem = match postmortem_dir {
+        Some(dir) => PostmortemConfig {
+            dir: Some(dir.to_path_buf()),
+            prefix: name.to_string(),
+            max_bundles: 1,
+            ..PostmortemConfig::default()
+        },
+        None => PostmortemConfig::default(),
+    };
     let service = Service::start(ServiceConfig {
         machine,
         device_workers: None,
@@ -135,8 +156,8 @@ fn run_scenario(
         default_deadline: Duration::from_secs(60),
         observer,
         fault_plan: Some(plan),
-        resilience: Default::default(),
-        slo: Default::default(),
+        postmortem,
+        ..ServiceConfig::default()
     });
 
     let mismatches = Mutex::new(0u64);
@@ -167,7 +188,9 @@ fn run_scenario(
         }
     });
     let wall = started.elapsed().as_secs_f64();
+    let metrics_text = service.metrics_text();
     let stats: ServiceStats = service.shutdown();
+    let postmortem_bundles = postmortem_dir.map_or(0, |dir| bundles_for(dir, name).len() as u64);
 
     let mut lat = latencies.into_inner().unwrap();
     lat.sort_by(|a, b| a.total_cmp(b));
@@ -180,7 +203,7 @@ fn run_scenario(
 
     let rejected = rejected.into_inner().unwrap();
     let mismatches = mismatches.into_inner().unwrap();
-    ScenarioRecord {
+    let record = ScenarioRecord {
         name: name.to_string(),
         wall_seconds: wall,
         completed: stats.completed,
@@ -208,7 +231,24 @@ fn run_scenario(
         injected_losses: injected("device_loss"),
         injected_stragglers: injected("straggler"),
         injected_corruptions: injected("corruption"),
-    }
+        postmortem_bundles,
+    };
+    (record, metrics_text)
+}
+
+/// The post-mortem bundles scenario `name` dumped into `dir`, sorted.
+fn bundles_for(dir: &std::path::Path, name: &str) -> Vec<std::path::PathBuf> {
+    let prefix = format!("postmortem-{name}-");
+    let mut found: Vec<_> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .filter(|e| e.file_name().to_string_lossy().starts_with(&prefix))
+                .map(|e| e.path())
+                .collect()
+        })
+        .unwrap_or_default();
+    found.sort();
+    found
 }
 
 fn main() -> ExitCode {
@@ -222,6 +262,8 @@ fn main() -> ExitCode {
     let scenarios =
         flag_value(&args, "--scenarios").unwrap_or_else(|| "abort,corrupt,loss,combined".into());
     let json_path = flag_value(&args, "--json").unwrap_or_else(|| "BENCH_chaos.json".into());
+    let postmortem_dir = flag_value(&args, "--postmortem-dir").map(std::path::PathBuf::from);
+    let snapshot_path = flag_value(&args, "--metrics-snapshot");
 
     let machine = MachineConfig::with_width(width);
     // Integer-valued images sum exactly on every path, so GPU, batched and
@@ -240,6 +282,7 @@ fn main() -> ExitCode {
     );
     let mut records = Vec::new();
     let mut failed = false;
+    let mut last_metrics = String::new();
     for name in scenarios
         .split(',')
         .map(str::trim)
@@ -249,12 +292,22 @@ fn main() -> ExitCode {
             eprintln!("chaosgen: unknown scenario '{name}' (abort, corrupt, loss, combined)");
             return ExitCode::FAILURE;
         };
-        let rec = run_scenario(name, plan, threads, requests, machine, &pool, slo_ms);
+        let (rec, metrics_text) = run_scenario(
+            name,
+            plan,
+            threads,
+            requests,
+            machine,
+            &pool,
+            slo_ms,
+            postmortem_dir.as_deref(),
+        );
+        last_metrics = metrics_text;
         let expected = (threads * requests) as u64;
         println!(
             "  {name}: {}/{expected} bit-exact, slo {:.1}% at {slo_ms} ms, \
              attempts {}+{} failed, retries {}, degraded {}, verify {}p/{}f, \
-             breaker o{}/h{}/c{}, injected a{} l{} s{} c{}",
+             breaker o{}/h{}/c{}, injected a{} l{} s{} c{}, postmortems {}",
             rec.completed - rec.mismatches,
             rec.slo_attainment * 100.0,
             rec.attempts_ok,
@@ -270,6 +323,7 @@ fn main() -> ExitCode {
             rec.injected_losses,
             rec.injected_stragglers,
             rec.injected_corruptions,
+            rec.postmortem_bundles,
         );
         if rec.rejected > 0 || rec.mismatches > 0 || rec.completed != expected {
             eprintln!(
@@ -285,6 +339,46 @@ fn main() -> ExitCode {
                 rec.breaker_opened, rec.degraded
             );
             failed = true;
+        }
+        // A breaker-opening scenario armed for dumping must emit exactly one
+        // bundle, and that bundle must be schema-valid with the triggering
+        // request's event chain inside.
+        if let Some(dir) = &postmortem_dir {
+            if has_loss(name) {
+                let bundles = bundles_for(dir, name);
+                if bundles.len() != 1 {
+                    eprintln!(
+                        "  {name}: FAILED — expected exactly one post-mortem bundle, found {}",
+                        bundles.len()
+                    );
+                    failed = true;
+                }
+                for path in &bundles {
+                    let checked = std::fs::read_to_string(path)
+                        .map_err(|e| e.to_string())
+                        .and_then(|text| obs::flight::validate(&text));
+                    match checked {
+                        Ok(fstats) if fstats.request_flow == 0 => {
+                            eprintln!(
+                                "  {name}: FAILED — bundle {} lacks the triggering \
+                                 request's event chain",
+                                path.display()
+                            );
+                            failed = true;
+                        }
+                        Ok(fstats) => println!(
+                            "  {name}: post-mortem {} validates ({} events, {} request-scoped)",
+                            path.display(),
+                            fstats.events,
+                            fstats.request_flow
+                        ),
+                        Err(e) => {
+                            eprintln!("  {name}: FAILED — bundle {} invalid: {e}", path.display());
+                            failed = true;
+                        }
+                    }
+                }
+            }
         }
         records.push(rec);
     }
@@ -304,6 +398,14 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("wrote {json_path}");
+
+    if let Some(path) = &snapshot_path {
+        if let Err(e) = std::fs::write(path, &last_metrics) {
+            eprintln!("chaosgen: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path} (metrics snapshot, final scenario)");
+    }
 
     if failed {
         eprintln!("chaosgen: FAILED");

@@ -4,7 +4,8 @@
 //! ```sh
 //! cargo run --release -p sat-bench --bin loadgen -- \
 //!     [--threads 16] [--requests 64] [--n 64] [--width 32] [--rate 0] \
-//!     [--max-batch 16] [--linger-us 500] [--mixed] [--json BENCH_service.json]
+//!     [--max-batch 16] [--linger-us 500] [--mixed] [--json BENCH_service.json] \
+//!     [--trace trace.json] [--metrics-snapshot metrics.prom]
 //! ```
 //!
 //! Each of `--threads` client threads submits `--requests` SAT requests of
@@ -16,8 +17,15 @@
 //! issued vs. what per-request execution would have cost — is printed and
 //! always written as one JSON object (default `BENCH_service.json`).
 //!
-//! Exits nonzero on any result mismatch or rejected request, so it doubles
-//! as the serving-layer smoke gate in `scripts/check.sh`.
+//! With `--trace PATH` the run is observed: the Chrome trace is written to
+//! PATH, validated with [`obs::chrome::validate`], and required to contain
+//! at least one complete request flow chain (admit → batch → launch →
+//! complete linked by flow arrows). With `--metrics-snapshot PATH` the
+//! final Prometheus exposition (exemplars included) is written to PATH.
+//!
+//! Exits nonzero on any result mismatch, rejected request, or trace
+//! validation failure, so it doubles as the serving-layer smoke gate in
+//! `scripts/check.sh`.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -71,6 +79,8 @@ fn main() -> ExitCode {
     let linger_us: u64 = parsed_flag(&args, "--linger-us", 500);
     let mixed = args.iter().any(|a| a == "--mixed");
     let json_path = flag_value(&args, "--json").unwrap_or_else(|| "BENCH_service.json".into());
+    let trace_path = flag_value(&args, "--trace");
+    let snapshot_path = flag_value(&args, "--metrics-snapshot");
 
     let machine = MachineConfig::with_width(width);
     // Request pool: a few distinct images with their expected SATs,
@@ -92,6 +102,13 @@ fn main() -> ExitCode {
         })
         .collect();
 
+    // Tracing is opt-in: an observed run pays for span/flow recording, an
+    // unobserved one keeps the serving profile honest.
+    let observer = if trace_path.is_some() {
+        obs::Obs::new()
+    } else {
+        obs::Obs::disabled()
+    };
     let service = Service::start(ServiceConfig {
         machine,
         device_workers: None,
@@ -99,10 +116,8 @@ fn main() -> ExitCode {
         max_batch,
         max_linger: Duration::from_micros(linger_us),
         default_deadline: Duration::from_secs(60),
-        observer: obs::Obs::disabled(),
-        fault_plan: None,
-        resilience: Default::default(),
-        slo: Default::default(),
+        observer: observer.clone(),
+        ..ServiceConfig::default()
     });
 
     println!(
@@ -148,6 +163,7 @@ fn main() -> ExitCode {
         }
     });
     let wall = started.elapsed().as_secs_f64();
+    let metrics_snapshot = snapshot_path.as_ref().map(|_| service.metrics_text());
     let stats: ServiceStats = service.shutdown();
 
     let record = ServingRecord {
@@ -186,6 +202,33 @@ fn main() -> ExitCode {
     }
     println!("wrote {json_path}");
 
+    if let (Some(path), Some(text)) = (&snapshot_path, &metrics_snapshot) {
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("loadgen: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path} (metrics snapshot)");
+    }
+    if let Some(path) = &trace_path {
+        let json = observer.trace_json();
+        if let Err(e) = obs::chrome::validate(&json) {
+            eprintln!("loadgen: FAILED — trace does not validate: {e}");
+            return ExitCode::FAILURE;
+        }
+        match trace_links_request_chain(&json) {
+            Ok(id) => println!("trace links request {id} admit -> batch -> launch -> complete"),
+            Err(e) => {
+                eprintln!("loadgen: FAILED — {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("loadgen: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path} (chrome trace)");
+    }
+
     if record.mismatches > 0 || record.rejected > 0 {
         eprintln!(
             "loadgen: FAILED — {} mismatches, {} rejections",
@@ -194,6 +237,46 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// Require at least one request id whose flow arrows span the whole chain:
+/// a Start at admission, Steps through batch dispatch and device launch,
+/// and an End at completion. Returns one qualifying request id.
+fn trace_links_request_chain(json: &str) -> Result<u64, String> {
+    let parsed = obs::json::JsonValue::parse(json).map_err(|e| format!("trace parse: {e}"))?;
+    let events = parsed
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .ok_or_else(|| "trace has no traceEvents array".to_string())?;
+    // id -> (saw Start, Step count, saw End)
+    let mut chains: std::collections::HashMap<u64, (bool, usize, bool)> =
+        std::collections::HashMap::new();
+    for e in events {
+        let Some(ph) = e.get("ph").and_then(|p| p.as_str()) else {
+            continue;
+        };
+        if !matches!(ph, "s" | "t" | "f") {
+            continue;
+        }
+        let Some(id) = e.get("id").and_then(|i| i.as_f64()) else {
+            continue;
+        };
+        let entry = chains.entry(id as u64).or_default();
+        match ph {
+            "s" => entry.0 = true,
+            "t" => entry.1 += 1,
+            _ => entry.2 = true,
+        }
+    }
+    chains
+        .iter()
+        .filter(|(_, (start, steps, end))| *start && *steps >= 2 && *end)
+        .map(|(id, _)| *id)
+        .max()
+        .ok_or_else(|| {
+            "no request id carries a complete admit -> batch -> launch -> complete flow chain"
+                .to_string()
+        })
 }
 
 fn print_summary(r: &ServingRecord, total: &LatencySummary) {

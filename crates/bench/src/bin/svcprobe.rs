@@ -1,0 +1,258 @@
+//! `svcprobe` — end-to-end probe of the sat-service telemetry listener.
+//!
+//! ```sh
+//! cargo run --release -p sat-bench --bin svcprobe -- \
+//!     [--requests 6] [--n 32] [--width 8]
+//! ```
+//!
+//! Starts a service with the HTTP telemetry listener on an ephemeral
+//! loopback port, pushes `--requests` SAT requests through it, then talks
+//! plain HTTP/1.1 over raw `TcpStream`s — exactly what a Prometheus scrape
+//! or `curl` would do — and checks:
+//!
+//! * `GET /metrics` answers 200 with the Prometheus content type, is
+//!   byte-identical to [`Service::metrics_text`], has a `# TYPE` line for
+//!   every exposed family, and carries at least one well-formed OpenMetrics
+//!   exemplar (`# {request_id="…"} <value>`);
+//! * `GET /healthz` answers 200 with a JSON document whose `status`,
+//!   `breaker`, `queue_depth`, `queue_capacity`, `shutting_down` and
+//!   `postmortem_bundles` fields are present and sane;
+//! * `GET /debug/flight` answers 200 with the flight recorder's schema id
+//!   and an event array that includes the admissions just made;
+//! * an unknown path answers 404, and after a clean shutdown the port no
+//!   longer accepts connections.
+//!
+//! Exits nonzero on the first violation; `scripts/check.sh` runs it as the
+//! telemetry smoke gate.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::ExitCode;
+use std::time::Duration;
+
+use hmm_model::cost::SatAlgorithm;
+use hmm_model::MachineConfig;
+use sat_bench::parsed_flag;
+use sat_core::Matrix;
+use sat_service::{Service, ServiceConfig, TelemetryConfig};
+
+/// One raw HTTP GET: returns (status code, content type, body).
+fn http_get(addr: SocketAddr, path: &str) -> Result<(u16, String, String), String> {
+    let mut s = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    write!(
+        s,
+        "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("write: {e}"))?;
+    let mut resp = String::new();
+    s.read_to_string(&mut resp)
+        .map_err(|e| format!("read: {e}"))?;
+    let (head, body) = resp
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("no header/body split in response to {path}"))?;
+    let code: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| format!("bad status line: {head:.40}"))?;
+    let ctype = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Type: "))
+        .unwrap_or("")
+        .to_string();
+    Ok((code, ctype, body.to_string()))
+}
+
+/// Every exposed metric family must be introduced by a `# TYPE name kind`
+/// line before its first sample.
+fn check_type_lines(text: &str) -> Result<usize, String> {
+    let mut declared: Vec<&str> = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().ok_or("empty # TYPE line")?;
+            let kind = parts
+                .next()
+                .ok_or_else(|| format!("# TYPE {name}: no kind"))?;
+            if !matches!(kind, "counter" | "gauge" | "histogram" | "summary") {
+                return Err(format!("# TYPE {name}: unknown kind {kind}"));
+            }
+            declared.push(name);
+        } else if !line.is_empty() && !line.starts_with('#') {
+            let sample = line.split(['{', ' ']).next().unwrap_or("");
+            let family = sample
+                .strip_suffix("_bucket")
+                .or_else(|| sample.strip_suffix("_sum"))
+                .or_else(|| sample.strip_suffix("_count"))
+                .unwrap_or(sample);
+            if !declared.contains(&family) {
+                return Err(format!("sample {sample} has no preceding # TYPE {family}"));
+            }
+        }
+    }
+    Ok(declared.len())
+}
+
+/// At least one histogram bucket line must carry a well-formed OpenMetrics
+/// exemplar: `name_bucket{le="…"} N # {request_id="…"} <seconds>`.
+fn check_exemplars(text: &str) -> Result<usize, String> {
+    let mut ok = 0usize;
+    for line in text.lines() {
+        let Some((sample, exemplar)) = line.split_once(" # ") else {
+            continue;
+        };
+        if !sample.contains("_bucket{") {
+            return Err(format!("exemplar on a non-bucket line: {line}"));
+        }
+        let rest = exemplar
+            .strip_prefix("{request_id=\"")
+            .ok_or_else(|| format!("malformed exemplar labels: {line}"))?;
+        let (id, value) = rest
+            .split_once("\"} ")
+            .ok_or_else(|| format!("unterminated exemplar labels: {line}"))?;
+        if id.parse::<u64>().is_err() {
+            return Err(format!("exemplar request_id not numeric: {line}"));
+        }
+        if value.parse::<f64>().is_err() {
+            return Err(format!("exemplar value not numeric: {line}"));
+        }
+        ok += 1;
+    }
+    Ok(ok)
+}
+
+fn probe(requests: usize, n: usize, width: usize) -> Result<(), String> {
+    let observer = obs::Obs::new();
+    let service = Service::start(ServiceConfig {
+        machine: MachineConfig::with_width(width),
+        device_workers: None,
+        max_linger: Duration::from_micros(200),
+        observer,
+        telemetry: TelemetryConfig {
+            listen: Some("127.0.0.1:0".to_string()),
+        },
+        ..ServiceConfig::default()
+    });
+    let addr = service
+        .telemetry_addr()
+        .ok_or("service did not report a telemetry address")?;
+    println!("svcprobe: telemetry listener on {addr}");
+
+    let client = service.client();
+    for k in 0..requests {
+        let img = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 7 + k * 13) % 29) as f64 - 14.0);
+        client
+            .submit(img, SatAlgorithm::OneR1W, None)
+            .map_err(|e| format!("request {k} rejected: {e:?}"))?;
+    }
+
+    // /metrics: exact bytes, well-formed exposition, live exemplar.
+    let (code, ctype, body) = http_get(addr, "/metrics")?;
+    if code != 200 {
+        return Err(format!("/metrics answered {code}"));
+    }
+    if !ctype.starts_with("text/plain; version=0.0.4") {
+        return Err(format!("/metrics content type: {ctype}"));
+    }
+    let direct = service.metrics_text();
+    if body != direct {
+        return Err(format!(
+            "/metrics differs from Service::metrics_text ({} vs {} bytes)",
+            body.len(),
+            direct.len()
+        ));
+    }
+    let families = check_type_lines(&body)?;
+    let exemplars = check_exemplars(&body)?;
+    if exemplars == 0 {
+        return Err("no exemplar on any latency bucket".to_string());
+    }
+    println!("svcprobe: /metrics ok — {families} families, {exemplars} exemplars, byte-identical");
+
+    // /healthz: sane JSON health document.
+    let (code, ctype, health) = http_get(addr, "/healthz")?;
+    if code != 200 || !ctype.starts_with("application/json") {
+        return Err(format!("/healthz answered {code} ({ctype})"));
+    }
+    let v = obs::json::JsonValue::parse(&health).map_err(|e| format!("/healthz not JSON: {e}"))?;
+    let field = |k: &str| {
+        v.get(k)
+            .ok_or_else(|| format!("/healthz lacks {k}: {health}"))
+    };
+    if field("status")?.as_str() != Some("ok") {
+        return Err(format!("healthy idle service must report ok: {health}"));
+    }
+    if field("breaker")?.as_str() != Some("closed") {
+        return Err(format!("breaker must be closed: {health}"));
+    }
+    if field("shutting_down")?.as_bool() != Some(false) {
+        return Err(format!("not shutting down yet: {health}"));
+    }
+    for k in ["queue_depth", "queue_capacity", "postmortem_bundles"] {
+        if field(k)?.as_f64().is_none() {
+            return Err(format!("/healthz {k} not numeric: {health}"));
+        }
+    }
+    println!("svcprobe: /healthz ok — {health}");
+
+    // /debug/flight: schema id + the admissions we just made.
+    let (code, _, flight) = http_get(addr, "/debug/flight")?;
+    if code != 200 {
+        return Err(format!("/debug/flight answered {code}"));
+    }
+    let v =
+        obs::json::JsonValue::parse(&flight).map_err(|e| format!("/debug/flight not JSON: {e}"))?;
+    if v.get("schema").and_then(|s| s.as_str()) != Some(obs::flight::SCHEMA) {
+        return Err(format!("/debug/flight schema mismatch: {flight:.120}"));
+    }
+    let admits = v
+        .get("events")
+        .and_then(|e| e.as_array())
+        .map_or(0, |events| {
+            events
+                .iter()
+                .filter(|e| e.get("kind").and_then(|k| k.as_str()) == Some("admit"))
+                .count()
+        });
+    if admits < requests {
+        return Err(format!(
+            "/debug/flight shows {admits} admissions, expected at least {requests}"
+        ));
+    }
+    println!("svcprobe: /debug/flight ok — {admits} admissions on record");
+
+    let (code, _, _) = http_get(addr, "/no-such-endpoint")?;
+    if code != 404 {
+        return Err(format!("unknown path answered {code}, want 404"));
+    }
+
+    let stats = service.shutdown();
+    if stats.completed != requests as u64 {
+        return Err(format!(
+            "completed {} of {requests} requests",
+            stats.completed
+        ));
+    }
+    if TcpStream::connect(addr).is_ok() {
+        return Err("listener still accepting after shutdown".to_string());
+    }
+    println!("svcprobe: clean shutdown, port closed");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let requests: usize = parsed_flag(&args, "--requests", 6);
+    let n: usize = parsed_flag(&args, "--n", 32);
+    let width: usize = parsed_flag(&args, "--width", 8);
+    match probe(requests, n, width) {
+        Ok(()) => {
+            println!("svcprobe: PASS");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("svcprobe: FAILED — {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

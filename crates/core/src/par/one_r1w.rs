@@ -161,6 +161,14 @@ pub fn sat_1r1w_persistent<T: SatElement>(
     if dev.fault_epoch() == epoch_before {
         return;
     }
+    // Leave a structured breadcrumb before retrying: a post-mortem bundle
+    // must show that the persistent mode stalled and where it gave up.
+    dev.observer().flight_event(
+        obs::FlightKind::HandoffStall,
+        0,
+        grid.diagonals() as u64,
+        residents as u64,
+    );
     // The persistent launch was aborted or lost: recompute stage by stage.
     // Every stage rewrites its blocks completely, so no scrub is needed,
     // and a stage whose launch fails is simply run again.
@@ -584,6 +592,37 @@ mod tests {
         sat_1r1w_persistent(&dev, &ab, &sb, n, n);
         assert_eq!(dev.launches(), 1);
         assert_eq!(sb.into_vec(), sat_reference(&a).into_vec());
+    }
+
+    #[test]
+    fn persistent_fallback_leaves_handoff_stall_breadcrumb() {
+        // Lose exactly the persistent launch (index 0): the driver falls
+        // back to launch-per-stage, stays bit-exact, and records a single
+        // HandoffStall flight event carrying the stage count and the
+        // resident count it gave up on.
+        use gpu_exec::{FaultPlan, LossWindow};
+        let obs = obs::Obs::new();
+        let (w, n) = (4usize, 16usize);
+        let a = Matrix::from_fn(n, n, |i, j| ((i * 7 + j * 3) % 11) as i64 - 5);
+        let dev = Device::new(
+            DeviceOptions::new(MachineConfig::with_width(w))
+                .workers(0)
+                .observer(obs.clone())
+                .fault_plan(FaultPlan::new(1).loss(LossWindow::Launches { start: 0, count: 1 })),
+        );
+        let ab = GlobalBuffer::from_vec(a.as_slice().to_vec());
+        let sb = GlobalBuffer::filled(0i64, n * n);
+        sat_1r1w_persistent(&dev, &ab, &sb, n, n);
+        assert_eq!(sb.into_vec(), sat_reference(&a).into_vec());
+        let stalls: Vec<_> = obs
+            .flight_recent()
+            .into_iter()
+            .filter(|e| e.kind == obs::FlightKind::HandoffStall)
+            .collect();
+        assert_eq!(stalls.len(), 1, "one breadcrumb per fallback");
+        let m = (n / w) as u64;
+        assert_eq!(stalls[0].a, 2 * m - 1, "stage count");
+        assert_eq!(stalls[0].b, 1, "workers(0) launches one resident");
     }
 
     #[test]

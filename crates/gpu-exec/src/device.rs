@@ -5,7 +5,7 @@ use std::time::Instant;
 
 use hmm_model::cost::CostCounters;
 use hmm_model::MachineConfig;
-use obs::{ArgValue, Counter, Histogram, Obs, Track};
+use obs::{ArgValue, Counter, FlightKind, FlowPhase, Histogram, Obs, Track};
 use parking_lot::Mutex;
 
 use crate::buffer::{GlobalBuffer, GlobalView};
@@ -214,12 +214,32 @@ impl FaultState {
                 ev.kind(),
                 vec![("launch", ArgValue::from(ev.launch()))],
             );
+            let class = match ev {
+                FaultEvent::LaunchAborted { .. } => 1,
+                FaultEvent::DeviceLost { .. } => 2,
+                FaultEvent::Straggler { .. } => 3,
+                FaultEvent::Corrupted { .. } => 4,
+            };
+            obs.flight_event(FlightKind::FaultInjected, 0, ev.launch(), class);
         }
         let mut log = self.events.lock();
         if log.len() < FAULT_EVENT_CAP {
             log.push(ev);
         }
     }
+}
+
+/// Request-scoped metadata a serving layer attaches to the launches it is
+/// about to issue ([`Device::set_launch_context`]): the batch id and the
+/// request ids fused into it. While set, every launch span carries the
+/// batch id and a flow point per request, so Perfetto's arrow chain for a
+/// request passes *through* the launches that computed it.
+#[derive(Debug, Clone, Default)]
+pub struct LaunchContext {
+    /// The serving layer's batch sequence number.
+    pub batch: u64,
+    /// Ids of the requests fused into the batch, in lane order.
+    pub requests: Vec<u64>,
 }
 
 /// The per-launch fault decision, fixed under the launch gate before any
@@ -261,6 +281,8 @@ pub struct Device {
     launches_total: AtomicU64,
     epoch: AtomicU64,
     fault: Option<FaultState>,
+    /// Request-scoped metadata for the next launches (serving layer hook).
+    launch_ctx: Mutex<Option<LaunchContext>>,
 }
 
 impl Device {
@@ -314,7 +336,19 @@ impl Device {
             launches_total: AtomicU64::new(0),
             epoch: AtomicU64::new(0),
             fault,
+            launch_ctx: Mutex::new(None),
         }
+    }
+
+    /// Attach (or with `None` clear) request-scoped launch metadata. Until
+    /// changed, every launch's trace span carries the context's batch id
+    /// and one flow point per request id, linking the serving layer's
+    /// request chain through the device's launches. Callers dispatching
+    /// batches serially set it before the batch's launches and clear it
+    /// after; launches are serialized by the launch gate, so the context
+    /// observed by a launch is the one its dispatcher set.
+    pub fn set_launch_context(&self, ctx: Option<LaunchContext>) {
+        *self.launch_ctx.lock() = ctx;
     }
 
     /// A device with default options for `config`.
@@ -443,8 +477,10 @@ impl Device {
         // no-op fast path when no observer is attached.
         let mut launch_span = None;
         let mut stats_before = None;
+        let mut request_ctx: Option<LaunchContext> = None;
         let launch_started = self.obs.is_enabled().then(Instant::now);
         if self.obs.is_enabled() {
+            request_ctx = self.launch_ctx.lock().clone();
             if let Some(reg) = self.obs.registry() {
                 reg.reset_scope();
             }
@@ -454,6 +490,22 @@ impl Device {
             if persistent {
                 span.arg("mode", ArgValue::from("persistent"));
             }
+            if let Some(lc) = &request_ctx {
+                span.arg("batch", ArgValue::from(lc.batch));
+                if let Some(&first) = lc.requests.first() {
+                    span.arg("request", ArgValue::from(first));
+                }
+            }
+            let first_request = request_ctx
+                .as_ref()
+                .and_then(|lc| lc.requests.first().copied())
+                .unwrap_or(0);
+            self.obs.flight_event(
+                FlightKind::LaunchBegin,
+                first_request,
+                fault_no,
+                grid as u64,
+            );
             stats_before = Some(*self.stats.lock());
             launch_span = Some(span);
         }
@@ -608,6 +660,29 @@ impl Device {
         }
         if let (Some(started), Some(c)) = (launch_started, &self.counters) {
             c.launch_duration.observe_duration(started.elapsed());
+        }
+        if self.obs.is_enabled() {
+            // Flow points for every request the batch carries, emitted while
+            // the launch span is still open so they anchor *inside* it —
+            // Perfetto then routes each request's arrow chain through this
+            // launch. Dropped after, the span guard records the slice.
+            let now = Instant::now();
+            if let Some(lc) = &request_ctx {
+                for &rid in &lc.requests {
+                    self.obs
+                        .flow_wall(Track::wall(0), "request", FlowPhase::Step, rid, now);
+                }
+            }
+            let first_request = request_ctx
+                .as_ref()
+                .and_then(|lc| lc.requests.first().copied())
+                .unwrap_or(0);
+            self.obs.flight_event(
+                FlightKind::LaunchEnd,
+                first_request,
+                fault_no,
+                launch_failed as u64,
+            );
         }
     }
 
@@ -1004,6 +1079,64 @@ mod tests {
             .collect();
         assert_eq!(block_parents.len(), 4);
         assert!(block_parents.iter().all(|&p| p == launch_id));
+    }
+
+    #[test]
+    fn launch_context_threads_requests_through_launch_spans() {
+        let obs = Obs::new();
+        let dev = Device::new(
+            DeviceOptions::new(MachineConfig::with_width(4))
+                .workers(0)
+                .observer(obs.clone()),
+        );
+        let buf = GlobalBuffer::filled(1u32, 16);
+        dev.set_launch_context(Some(LaunchContext {
+            batch: 9,
+            requests: vec![101, 102],
+        }));
+        dev.launch(4, |ctx| {
+            let g = ctx.view(&buf);
+            let mut v = [0u32; 4];
+            g.read_contig(ctx.block_id() * 4, &mut v, ctx.rec());
+        });
+        dev.set_launch_context(None);
+        dev.launch(4, |ctx| {
+            let g = ctx.view(&buf);
+            let mut v = [0u32; 4];
+            g.read_contig(ctx.block_id() * 4, &mut v, ctx.rec());
+        });
+        let json = obs.trace_json();
+        let stats = obs::chrome::validate(&json).unwrap();
+        assert_eq!(stats.complete, 2, "two launch spans");
+        assert_eq!(stats.flows, 2, "one flow point per context request");
+        let v = obs::json::JsonValue::parse(&json).unwrap();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        let launches: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("launch"))
+            .collect();
+        // First launch carries the batch + first request args; the second
+        // (context cleared) carries neither.
+        let args0 = launches[0].get("args").unwrap();
+        assert_eq!(args0.get("batch").unwrap().as_f64(), Some(9.0));
+        assert_eq!(args0.get("request").unwrap().as_f64(), Some(101.0));
+        assert!(launches[1].get("args").unwrap().get("batch").is_none());
+        let flow_ids: Vec<f64> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("t"))
+            .map(|e| e.get("id").unwrap().as_f64().unwrap())
+            .collect();
+        assert_eq!(flow_ids, vec![101.0, 102.0]);
+        // Launch begin/end made it into the flight recorder with the first
+        // request id attached.
+        let flight = obs.flight_recent();
+        let begins: Vec<_> = flight
+            .iter()
+            .filter(|e| e.kind == FlightKind::LaunchBegin)
+            .collect();
+        assert_eq!(begins.len(), 2);
+        assert_eq!(begins[0].request, 101);
+        assert_eq!(begins[1].request, 0);
     }
 
     #[test]

@@ -64,7 +64,7 @@ mod shared;
 mod trace;
 
 pub use buffer::{GlobalBuffer, GlobalView};
-pub use device::{BlockCtx, BlockOrder, Device, DeviceOptions};
+pub use device::{BlockCtx, BlockOrder, Device, DeviceOptions, LaunchContext};
 pub use fault::{FaultEvent, FaultPlan, LossWindow};
 pub use handoff::HandoffFlags;
 pub use pool::BufferPool;

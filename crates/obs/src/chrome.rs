@@ -13,7 +13,7 @@ use std::fmt::Write as _;
 
 use crate::json::JsonValue;
 pub(crate) use crate::span::Event;
-use crate::span::{ArgValue, EventKind, Track};
+use crate::span::{ArgValue, EventKind, FlowPhase, Track};
 
 /// Tallies returned by [`validate`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -28,9 +28,11 @@ pub struct TraceStats {
     pub counters: usize,
     /// Metadata (`"M"`) events.
     pub metadata: usize,
+    /// Flow points (`"s"`, `"t"`, `"f"`).
+    pub flows: usize,
 }
 
-fn escape_into(out: &mut String, s: &str) {
+pub(crate) fn escape_into(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -98,6 +100,66 @@ fn write_counter_args(out: &mut String, ev: &Event) {
     out.push('}');
 }
 
+fn write_event(out: &mut String, ev: &Event) {
+    out.push_str("{\"name\":");
+    escape_into(out, &ev.name);
+    let _ = write!(
+        out,
+        ",\"pid\":{},\"tid\":{},\"ts\":{}",
+        ev.track.pid,
+        ev.track.tid,
+        num(ev.ts)
+    );
+    match ev.kind {
+        EventKind::Complete { dur } => {
+            let _ = write!(out, ",\"ph\":\"X\",\"dur\":{}", num(dur));
+            write_args(out, ev);
+        }
+        EventKind::Instant => {
+            out.push_str(",\"ph\":\"i\",\"s\":\"t\"");
+            write_args(out, ev);
+        }
+        EventKind::Counter => {
+            out.push_str(",\"ph\":\"C\"");
+            write_counter_args(out, ev);
+        }
+        EventKind::Flow(phase) => {
+            // For flow points `ev.id` is the flow id (the request id):
+            // Perfetto binds the arrow chain by this top-level `id`, and
+            // `bp:"e"` anchors each point to its *enclosing* slice rather
+            // than the next slice on the thread.
+            let ph = match phase {
+                FlowPhase::Start => "s",
+                FlowPhase::Step => "t",
+                FlowPhase::End => "f",
+            };
+            let _ = write!(
+                out,
+                ",\"ph\":\"{ph}\",\"cat\":\"request\",\"id\":{},\"bp\":\"e\"",
+                ev.id
+            );
+            write_counter_args(out, ev);
+        }
+    }
+    out.push('}');
+}
+
+/// Serialize `events` as a bare JSON array (no metadata, no `traceEvents`
+/// wrapper) — the shape [`crate::flight`] embeds inside post-mortem
+/// bundles, still accepted by [`validate`].
+pub(crate) fn serialize_slice(events: &[Event]) -> String {
+    let mut out = String::with_capacity(2 + events.len() * 96);
+    out.push('[');
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_event(&mut out, ev);
+    }
+    out.push(']');
+    out
+}
+
 /// Serialize `events` (plus clock-naming metadata) as a Chrome trace JSON
 /// object: `{"traceEvents":[…]}`.
 pub(crate) fn serialize(events: &[Event]) -> String {
@@ -121,30 +183,7 @@ pub(crate) fn serialize(events: &[Event]) -> String {
     }
     for ev in events {
         out.push(',');
-        out.push_str("{\"name\":");
-        escape_into(&mut out, &ev.name);
-        let _ = write!(
-            out,
-            ",\"pid\":{},\"tid\":{},\"ts\":{}",
-            ev.track.pid,
-            ev.track.tid,
-            num(ev.ts)
-        );
-        match ev.kind {
-            EventKind::Complete { dur } => {
-                let _ = write!(out, ",\"ph\":\"X\",\"dur\":{}", num(dur));
-                write_args(&mut out, ev);
-            }
-            EventKind::Instant => {
-                out.push_str(",\"ph\":\"i\",\"s\":\"t\"");
-                write_args(&mut out, ev);
-            }
-            EventKind::Counter => {
-                out.push_str(",\"ph\":\"C\"");
-                write_counter_args(&mut out, ev);
-            }
-        }
-        out.push('}');
+        write_event(&mut out, ev);
     }
     out.push_str("]}");
     out
@@ -153,7 +192,8 @@ pub(crate) fn serialize(events: &[Event]) -> String {
 /// Check that `text` is valid Chrome trace-event JSON: it parses, events
 /// are found under a top-level array or a `traceEvents` key, and every
 /// event carries the required `name`, `ph`, `ts`, `pid`, `tid` (complete
-/// events additionally `dur`). Returns per-phase tallies.
+/// events additionally `dur`; flow points additionally `id`). Returns
+/// per-phase tallies.
 pub fn validate(text: &str) -> Result<TraceStats, String> {
     let v = JsonValue::parse(text)?;
     let events = match &v {
@@ -165,6 +205,13 @@ pub fn validate(text: &str) -> Result<TraceStats, String> {
             .ok_or("\"traceEvents\" is not an array")?,
         _ => return Err("top level is neither an array nor an object".to_string()),
     };
+    validate_events(events)
+}
+
+/// The per-event validation core, over an already parsed event array.
+/// [`crate::flight::validate`] reuses it on the trace slices a post-mortem
+/// bundle embeds.
+pub(crate) fn validate_events(events: &[JsonValue]) -> Result<TraceStats, String> {
     let mut stats = TraceStats::default();
     for (i, ev) in events.iter().enumerate() {
         let field = |key: &str| {
@@ -197,6 +244,12 @@ pub fn validate(text: &str) -> Result<TraceStats, String> {
                 stats.counters += 1;
             }
             "M" => stats.metadata += 1,
+            "s" | "t" | "f" => {
+                field("id")?
+                    .as_f64()
+                    .ok_or_else(|| format!("event {i}: flow \"id\" is not a number"))?;
+                stats.flows += 1;
+            }
             _ => {}
         }
     }
@@ -289,6 +342,15 @@ mod tests {
         // A bare array of well-formed events is accepted.
         let ok = "[{\"name\":\"x\",\"ph\":\"i\",\"pid\":1,\"tid\":0,\"ts\":0}]";
         assert_eq!(validate(ok).unwrap().instants, 1);
+    }
+
+    #[test]
+    fn flow_points_require_an_id() {
+        let missing = "[{\"name\":\"request\",\"ph\":\"s\",\"pid\":1,\"tid\":0,\"ts\":0}]";
+        let err = validate(missing).unwrap_err();
+        assert!(err.contains("id"), "{err}");
+        let ok = "[{\"name\":\"request\",\"ph\":\"f\",\"pid\":1,\"tid\":0,\"ts\":0,\"id\":9}]";
+        assert_eq!(validate(ok).unwrap().flows, 1);
     }
 
     #[test]

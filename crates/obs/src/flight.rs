@@ -1,0 +1,746 @@
+//! The black-box flight recorder and post-mortem bundles.
+//!
+//! A [`FlightRecorder`] is a fixed-capacity ring of small structured
+//! events — admissions, rejections, batch formation, launch begin/end,
+//! injected faults, breaker transitions, verification failures, handoff
+//! stalls, SLO burn — recorded from every layer through
+//! [`crate::Obs::flight_event`]. Recording is lock-free and allocation-free
+//! (one atomic ticket plus six atomic word stores), so it is safe on hot
+//! paths and inside panic handling; once the ring is full, new events
+//! overwrite the oldest.
+//!
+//! On a trigger (breaker open, verification failure, a panic via
+//! [`install_panic_hook`], or an SLO-burn threshold) [`dump`] writes a
+//! schema-versioned post-mortem bundle: the surviving ring events, a metric
+//! registry snapshot, the last launch's trace slice and the triggering
+//! request's flow — everything needed to reconstruct "what was the system
+//! doing just before it went wrong" without a live debugger. [`validate`]
+//! checks a bundle structurally the way [`crate::chrome::validate`] checks
+//! a trace.
+//!
+//! ## Ring without locks, without `unsafe`
+//!
+//! Each slot is seven atomic words: a validity tag plus six payload words.
+//! A writer claims a ticket (`head.fetch_add`), clears the slot's tag,
+//! writes the payload, then publishes `ticket + 1` as the tag with release
+//! ordering. A reader knows which ticket *should* occupy each slot (the
+//! ring is a pure function of `head`), reads the tag before and after the
+//! payload, and keeps the slot only when both reads equal the expected
+//! tag — a per-slot seqlock where the sequence number doubles as the lap
+//! count, so a slot mid-overwrite or from a stale lap is simply skipped
+//! rather than returned torn.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+use crate::chrome;
+use crate::json::JsonValue;
+use crate::span::{ArgValue, Event, EventKind, Obs};
+
+/// Schema identifier stamped into (and required from) every bundle.
+pub const SCHEMA: &str = "sat-hmm/flight/v1";
+
+/// Default ring capacity: enough for the last few hundred requests' worth
+/// of lifecycle events while keeping the recorder under 64 KiB.
+pub const DEFAULT_CAPACITY: usize = 1024;
+
+/// What a flight-recorder event records. The `a`/`b` payload words are
+/// kind-specific (a launch index, a breaker-state code, a stage count…) and
+/// are carried into the bundle verbatim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u64)]
+pub enum FlightKind {
+    /// A request was admitted (`request` = its id).
+    Admit = 1,
+    /// A request was rejected (`a` = reason code, see the service layer).
+    Reject = 2,
+    /// A batch was formed (`request` = first request id, `a` = width).
+    BatchFormed = 3,
+    /// A device launch began (`a` = launch index, `b` = grid).
+    LaunchBegin = 4,
+    /// A device launch ended (`a` = launch index, `b` = 1 if it failed).
+    LaunchEnd = 5,
+    /// A fault was injected (`a` = launch index, `b` = fault class code).
+    FaultInjected = 6,
+    /// The circuit breaker changed state (`a` = new-state code).
+    BreakerTransition = 7,
+    /// A result failed verification (`request` = first affected id).
+    VerifyFailure = 8,
+    /// A persistent-block handoff stalled into the fallback path
+    /// (`a` = stage, `b` = block).
+    HandoffStall = 9,
+    /// SLO error-budget burn crossed the configured threshold
+    /// (`a` = burn ratio in parts-per-million).
+    SloBurn = 10,
+}
+
+impl FlightKind {
+    /// Stable lower-snake name, used in bundles and `/debug/flight` JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlightKind::Admit => "admit",
+            FlightKind::Reject => "reject",
+            FlightKind::BatchFormed => "batch_formed",
+            FlightKind::LaunchBegin => "launch_begin",
+            FlightKind::LaunchEnd => "launch_end",
+            FlightKind::FaultInjected => "fault_injected",
+            FlightKind::BreakerTransition => "breaker_transition",
+            FlightKind::VerifyFailure => "verify_failure",
+            FlightKind::HandoffStall => "handoff_stall",
+            FlightKind::SloBurn => "slo_burn",
+        }
+    }
+
+    fn from_code(code: u64) -> Option<FlightKind> {
+        Some(match code {
+            1 => FlightKind::Admit,
+            2 => FlightKind::Reject,
+            3 => FlightKind::BatchFormed,
+            4 => FlightKind::LaunchBegin,
+            5 => FlightKind::LaunchEnd,
+            6 => FlightKind::FaultInjected,
+            7 => FlightKind::BreakerTransition,
+            8 => FlightKind::VerifyFailure,
+            9 => FlightKind::HandoffStall,
+            10 => FlightKind::SloBurn,
+            _ => return None,
+        })
+    }
+
+    fn known_names() -> &'static [&'static str] {
+        &[
+            "admit",
+            "reject",
+            "batch_formed",
+            "launch_begin",
+            "launch_end",
+            "fault_injected",
+            "breaker_transition",
+            "verify_failure",
+            "handoff_stall",
+            "slo_burn",
+        ]
+    }
+}
+
+/// One event read back out of the ring.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlightEvent {
+    /// Global sequence number (the writer's ticket) — strictly increasing
+    /// across the whole recorder lifetime, so gaps reveal overwritten
+    /// history.
+    pub seq: u64,
+    /// Wall-clock microseconds since the owning [`Obs`] was created.
+    pub ts_us: f64,
+    /// What happened.
+    pub kind: FlightKind,
+    /// The request id this event belongs to (0 when not request-scoped).
+    pub request: u64,
+    /// Kind-specific payload word.
+    pub a: u64,
+    /// Kind-specific payload word.
+    pub b: u64,
+}
+
+/// A slot: validity tag + payload words. The tag holds `ticket + 1` when
+/// the slot's contents are complete (0 = empty or mid-write).
+struct Slot {
+    tag: AtomicU64,
+    /// `[ts_us bits, kind code, request, a, b]`.
+    payload: [AtomicU64; 5],
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            tag: AtomicU64::new(0),
+            payload: [
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+            ],
+        }
+    }
+}
+
+/// The fixed-capacity lock-free ring. Owned by an enabled [`Obs`]; not
+/// exposed directly — record through [`Obs::flight_event`], read through
+/// [`Obs::flight_recent`].
+pub(crate) struct FlightRecorder {
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.head.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    pub(crate) fn new(capacity: usize) -> FlightRecorder {
+        assert!(capacity > 0, "flight recorder needs at least one slot");
+        FlightRecorder {
+            head: AtomicU64::new(0),
+            slots: (0..capacity).map(|_| Slot::new()).collect(),
+        }
+    }
+
+    pub(crate) fn record(&self, ts_us: f64, kind: FlightKind, request: u64, a: u64, b: u64) {
+        let ticket = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket % self.slots.len() as u64) as usize];
+        // Clear the tag *before* touching the payload. The acquire half of
+        // the swap keeps the payload stores below from being hoisted above
+        // the invalidation, so a reader can never pair fresh payload with
+        // the previous lap's valid tag.
+        slot.tag.swap(0, Ordering::AcqRel);
+        slot.payload[0].store(ts_us.to_bits(), Ordering::Relaxed);
+        slot.payload[1].store(kind as u64, Ordering::Relaxed);
+        slot.payload[2].store(request, Ordering::Relaxed);
+        slot.payload[3].store(a, Ordering::Relaxed);
+        slot.payload[4].store(b, Ordering::Relaxed);
+        // Publish: the release store orders every payload store before the
+        // tag becomes visible. `+ 1` keeps ticket 0 distinguishable from
+        // the empty tag.
+        slot.tag.store(ticket + 1, Ordering::Release);
+    }
+
+    /// Snapshot the surviving events, oldest first. Slots being overwritten
+    /// while we read are skipped (their tag no longer matches the expected
+    /// ticket), so the result is always a set of *complete* events.
+    pub(crate) fn recent(&self) -> Vec<FlightEvent> {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let start = head.saturating_sub(cap);
+        let mut out = Vec::with_capacity((head - start) as usize);
+        for ticket in start..head {
+            let slot = &self.slots[(ticket % cap) as usize];
+            if slot.tag.load(Ordering::Acquire) != ticket + 1 {
+                continue;
+            }
+            let ts = f64::from_bits(slot.payload[0].load(Ordering::Relaxed));
+            let kind_code = slot.payload[1].load(Ordering::Relaxed);
+            let request = slot.payload[2].load(Ordering::Relaxed);
+            let a = slot.payload[3].load(Ordering::Relaxed);
+            let b = slot.payload[4].load(Ordering::Relaxed);
+            // Seqlock re-check: the acquire fence keeps the payload loads
+            // above from sinking below the second tag read. An unchanged
+            // tag proves no writer touched the slot in between.
+            fence(Ordering::Acquire);
+            if slot.tag.load(Ordering::Relaxed) != ticket + 1 {
+                continue;
+            }
+            let Some(kind) = FlightKind::from_code(kind_code) else {
+                continue;
+            };
+            out.push(FlightEvent {
+                seq: ticket,
+                ts_us: ts,
+                kind,
+                request,
+                a,
+                b,
+            });
+        }
+        out
+    }
+}
+
+fn finite(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        0.0
+    }
+}
+
+/// Render flight events as a JSON array (the `/debug/flight` endpoint body
+/// and the bundle's `events` field).
+pub fn events_json(events: &[FlightEvent]) -> String {
+    let mut out = String::with_capacity(2 + events.len() * 96);
+    out.push('[');
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"seq\":{},\"ts_us\":{},\"kind\":\"{}\",\"request\":{},\"a\":{},\"b\":{}}}",
+            e.seq,
+            finite(e.ts_us),
+            e.kind.name(),
+            e.request,
+            e.a,
+            e.b
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// Why a bundle was dumped.
+#[derive(Debug, Clone)]
+pub struct Trigger {
+    /// Machine-readable reason: `breaker_open`, `verify_failure`, `panic`
+    /// or `slo_burn`.
+    pub reason: String,
+    /// The triggering request's id (0 when the trigger is not
+    /// request-scoped, e.g. a panic).
+    pub request: u64,
+    /// Free-form human detail.
+    pub detail: String,
+}
+
+fn registry_json(obs: &Obs) -> String {
+    let mut out = String::from("{\"counters\":[");
+    if let Some(reg) = obs.registry() {
+        let snap = reg.snapshot();
+        for (i, c) in snap.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            chrome::escape_into(&mut out, &c.name);
+            out.push_str(&format!(",\"total\":{}}}", c.total));
+        }
+        out.push_str("],\"gauges\":[");
+        for (i, g) in snap.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            chrome::escape_into(&mut out, &g.name);
+            out.push_str(&format!(",\"value\":{}}}", finite(g.value)));
+        }
+        out.push_str("],\"histograms\":[");
+        for (i, h) in snap.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            chrome::escape_into(&mut out, &h.name);
+            out.push_str(&format!(
+                ",\"count\":{},\"sum\":{},\"max\":{}}}",
+                h.count,
+                finite(h.sum),
+                finite(h.max)
+            ));
+        }
+        out.push_str("]}");
+    } else {
+        out.push_str("],\"gauges\":[],\"histograms\":[]}");
+    }
+    out
+}
+
+/// The last `launch` span plus everything parented (transitively) under
+/// it. Flow points are excluded up front: their `id` is a *request* id
+/// from a different namespace than span ids, so letting them into the
+/// ancestor fixpoint could alias a span.
+fn last_launch_slice(events: &[Event]) -> Vec<Event> {
+    let spans: Vec<&Event> = events
+        .iter()
+        .filter(|e| !matches!(e.kind, EventKind::Flow(_)))
+        .collect();
+    let launch = spans
+        .iter()
+        .rev()
+        .find(|e| e.name == "launch" && matches!(e.kind, EventKind::Complete { .. }));
+    let Some(launch) = launch else {
+        return Vec::new();
+    };
+    let mut keep: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    keep.insert(launch.id);
+    // Parent links always point at earlier-allocated ids but events may be
+    // recorded out of order (guards drop after their children); iterate to
+    // a fixpoint over the whole list.
+    loop {
+        let before = keep.len();
+        for e in &spans {
+            if let Some(p) = e.parent {
+                if keep.contains(&p) {
+                    keep.insert(e.id);
+                }
+            }
+        }
+        if keep.len() == before {
+            break;
+        }
+    }
+    spans
+        .into_iter()
+        .filter(|e| keep.contains(&e.id))
+        .cloned()
+        .collect()
+}
+
+/// Every trace event belonging to `request`: its flow points (flow id =
+/// request id) and any span/instant carrying a `request` arg equal to it.
+fn request_flow_slice(events: &[Event], request: u64) -> Vec<Event> {
+    if request == 0 {
+        return Vec::new();
+    }
+    events
+        .iter()
+        .filter(|e| match e.kind {
+            EventKind::Flow(_) => e.id == request,
+            _ => e
+                .args
+                .iter()
+                .any(|(k, v)| *k == "request" && *v == ArgValue::U64(request)),
+        })
+        .cloned()
+        .collect()
+}
+
+/// Compose a post-mortem bundle for `obs` as a JSON string (see [`SCHEMA`]
+/// for the layout contract enforced by [`validate`]).
+pub fn bundle(obs: &Obs, trigger: &Trigger) -> String {
+    let events = obs.flight_recent();
+    let (trace_slice, request_flow) = obs
+        .with_events(|evs| {
+            (
+                chrome::serialize_slice(&last_launch_slice(evs)),
+                chrome::serialize_slice(&request_flow_slice(evs, trigger.request)),
+            )
+        })
+        .unwrap_or_else(|| ("[]".to_string(), "[]".to_string()));
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"schema\":");
+    chrome::escape_into(&mut out, SCHEMA);
+    out.push_str(",\"trigger\":{\"reason\":");
+    chrome::escape_into(&mut out, &trigger.reason);
+    out.push_str(&format!(",\"request\":{},\"detail\":", trigger.request));
+    chrome::escape_into(&mut out, &trigger.detail);
+    out.push_str("},\"events\":");
+    out.push_str(&events_json(&events));
+    out.push_str(",\"registry\":");
+    out.push_str(&registry_json(obs));
+    out.push_str(",\"trace_slice\":");
+    out.push_str(&trace_slice);
+    out.push_str(",\"request_flow\":");
+    out.push_str(&request_flow);
+    out.push('}');
+    out
+}
+
+/// Process-wide dump counter: keeps bundle filenames unique without a
+/// clock (and readable in creation order).
+static DUMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Compose and write a post-mortem bundle to
+/// `dir/postmortem-<prefix>-<seq>-<reason>.json`, creating `dir` if
+/// needed. Returns the written path.
+pub fn dump(obs: &Obs, dir: &Path, prefix: &str, trigger: &Trigger) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let seq = DUMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let path = dir.join(format!(
+        "postmortem-{}-{seq:03}-{}.json",
+        sanitize(prefix),
+        sanitize(&trigger.reason)
+    ));
+    std::fs::write(&path, bundle(obs, trigger))?;
+    Ok(path)
+}
+
+/// Install a panic hook that dumps a post-mortem bundle (reason `panic`)
+/// before delegating to the previous hook. The handle is cloned into the
+/// hook; the hook stays installed for the life of the process (or until
+/// `std::panic::take_hook`).
+pub fn install_panic_hook(obs: Obs, dir: PathBuf, prefix: String) {
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let trigger = Trigger {
+            reason: "panic".to_string(),
+            request: 0,
+            detail: info.to_string(),
+        };
+        let _ = dump(&obs, &dir, &prefix, &trigger);
+        previous(info);
+    }));
+}
+
+/// Tallies returned by [`validate`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlightStats {
+    /// Flight-recorder events in the bundle.
+    pub events: usize,
+    /// Trace events in the last-launch slice.
+    pub trace_slice: usize,
+    /// Trace events in the triggering request's flow.
+    pub request_flow: usize,
+}
+
+fn req_num(v: &JsonValue, ctx: &str, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .ok_or_else(|| format!("{ctx} lacks required key {key:?}"))?
+        .as_f64()
+        .ok_or_else(|| format!("{ctx}: {key:?} is not a number"))
+}
+
+fn req_str<'a>(v: &'a JsonValue, ctx: &str, key: &str) -> Result<&'a str, String> {
+    v.get(key)
+        .ok_or_else(|| format!("{ctx} lacks required key {key:?}"))?
+        .as_str()
+        .ok_or_else(|| format!("{ctx}: {key:?} is not a string"))
+}
+
+fn req_array<'a>(v: &'a JsonValue, ctx: &str, key: &str) -> Result<&'a [JsonValue], String> {
+    v.get(key)
+        .ok_or_else(|| format!("{ctx} lacks required key {key:?}"))?
+        .as_array()
+        .ok_or_else(|| format!("{ctx}: {key:?} is not an array"))
+}
+
+/// Check that `text` is a well-formed post-mortem bundle: correct schema
+/// tag, a trigger with reason/request/detail, structurally sound flight
+/// events with known kinds and non-decreasing sequence numbers, a registry
+/// snapshot, and embedded trace slices that pass the Chrome trace-event
+/// checks. A request-scoped trigger must come with a non-empty
+/// `request_flow` — the bundle's whole point is linking the trigger to its
+/// request's event chain.
+pub fn validate(text: &str) -> Result<FlightStats, String> {
+    let v = JsonValue::parse(text)?;
+    let schema = req_str(&v, "bundle", "schema")?;
+    if schema != SCHEMA {
+        return Err(format!("schema {schema:?} is not {SCHEMA:?}"));
+    }
+    let trigger = v.get("trigger").ok_or("bundle lacks \"trigger\"")?;
+    req_str(trigger, "trigger", "reason")?;
+    req_str(trigger, "trigger", "detail")?;
+    let trig_request = req_num(trigger, "trigger", "request")?;
+
+    let events = req_array(&v, "bundle", "events")?;
+    let mut last_seq = -1.0f64;
+    for (i, e) in events.iter().enumerate() {
+        let ctx = format!("event {i}");
+        let seq = req_num(e, &ctx, "seq")?;
+        if seq <= last_seq {
+            return Err(format!("event {i}: seq {seq} not increasing"));
+        }
+        last_seq = seq;
+        req_num(e, &ctx, "ts_us")?;
+        for key in ["request", "a", "b"] {
+            req_num(e, &ctx, key)?;
+        }
+        let kind = req_str(e, &ctx, "kind")?;
+        if !FlightKind::known_names().contains(&kind) {
+            return Err(format!("event {i}: unknown kind {kind:?}"));
+        }
+    }
+
+    let registry = v.get("registry").ok_or("bundle lacks \"registry\"")?;
+    for key in ["counters", "gauges", "histograms"] {
+        req_array(registry, "registry", key)?;
+    }
+
+    let trace_slice = req_array(&v, "bundle", "trace_slice")?;
+    let slice_stats =
+        chrome::validate_events(trace_slice).map_err(|e| format!("trace_slice invalid: {e}"))?;
+    let request_flow = req_array(&v, "bundle", "request_flow")?;
+    let flow_stats =
+        chrome::validate_events(request_flow).map_err(|e| format!("request_flow invalid: {e}"))?;
+    if trig_request > 0.0 && request_flow.is_empty() {
+        return Err(format!(
+            "trigger names request {trig_request} but request_flow is empty"
+        ));
+    }
+    Ok(FlightStats {
+        events: events.len(),
+        trace_slice: slice_stats.events,
+        request_flow: flow_stats.events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{FlowPhase, Track};
+
+    #[test]
+    fn ring_survives_wrap_and_keeps_order() {
+        let r = FlightRecorder::new(8);
+        for i in 0..20u64 {
+            r.record(i as f64, FlightKind::Admit, i, i * 2, i * 3);
+        }
+        let events = r.recent();
+        assert_eq!(events.len(), 8, "exactly one ring of survivors");
+        // Oldest overwritten: the survivors are tickets 12..20 in order.
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (12..20).collect::<Vec<_>>());
+        for e in &events {
+            assert_eq!(e.request, e.seq);
+            assert_eq!(e.a, e.seq * 2);
+            assert_eq!(e.b, e.seq * 3);
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_never_tear() {
+        // Each write's payload is a function of one value; any torn read
+        // mixes two writes and breaks the relation. A small ring forces
+        // constant wrapping.
+        let r = FlightRecorder::new(16);
+        let stop_flag = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            let reader = &r;
+            let stop = &stop_flag;
+            for t in 0..4u64 {
+                let r = &r;
+                s.spawn(move || {
+                    for i in 0..5000u64 {
+                        let v = t * 5000 + i;
+                        r.record(v as f64, FlightKind::LaunchEnd, v, v ^ 0xdead, !v);
+                    }
+                });
+            }
+            s.spawn(move || {
+                while stop.load(Ordering::Relaxed) == 0 {
+                    for e in reader.recent() {
+                        assert_eq!(e.a, e.request ^ 0xdead, "torn slot: {e:?}");
+                        assert_eq!(e.b, !e.request, "torn slot: {e:?}");
+                        assert_eq!(e.ts_us, e.request as f64, "torn slot: {e:?}");
+                    }
+                }
+            });
+            // Let the reader overlap the writers for a while, then stop it
+            // (the scope joins everything on exit).
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            stop.store(1, Ordering::Relaxed);
+        });
+        let final_events = r.recent();
+        assert_eq!(final_events.len(), 16);
+        for e in &final_events {
+            assert_eq!(e.a, e.request ^ 0xdead);
+        }
+    }
+
+    #[test]
+    fn bundle_round_trips_through_validate() {
+        let obs = Obs::new();
+        let reg = obs.registry().unwrap();
+        reg.counter("gpu_launches").add(3);
+        reg.gauge("queue_depth").set(2.0);
+        // A launch span with a child block span, and request-scoped events.
+        let t0 = std::time::Instant::now();
+        let launch = obs.wall_span_at(
+            Track::wall(0),
+            "launch",
+            t0,
+            t0 + std::time::Duration::from_micros(50),
+            None,
+            vec![("launch", 0u64.into())],
+        );
+        obs.wall_span_at(
+            Track::wall(1),
+            "block",
+            t0,
+            t0 + std::time::Duration::from_micros(10),
+            launch,
+            Vec::new(),
+        );
+        obs.instant(Track::wall(2), "admit", vec![("request", ArgValue::U64(7))]);
+        obs.flow_at(Track::wall(2), "request", FlowPhase::Start, 7, 1.0);
+        obs.flight_event(FlightKind::Admit, 7, 0, 0);
+        obs.flight_event(FlightKind::BreakerTransition, 7, 1, 0);
+
+        let trigger = Trigger {
+            reason: "breaker_open".to_string(),
+            request: 7,
+            detail: "3 consecutive launch failures".to_string(),
+        };
+        let text = bundle(&obs, &trigger);
+        let stats = validate(&text).unwrap_or_else(|e| panic!("invalid bundle: {e}\n{text}"));
+        assert_eq!(stats.events, 2);
+        assert_eq!(stats.trace_slice, 2, "launch + child block");
+        assert_eq!(stats.request_flow, 2, "admit instant + flow point");
+    }
+
+    #[test]
+    fn validate_rejects_structural_breakage() {
+        assert!(validate("not json").is_err());
+        assert!(validate("{\"schema\":\"wrong\"}").is_err());
+        let no_flow = format!(
+            "{{\"schema\":\"{SCHEMA}\",\
+             \"trigger\":{{\"reason\":\"breaker_open\",\"request\":5,\"detail\":\"\"}},\
+             \"events\":[],\"registry\":{{\"counters\":[],\"gauges\":[],\"histograms\":[]}},\
+             \"trace_slice\":[],\"request_flow\":[]}}"
+        );
+        let err = validate(&no_flow).unwrap_err();
+        assert!(err.contains("request_flow"), "{err}");
+        let bad_kind = format!(
+            "{{\"schema\":\"{SCHEMA}\",\
+             \"trigger\":{{\"reason\":\"panic\",\"request\":0,\"detail\":\"\"}},\
+             \"events\":[{{\"seq\":0,\"ts_us\":1,\"kind\":\"nope\",\"request\":0,\"a\":0,\"b\":0}}],\
+             \"registry\":{{\"counters\":[],\"gauges\":[],\"histograms\":[]}},\
+             \"trace_slice\":[],\"request_flow\":[]}}"
+        );
+        assert!(validate(&bad_kind).unwrap_err().contains("unknown kind"));
+    }
+
+    #[test]
+    fn dump_writes_a_validating_file() {
+        let obs = Obs::new();
+        obs.flight_event(FlightKind::VerifyFailure, 3, 0, 0);
+        obs.instant(Track::wall(0), "admit", vec![("request", ArgValue::U64(3))]);
+        let dir = std::env::temp_dir().join(format!("obs-flight-dump-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let trigger = Trigger {
+            reason: "verify_failure".to_string(),
+            request: 3,
+            detail: "checksum mismatch".to_string(),
+        };
+        let path = dump(&obs, &dir, "test", &trigger).unwrap();
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        assert!(name.starts_with("postmortem-test-"), "{name}");
+        assert!(name.ends_with("-verify_failure.json"), "{name}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        validate(&text).unwrap_or_else(|e| panic!("invalid dumped bundle: {e}"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn panic_hook_dumps_before_delegating() {
+        let obs = Obs::new();
+        obs.flight_event(FlightKind::LaunchBegin, 0, 4, 16);
+        let dir = std::env::temp_dir().join(format!("obs-panic-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        install_panic_hook(obs, dir.clone(), "hooked".to_string());
+        let result = std::panic::catch_unwind(|| panic!("boom"));
+        // Restore the default hook before asserting, so a failing assert
+        // below does not re-enter the dump path.
+        let _ = std::panic::take_hook();
+        assert!(result.is_err());
+        let mut bundles: Vec<_> = std::fs::read_dir(&dir)
+            .expect("dump dir exists")
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .collect();
+        bundles.sort();
+        assert!(!bundles.is_empty(), "panic produced no bundle");
+        let text = std::fs::read_to_string(&bundles[0]).unwrap();
+        let v = JsonValue::parse(&text).unwrap();
+        assert_eq!(
+            v.get("trigger").unwrap().get("reason").unwrap().as_str(),
+            Some("panic")
+        );
+        validate(&text).unwrap_or_else(|e| panic!("invalid panic bundle: {e}"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -86,6 +86,12 @@ pub(crate) struct HistogramCell {
     /// the final bucket is the `+Inf` overflow.
     bounds: Vec<f64>,
     buckets: Vec<AtomicU64>,
+    /// Per-bucket OpenMetrics exemplar: the most recent request id (+1, so
+    /// 0 means "none yet") and observed value landing in the bucket.
+    /// Most-recent-wins; a racing pair may mix one observation's id with
+    /// another's value *from the same bucket*, which still names a real
+    /// traceable request whose latency fell in that bucket.
+    exemplars: Vec<ExemplarCell>,
     count: AtomicU64,
     /// Sum of observations, as `f64` bits updated by CAS loop.
     sum_bits: AtomicU64,
@@ -94,13 +100,23 @@ pub(crate) struct HistogramCell {
     max_bits: AtomicU64,
 }
 
+#[derive(Default)]
+struct ExemplarCell {
+    id_plus_1: AtomicU64,
+    value_bits: AtomicU64,
+}
+
 impl HistogramCell {
     pub(crate) fn new(layout: &BucketLayout) -> Self {
         let bounds = layout.bounds();
         let buckets = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        let exemplars = (0..bounds.len() + 1)
+            .map(|_| ExemplarCell::default())
+            .collect();
         Self {
             bounds,
             buckets,
+            exemplars,
             count: AtomicU64::new(0),
             sum_bits: AtomicU64::new(0),
             max_bits: AtomicU64::new(0),
@@ -137,6 +153,20 @@ impl HistogramCell {
         self.max_bits.fetch_max(v.to_bits(), Ordering::Relaxed);
     }
 
+    fn observe_with_exemplar(&self, v: f64, request: u64) {
+        if v.is_nan() {
+            return;
+        }
+        self.observe(v);
+        let idx = self.bounds.partition_point(|&b| b < v.max(0.0));
+        let cell = &self.exemplars[idx];
+        // Value first, id last with release so a reader that acquires the
+        // id sees a value recorded no earlier than that id's observation.
+        cell.value_bits
+            .store(v.max(0.0).to_bits(), Ordering::Relaxed);
+        cell.id_plus_1.store(request + 1, Ordering::Release);
+    }
+
     pub(crate) fn sample(&self, name: &str) -> HistogramSample {
         HistogramSample {
             name: name.to_string(),
@@ -145,6 +175,18 @@ impl HistogramCell {
                 .buckets
                 .iter()
                 .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            exemplars: self
+                .exemplars
+                .iter()
+                .map(|c| {
+                    let id = c.id_plus_1.load(Ordering::Acquire);
+                    if id == 0 {
+                        None
+                    } else {
+                        Some((id - 1, f64::from_bits(c.value_bits.load(Ordering::Relaxed))))
+                    }
+                })
                 .collect(),
             count: self.count.load(Ordering::Relaxed),
             sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
@@ -172,6 +214,14 @@ impl Histogram {
         self.observe(d.as_secs_f64());
     }
 
+    /// Record one observation and stamp the landing bucket's OpenMetrics
+    /// exemplar with `request` (most recent wins), so a scraped `_bucket`
+    /// line links back to a traceable request id.
+    #[inline]
+    pub fn observe_with_exemplar(&self, v: f64, request: u64) {
+        self.cell.observe_with_exemplar(v, request);
+    }
+
     /// Total number of observations.
     pub fn count(&self) -> u64 {
         self.cell.count.load(Ordering::Relaxed)
@@ -193,6 +243,11 @@ pub struct HistogramSample {
     /// Per-bucket (non-cumulative) counts; `counts.len() == bounds.len()+1`,
     /// the last entry being the `+Inf` overflow bucket.
     pub counts: Vec<u64>,
+    /// Per-bucket exemplar: the most recent `(request_id, observed_value)`
+    /// recorded via [`Histogram::observe_with_exemplar`], `None` for
+    /// buckets that never saw an exemplar-stamped observation. Parallel to
+    /// [`Self::counts`].
+    pub exemplars: Vec<Option<(u64, f64)>>,
     /// Total observations.
     pub count: u64,
     /// Sum of observations.
@@ -283,6 +338,13 @@ impl HistogramSample {
         );
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
+        }
+        for (a, b) in self.exemplars.iter_mut().zip(&other.exemplars) {
+            // Most-recent-wins is unknowable across samples; prefer the
+            // merged-in side when it has one, else keep ours.
+            if b.is_some() {
+                *a = *b;
+            }
         }
         self.count += other.count;
         self.sum += other.sum;
@@ -376,6 +438,27 @@ mod tests {
             sa.merge(&sc);
         });
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn exemplars_stamp_the_landing_bucket() {
+        let (h, name) = hist(BucketLayout::log(1.0, 2.0, 3)); // bounds 1,2,4
+        h.observe(0.5); // plain observe leaves no exemplar
+        h.observe_with_exemplar(1.5, 41);
+        h.observe_with_exemplar(1.7, 42); // same bucket: most recent wins
+        h.observe_with_exemplar(100.0, 7); // +Inf overflow bucket
+        let s = h.cell.sample(&name);
+        assert_eq!(s.exemplars.len(), s.counts.len());
+        assert_eq!(s.exemplars[0], None);
+        assert_eq!(s.exemplars[1], Some((42, 1.7)));
+        assert_eq!(s.exemplars[3], Some((7, 100.0)));
+        // Merge prefers the merged-in exemplar when present.
+        let (other, _) = hist(BucketLayout::log(1.0, 2.0, 3));
+        other.observe_with_exemplar(1.1, 99);
+        let mut merged = s.clone();
+        merged.merge(&other.cell.sample(&name));
+        assert_eq!(merged.exemplars[1], Some((99, 1.1)));
+        assert_eq!(merged.exemplars[3], Some((7, 100.0)));
     }
 
     #[test]

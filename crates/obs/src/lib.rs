@@ -19,8 +19,16 @@
 //!   and its `hmm-sim` replay overlay in one timeline;
 //! * a **Chrome trace-event serializer** ([`Obs::trace_json`], the
 //!   [`chrome`] module) whose output loads directly in Perfetto or
-//!   `chrome://tracing`, plus a [`json`] parser/validator used by tests and
-//!   CI gates (the vendored `serde_json` shim only serializes).
+//!   `chrome://tracing` — including *flow events* that chain one request's
+//!   admit → batch → launch → complete across processes — plus a [`json`]
+//!   parser/validator used by tests and CI gates (the vendored `serde_json`
+//!   shim only serializes);
+//! * a **flight recorder** ([`flight`]) — a fixed-capacity lock-free ring
+//!   of structured events ([`Obs::flight_event`]) that on a trigger dumps a
+//!   schema-versioned post-mortem bundle (recent events, registry snapshot,
+//!   last launch's trace slice, the triggering request's flow), checked by
+//!   [`flight::validate`] the way traces are checked by
+//!   [`chrome::validate`].
 //!
 //! ## Disabled means free
 //!
@@ -49,12 +57,14 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod flight;
 mod histogram;
 pub mod json;
 pub mod profile;
 mod registry;
 mod span;
 
+pub use flight::{FlightEvent, FlightKind};
 pub use histogram::{BucketLayout, Histogram, HistogramSample, MAX_BUCKETS};
 pub use registry::{Counter, CounterSample, Gauge, GaugeSample, Registry, Snapshot};
-pub use span::{ArgValue, Obs, SpanGuard, SpanId, Track};
+pub use span::{ArgValue, FlowPhase, Obs, SpanGuard, SpanId, Track};

@@ -345,12 +345,19 @@ impl Registry {
                 Some((b, rest)) => (b, rest.trim_end_matches('}')),
                 None => (rendered.as_str(), ""),
             };
-            for (le, cum) in h.cumulative() {
+            for (i, (le, cum)) in h.cumulative().into_iter().enumerate() {
                 let le = fmt_le(le);
+                // OpenMetrics exemplar suffix: the most recent request id
+                // and observed value that landed in this bucket, linking a
+                // scraped `_bucket` line to a traceable request.
+                let exemplar = match h.exemplars.get(i).copied().flatten() {
+                    Some((id, v)) => format!(" # {{request_id=\"{id}\"}} {v}"),
+                    None => String::new(),
+                };
                 if labels.is_empty() {
-                    let _ = writeln!(out, "{base}_bucket{{le=\"{le}\"}} {cum}");
+                    let _ = writeln!(out, "{base}_bucket{{le=\"{le}\"}} {cum}{exemplar}");
                 } else {
-                    let _ = writeln!(out, "{base}_bucket{{{labels},le=\"{le}\"}} {cum}");
+                    let _ = writeln!(out, "{base}_bucket{{{labels},le=\"{le}\"}} {cum}{exemplar}");
                 }
             }
             let suffix = if labels.is_empty() {
@@ -570,6 +577,25 @@ mod tests {
         assert!(text.contains("stage_seconds_sum{stage=\"queue\"} 1.5\n"));
         assert!(text.contains("stage_seconds_count{stage=\"queue\"} 1\n"));
         assert_eq!(text.matches("# TYPE stage_seconds histogram").count(), 1);
+    }
+
+    #[test]
+    fn exemplars_render_in_openmetrics_syntax() {
+        let r = Registry::new();
+        let h = r.histogram_with("req_seconds", &BucketLayout::log(1.0, 2.0, 3));
+        h.observe(0.5); // no exemplar on this bucket
+        h.observe_with_exemplar(1.5, 42);
+        let text = r.expose_text();
+        assert!(
+            text.contains("req_seconds_bucket{le=\"2\"} 2 # {request_id=\"42\"} 1.5\n"),
+            "got: {text}"
+        );
+        // Buckets without an exemplar stay plain Prometheus lines.
+        assert!(text.contains("req_seconds_bucket{le=\"1\"} 1\n"), "{text}");
+        assert!(
+            text.contains("req_seconds_bucket{le=\"+Inf\"} 2\n"),
+            "{text}"
+        );
     }
 
     #[test]

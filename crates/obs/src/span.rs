@@ -17,6 +17,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::chrome;
+use crate::flight::{FlightEvent, FlightKind, FlightRecorder};
 use crate::registry::Registry;
 
 /// Where an event lives in the trace: Chrome's process/thread pair.
@@ -98,6 +99,20 @@ impl From<String> for ArgValue {
     }
 }
 
+/// Which point of a flow arrow an event marks (Chrome trace `ph` values
+/// `"s"`, `"t"` and `"f"`). Events sharing a flow id form one arrow chain
+/// in Perfetto; the chain's id is the request id here, so a request can be
+/// followed across processes and threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowPhase {
+    /// The arrow's origin (`ph: "s"`).
+    Start,
+    /// An intermediate hop (`ph: "t"`).
+    Step,
+    /// The arrow's terminus (`ph: "f"`).
+    End,
+}
+
 /// How a recorded event renders in the Chrome trace.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub(crate) enum EventKind {
@@ -110,6 +125,10 @@ pub(crate) enum EventKind {
     Instant,
     /// A counter sample (`ph: "C"`): args are the series values.
     Counter,
+    /// A flow point (`ph: "s"/"t"/"f"`). For flow events the [`Event::id`]
+    /// field *is* the flow id (the request id), not a span-bookkeeping id —
+    /// Perfetto binds arrows by that top-level `id`.
+    Flow(FlowPhase),
 }
 
 /// One recorded trace event (crate-internal; serialized by [`chrome`]).
@@ -131,6 +150,7 @@ struct ObsInner {
     t0: Instant,
     next_id: AtomicU64,
     events: Mutex<Vec<Event>>,
+    flight: FlightRecorder,
 }
 
 /// The observability handle: a cheaply clonable recorder of spans and home
@@ -155,6 +175,7 @@ impl Obs {
                 t0: Instant::now(),
                 next_id: AtomicU64::new(1),
                 events: Mutex::new(Vec::new()),
+                flight: FlightRecorder::new(crate::flight::DEFAULT_CAPACITY),
             })),
         }
     }
@@ -262,6 +283,73 @@ impl Obs {
                     args: values.iter().map(|&(k, v)| (k, ArgValue::F64(v))).collect(),
                 },
             );
+        }
+    }
+
+    /// Record a flow point at an explicit timestamp in the track's clock
+    /// units (µs on wall, time units on sim). `flow` is the arrow chain's
+    /// id — the request id, here — shared by every point of the chain.
+    ///
+    /// Flow points must land *inside* a slice on the same track for
+    /// Perfetto to anchor the arrow to it, which is why the timestamp is
+    /// explicit: layers that retro-emit spans place the flow point at the
+    /// span's midpoint.
+    pub fn flow_at(
+        &self,
+        track: Track,
+        name: impl Into<Cow<'static, str>>,
+        phase: FlowPhase,
+        flow: u64,
+        ts: f64,
+    ) {
+        if let Some(inner) = &self.inner {
+            Self::push(
+                inner,
+                Event {
+                    name: name.into(),
+                    track,
+                    id: flow,
+                    parent: None,
+                    ts,
+                    kind: EventKind::Flow(phase),
+                    args: Vec::new(),
+                },
+            );
+        }
+    }
+
+    /// Record a flow point at a wall-clock instant ([`Self::flow_at`] with
+    /// the instant translated to this handle's wall microseconds).
+    pub fn flow_wall(
+        &self,
+        track: Track,
+        name: impl Into<Cow<'static, str>>,
+        phase: FlowPhase,
+        flow: u64,
+        at: Instant,
+    ) {
+        if let Some(inner) = &self.inner {
+            let ts = Self::wall_us(inner, at);
+            self.flow_at(track, name, phase, flow, ts);
+        }
+    }
+
+    /// Record a structured event into the flight recorder (no-op when
+    /// disabled): one lock-free ring write, no allocation.
+    #[inline]
+    pub fn flight_event(&self, kind: FlightKind, request: u64, a: u64, b: u64) {
+        if let Some(inner) = &self.inner {
+            let ts = Self::wall_us(inner, Instant::now());
+            inner.flight.record(ts, kind, request, a, b);
+        }
+    }
+
+    /// The flight recorder's surviving recent events, oldest first (empty
+    /// when disabled).
+    pub fn flight_recent(&self) -> Vec<FlightEvent> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner.flight.recent(),
         }
     }
 
@@ -440,8 +528,32 @@ mod tests {
             s.arg("k", ArgValue::U64(1));
         }
         obs.instant(Track::wall(0), "i", Vec::new());
+        obs.flow_at(Track::wall(0), "request", FlowPhase::Start, 7, 1.0);
+        obs.flight_event(FlightKind::Admit, 7, 0, 0);
         assert_eq!(obs.event_count(), 0);
+        assert!(obs.flight_recent().is_empty());
         assert_eq!(obs.trace_json(), chrome::serialize(&[]));
+    }
+
+    #[test]
+    fn flow_points_share_the_flow_id() {
+        let obs = Obs::new();
+        obs.flow_at(Track::wall(1), "request", FlowPhase::Start, 42, 5.0);
+        obs.flow_at(Track::wall(2), "request", FlowPhase::Step, 42, 10.0);
+        obs.flow_at(Track::wall(3), "request", FlowPhase::End, 42, 15.0);
+        let json = obs.trace_json();
+        let stats = chrome::validate(&json).unwrap();
+        assert_eq!(stats.flows, 3);
+        let v = crate::json::JsonValue::parse(&json).unwrap();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        for ph in ["s", "t", "f"] {
+            let e = events
+                .iter()
+                .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some(ph))
+                .unwrap_or_else(|| panic!("no {ph} flow point"));
+            assert_eq!(e.get("id").unwrap().as_f64(), Some(42.0));
+            assert_eq!(e.get("name").unwrap().as_str(), Some("request"));
+        }
     }
 
     #[test]
@@ -537,5 +649,17 @@ mod tests {
             "disabled span path costs {per_op:.0} ns/op — no-op fast path regressed"
         );
         assert_eq!(obs.event_count(), 0);
+        // Flight-recorder event recording shares the budget: disabled it is
+        // the same single branch, with no clock read and no ring write.
+        let t = Instant::now();
+        for i in 0..iters {
+            obs.flight_event(FlightKind::Admit, i as u64, 0, 0);
+        }
+        let per_op = t.elapsed().as_nanos() as f64 / iters as f64;
+        assert!(
+            per_op < 1000.0,
+            "disabled flight path costs {per_op:.0} ns/op — no-op fast path regressed"
+        );
+        assert!(obs.flight_recent().is_empty());
     }
 }

@@ -58,6 +58,15 @@
 //!   execute / total latency, a batch-width histogram, and the launches and
 //!   barrier windows actually issued vs. what per-request execution would
 //!   have cost.
+//! * Observability is **request-scoped** end to end: every admitted
+//!   request is minted a `RequestId` that rides through batch formation
+//!   into device launch metadata, links its whole lifecycle with
+//!   Chrome-trace flow arrows (admit → queue → batch → launch →
+//!   complete), stamps OpenMetrics exemplars onto the latency buckets,
+//!   and keys the flight recorder's post-mortem bundles
+//!   ([`PostmortemConfig`]). A zero-dependency HTTP listener
+//!   ([`TelemetryConfig`]) serves `/metrics`, `/healthz` and
+//!   `/debug/flight`.
 //!
 //! Only [`SatAlgorithm::OneR1W`] requests batch (that is the fused kernel
 //! the paper's analysis yields); other algorithms are served per-request on
@@ -65,6 +74,7 @@
 
 #![warn(missing_docs)]
 
+mod http;
 mod metrics;
 mod resilience;
 mod service;
@@ -74,9 +84,73 @@ pub use resilience::{ResilienceConfig, VerifyMode};
 pub use service::{Client, Service};
 
 use std::fmt;
+use std::path::PathBuf;
 use std::time::Duration;
 
 use hmm_model::MachineConfig;
+
+/// Telemetry HTTP listener configuration ([`ServiceConfig::telemetry`]).
+///
+/// When `listen` is set the service serves three plain-HTTP endpoints on
+/// it — no external dependencies, one short-lived connection per request:
+///
+/// * `/metrics` — the exact bytes of [`Service::metrics_text`]
+///   (Prometheus text exposition, OpenMetrics exemplars included);
+/// * `/healthz` — a JSON health document reflecting the circuit-breaker
+///   state and submission-queue depth;
+/// * `/debug/flight` — the flight recorder's recent structured events.
+///
+/// The listener thread shuts down with the service.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryConfig {
+    /// Bind address (e.g. `"127.0.0.1:0"` for an ephemeral port); `None`
+    /// (the default) starts no listener. Binding failures panic at
+    /// [`Service::start`] — an explicitly requested listener that cannot
+    /// serve is a deployment error, not something to limp past.
+    pub listen: Option<String>,
+}
+
+/// Post-mortem dump configuration ([`ServiceConfig::postmortem`]).
+///
+/// On a trigger — circuit breaker opening, a result failing verification,
+/// the SLO error-budget burn crossing `burn_threshold`, or (opted in via
+/// `panic_hook`) a panic — the service dumps a schema-versioned bundle of
+/// recent flight-recorder events, a registry snapshot, the last launch's
+/// trace slice and the triggering request's flow to
+/// `dir/postmortem-<prefix>-<seq>-<reason>.json` (see [`obs::flight`]).
+#[derive(Debug, Clone)]
+pub struct PostmortemConfig {
+    /// Directory bundles are written to; `None` (the default) disables
+    /// dumping. The observer must also be enabled — a disabled observer
+    /// has nothing to dump.
+    pub dir: Option<PathBuf>,
+    /// Filename tag distinguishing this service's bundles.
+    pub prefix: String,
+    /// At most this many bundles per service lifetime (the first triggers
+    /// win; a flapping breaker must not fill the disk).
+    pub max_bundles: u64,
+    /// Dump when the SLO error-budget burn rate reaches this value
+    /// (checked after every dispatched batch); `None` disables the burn
+    /// trigger.
+    pub burn_threshold: Option<f64>,
+    /// Install a process-wide panic hook that dumps a bundle (reason
+    /// `panic`) before delegating to the previous hook. Off by default:
+    /// panic hooks are global, so only one service per process should
+    /// opt in.
+    pub panic_hook: bool,
+}
+
+impl Default for PostmortemConfig {
+    fn default() -> Self {
+        PostmortemConfig {
+            dir: None,
+            prefix: "svc".to_string(),
+            max_bundles: 1,
+            burn_threshold: None,
+            panic_hook: false,
+        }
+    }
+}
 
 /// Construction parameters for a [`Service`].
 #[derive(Debug, Clone)]
@@ -108,6 +182,12 @@ pub struct ServiceConfig {
     /// Latency objective the service reports against (target gauge,
     /// attainment ratio and error-budget burn on the metrics endpoint).
     pub slo: SloConfig,
+    /// Optional plain-HTTP telemetry listener (`/metrics`, `/healthz`,
+    /// `/debug/flight`).
+    pub telemetry: TelemetryConfig,
+    /// Post-mortem flight-recorder dumps on breaker-open, verification
+    /// failure, SLO burn or panic.
+    pub postmortem: PostmortemConfig,
 }
 
 impl Default for ServiceConfig {
@@ -123,6 +203,8 @@ impl Default for ServiceConfig {
             fault_plan: None,
             resilience: ResilienceConfig::default(),
             slo: SloConfig::default(),
+            telemetry: TelemetryConfig::default(),
+            postmortem: PostmortemConfig::default(),
         }
     }
 }

@@ -47,6 +47,9 @@ pub(crate) struct Metrics {
     c: Counters,
     h: Hists,
     slo: SloConfig,
+    /// Current circuit-breaker state ("closed" / "open" / "half_open"),
+    /// tracked for the `/healthz` endpoint.
+    breaker: Mutex<&'static str>,
 }
 
 /// Registry-backed latency histograms (per-request plus per-stage).
@@ -108,6 +111,10 @@ pub(crate) struct BatchRecord<'a> {
     pub barriers_equiv: u64,
     pub queue_ns: &'a [u64],
     pub exec_ns: u64,
+    /// Request ids parallel to `queue_ns`, stamped onto the latency
+    /// histograms as OpenMetrics exemplars; empty when untracked (the
+    /// histograms then observe without exemplars).
+    pub request_ids: &'a [u64],
 }
 
 impl Metrics {
@@ -162,6 +169,7 @@ impl Metrics {
             c,
             h,
             slo,
+            breaker: Mutex::new("closed"),
         }
     }
 
@@ -210,11 +218,37 @@ impl Metrics {
 
     /// The circuit breaker moved to `to` ("open" / "half_open" / "closed").
     pub(crate) fn on_breaker(&self, to: &str) {
-        match to {
-            "open" => self.c.breaker_opened.inc(),
-            "half_open" => self.c.breaker_half_open.inc(),
-            _ => self.c.breaker_closed.inc(),
+        let state = match to {
+            "open" => {
+                self.c.breaker_opened.inc();
+                "open"
+            }
+            "half_open" => {
+                self.c.breaker_half_open.inc();
+                "half_open"
+            }
+            _ => {
+                self.c.breaker_closed.inc();
+                "closed"
+            }
+        };
+        *self.breaker.lock() = state;
+    }
+
+    /// Current circuit-breaker state, for the health endpoint.
+    pub(crate) fn breaker_state(&self) -> &'static str {
+        *self.breaker.lock()
+    }
+
+    /// Current SLO error-budget burn rate, derived from the request
+    /// histogram exactly as the scrape-time gauge is (1.0 = spending the
+    /// budget exactly; 0.0 when the budget is unlimited).
+    pub(crate) fn slo_burn(&self) -> f64 {
+        let (_, _, request, _) = self.latency_samples();
+        if self.slo.error_budget <= 0.0 || request.count == 0 {
+            return 0.0;
         }
+        (1.0 - request.fraction_le(self.slo.target.as_secs_f64())) / self.slo.error_budget
     }
 
     /// A half-open canary launch probed the device.
@@ -238,10 +272,23 @@ impl Metrics {
             m.batch_width_hist[b.width] += 1;
         }
         let secs = |ns: u64| ns as f64 * 1e-9;
-        for &q in b.queue_ns {
-            self.h.queue.observe(secs(q));
-            self.h.exec.observe(secs(b.exec_ns));
-            self.h.request.observe(secs(q + b.exec_ns));
+        for (i, &q) in b.queue_ns.iter().enumerate() {
+            match b.request_ids.get(i) {
+                // Stamp the landing bucket with the request id so a scrape
+                // can name a request that actually paid each latency.
+                Some(&rid) => {
+                    self.h.queue.observe_with_exemplar(secs(q), rid);
+                    self.h.exec.observe_with_exemplar(secs(b.exec_ns), rid);
+                    self.h
+                        .request
+                        .observe_with_exemplar(secs(q + b.exec_ns), rid);
+                }
+                None => {
+                    self.h.queue.observe(secs(q));
+                    self.h.exec.observe(secs(b.exec_ns));
+                    self.h.request.observe(secs(q + b.exec_ns));
+                }
+            }
         }
         // The batch-formation window is the oldest member's wait: from its
         // admission until the batch dispatched.
@@ -548,6 +595,7 @@ mod tests {
             barriers_equiv: 4,
             queue_ns: &[1_000, 2_000],
             exec_ns: 5_000,
+            request_ids: &[1, 2],
         });
         let s = m.snapshot();
         assert_eq!(s.submitted, 2);
@@ -577,6 +625,7 @@ mod tests {
                 barriers_equiv: 0,
                 queue_ns: &[k * 1_000_000],
                 exec_ns: 0,
+                request_ids: &[],
             });
         }
         let s = m.snapshot().queue_latency;
@@ -608,6 +657,7 @@ mod tests {
             barriers_equiv: 1,
             queue_ns: &[2_000_000],
             exec_ns: 1_000_000,
+            request_ids: &[42],
         });
         let text = m.expose_text();
         assert!(text.contains("# TYPE sat_service_submitted_total counter"));
@@ -624,8 +674,35 @@ mod tests {
         assert!(text.contains("sat_service_request_latency_seconds_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("sat_service_request_latency_seconds_count 1"));
         assert!(text.contains("sat_service_request_latency_seconds_sum 0.003"));
+        // The landing bucket carries an OpenMetrics exemplar naming the
+        // request that paid the latency (3 ms → le="0.004096" bucket).
+        let exemplar = text
+            .lines()
+            .find(|l| {
+                l.starts_with("sat_service_request_latency_seconds_bucket")
+                    && l.contains("# {request_id=\"42\"}")
+            })
+            .expect("request histogram carries an exemplar");
+        assert!(
+            exemplar.ends_with("# {request_id=\"42\"} 0.003"),
+            "{exemplar}"
+        );
         assert!(text
             .contains("sat_service_stage_latency_seconds_bucket{stage=\"queue\",le=\"+Inf\"} 1"));
+    }
+
+    #[test]
+    fn breaker_state_tracks_transitions_for_health() {
+        let m = Metrics::default();
+        assert_eq!(m.breaker_state(), "closed");
+        m.on_breaker("open");
+        assert_eq!(m.breaker_state(), "open");
+        m.on_breaker("half_open");
+        assert_eq!(m.breaker_state(), "half_open");
+        m.on_breaker("closed");
+        assert_eq!(m.breaker_state(), "closed");
+        // No samples yet: the burn rate reads zero, not NaN.
+        assert_eq!(m.slo_burn(), 0.0);
     }
 
     #[test]
@@ -647,6 +724,7 @@ mod tests {
             barriers_equiv: 0,
             queue_ns: &[0, 0, 0, 0],
             exec_ns: 0,
+            request_ids: &[],
         });
         let text = m.expose_text();
         assert!(text.contains("sat_service_slo_target_seconds 0.01"));
@@ -668,10 +746,14 @@ mod tests {
                 barriers_equiv: 0,
                 queue_ns: &[0],
                 exec_ns,
+                request_ids: &[],
             });
         }
         let text = m.expose_text();
         assert!(text.contains("sat_service_slo_attainment_ratio 0.75"));
         assert!(text.contains("sat_service_slo_error_budget_burn 2.5"));
+        // The programmatic burn (the post-mortem trigger's input) agrees
+        // with the exposed gauge.
+        assert!((m.slo_burn() - 2.5).abs() < 1e-9, "{}", m.slo_burn());
     }
 }

@@ -2,24 +2,30 @@
 //! batch-former thread that owns the device.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use gpu_exec::{BufferPool, Device, DeviceOptions};
+use gpu_exec::{BufferPool, Device, DeviceOptions, LaunchContext};
 use hmm_model::cost::{CostCounters, GlobalCost, SatAlgorithm};
-use obs::{ArgValue, Track};
+use obs::flight::Trigger;
+use obs::{ArgValue, FlightKind, FlowPhase, Obs, Track};
 use parking_lot::{Condvar, Mutex};
 use sat_core::{compute_sat, compute_sat_batch_with, Matrix, SumTable};
 
+use crate::http::Telemetry;
 use crate::metrics::Metrics;
 use crate::resilience::{backoff_delay, canary_ok, verify_sat, CircuitBreaker, Disposition};
 use crate::{ServiceConfig, ServiceError, ServiceStats, VerifyMode};
 
 type Reply = mpsc::SyncSender<Result<SumTable<f64>, ServiceError>>;
 
-struct Request {
+pub(crate) struct Request {
+    /// Request id minted at admission; the flow id of the request's
+    /// Chrome-trace arrow chain and the key of its flight-recorder events.
+    id: u64,
     image: Matrix<f64>,
     algorithm: SatAlgorithm,
     enqueued: Instant,
@@ -28,19 +34,32 @@ struct Request {
 }
 
 #[derive(Default)]
-struct QueueState {
-    queue: VecDeque<Request>,
-    shutdown: bool,
+pub(crate) struct QueueState {
+    pub(crate) queue: VecDeque<Request>,
+    pub(crate) shutdown: bool,
 }
 
-struct Shared {
-    cfg: ServiceConfig,
-    state: Mutex<QueueState>,
+impl QueueState {
+    /// Queue depth, for the health endpoint.
+    pub(crate) fn depth(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+pub(crate) struct Shared {
+    pub(crate) cfg: ServiceConfig,
+    pub(crate) state: Mutex<QueueState>,
     /// Submitters wait here for queue space (backpressure edge).
     space_cv: Condvar,
     /// The batch-former waits here for work or its linger window.
     work_cv: Condvar,
-    metrics: Metrics,
+    pub(crate) metrics: Metrics,
+    /// Source of admission-time request ids (1-based; 0 means "no
+    /// request" in flight-recorder events).
+    next_request: AtomicU64,
+    /// Post-mortem bundles dumped so far (capped by
+    /// [`crate::PostmortemConfig::max_bundles`]).
+    pub(crate) postmortems: AtomicU64,
 }
 
 /// A running SAT service. Created by [`Service::start`]; hand out
@@ -49,6 +68,7 @@ struct Shared {
 pub struct Service {
     shared: Arc<Shared>,
     batcher: Option<JoinHandle<()>>,
+    telemetry: Option<Telemetry>,
 }
 
 /// A cheap, cloneable handle for submitting requests from any thread.
@@ -80,6 +100,24 @@ impl Service {
             space_cv: Condvar::new(),
             work_cv: Condvar::new(),
             metrics,
+            next_request: AtomicU64::new(0),
+            postmortems: AtomicU64::new(0),
+        });
+        if shared.cfg.postmortem.panic_hook {
+            if let (Some(dir), true) = (
+                shared.cfg.postmortem.dir.clone(),
+                shared.cfg.observer.is_enabled(),
+            ) {
+                obs::flight::install_panic_hook(
+                    shared.cfg.observer.clone(),
+                    dir,
+                    shared.cfg.postmortem.prefix.clone(),
+                );
+            }
+        }
+        let telemetry = shared.cfg.telemetry.listen.clone().map(|addr| {
+            Telemetry::start(Arc::clone(&shared), &addr)
+                .unwrap_or_else(|e| panic!("telemetry listener on {addr}: {e}"))
         });
         let for_batcher = Arc::clone(&shared);
         let batcher = std::thread::Builder::new()
@@ -89,6 +127,7 @@ impl Service {
         Service {
             shared,
             batcher: Some(batcher),
+            telemetry,
         }
     }
 
@@ -106,9 +145,17 @@ impl Service {
 
     /// Prometheus-style text exposition of every counter and gauge the
     /// service maintains (plus the device's `gpu_*` counters when the
-    /// service was started with an enabled observer).
+    /// service was started with an enabled observer). The `/metrics`
+    /// endpoint of the telemetry listener serves exactly these bytes.
     pub fn metrics_text(&self) -> String {
         self.shared.metrics.expose_text()
+    }
+
+    /// The telemetry listener's bound address, when one was configured
+    /// ([`crate::TelemetryConfig::listen`]) — useful with an ephemeral
+    /// port request like `127.0.0.1:0`.
+    pub fn telemetry_addr(&self) -> Option<std::net::SocketAddr> {
+        self.telemetry.as_ref().map(Telemetry::addr)
     }
 
     /// Stop admitting requests, fail everything still queued with
@@ -127,6 +174,9 @@ impl Service {
         }
         self.shared.work_cv.notify_all();
         self.shared.space_cv.notify_all();
+        if let Some(t) = self.telemetry.take() {
+            t.stop();
+        }
         if let Some(h) = self.batcher.take() {
             let _ = h.join();
         }
@@ -154,15 +204,18 @@ impl Client {
         algorithm: SatAlgorithm,
         deadline: Option<Duration>,
     ) -> Result<SumTable<f64>, ServiceError> {
+        let obs = &self.shared.cfg.observer;
         if image.rows() == 0 || image.cols() == 0 {
             let err = ServiceError::InvalidRequest("empty matrix".to_string());
             self.shared.metrics.on_reject(&err);
+            obs.flight_event(FlightKind::Reject, 0, REJECT_INVALID, 0);
             return Err(err);
         }
         let enqueued = Instant::now();
         let deadline_at = enqueued + deadline.unwrap_or(self.shared.cfg.default_deadline);
         let (rows, cols) = (image.rows(), image.cols());
         let (tx, rx) = mpsc::sync_channel(1);
+        let id;
         {
             let mut st = self.shared.state.lock();
             loop {
@@ -170,6 +223,7 @@ impl Client {
                     drop(st);
                     let err = ServiceError::ShuttingDown;
                     self.shared.metrics.on_reject(&err);
+                    obs.flight_event(FlightKind::Reject, 0, REJECT_SHUTTING_DOWN, 0);
                     return Err(err);
                 }
                 if st.queue.len() < self.shared.cfg.queue_capacity {
@@ -180,11 +234,16 @@ impl Client {
                     drop(st);
                     let err = ServiceError::QueueFull;
                     self.shared.metrics.on_reject(&err);
+                    obs.flight_event(FlightKind::Reject, 0, REJECT_QUEUE_FULL, 0);
                     return Err(err);
                 }
                 self.shared.space_cv.wait_for(&mut st, timeout);
             }
+            // Mint the request id at admission: 1-based so 0 can mean "no
+            // request" in launch metadata and flight events.
+            id = self.shared.next_request.fetch_add(1, Ordering::Relaxed) + 1;
             st.queue.push_back(Request {
+                id,
                 image,
                 algorithm,
                 enqueued,
@@ -193,15 +252,17 @@ impl Client {
             });
         }
         self.shared.metrics.on_submit();
-        self.shared.cfg.observer.instant(
+        obs.instant(
             Track::wall(0),
             "admit",
             vec![
+                ("request", ArgValue::from(id)),
                 ("rows", ArgValue::from(rows)),
                 ("cols", ArgValue::from(cols)),
                 ("algo", ArgValue::from(algorithm.name())),
             ],
         );
+        obs.flight_event(FlightKind::Admit, id, rows as u64, cols as u64);
         self.shared.work_cv.notify_all();
         match rx.recv() {
             Ok(result) => result,
@@ -220,6 +281,45 @@ impl Client {
     pub fn metrics_text(&self) -> String {
         self.shared.metrics.expose_text()
     }
+}
+
+/// Reason codes carried in the `a` word of [`FlightKind::Reject`] events.
+const REJECT_QUEUE_FULL: u64 = 1;
+const REJECT_SHUTTING_DOWN: u64 = 2;
+const REJECT_INVALID: u64 = 3;
+const REJECT_DEADLINE: u64 = 4;
+const REJECT_SHUTDOWN_DRAIN: u64 = 5;
+
+/// Base `tid` of the wall-clock tracks request-lifecycle spans land on
+/// (`queue` spans use 1..=16; `request` spans get their own lane group so
+/// the two never have to nest).
+const REQUEST_TRACK_BASE: u32 = 32;
+const REQUEST_TRACK_LANES: u64 = 8;
+
+/// Retro-emit the terminal lifecycle records of one request: a `request`
+/// span covering admission → exit with its terminal `status` arg, plus the
+/// flow chain's endpoints (`FlowPhase::Start` at admission inside that
+/// span, `FlowPhase::End` at its close), so every opened request span is
+/// closed on every exit path — complete, degraded, deadline-expired and
+/// shutdown-drain alike.
+fn close_request_span(obs: &Obs, id: u64, enqueued: Instant, ended: Instant, status: &'static str) {
+    if !obs.is_enabled() {
+        return;
+    }
+    let track = Track::wall(REQUEST_TRACK_BASE + (id % REQUEST_TRACK_LANES) as u32);
+    obs.wall_span_at(
+        track,
+        "request",
+        enqueued,
+        ended,
+        None,
+        vec![
+            ("request", ArgValue::from(id)),
+            ("status", ArgValue::from(status)),
+        ],
+    );
+    obs.flow_wall(track, "request", FlowPhase::Start, id, enqueued);
+    obs.flow_wall(track, "request", FlowPhase::End, id, ended);
 }
 
 /// One dispatch decision: a same-shape, same-algorithm slice of the queue.
@@ -246,6 +346,8 @@ struct ExecState {
     verify_on: bool,
     /// Decorrelates successive backoff jitters within one batcher lifetime.
     salt: u64,
+    /// Dispatch sequence number, carried as launch metadata.
+    batch_no: u64,
 }
 
 fn batcher_loop(shared: &Shared, dev: &Device) {
@@ -259,6 +361,7 @@ fn batcher_loop(shared: &Shared, dev: &Device) {
         pool: BufferPool::new(),
         verify_on,
         salt: 0,
+        batch_no: 0,
     };
     loop {
         let mut expired: Vec<Request> = Vec::new();
@@ -374,9 +477,21 @@ fn batcher_loop(shared: &Shared, dev: &Device) {
                 Track::wall(0),
                 "deadline_expired",
                 vec![
+                    ("request", ArgValue::from(r.id)),
                     ("rows", ArgValue::from(r.image.rows())),
                     ("cols", ArgValue::from(r.image.cols())),
                 ],
+            );
+            shared
+                .cfg
+                .observer
+                .flight_event(FlightKind::Reject, r.id, REJECT_DEADLINE, 0);
+            close_request_span(
+                &shared.cfg.observer,
+                r.id,
+                r.enqueued,
+                Instant::now(),
+                "deadline_expired",
             );
             let _ = r.reply.send(Err(err));
         }
@@ -386,9 +501,23 @@ fn batcher_loop(shared: &Shared, dev: &Device) {
                 "shutdown_drain",
                 vec![("count", ArgValue::from(drained.len()))],
             );
+            let now = Instant::now();
             for r in drained {
                 let err = ServiceError::Shutdown;
                 shared.metrics.on_reject(&err);
+                shared.cfg.observer.flight_event(
+                    FlightKind::Reject,
+                    r.id,
+                    REJECT_SHUTDOWN_DRAIN,
+                    0,
+                );
+                close_request_span(
+                    &shared.cfg.observer,
+                    r.id,
+                    r.enqueued,
+                    now,
+                    "shutdown_drain",
+                );
                 let _ = r.reply.send(Err(err));
             }
         }
@@ -401,24 +530,51 @@ fn batcher_loop(shared: &Shared, dev: &Device) {
     }
 }
 
-/// Report a circuit-breaker transition, if one happened.
-fn report_breaker(shared: &Shared, transition: Option<&'static str>) {
+/// Report a circuit-breaker transition, if one happened: counters, an
+/// instant on the trace, a flight-recorder event — and, on a transition
+/// into `open`, a queued post-mortem trigger (dumped once the dispatch's
+/// lifecycle records are all emitted, so the bundle holds the full chain).
+fn report_breaker(
+    shared: &Shared,
+    transition: Option<&'static str>,
+    request: u64,
+    dumps: &mut Vec<Trigger>,
+) {
     if let Some(to) = transition {
         shared.metrics.on_breaker(to);
         shared
             .cfg
             .observer
             .instant(Track::wall(0), "breaker", vec![("to", ArgValue::from(to))]);
+        let code = match to {
+            "open" => 1,
+            "half_open" => 2,
+            _ => 3,
+        };
+        shared
+            .cfg
+            .observer
+            .flight_event(FlightKind::BreakerTransition, request, code, 0);
+        if to == "open" {
+            dumps.push(Trigger {
+                reason: "breaker_open".to_string(),
+                request,
+                detail: "consecutive launch failures opened the circuit breaker".to_string(),
+            });
+        }
     }
 }
 
 /// Complete every still-pending request on the sequential CPU path
 /// ([`sat_core::seq::sat_4r1w_cpu`]): slower, but immune to device faults.
+/// Marks each completed index in `degraded` so its terminal span status
+/// reads `degraded` rather than `ok`.
 fn degrade_pending(
     shared: &Shared,
     images: &[Matrix<f64>],
     pending: &mut Vec<usize>,
     results: &mut [Option<Matrix<f64>>],
+    degraded: &mut [bool],
 ) {
     shared.cfg.observer.instant(
         Track::wall(0),
@@ -429,9 +585,43 @@ fn degrade_pending(
         let mut m = images[i].clone();
         sat_core::seq::sat_4r1w_cpu(&mut m);
         results[i] = Some(m);
+        degraded[i] = true;
         shared.metrics.on_degraded();
     }
     pending.clear();
+}
+
+/// Dump one queued post-mortem bundle, respecting the lifetime cap. Only
+/// the batch-former calls this, but the count is atomic anyway so the
+/// panic hook's dumps cannot race it into exceeding the cap by more than
+/// the hook's own bundle.
+fn maybe_dump(shared: &Shared, trigger: &Trigger) {
+    let Some(dir) = shared.cfg.postmortem.dir.as_deref() else {
+        return;
+    };
+    if !shared.cfg.observer.is_enabled() {
+        return;
+    }
+    if shared.postmortems.fetch_add(1, Ordering::Relaxed) >= shared.cfg.postmortem.max_bundles {
+        shared.postmortems.fetch_sub(1, Ordering::Relaxed);
+        return;
+    }
+    match obs::flight::dump(
+        &shared.cfg.observer,
+        dir,
+        &shared.cfg.postmortem.prefix,
+        trigger,
+    ) {
+        Ok(path) => shared.cfg.observer.instant(
+            Track::wall(0),
+            "postmortem",
+            vec![
+                ("request", ArgValue::from(trigger.request)),
+                ("path", ArgValue::from(path.display().to_string())),
+            ],
+        ),
+        Err(e) => eprintln!("sat-service: post-mortem dump failed: {e}"),
+    }
 }
 
 /// Table-I closed-form check: on block-aligned squares the batched 1R1W
@@ -480,12 +670,20 @@ fn execute(shared: &Shared, dev: &Device, d: Dispatch, ex: &mut ExecState) {
         .map(|r| dispatched_at.duration_since(r.enqueued).as_nanos() as u64)
         .collect();
     let enqueued_at: Vec<Instant> = d.requests.iter().map(|r| r.enqueued).collect();
+    let ids: Vec<u64> = d.requests.iter().map(|r| r.id).collect();
     let mut images = Vec::with_capacity(width);
     let mut replies = Vec::with_capacity(width);
     for r in d.requests {
         images.push(r.image);
         replies.push(r.reply);
     }
+    ex.batch_no += 1;
+    let batch_no = ex.batch_no;
+    shared
+        .cfg
+        .observer
+        .flight_event(FlightKind::BatchFormed, ids[0], batch_no, width as u64);
+    let mut dumps: Vec<Trigger> = Vec::new();
 
     let w = dev.width();
     // Launches one per-request 1R1W run of this shape would cost: the
@@ -500,19 +698,20 @@ fn execute(shared: &Shared, dev: &Device, d: Dispatch, ex: &mut ExecState) {
     let rcfg = &shared.cfg.resilience;
     let before = dev.launches();
     let mut results: Vec<Option<Matrix<f64>>> = (0..width).map(|_| None).collect();
+    let mut degraded: Vec<bool> = vec![false; width];
     let mut pending: Vec<usize> = (0..width).collect();
     let mut attempts = 0u32;
     while !pending.is_empty() {
         // Attempt budget exhausted: stop fighting the device.
         if attempts >= rcfg.max_attempts {
-            degrade_pending(shared, &images, &mut pending, &mut results);
+            degrade_pending(shared, &images, &mut pending, &mut results, &mut degraded);
             break;
         }
         let (disposition, transition) = ex.breaker.poll(Instant::now());
-        report_breaker(shared, transition);
+        report_breaker(shared, transition, ids[pending[0]], &mut dumps);
         match disposition {
             Disposition::Degrade => {
-                degrade_pending(shared, &images, &mut pending, &mut results);
+                degrade_pending(shared, &images, &mut pending, &mut results, &mut degraded);
                 break;
             }
             Disposition::Probe => {
@@ -528,7 +727,7 @@ fn execute(shared: &Shared, dev: &Device, d: Dispatch, ex: &mut ExecState) {
                 } else {
                     ex.breaker.on_failure(Instant::now())
                 };
-                report_breaker(shared, t);
+                report_breaker(shared, t, ids[pending[0]], &mut dumps);
                 continue; // Re-poll: the probe decided Use vs. Degrade.
             }
             Disposition::Use => {}
@@ -544,6 +743,13 @@ fn execute(shared: &Shared, dev: &Device, d: Dispatch, ex: &mut ExecState) {
         let epoch_before = dev.fault_epoch();
         let stats_before =
             (ex.verify_on && d.algorithm == SatAlgorithm::OneR1W).then(|| dev.stats());
+        // Launch metadata: the device stamps these ids onto its launch
+        // spans and emits one flow step per id inside them, which is what
+        // links the request's admit-side chain to the kernel level.
+        dev.set_launch_context(Some(LaunchContext {
+            batch: batch_no,
+            requests: pending.iter().map(|&i| ids[i]).collect(),
+        }));
         let out: Vec<Matrix<f64>> = if d.algorithm == SatAlgorithm::OneR1W {
             if pending.len() == width {
                 compute_sat_batch_with(dev, &ex.pool, &images)
@@ -557,6 +763,7 @@ fn execute(shared: &Shared, dev: &Device, d: Dispatch, ex: &mut ExecState) {
                 .map(|&i| compute_sat(dev, d.algorithm, &images[i]))
                 .collect()
         };
+        dev.set_launch_context(None);
 
         // A fault-epoch bump is the "CUDA error code" analogue; the
         // closed-form mismatch catches work lost without an error.
@@ -570,10 +777,15 @@ fn execute(shared: &Shared, dev: &Device, d: Dispatch, ex: &mut ExecState) {
                 "attempt_failed",
                 vec![("attempt", ArgValue::from(attempts as usize))],
             );
-            report_breaker(shared, ex.breaker.on_failure(Instant::now()));
+            report_breaker(
+                shared,
+                ex.breaker.on_failure(Instant::now()),
+                ids[pending[0]],
+                &mut dumps,
+            );
             continue;
         }
-        report_breaker(shared, ex.breaker.on_success());
+        report_breaker(shared, ex.breaker.on_success(), ids[pending[0]], &mut dumps);
 
         // Verify each result; failures stay pending for the next attempt
         // (they do not feed the breaker — the launch itself was healthy).
@@ -589,6 +801,12 @@ fn execute(shared: &Shared, dev: &Device, d: Dispatch, ex: &mut ExecState) {
             } else {
                 unverified += 1;
                 still.push(i);
+                shared.cfg.observer.flight_event(
+                    FlightKind::VerifyFailure,
+                    ids[i],
+                    attempts as u64,
+                    0,
+                );
             }
         }
         if unverified > 0 {
@@ -597,6 +815,11 @@ fn execute(shared: &Shared, dev: &Device, d: Dispatch, ex: &mut ExecState) {
                 "verify_failed",
                 vec![("count", ArgValue::from(unverified))],
             );
+            dumps.push(Trigger {
+                reason: "verify_failure".to_string(),
+                request: ids[still[0]],
+                detail: format!("{unverified} result(s) failed SAT verification"),
+            });
         }
         pending = still;
     }
@@ -623,12 +846,35 @@ fn execute(shared: &Shared, dev: &Device, d: Dispatch, ex: &mut ExecState) {
         barriers_equiv,
         queue_ns: &queue_ns,
         exec_ns,
+        request_ids: &ids,
     });
+
+    // SLO-burn trigger: check the scrape-time burn rate after folding this
+    // batch in, and queue a dump the first time it crosses the threshold.
+    if let Some(threshold) = shared.cfg.postmortem.burn_threshold {
+        let burn = shared.metrics.slo_burn();
+        if burn >= threshold {
+            shared.cfg.observer.flight_event(
+                FlightKind::SloBurn,
+                ids[0],
+                (burn * 1000.0) as u64,
+                (threshold * 1000.0) as u64,
+            );
+            dumps.push(Trigger {
+                reason: "slo_burn".to_string(),
+                request: ids[0],
+                detail: format!("error-budget burn {burn:.3} reached threshold {threshold:.3}"),
+            });
+        }
+    }
 
     // Retro-emit the lifecycle spans now that the batch's end is known: a
     // `batch` span covering device execution on lane 0 (the device's own
-    // per-launch spans nest inside it by containment) and one `queue` span
-    // per request from admission to dispatch, parented to the batch.
+    // per-launch spans nest inside it by containment), one `queue` span
+    // per request from admission to dispatch parented to the batch, and
+    // one `request` span per request carrying its terminal status and the
+    // flow chain's endpoints. A flow step at dispatch time inside the
+    // batch span joins the per-request chains to the shared batch.
     let obs = &shared.cfg.observer;
     if obs.is_enabled() {
         let done = Instant::now();
@@ -639,6 +885,7 @@ fn execute(shared: &Shared, dev: &Device, d: Dispatch, ex: &mut ExecState) {
             done,
             None,
             vec![
+                ("batch", ArgValue::from(batch_no)),
                 ("width", ArgValue::from(width)),
                 ("algo", ArgValue::from(d.algorithm.name())),
                 ("launches", ArgValue::from(issued)),
@@ -651,14 +898,28 @@ fn execute(shared: &Shared, dev: &Device, d: Dispatch, ex: &mut ExecState) {
                 enq,
                 dispatched_at,
                 batch,
-                vec![("request", ArgValue::from(i))],
+                vec![("request", ArgValue::from(ids[i]))],
             );
+            obs.flow_wall(
+                Track::wall(0),
+                "request",
+                FlowPhase::Step,
+                ids[i],
+                dispatched_at,
+            );
+            let status = if degraded[i] { "degraded" } else { "ok" };
+            close_request_span(obs, ids[i], enq, done, status);
         }
         obs.instant(
             Track::wall(0),
             "complete",
             vec![("width", ArgValue::from(width))],
         );
+    }
+    // Dump queued post-mortems only now, so a bundle triggered mid-attempt
+    // still captures the triggering request's complete event chain.
+    for trigger in &dumps {
+        maybe_dump(shared, trigger);
     }
     for (reply, sat) in replies.into_iter().zip(results) {
         let sat = sat.expect("the attempt loop resolves every request");

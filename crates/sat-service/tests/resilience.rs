@@ -26,13 +26,12 @@ fn chaos_config(plan: FaultPlan) -> ServiceConfig {
         max_batch: 4,
         max_linger: Duration::from_micros(200),
         default_deadline: Duration::from_secs(30),
-        observer: obs::Obs::disabled(),
         fault_plan: Some(plan),
         resilience: ResilienceConfig {
             breaker_cooldown: Duration::from_millis(10),
             ..ResilienceConfig::default()
         },
-        slo: sat_service::SloConfig::default(),
+        ..ServiceConfig::default()
     }
 }
 

@@ -17,10 +17,7 @@ fn small_config() -> ServiceConfig {
         max_batch: 8,
         max_linger: Duration::from_millis(2),
         default_deadline: Duration::from_secs(30),
-        observer: obs::Obs::disabled(),
-        fault_plan: None,
-        resilience: Default::default(),
-        slo: Default::default(),
+        ..ServiceConfig::default()
     }
 }
 
@@ -171,10 +168,7 @@ fn backpressure_rejects_when_queue_stays_full() {
         // Lingering occupant: holds the single queue slot for the whole test.
         max_linger: Duration::from_secs(3600),
         default_deadline: Duration::from_secs(3600),
-        observer: obs::Obs::disabled(),
-        fault_plan: None,
-        resilience: Default::default(),
-        slo: Default::default(),
+        ..ServiceConfig::default()
     };
     let service = Service::start(cfg);
     let occupant = service.client();
@@ -277,6 +271,11 @@ fn observed_service_exposes_metrics_text_and_lifecycle_spans() {
     let text = client.metrics_text();
     assert!(text.contains("# TYPE sat_service_submitted_total counter"));
     assert!(text.contains("sat_service_submitted_total 3"));
+    // Latency buckets carry OpenMetrics exemplars naming a request id.
+    assert!(
+        text.contains(" # {request_id=\""),
+        "request histogram buckets carry exemplars"
+    );
     assert!(text.contains("sat_service_completed_total 3"));
     assert!(text.contains("sat_service_rejected_total{reason=\"invalid\"} 1"));
     assert!(text.contains("# TYPE sat_service_queue_latency_ms gauge"));
@@ -299,7 +298,7 @@ fn observed_service_exposes_metrics_text_and_lifecycle_spans() {
     // The trace holds the full request lifecycle on the wall clock and is
     // valid Chrome trace-event JSON.
     let json = obs.trace_json();
-    obs::chrome::validate(&json).expect("valid chrome trace");
+    let trace_stats = obs::chrome::validate(&json).expect("valid chrome trace");
     let parsed = obs::json::JsonValue::parse(&json).unwrap();
     let events = parsed.get("traceEvents").unwrap().as_array().unwrap();
     let named = |want: &str| {
@@ -313,6 +312,26 @@ fn observed_service_exposes_metrics_text_and_lifecycle_spans() {
     assert!(named("batch") >= 1);
     assert!(named("launch") >= 7, "device spans share the trace");
     assert!(named("complete") >= 1);
+    // Request-scoped chain: every completed request closed a terminal
+    // `request` span with status "ok" and contributed flow points
+    // (start + dispatch step + per-launch steps + end).
+    let ok_spans = events
+        .iter()
+        .filter(|e| {
+            e.get("name").and_then(|n| n.as_str()) == Some("request")
+                && e.get("ph").and_then(|p| p.as_str()) == Some("X")
+                && e.get("args")
+                    .and_then(|a| a.get("status"))
+                    .and_then(|s| s.as_str())
+                    == Some("ok")
+        })
+        .count();
+    assert_eq!(ok_spans, 3, "one terminal request span per completion");
+    assert!(
+        trace_stats.flows >= 9,
+        "flow chain per request, got {}",
+        trace_stats.flows
+    );
 }
 
 #[test]

@@ -16,15 +16,38 @@ cargo test -q
 echo "== cargo test (workspace)"
 cargo test -q --workspace
 
-echo "== loadgen smoke (serving layer end-to-end, small profile)"
+echo "== loadgen smoke (serving layer end-to-end; traced run must link at"
+echo "   least one request admit -> batch -> launch -> complete by flow arrows)"
 cargo run --release -q -p sat-bench --bin loadgen -- \
     --threads 4 --requests 8 --n 32 --width 4 \
-    --json target/BENCH_service_smoke.json
+    --json target/BENCH_service_smoke.json \
+    --trace target/loadgen_smoke_trace.json \
+    --metrics-snapshot target/loadgen_smoke_metrics.prom
+grep -q '# {request_id="' target/loadgen_smoke_metrics.prom || {
+    echo "error: loadgen metrics snapshot carries no exemplar" >&2
+    exit 1
+}
 
 echo "== chaosgen smoke (fault injection + self-healing, abort+corruption)"
 cargo run --release -q -p sat-bench --bin chaosgen -- \
     --threads 4 --requests 8 --n 16 --width 4 --seed 7 \
     --scenarios abort,corrupt --json target/BENCH_chaos_smoke.json
+
+echo "== chaosgen post-mortem gate (breaker-open scenario must dump exactly"
+echo "   one schema-valid flight-recorder bundle)"
+rm -rf target/chaos_postmortem_smoke
+cargo run --release -q -p sat-bench --bin chaosgen -- \
+    --threads 2 --requests 8 --n 16 --width 4 --seed 7 \
+    --scenarios loss --json target/BENCH_chaos_loss_smoke.json \
+    --postmortem-dir target/chaos_postmortem_smoke
+[ "$(ls target/chaos_postmortem_smoke/postmortem-loss-*.json | wc -l)" -eq 1 ] || {
+    echo "error: expected exactly one post-mortem bundle" >&2
+    exit 1
+}
+
+echo "== svcprobe (telemetry listener over plain TCP: /metrics byte-identity,"
+echo "   exposition + exemplar syntax, /healthz JSON, /debug/flight, shutdown)"
+cargo run --release -q -p sat-bench --bin svcprobe
 
 echo "== satlint over a traced service batch"
 cargo run --release -q -p sat-bench --bin satlint -- --n 64 --batch 8
