@@ -36,17 +36,26 @@
 //! noisy and host-dependent, so each cell's median-of-`K` is divided by a
 //! fixed CPU calibration loop timed in the same process, and only that
 //! normalized ratio is compared, within `--tolerance`.
+//!
+//! Besides the `SatAlgorithm` cells, two named execution-mode cells run
+//! at every size: `1R1W-persist` (persistent blocks, one launch total)
+//! and `1R1W-fleet4` (the serving layer's banded decomposition on a real
+//! four-device fleet; its deterministic columns are checked against the
+//! closed-form banded model and its `modeled(u)` column is the fleet
+//! *critical-path* cost).
 
 use std::process::ExitCode;
 use std::time::Instant;
 
-use gpu_exec::{Device, DeviceOptions};
+use gpu_exec::{Device, DeviceFleet, DeviceOptions, FleetOptions};
 use hmm_model::cost::{CostCounters, GlobalCost, SatAlgorithm};
 use hmm_model::MachineConfig;
 use obs::json::JsonValue;
 use obs::profile::CostModel;
 use obs::Obs;
-use sat_bench::{bench_device, flag_value, parsed_flag, run_persistent, run_real};
+use sat_bench::{
+    bench_device, flag_value, parsed_flag, run_fleet_banded, run_persistent, run_real,
+};
 use serde::Serialize;
 
 const PERF_SCHEMA: &str = "sat-hmm/bench-perf/v1";
@@ -54,6 +63,10 @@ const HISTORY_SCHEMA: &str = "sat-hmm/bench-history/v1";
 /// The persistent-block 1R1W cell name (a named execution mode of 1R1W,
 /// not a `SatAlgorithm` variant).
 const PERSIST_NAME: &str = "1R1W-persist";
+/// The banded-fleet 1R1W cell name: the same decomposition the serving
+/// layer shards, run on a real four-device fleet.
+const FLEET_NAME: &str = "1R1W-fleet4";
+const FLEET_SHARDS: usize = 4;
 
 /// The canonical perf snapshot (`BENCH_perf.json`).
 #[derive(Serialize)]
@@ -207,6 +220,10 @@ fn main() -> ExitCode {
             measure_persistent_cell(cfg, n, runs, calibration_seconds),
             &mut entries,
         );
+        record(
+            measure_fleet_cell(cfg, n, runs, calibration_seconds),
+            &mut entries,
+        );
     }
 
     // The persistent gate: at every benchmarked size, the persistent cell's
@@ -277,6 +294,7 @@ fn parse_injection(s: &str) -> Result<(String, f64), String> {
         .parse()
         .map_err(|_| format!("unparsable factor {factor:?}"))?;
     if !name.eq_ignore_ascii_case(PERSIST_NAME)
+        && !name.eq_ignore_ascii_case(FLEET_NAME)
         && SatAlgorithm::ALL
             .iter()
             .all(|a| !a.name().eq_ignore_ascii_case(name))
@@ -336,6 +354,96 @@ fn measure_persistent_cell(
     measure_named_cell(cfg, PERSIST_NAME, n, runs, calibration, &|dev| {
         run_persistent(dev, n)
     })
+}
+
+/// Measure the banded-fleet 1R1W cell: the serving layer's shard
+/// decomposition on a real four-device fleet. The deterministic columns
+/// come from the closed-form banded model — merged device counters must
+/// reproduce its coalesced/stride totals exactly, and the fleet must
+/// issue exactly `total_launches()` kernel launches. `barrier_steps`
+/// stores the launch-normalized total (launches − 1): per-device barrier
+/// counters partition the work differently than a single device would,
+/// so launch counts are the comparable quantity. `modeled_cost_units` is
+/// the *critical-path* cost — the quantity the fleet actually buys down.
+fn measure_fleet_cell(cfg: MachineConfig, n: usize, runs: usize, calibration: f64) -> PerfEntry {
+    let model = GlobalCost::new(cfg)
+        .banded_1r1w_exact_counts(n, n, FLEET_SHARDS)
+        .expect("benchmarked sizes are width-aligned");
+    let expect = model.total();
+
+    let fleet = DeviceFleet::new(FleetOptions::new(
+        DeviceOptions::new(cfg).workers(0),
+        FLEET_SHARDS,
+    ));
+    let mut walls = Vec::with_capacity(runs);
+    let mut measured = None;
+    for _ in 0..runs {
+        let (stats, secs, launches) = run_fleet_banded(&fleet, n);
+        walls.push(secs);
+        measured = Some((stats, launches));
+    }
+    let (stats, launches) = measured.expect("runs >= 1");
+    walls.sort_by(f64::total_cmp);
+    let median = walls[walls.len() / 2];
+
+    assert_eq!(
+        stats.coalesced_reads + stats.coalesced_writes,
+        expect.coalesced_reads + expect.coalesced_writes,
+        "{FLEET_NAME} n={n}: merged coalesced ops diverge from the banded model"
+    );
+    assert_eq!(
+        stats.stride_reads + stats.stride_writes,
+        expect.stride_reads + expect.stride_writes,
+        "{FLEET_NAME} n={n}: merged stride ops diverge from the banded model"
+    );
+    assert_eq!(
+        launches,
+        model.total_launches(),
+        "{FLEET_NAME} n={n}: fleet launch count diverges from the banded model"
+    );
+
+    // One traced execution with every device reporting into a single
+    // recorder; the trace-side attribution must agree with the devices'
+    // own counters (two independent observation paths).
+    let obs = Obs::new();
+    let traced = DeviceFleet::new(FleetOptions::new(
+        DeviceOptions::new(cfg).workers(0).observer(obs.clone()),
+        FLEET_SHARDS,
+    ));
+    run_fleet_banded(&traced, n);
+    let report = obs::profile::attribution_from_trace(
+        &obs,
+        CostModel {
+            width: cfg.width as u64,
+            window_overhead: cfg.window_overhead(),
+        },
+    );
+    let total = report.total();
+    assert_eq!(
+        total.coalesced_ops,
+        stats.coalesced_reads + stats.coalesced_writes,
+        "{FLEET_NAME} n={n}: attribution and device counters diverged"
+    );
+
+    PerfEntry {
+        algorithm: FLEET_NAME.to_string(),
+        n,
+        coalesced_ops: stats.coalesced_reads + stats.coalesced_writes,
+        stride_ops: stats.stride_reads + stats.stride_writes,
+        barrier_steps: expect.barrier_steps,
+        modeled_cost_units: model.critical_path_cost(&cfg),
+        attribution: Attribution {
+            launches: report.rows.len(),
+            modeled_cost_units: total.modeled_cost,
+        },
+        wall: WallStats {
+            runs,
+            median_seconds: median,
+            min_seconds: walls[0],
+            max_seconds: *walls.last().unwrap(),
+            normalized: median / calibration,
+        },
+    }
 }
 
 /// The shared cell harness behind [`measure_cell`] /

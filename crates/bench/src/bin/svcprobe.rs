@@ -36,9 +36,33 @@ use sat_bench::parsed_flag;
 use sat_core::Matrix;
 use sat_service::{Service, ServiceConfig, TelemetryConfig};
 
+/// Connect with a small bounded retry on refused connections: the listener
+/// thread binds asynchronously with `Service::start`, so the very first
+/// probe on a loaded machine can race the bind. Anything other than
+/// `ConnectionRefused` (and the final refusal) still fails immediately —
+/// the post-shutdown "port is closed" check below uses a raw connect and
+/// is unaffected.
+fn connect_with_retry(addr: SocketAddr) -> Result<TcpStream, String> {
+    const ATTEMPTS: u32 = 5;
+    let mut delay = Duration::from_millis(5);
+    for attempt in 0..ATTEMPTS {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::ConnectionRefused && attempt + 1 < ATTEMPTS =>
+            {
+                std::thread::sleep(delay);
+                delay *= 2;
+            }
+            Err(e) => return Err(format!("connect {addr}: {e}")),
+        }
+    }
+    unreachable!("loop returns on success or final error")
+}
+
 /// One raw HTTP GET: returns (status code, content type, body).
 fn http_get(addr: SocketAddr, path: &str) -> Result<(u16, String, String), String> {
-    let mut s = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut s = connect_with_retry(addr)?;
     write!(
         s,
         "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"

@@ -1,5 +1,6 @@
 //! Parallel SAT algorithms for the asynchronous HMM, as `gpu-exec` kernels.
 
+pub mod band;
 pub mod batch;
 pub mod common;
 pub mod four_r1w;
@@ -11,6 +12,10 @@ pub mod region;
 pub mod two_r1w;
 pub mod two_r2w;
 
+pub use band::{
+    band_colsum, band_wavefront, band_wavefront_stage, margin_exchange, sat_1r1w_banded, Band,
+    BandPlan,
+};
 pub use batch::sat_1r1w_batch;
 pub use common::Grid;
 pub use four_r1w::sat_4r1w;

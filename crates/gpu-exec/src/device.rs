@@ -279,7 +279,6 @@ pub struct Device {
     /// Launches since *construction* (never reset): keys every fault
     /// decision and drives the cumulative `gpu_barrier_steps` counter.
     launches_total: AtomicU64,
-    epoch: AtomicU64,
     fault: Option<FaultState>,
     /// Request-scoped metadata for the next launches (serving layer hook).
     launch_ctx: Mutex<Option<LaunchContext>>,
@@ -334,7 +333,6 @@ impl Device {
             trace: Mutex::new(RunTrace::default()),
             launches: AtomicU64::new(0),
             launches_total: AtomicU64::new(0),
-            epoch: AtomicU64::new(0),
             fault,
             launch_ctx: Mutex::new(None),
         }
@@ -444,7 +442,12 @@ impl Device {
             }
         });
         let corrupt_hit = AtomicBool::new(false);
-        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        // Race-table entries are tagged `(epoch, block)`; the epoch is
+        // *process-global* (not per-device) so that concurrent launches on
+        // different devices of a fleet touching one checked buffer can
+        // never alias each other's tags and report false races.
+        static NEXT_LAUNCH_EPOCH: AtomicU64 = AtomicU64::new(1);
+        let epoch = NEXT_LAUNCH_EPOCH.fetch_add(1, Ordering::Relaxed);
         let perm: Option<Vec<u32>> = match self.order {
             BlockOrder::Forward => None,
             BlockOrder::Reverse => Some((0..grid as u32).rev().collect()),

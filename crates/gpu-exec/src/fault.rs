@@ -250,7 +250,10 @@ impl FaultPlan {
     pub(crate) fn launch_lost(&self, launch: u64, loss_started: &mut Option<Instant>) -> bool {
         match self.loss {
             LossWindow::None => false,
-            LossWindow::Launches { start, count } => launch >= start && launch < start + count,
+            LossWindow::Launches { start, count } => {
+                // Saturating: `count: u64::MAX` expresses permanent loss.
+                launch >= start && launch < start.saturating_add(count)
+            }
             LossWindow::Wall {
                 start_after_launch,
                 duration,

@@ -1,0 +1,271 @@
+//! A fleet of independent [`Device`]s, each its own fault domain.
+//!
+//! A [`DeviceFleet`] models a multi-GPU node: `D` devices that share
+//! nothing but global memory ([`GlobalBuffer`](crate::GlobalBuffer)s are
+//! `Sync` and may be touched by concurrent launches on different devices,
+//! provided the launches access disjoint words — the per-word race
+//! detector enforces this across devices because launch epochs are
+//! process-global). Each device has its **own** worker pool, launch gate,
+//! statistics, fault plan and fault epoch, so an injected fault on one
+//! device is invisible to the others — losing a device costs one shard,
+//! not the fleet.
+//!
+//! The fleet itself is deliberately thin: it constructs and owns the
+//! devices and offers merged views of their statistics and fault state.
+//! Scheduling (band queues, failover) lives in the serving layer, which
+//! decides *policy*; the fleet only guarantees *isolation*.
+
+use hmm_model::CostCounters;
+
+use crate::device::{Device, DeviceOptions};
+use crate::fault::{FaultEvent, FaultPlan};
+
+/// Options for building a [`DeviceFleet`].
+#[derive(Debug, Clone)]
+pub struct FleetOptions {
+    /// Template applied to every device (configuration, workers, observer,
+    /// trace settings). Its `fault_plan` is the per-device default when
+    /// [`fault_plans`](Self::fault_plans) is empty.
+    pub base: DeviceOptions,
+    /// Number of devices `D` (at least 1).
+    pub devices: usize,
+    /// Per-device fault plans. Empty (the default): every device inherits
+    /// `base.fault_plan`. Non-empty: must have exactly `devices` entries
+    /// and *fully* specifies each device's plan (`None` = no injection),
+    /// ignoring `base.fault_plan`.
+    pub fault_plans: Vec<Option<FaultPlan>>,
+}
+
+impl FleetOptions {
+    /// A fleet of `devices` clones of `base`.
+    pub fn new(base: DeviceOptions, devices: usize) -> Self {
+        FleetOptions {
+            base,
+            devices,
+            fault_plans: Vec::new(),
+        }
+    }
+
+    /// Give each device its own fault plan (see
+    /// [`fault_plans`](Self::fault_plans)).
+    pub fn fault_plans(mut self, plans: Vec<Option<FaultPlan>>) -> Self {
+        self.fault_plans = plans;
+        self
+    }
+}
+
+/// `D` independent devices; see the [module docs](self).
+pub struct DeviceFleet {
+    devices: Vec<Device>,
+}
+
+impl DeviceFleet {
+    /// Build the fleet.
+    ///
+    /// # Panics
+    ///
+    /// If `devices == 0`, or `fault_plans` is non-empty with a length
+    /// other than `devices`.
+    pub fn new(opts: FleetOptions) -> Self {
+        assert!(opts.devices > 0, "a fleet needs at least one device");
+        assert!(
+            opts.fault_plans.is_empty() || opts.fault_plans.len() == opts.devices,
+            "fault_plans must be empty or have one entry per device ({} vs {})",
+            opts.fault_plans.len(),
+            opts.devices
+        );
+        let devices = (0..opts.devices)
+            .map(|i| {
+                let mut o = opts.base.clone();
+                if !opts.fault_plans.is_empty() {
+                    o.fault_plan = opts.fault_plans[i].clone();
+                }
+                Device::new(o)
+            })
+            .collect();
+        DeviceFleet { devices }
+    }
+
+    /// Number of devices `D`.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the fleet has no devices (never true for a constructed
+    /// fleet, provided for the `len`/`is_empty` convention).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Device `i` (panics when out of range).
+    pub fn device(&self, i: usize) -> &Device {
+        &self.devices[i]
+    }
+
+    /// All devices, in index order.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Iterate over the devices.
+    pub fn iter(&self) -> std::slice::Iter<'_, Device> {
+        self.devices.iter()
+    }
+
+    /// Each device's fault epoch (failed launches since construction), in
+    /// index order. A per-entry delta across a window of launches means
+    /// *that* device failed some of them; other entries are unaffected.
+    pub fn fault_epochs(&self) -> Vec<u64> {
+        self.devices.iter().map(|d| d.fault_epoch()).collect()
+    }
+
+    /// Drain every device's retained fault events, tagged with the device
+    /// index (order within one device is the device's canonical order).
+    pub fn take_fault_events(&self) -> Vec<(usize, FaultEvent)> {
+        self.devices
+            .iter()
+            .enumerate()
+            .flat_map(|(i, d)| d.take_fault_events().into_iter().map(move |e| (i, e)))
+            .collect()
+    }
+
+    /// Merged statistics across all devices (barrier steps sum per-device
+    /// `launches − 1` terms; compare launch counts, not merged barriers,
+    /// when checking closed forms).
+    pub fn stats(&self) -> CostCounters {
+        let mut total = CostCounters::new();
+        for d in &self.devices {
+            total.merge(&d.stats());
+        }
+        total
+    }
+
+    /// Per-device launch counts since the last `reset_stats`, in index
+    /// order.
+    pub fn launches(&self) -> Vec<u64> {
+        self.devices.iter().map(|d| d.launches()).collect()
+    }
+
+    /// Reset every device's statistics (fault epochs are never reset).
+    pub fn reset_stats(&self) {
+        for d in &self.devices {
+            d.reset_stats();
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a DeviceFleet {
+    type Item = &'a Device;
+    type IntoIter = std::slice::Iter<'a, Device>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::GlobalBuffer;
+    use crate::fault::LossWindow;
+    use hmm_model::MachineConfig;
+
+    fn opts() -> DeviceOptions {
+        DeviceOptions::new(MachineConfig::with_width(4)).workers(0)
+    }
+
+    #[test]
+    fn fleet_devices_are_independent_fault_domains() {
+        // Device 1 permanently lost from launch 0; the others never fail.
+        let plan = FaultPlan::new(7).loss(LossWindow::Launches {
+            start: 0,
+            count: u64::MAX,
+        });
+        let fleet = DeviceFleet::new(FleetOptions::new(opts(), 3).fault_plans(vec![
+            None,
+            Some(plan),
+            None,
+        ]));
+        for dev in &fleet {
+            let buf = GlobalBuffer::from_vec(vec![1.0f64; 4]);
+            dev.launch(1, |ctx| {
+                let g = ctx.view(&buf);
+                let mut v = [0.0f64; 4];
+                g.read_contig(0, &mut v, ctx.rec());
+                for x in &mut v {
+                    *x += 1.0;
+                }
+                g.write_contig(0, &v, ctx.rec());
+            });
+        }
+        assert_eq!(fleet.fault_epochs(), vec![0, 1, 0]);
+        let events = fleet.take_fault_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].0, 1, "the event belongs to device 1");
+        // Stats accrue on the healthy devices regardless.
+        assert_eq!(fleet.launches(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn fleet_stats_merge_across_devices() {
+        let fleet = DeviceFleet::new(FleetOptions::new(opts(), 2));
+        for dev in &fleet {
+            let buf = GlobalBuffer::from_vec(vec![0.0f64; 8]);
+            dev.launch(2, |ctx| {
+                let g = ctx.view(&buf);
+                let v = [1.0f64; 4];
+                g.write_contig(ctx.block_id() * 4, &v, ctx.rec());
+            });
+        }
+        let merged = fleet.stats();
+        assert_eq!(merged.coalesced_writes, 16);
+        assert_eq!(fleet.launches(), vec![1, 1]);
+        fleet.reset_stats();
+        assert_eq!(fleet.stats().coalesced_writes, 0);
+    }
+
+    #[test]
+    fn concurrent_launches_on_shared_checked_buffer_are_race_clean() {
+        // Two devices concurrently write disjoint halves of one
+        // race-checked buffer: process-global launch epochs mean the race
+        // detector must see two distinct launches, not one.
+        let fleet = DeviceFleet::new(FleetOptions::new(opts(), 2));
+        let buf = GlobalBuffer::from_vec_checked(vec![0.0f64; 32]);
+        std::thread::scope(|s| {
+            for (i, dev) in fleet.iter().enumerate() {
+                let buf = &buf;
+                s.spawn(move || {
+                    dev.launch(2, move |ctx| {
+                        let g = ctx.view(buf);
+                        let base = i * 16 + ctx.block_id() * 8;
+                        let v = [(i + 1) as f64; 8];
+                        g.write_contig(base, &v, ctx.rec());
+                    });
+                });
+            }
+        });
+        let v = buf.into_vec();
+        assert!(v[..16].iter().all(|&x| x == 1.0));
+        assert!(v[16..].iter().all(|&x| x == 2.0));
+    }
+
+    #[test]
+    fn empty_fault_plans_inherit_the_base_plan() {
+        let plan = FaultPlan::new(3).loss(LossWindow::Launches { start: 0, count: 1 });
+        let fleet = DeviceFleet::new(FleetOptions::new(opts().fault_plan(plan), 2));
+        for dev in &fleet {
+            let buf = GlobalBuffer::from_vec(vec![0.0f64; 4]);
+            dev.launch(1, |ctx| {
+                let g = ctx.view(&buf);
+                g.write_contig(0, &[1.0f64; 4], ctx.rec());
+            });
+        }
+        assert_eq!(fleet.fault_epochs(), vec![1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per device")]
+    fn mismatched_fault_plans_panic() {
+        DeviceFleet::new(FleetOptions::new(opts(), 3).fault_plans(vec![None]));
+    }
+}

@@ -56,6 +56,7 @@
 mod buffer;
 mod device;
 mod fault;
+pub mod fleet;
 mod handoff;
 mod pool;
 mod recorder;
@@ -66,6 +67,7 @@ mod trace;
 pub use buffer::{GlobalBuffer, GlobalView};
 pub use device::{BlockCtx, BlockOrder, Device, DeviceOptions, LaunchContext};
 pub use fault::{FaultEvent, FaultPlan, LossWindow};
+pub use fleet::{DeviceFleet, FleetOptions};
 pub use handoff::HandoffFlags;
 pub use pool::BufferPool;
 pub use recorder::TxnRecorder;

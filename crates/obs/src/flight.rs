@@ -38,7 +38,8 @@ use crate::json::JsonValue;
 use crate::span::{ArgValue, Event, EventKind, Obs};
 
 /// Schema identifier stamped into (and required from) every bundle.
-pub const SCHEMA: &str = "sat-hmm/flight/v1";
+/// v2 added the fleet kinds `device_lost` and `shard_failover`.
+pub const SCHEMA: &str = "sat-hmm/flight/v2";
 
 /// Default ring capacity: enough for the last few hundred requests' worth
 /// of lifecycle events while keeping the recorder under 64 KiB.
@@ -72,6 +73,14 @@ pub enum FlightKind {
     /// SLO error-budget burn crossed the configured threshold
     /// (`a` = burn ratio in parts-per-million).
     SloBurn = 10,
+    /// A fleet shard's device was declared lost — its breaker opened and it
+    /// stopped taking band work (`a` = shard index, `b` = device fault
+    /// epoch at the time of loss).
+    DeviceLost = 11,
+    /// Band work owned by a failed shard was resharded onto survivors
+    /// (`request` = first affected request id, `a` = failed shard index,
+    /// `b` = number of bands moved).
+    ShardFailover = 12,
 }
 
 impl FlightKind {
@@ -88,6 +97,8 @@ impl FlightKind {
             FlightKind::VerifyFailure => "verify_failure",
             FlightKind::HandoffStall => "handoff_stall",
             FlightKind::SloBurn => "slo_burn",
+            FlightKind::DeviceLost => "device_lost",
+            FlightKind::ShardFailover => "shard_failover",
         }
     }
 
@@ -103,6 +114,8 @@ impl FlightKind {
             8 => FlightKind::VerifyFailure,
             9 => FlightKind::HandoffStall,
             10 => FlightKind::SloBurn,
+            11 => FlightKind::DeviceLost,
+            12 => FlightKind::ShardFailover,
             _ => return None,
         })
     }
@@ -119,6 +132,8 @@ impl FlightKind {
             "verify_failure",
             "handoff_stall",
             "slo_burn",
+            "device_lost",
+            "shard_failover",
         ]
     }
 }
@@ -670,6 +685,35 @@ mod tests {
         assert_eq!(stats.events, 2);
         assert_eq!(stats.trace_slice, 2, "launch + child block");
         assert_eq!(stats.request_flow, 2, "admit instant + flow point");
+    }
+
+    #[test]
+    fn fleet_kinds_round_trip_through_bundle() {
+        // The v2 kinds must survive record → bundle → validate with their
+        // payload words intact, and every enum code must invert through
+        // from_code/name.
+        for code in 1..=12u64 {
+            let kind = FlightKind::from_code(code).expect("codes 1..=12 are assigned");
+            assert_eq!(kind as u64, code);
+            assert!(FlightKind::known_names().contains(&kind.name()));
+        }
+        assert_eq!(FlightKind::from_code(13), None);
+
+        let obs = Obs::new();
+        obs.instant(Track::wall(0), "admit", vec![("request", ArgValue::U64(9))]);
+        obs.flight_event(FlightKind::DeviceLost, 9, 2, 41);
+        obs.flight_event(FlightKind::ShardFailover, 9, 2, 3);
+        let trigger = Trigger {
+            reason: "shard_failover".to_string(),
+            request: 9,
+            detail: "shard 2 lost; 3 bands resharded".to_string(),
+        };
+        let text = bundle(&obs, &trigger);
+        assert!(text.contains("\"device_lost\""), "{text}");
+        assert!(text.contains("\"shard_failover\""), "{text}");
+        assert!(text.contains("sat-hmm/flight/v2"), "{text}");
+        let stats = validate(&text).unwrap_or_else(|e| panic!("invalid bundle: {e}\n{text}"));
+        assert_eq!(stats.events, 2);
     }
 
     #[test]

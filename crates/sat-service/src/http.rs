@@ -7,9 +7,9 @@
 //!   [`Service::metrics_text`](crate::Service::metrics_text), as
 //!   Prometheus text exposition (OpenMetrics exemplars included);
 //! * `GET /healthz` — a small JSON document: overall status, the circuit
-//!   breaker's current state, submission-queue depth/capacity, whether a
-//!   drain is in progress, and how many post-mortem bundles have been
-//!   dumped;
+//!   breaker's current state (the per-shard aggregate in fleet mode),
+//!   the shard count, submission-queue depth/capacity, whether a drain is
+//!   in progress, and how many post-mortem bundles have been dumped;
 //! * `GET /debug/flight` — the flight recorder's surviving recent events
 //!   ([`obs::flight::events_json`]), oldest first.
 //!
@@ -165,9 +165,11 @@ fn health_json(shared: &Shared) -> String {
         "ok"
     };
     format!(
-        "{{\"status\":\"{status}\",\"breaker\":\"{breaker}\",\"queue_depth\":{depth},\
+        "{{\"status\":\"{status}\",\"breaker\":\"{breaker}\",\"shards\":{shards},\
+         \"queue_depth\":{depth},\
          \"queue_capacity\":{cap},\"shutting_down\":{shutting_down},\
          \"postmortem_bundles\":{bundles}}}",
+        shards = shared.metrics.shards(),
         cap = shared.cfg.queue_capacity,
         bundles = shared.postmortems.load(Ordering::Relaxed),
     )

@@ -54,6 +54,15 @@
 //!   launch failures open a circuit breaker that degrades dispatches to
 //!   the sequential CPU path — requests complete slower instead of
 //!   erroring — until a half-open canary probe re-closes it.
+//! * With [`ServiceConfig::shards`]` > 1` the executor runs a **device
+//!   fleet**: `D` devices, each its own fault domain with its own circuit
+//!   breaker. `OneR1W` requests shard into `D` row-bands (the banded
+//!   decomposition with an explicit margin exchange), the band kernels
+//!   are pulled from a shared queue by whichever shards are healthy, and
+//!   a shard whose breaker opens mid-dispatch hands its remaining bands
+//!   to the survivors (`ShardFailover` in the flight recorder) — results
+//!   stay bit-exact, and the CPU degradation path is reached only when
+//!   *every* shard is open.
 //! * Everything is instrumented ([`ServiceStats`]): per-request queue /
 //!   execute / total latency, a batch-width histogram, and the launches and
 //!   barrier windows actually issued vs. what per-request execution would
@@ -175,8 +184,26 @@ pub struct ServiceConfig {
     /// the default ([`obs::Obs::disabled`]) records nothing.
     pub observer: obs::Obs,
     /// Deterministic fault schedule injected into the owned device —
-    /// chaos-testing hook; `None` (the default) injects nothing.
+    /// chaos-testing hook; `None` (the default) injects nothing. With
+    /// `shards > 1` this is the per-shard default, overridden entirely by
+    /// [`shard_fault_plans`](Self::shard_fault_plans) when that is
+    /// non-empty.
     pub fault_plan: Option<gpu_exec::FaultPlan>,
+    /// Number of device shards (fault domains). `1` — the default — keeps
+    /// the single-device executor. `D > 1` builds a
+    /// [`gpu_exec::DeviceFleet`] and serves `OneR1W` requests through the
+    /// banded decomposition ([`sat_core::par::sat_1r1w_banded`]'s kernels):
+    /// each request's matrix splits into `D` row-bands whose phase kernels
+    /// are work-stolen by the healthy shards, each guarded by its own
+    /// circuit breaker — losing a device resharding its bands onto the
+    /// survivors instead of degrading the whole service.
+    pub shards: usize,
+    /// Per-shard fault schedules, chaos-testing hook for asymmetric fleet
+    /// faults (one device lost, rolling loss, a straggler shard). Empty
+    /// (the default): every shard inherits [`fault_plan`](Self::fault_plan).
+    /// Non-empty: must have exactly [`shards`](Self::shards) entries and
+    /// fully specifies each shard's plan (`None` = no injection).
+    pub shard_fault_plans: Vec<Option<gpu_exec::FaultPlan>>,
     /// Retry / circuit-breaker / verification tuning.
     pub resilience: ResilienceConfig,
     /// Latency objective the service reports against (target gauge,
@@ -201,6 +228,8 @@ impl Default for ServiceConfig {
             default_deadline: Duration::from_secs(5),
             observer: obs::Obs::disabled(),
             fault_plan: None,
+            shards: 1,
+            shard_fault_plans: Vec::new(),
             resilience: ResilienceConfig::default(),
             slo: SloConfig::default(),
             telemetry: TelemetryConfig::default(),

@@ -48,8 +48,17 @@ pub(crate) struct Metrics {
     h: Hists,
     slo: SloConfig,
     /// Current circuit-breaker state ("closed" / "open" / "half_open"),
-    /// tracked for the `/healthz` endpoint.
+    /// tracked for the `/healthz` endpoint. In fleet mode this is the
+    /// aggregate of the per-shard breakers: "closed" when all are closed,
+    /// "open" when all are open, "half_open" otherwise.
     breaker: Mutex<&'static str>,
+    /// Number of device shards ([`configure_shards`](Self::configure_shards)).
+    shards: usize,
+    /// Per-shard launch counters (`sat_service_shard_launches_total{shard=…}`),
+    /// parallel to the shard indices.
+    shard_launches: Vec<Counter>,
+    /// Per-shard breaker states feeding the aggregate in `breaker`.
+    shard_breakers: Mutex<Vec<&'static str>>,
 }
 
 /// Registry-backed latency histograms (per-request plus per-stage).
@@ -93,6 +102,10 @@ struct Counters {
     breaker_half_open: Counter,
     breaker_closed: Counter,
     canaries: Counter,
+    shard_tasks_ok: Counter,
+    shard_tasks_failed: Counter,
+    shard_failovers: Counter,
+    shards_lost: Counter,
 }
 
 struct Inner {
@@ -151,6 +164,11 @@ impl Metrics {
             breaker_closed: registry
                 .counter("sat_service_breaker_transitions_total{to=\"closed\"}"),
             canaries: registry.counter("sat_service_canary_probes_total"),
+            shard_tasks_ok: registry.counter("sat_service_shard_tasks_total{result=\"ok\"}"),
+            shard_tasks_failed: registry
+                .counter("sat_service_shard_tasks_total{result=\"failed\"}"),
+            shard_failovers: registry.counter("sat_service_shard_failovers_total"),
+            shards_lost: registry.counter("sat_service_shards_lost_total"),
         };
         let h = Hists {
             request: registry.histogram(REQUEST_HIST),
@@ -170,7 +188,36 @@ impl Metrics {
             h,
             slo,
             breaker: Mutex::new("closed"),
+            shards: 1,
+            shard_launches: Vec::new(),
+            shard_breakers: Mutex::new(vec!["closed"]),
         }
+    }
+
+    /// Size the per-shard state for a `D`-shard fleet: one launch counter
+    /// and one tracked breaker state per shard. Called once at service
+    /// construction, before the metrics are shared.
+    pub(crate) fn configure_shards(&mut self, shards: usize) {
+        self.shards = shards.max(1);
+        // Single-device services keep their scrape output free of shard
+        // series; the fleet registers one launch counter per shard.
+        self.shard_launches = if self.shards > 1 {
+            (0..self.shards)
+                .map(|s| {
+                    self.registry.counter(&format!(
+                        "sat_service_shard_launches_total{{shard=\"{s}\"}}"
+                    ))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        *self.shard_breakers.lock() = vec!["closed"; self.shards];
+    }
+
+    /// Number of configured device shards, for the health endpoint.
+    pub(crate) fn shards(&self) -> usize {
+        self.shards
     }
 
     pub(crate) fn on_submit(&self) {
@@ -233,6 +280,69 @@ impl Metrics {
             }
         };
         *self.breaker.lock() = state;
+    }
+
+    /// Shard `shard`'s circuit breaker moved to `to`. Counts the transition
+    /// on the shared transition counters and refreshes the aggregate
+    /// breaker state the health endpoint reports: "closed" when every
+    /// shard is closed, "open" when every shard is open, "half_open" for
+    /// any mix (some capacity lost, some remaining).
+    pub(crate) fn on_shard_breaker(&self, shard: usize, to: &str) {
+        let state = match to {
+            "open" => {
+                self.c.breaker_opened.inc();
+                "open"
+            }
+            "half_open" => {
+                self.c.breaker_half_open.inc();
+                "half_open"
+            }
+            _ => {
+                self.c.breaker_closed.inc();
+                "closed"
+            }
+        };
+        let mut shards = self.shard_breakers.lock();
+        if shards.len() <= shard {
+            shards.resize(shard + 1, "closed");
+        }
+        shards[shard] = state;
+        let agg = if shards.iter().all(|&s| s == "closed") {
+            "closed"
+        } else if shards.iter().all(|&s| s == "open") {
+            "open"
+        } else {
+            "half_open"
+        };
+        *self.breaker.lock() = agg;
+    }
+
+    /// One fleet task (a band's phase kernel, or a whole image on the
+    /// non-banded algorithms) finished on some shard.
+    pub(crate) fn on_shard_task(&self, ok: bool) {
+        if ok {
+            self.c.shard_tasks_ok.inc();
+        } else {
+            self.c.shard_tasks_failed.inc();
+        }
+    }
+
+    /// An open shard handed its remaining tasks to the surviving shards.
+    pub(crate) fn on_shard_failover(&self) {
+        self.c.shard_failovers.inc();
+    }
+
+    /// A shard's breaker opened mid-dispatch (its fault domain is lost
+    /// until a canary re-closes it).
+    pub(crate) fn on_shard_lost(&self) {
+        self.c.shards_lost.inc();
+    }
+
+    /// Shard `shard` issued `n` more kernel launches.
+    pub(crate) fn on_shard_launches(&self, shard: usize, n: u64) {
+        if let Some(c) = self.shard_launches.get(shard) {
+            c.add(n);
+        }
     }
 
     /// Current circuit-breaker state, for the health endpoint.
@@ -347,6 +457,12 @@ impl Metrics {
             breaker_half_open: self.c.breaker_half_open.total(),
             breaker_closed: self.c.breaker_closed.total(),
             canary_probes: self.c.canaries.total(),
+            shards: self.shards as u64,
+            shard_tasks_ok: self.c.shard_tasks_ok.total(),
+            shard_tasks_failed: self.c.shard_tasks_failed.total(),
+            shard_failovers: self.c.shard_failovers.total(),
+            shards_lost: self.c.shards_lost.total(),
+            shard_launches: self.shard_launches.iter().map(Counter::total).collect(),
             queue_latency: LatencySummary::from_histogram(&queue),
             exec_latency: LatencySummary::from_histogram(&exec),
             total_latency: LatencySummary::from_histogram(&request),
@@ -450,6 +566,23 @@ pub struct ServiceStats {
     pub breaker_closed: u64,
     /// Half-open canary launches issued to probe the device.
     pub canary_probes: u64,
+    /// Device shards the service was configured with (1 = single device).
+    pub shards: u64,
+    /// Fleet tasks (band phase kernels, or whole images on non-banded
+    /// algorithms) that completed cleanly on some shard.
+    pub shard_tasks_ok: u64,
+    /// Fleet tasks whose attempt failed on a shard (requeued for the
+    /// survivors or retried).
+    pub shard_tasks_failed: u64,
+    /// Times an open shard's remaining tasks were resharded onto the
+    /// surviving shards.
+    pub shard_failovers: u64,
+    /// Shard breakers opened mid-dispatch (the shard's fault domain lost
+    /// until a canary re-closes it).
+    pub shards_lost: u64,
+    /// Kernel launches issued per shard, in shard order (empty when the
+    /// service runs single-device).
+    pub shard_launches: Vec<u64>,
     /// Time from admission to batch dispatch, per request
     /// (bucket-estimated; see [`LatencySummary::from_histogram`]).
     pub queue_latency: LatencySummary,
@@ -703,6 +836,38 @@ mod tests {
         assert_eq!(m.breaker_state(), "closed");
         // No samples yet: the burn rate reads zero, not NaN.
         assert_eq!(m.slo_burn(), 0.0);
+    }
+
+    #[test]
+    fn shard_breakers_aggregate_for_health() {
+        let mut m = Metrics::default();
+        m.configure_shards(3);
+        assert_eq!(m.breaker_state(), "closed");
+        // One shard down: the fleet is degraded, not dead.
+        m.on_shard_breaker(1, "open");
+        assert_eq!(m.breaker_state(), "half_open");
+        m.on_shard_breaker(0, "open");
+        m.on_shard_breaker(2, "open");
+        assert_eq!(m.breaker_state(), "open");
+        m.on_shard_breaker(1, "half_open");
+        assert_eq!(m.breaker_state(), "half_open");
+        for s in 0..3 {
+            m.on_shard_breaker(s, "closed");
+        }
+        assert_eq!(m.breaker_state(), "closed");
+        m.on_shard_task(true);
+        m.on_shard_task(false);
+        m.on_shard_failover();
+        m.on_shard_lost();
+        m.on_shard_launches(2, 7);
+        let s = m.snapshot();
+        assert_eq!(s.shards, 3);
+        assert_eq!(s.breaker_opened, 3);
+        assert_eq!(s.shard_tasks_ok, 1);
+        assert_eq!(s.shard_tasks_failed, 1);
+        assert_eq!(s.shard_failovers, 1);
+        assert_eq!(s.shards_lost, 1);
+        assert_eq!(s.shard_launches, vec![0, 0, 7]);
     }
 
     #[test]

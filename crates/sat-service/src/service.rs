@@ -2,17 +2,20 @@
 //! batch-former thread that owns the device.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use gpu_exec::{BufferPool, Device, DeviceOptions, LaunchContext};
-use hmm_model::cost::{CostCounters, GlobalCost, SatAlgorithm};
+use gpu_exec::{
+    BufferPool, Device, DeviceFleet, DeviceOptions, FleetOptions, GlobalBuffer, LaunchContext,
+};
+use hmm_model::cost::{CostCounters, ExactCounts, GlobalCost, SatAlgorithm};
 use obs::flight::Trigger;
 use obs::{ArgValue, FlightKind, FlowPhase, Obs, Track};
 use parking_lot::{Condvar, Mutex};
+use sat_core::par::{band_colsum, band_wavefront, margin_exchange, BandPlan};
 use sat_core::{compute_sat, compute_sat_batch_with, Matrix, SumTable};
 
 use crate::http::Telemetry;
@@ -78,10 +81,12 @@ pub struct Client {
 }
 
 impl Service {
-    /// Start the service: build the device and spawn the batch-former.
+    /// Start the service: build the device fleet (one device unless
+    /// [`ServiceConfig::shards`]` > 1`) and spawn the batch-former.
     pub fn start(cfg: ServiceConfig) -> Service {
         assert!(cfg.queue_capacity > 0, "queue capacity must be positive");
         assert!(cfg.max_batch > 0, "max batch must be positive");
+        assert!(cfg.shards > 0, "shard count must be positive");
         let mut opts = DeviceOptions::new(cfg.machine).observer(cfg.observer.clone());
         if let Some(w) = cfg.device_workers {
             opts = opts.workers(w);
@@ -89,11 +94,22 @@ impl Service {
         if let Some(plan) = cfg.fault_plan.clone() {
             opts = opts.fault_plan(plan);
         }
-        let dev = Device::new(opts);
+        let mut fleet_opts = FleetOptions::new(opts, cfg.shards);
+        if !cfg.shard_fault_plans.is_empty() {
+            assert!(
+                cfg.shard_fault_plans.len() == cfg.shards,
+                "shard_fault_plans must be empty or have one entry per shard ({} vs {})",
+                cfg.shard_fault_plans.len(),
+                cfg.shards
+            );
+            fleet_opts = fleet_opts.fault_plans(cfg.shard_fault_plans.clone());
+        }
+        let fleet = DeviceFleet::new(fleet_opts);
         // Share one registry between serving-layer and device counters so a
         // single scrape covers both; fall back to a private registry when
         // observability is off (ServiceStats keeps working either way).
-        let metrics = Metrics::new(cfg.observer.registry().unwrap_or_default(), cfg.slo);
+        let mut metrics = Metrics::new(cfg.observer.registry().unwrap_or_default(), cfg.slo);
+        metrics.configure_shards(cfg.shards);
         let shared = Arc::new(Shared {
             cfg,
             state: Mutex::new(QueueState::default()),
@@ -122,7 +138,7 @@ impl Service {
         let for_batcher = Arc::clone(&shared);
         let batcher = std::thread::Builder::new()
             .name("sat-service-batcher".to_string())
-            .spawn(move || batcher_loop(&for_batcher, &dev))
+            .spawn(move || batcher_loop(&for_batcher, &fleet))
             .expect("spawning the batch-former thread");
         Service {
             shared,
@@ -337,10 +353,13 @@ struct GroupView {
     oldest: Instant,
 }
 
-/// Per-batcher resilience state: the circuit breaker and buffer pool are
-/// owned by this one thread, so neither needs a lock.
+/// Per-batcher resilience state: the circuit breakers (one per shard;
+/// index 0 doubles as *the* breaker in single-device mode) and buffer pool
+/// are owned by this one thread between dispatches. During a fleet
+/// dispatch each shard worker borrows its own breaker mutably — the
+/// breakers are disjoint, so no locking is needed.
 struct ExecState {
-    breaker: CircuitBreaker,
+    breakers: Vec<CircuitBreaker>,
     pool: BufferPool<f64>,
     /// Whether result verification runs (resolved from [`VerifyMode`]).
     verify_on: bool,
@@ -350,14 +369,16 @@ struct ExecState {
     batch_no: u64,
 }
 
-fn batcher_loop(shared: &Shared, dev: &Device) {
+fn batcher_loop(shared: &Shared, fleet: &DeviceFleet) {
     let verify_on = match shared.cfg.resilience.verify {
         VerifyMode::Always => true,
         VerifyMode::Never => false,
-        VerifyMode::Auto => dev.fault_plan().is_some(),
+        VerifyMode::Auto => fleet.iter().any(|d| d.fault_plan().is_some()),
     };
     let mut ex = ExecState {
-        breaker: CircuitBreaker::new(&shared.cfg.resilience),
+        breakers: (0..fleet.len())
+            .map(|_| CircuitBreaker::new(&shared.cfg.resilience))
+            .collect(),
         pool: BufferPool::new(),
         verify_on,
         salt: 0,
@@ -522,7 +543,11 @@ fn batcher_loop(shared: &Shared, dev: &Device) {
             }
         }
         for d in ready {
-            execute(shared, dev, d, &mut ex);
+            if fleet.len() == 1 {
+                execute(shared, fleet.device(0), d, &mut ex);
+            } else {
+                fleet_execute(shared, fleet, d, &mut ex);
+            }
         }
         if exit {
             return;
@@ -707,7 +732,7 @@ fn execute(shared: &Shared, dev: &Device, d: Dispatch, ex: &mut ExecState) {
             degrade_pending(shared, &images, &mut pending, &mut results, &mut degraded);
             break;
         }
-        let (disposition, transition) = ex.breaker.poll(Instant::now());
+        let (disposition, transition) = ex.breakers[0].poll(Instant::now());
         report_breaker(shared, transition, ids[pending[0]], &mut dumps);
         match disposition {
             Disposition::Degrade => {
@@ -723,9 +748,9 @@ fn execute(shared: &Shared, dev: &Device, d: Dispatch, ex: &mut ExecState) {
                     vec![("ok", ArgValue::from(usize::from(ok)))],
                 );
                 let t = if ok {
-                    ex.breaker.on_success()
+                    ex.breakers[0].on_success()
                 } else {
-                    ex.breaker.on_failure(Instant::now())
+                    ex.breakers[0].on_failure(Instant::now())
                 };
                 report_breaker(shared, t, ids[pending[0]], &mut dumps);
                 continue; // Re-poll: the probe decided Use vs. Degrade.
@@ -779,13 +804,18 @@ fn execute(shared: &Shared, dev: &Device, d: Dispatch, ex: &mut ExecState) {
             );
             report_breaker(
                 shared,
-                ex.breaker.on_failure(Instant::now()),
+                ex.breakers[0].on_failure(Instant::now()),
                 ids[pending[0]],
                 &mut dumps,
             );
             continue;
         }
-        report_breaker(shared, ex.breaker.on_success(), ids[pending[0]], &mut dumps);
+        report_breaker(
+            shared,
+            ex.breakers[0].on_success(),
+            ids[pending[0]],
+            &mut dumps,
+        );
 
         // Verify each result; failures stay pending for the next attempt
         // (they do not feed the breaker — the launch itself was healthy).
@@ -919,6 +949,620 @@ fn execute(shared: &Shared, dev: &Device, d: Dispatch, ex: &mut ExecState) {
     // Dump queued post-mortems only now, so a bundle triggered mid-attempt
     // still captures the triggering request's complete event chain.
     for trigger in &dumps {
+        maybe_dump(shared, trigger);
+    }
+    for (reply, sat) in replies.into_iter().zip(results) {
+        let sat = sat.expect("the attempt loop resolves every request");
+        let _ = reply.send(Ok(SumTable::from_sat(sat)));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fleet execution: sharded dispatch with work stealing and shard failover.
+// ---------------------------------------------------------------------------
+
+/// [`report_breaker`]'s fleet sibling: the transition belongs to one
+/// shard's breaker. Counts it, stamps the shard onto the trace instant and
+/// into the flight event's `b` word, and refreshes the aggregate breaker
+/// state the health endpoint reports. Post-mortem triggers are *not*
+/// queued here — fleet bundles are keyed to the failover itself, which is
+/// the moment work actually moved.
+fn report_shard_breaker(
+    shared: &Shared,
+    transition: Option<&'static str>,
+    shard: usize,
+    request: u64,
+) {
+    if let Some(to) = transition {
+        shared.metrics.on_shard_breaker(shard, to);
+        shared.cfg.observer.instant(
+            Track::wall(0),
+            "breaker",
+            vec![("shard", ArgValue::from(shard)), ("to", ArgValue::from(to))],
+        );
+        let code = match to {
+            "open" => 1,
+            "half_open" => 2,
+            _ => 3,
+        };
+        shared.cfg.observer.flight_event(
+            FlightKind::BreakerTransition,
+            request,
+            code,
+            shard as u64,
+        );
+    }
+}
+
+/// Advance every shard breaker at a dispatch boundary: closed shards count
+/// as healthy, open shards whose cooldown elapsed get a canary probe on
+/// *their own* device (a recovered device rejoins the fleet here), and
+/// still-open shards sit the dispatch out. Returns the number of healthy
+/// shards.
+fn poll_fleet_breakers(
+    shared: &Shared,
+    fleet: &DeviceFleet,
+    breakers: &mut [CircuitBreaker],
+    request: u64,
+) -> usize {
+    let mut healthy = 0usize;
+    for (shard, b) in breakers.iter_mut().enumerate() {
+        let (disposition, transition) = b.poll(Instant::now());
+        report_shard_breaker(shared, transition, shard, request);
+        match disposition {
+            Disposition::Use => healthy += 1,
+            Disposition::Probe => {
+                shared.metrics.on_canary();
+                let ok = canary_ok(fleet.device(shard));
+                shared.cfg.observer.instant(
+                    Track::wall(0),
+                    "canary",
+                    vec![
+                        ("shard", ArgValue::from(shard)),
+                        ("ok", ArgValue::from(usize::from(ok))),
+                    ],
+                );
+                let t = if ok {
+                    b.on_success()
+                } else {
+                    b.on_failure(Instant::now())
+                };
+                report_shard_breaker(shared, t, shard, request);
+                if ok {
+                    healthy += 1;
+                }
+            }
+            Disposition::Degrade => {}
+        }
+    }
+    healthy
+}
+
+/// Compare one fleet task's measured device deltas against its closed-form
+/// phase entry. `before` is `None` when verification is off or no closed
+/// form applies — no evidence of failure, so the check passes.
+fn phase_counts_ok(
+    dev: &Device,
+    before: Option<(CostCounters, u64)>,
+    expect: Option<&ExactCounts>,
+) -> bool {
+    let (Some((st, launches_before)), Some(e)) = (before, expect) else {
+        return true;
+    };
+    let after = dev.stats();
+    after.coalesced_reads.wrapping_sub(st.coalesced_reads) == e.coalesced_reads
+        && after.coalesced_writes.wrapping_sub(st.coalesced_writes) == e.coalesced_writes
+        && after.stride_reads.wrapping_sub(st.stride_reads) == e.stride_reads
+        && after.stride_writes.wrapping_sub(st.stride_writes) == e.stride_writes
+        && dev.launches().wrapping_sub(launches_before) == e.barrier_steps + 1
+}
+
+/// Run one phase's tasks to completion across the healthy shards.
+///
+/// Every shard whose breaker is closed gets a worker thread that pulls
+/// task indices from a shared queue (work stealing: a fast shard simply
+/// pulls more). A failed attempt — fault-epoch bump or closed-form count
+/// mismatch, both checked by `run_task` returning `false` for the latter —
+/// stays with the failing shard (feeding its breaker) until either a retry
+/// succeeds or the breaker opens; on open the worker requeues the task,
+/// emits [`FlightKind::DeviceLost`], and hands the queue to the survivors
+/// ([`FlightKind::ShardFailover`] + a post-mortem trigger, provided
+/// someone survives) before exiting. Returns `true` when every task
+/// completed on some shard.
+#[allow(clippy::too_many_arguments)]
+fn run_fleet_tasks(
+    shared: &Shared,
+    fleet: &DeviceFleet,
+    breakers: &mut [CircuitBreaker],
+    request: u64,
+    salt: u64,
+    dumps: &Mutex<Vec<Trigger>>,
+    tasks: Vec<usize>,
+    run_task: &(dyn Fn(&Device, usize) -> bool + Sync),
+) -> bool {
+    if tasks.is_empty() {
+        return true;
+    }
+    let healthy: Vec<usize> = breakers
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| b.is_closed())
+        .map(|(s, _)| s)
+        .collect();
+    if healthy.is_empty() {
+        return false;
+    }
+    let total = tasks.len();
+    let queue = Mutex::new(VecDeque::from(tasks));
+    let done = AtomicUsize::new(0);
+    // Fault domains still standing this phase: decremented only when a
+    // breaker opens, never on normal worker exit — a worker that drained
+    // the queue and left is still a healthy shard the retry path can use.
+    let alive = AtomicUsize::new(healthy.len());
+    let rcfg = &shared.cfg.resilience;
+    std::thread::scope(|sc| {
+        for (shard, breaker) in breakers
+            .iter_mut()
+            .enumerate()
+            .filter(|(s, _)| healthy.contains(s))
+        {
+            let (queue, done, alive) = (&queue, &done, &alive);
+            sc.spawn(move || {
+                let dev = fleet.device(shard);
+                let mut streak = 0u32;
+                // A failed task is retained by this worker across its own
+                // retries rather than requeued immediately: if it went
+                // back on the queue a fast healthy shard would steal it,
+                // the failure streak would never reach the breaker
+                // threshold, and a permanently dead shard would keep
+                // sampling (and stalling) fresh tasks forever. The task
+                // moves to the survivors the moment the breaker opens.
+                let mut held: Option<usize> = None;
+                loop {
+                    let task = match held.take() {
+                        Some(t) => t,
+                        None => {
+                            let Some(t) = queue.lock().pop_front() else {
+                                break;
+                            };
+                            t
+                        }
+                    };
+                    let epoch_before = dev.fault_epoch();
+                    let counts_ok = run_task(dev, task);
+                    let failed = dev.fault_epoch() != epoch_before || !counts_ok;
+                    shared.metrics.on_attempt(!failed);
+                    shared.metrics.on_shard_task(!failed);
+                    if !failed {
+                        streak = 0;
+                        report_shard_breaker(shared, breaker.on_success(), shard, request);
+                        done.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    held = Some(task);
+                    streak += 1;
+                    shared.cfg.observer.instant(
+                        Track::wall(0),
+                        "attempt_failed",
+                        vec![
+                            ("shard", ArgValue::from(shard)),
+                            ("attempt", ArgValue::from(streak as usize)),
+                        ],
+                    );
+                    let transition = breaker.on_failure(Instant::now());
+                    let opened = transition == Some("open");
+                    report_shard_breaker(shared, transition, shard, request);
+                    if opened {
+                        // This fault domain is gone until a canary re-closes
+                        // it: hand the held task back, record the loss, and
+                        // reshard the remaining work onto whoever survives.
+                        if let Some(t) = held.take() {
+                            queue.lock().push_front(t);
+                        }
+                        shared.metrics.on_shard_lost();
+                        shared.cfg.observer.flight_event(
+                            FlightKind::DeviceLost,
+                            request,
+                            shard as u64,
+                            dev.fault_epoch(),
+                        );
+                        let survivors = alive.fetch_sub(1, Ordering::AcqRel) - 1;
+                        let left = queue.lock().len() as u64;
+                        if survivors > 0 {
+                            shared.metrics.on_shard_failover();
+                            shared.cfg.observer.flight_event(
+                                FlightKind::ShardFailover,
+                                request,
+                                shard as u64,
+                                left,
+                            );
+                            dumps.lock().push(Trigger {
+                                reason: "shard_failover".to_string(),
+                                request,
+                                detail: format!(
+                                    "shard {shard} opened mid-dispatch; {left} task(s) \
+                                     resharded onto {survivors} surviving shard(s)"
+                                ),
+                            });
+                        }
+                        return;
+                    }
+                    shared.metrics.on_retry();
+                    std::thread::sleep(backoff_delay(rcfg, streak, salt ^ ((shard as u64) << 8)));
+                }
+            });
+        }
+    });
+    done.load(Ordering::Relaxed) == total
+}
+
+/// One image through the banded three-phase pipeline (column sums →
+/// margin exchange → carry-seeded band wavefronts), its phase kernels
+/// spread over the fleet's healthy shards with failover. Returns `None`
+/// when some phase could not complete — every remaining shard opened —
+/// in which case the caller re-polls the breakers and usually degrades.
+///
+/// Bit-exactness: the banded kernels sum in exactly the association order
+/// of the single-device 1R1W wavefront within each band, and band
+/// boundaries only ever consume finished carry rows, so re-running a band
+/// on a different shard cannot change a single bit of the result
+/// (pinned by `sat_core::par::band` tests).
+#[allow(clippy::too_many_arguments)]
+fn banded_fleet_sat(
+    shared: &Shared,
+    fleet: &DeviceFleet,
+    breakers: &mut [CircuitBreaker],
+    request: u64,
+    salt: u64,
+    dumps: &Mutex<Vec<Trigger>>,
+    image: &Matrix<f64>,
+    verify_counts: bool,
+) -> Option<Matrix<f64>> {
+    let w = fleet.device(0).width();
+    let (rows, cols) = (image.rows(), image.cols());
+    let prows = rows.max(1).next_multiple_of(w);
+    let pcols = cols.max(1).next_multiple_of(w);
+    let mut padded = vec![0.0f64; prows * pcols];
+    for i in 0..rows {
+        padded[i * pcols..i * pcols + cols]
+            .copy_from_slice(&image.as_slice()[i * cols..(i + 1) * cols]);
+    }
+    let plan = BandPlan::new(prows, pcols, w, fleet.len());
+    let d = plan.len();
+    let a = GlobalBuffer::from_vec(padded);
+    let s = GlobalBuffer::filled(0.0f64, prows * pcols);
+    let colsums = GlobalBuffer::filled(0.0f64, plan.boundary_len());
+    let carries = GlobalBuffer::filled(0.0f64, plan.boundary_len());
+    let mirror = GlobalBuffer::filled(0.0f64, plan.mirror_len());
+    // Closed-form phase entries for the per-task launch-failure check
+    // (always available: the dims are padded to multiples of `w`).
+    let model = if verify_counts {
+        GlobalCost::new(*fleet.device(0).config()).banded_1r1w_exact_counts(prows, pcols, d)
+    } else {
+        None
+    };
+    let snap = |dev: &Device| model.as_ref().map(|_| (dev.stats(), dev.launches()));
+
+    if d > 1 {
+        let ok = run_fleet_tasks(
+            shared,
+            fleet,
+            breakers,
+            request,
+            salt,
+            dumps,
+            (0..d - 1).collect(),
+            &|dev, k| {
+                let before = snap(dev);
+                band_colsum(dev, &a, &colsums, &plan, k);
+                phase_counts_ok(dev, before, model.as_ref().map(|m| &m.colsum[k]))
+            },
+        );
+        if !ok {
+            return None;
+        }
+        let ok = run_fleet_tasks(
+            shared,
+            fleet,
+            breakers,
+            request,
+            salt,
+            dumps,
+            vec![0],
+            &|dev, _| {
+                let before = snap(dev);
+                margin_exchange(dev, &colsums, &carries, &plan);
+                phase_counts_ok(dev, before, model.as_ref().map(|m| &m.exchange))
+            },
+        );
+        if !ok {
+            return None;
+        }
+    }
+    let ok = run_fleet_tasks(
+        shared,
+        fleet,
+        breakers,
+        request,
+        salt,
+        dumps,
+        (0..d).collect(),
+        &|dev, k| {
+            let before = snap(dev);
+            band_wavefront(dev, &a, &s, &carries, &mirror, &plan, k);
+            phase_counts_ok(dev, before, model.as_ref().map(|m| &m.wavefront[k]))
+        },
+    );
+    if !ok {
+        return None;
+    }
+    let out = s.into_vec();
+    Some(Matrix::from_fn(rows, cols, |i, j| out[i * pcols + j]))
+}
+
+/// The fleet path for algorithms without a banded decomposition: the whole
+/// image is one task, computed by whichever shard picks it up (failover
+/// still applies — a shard that dies mid-image hands it to a survivor).
+#[allow(clippy::too_many_arguments)]
+fn whole_image_fleet_sat(
+    shared: &Shared,
+    fleet: &DeviceFleet,
+    breakers: &mut [CircuitBreaker],
+    request: u64,
+    salt: u64,
+    dumps: &Mutex<Vec<Trigger>>,
+    algorithm: SatAlgorithm,
+    image: &Matrix<f64>,
+) -> Option<Matrix<f64>> {
+    let slot: Mutex<Option<Matrix<f64>>> = Mutex::new(None);
+    let complete = run_fleet_tasks(
+        shared,
+        fleet,
+        breakers,
+        request,
+        salt,
+        dumps,
+        vec![0],
+        &|dev, _| {
+            *slot.lock() = Some(compute_sat(dev, algorithm, image));
+            true
+        },
+    );
+    if complete {
+        slot.into_inner()
+    } else {
+        None
+    }
+}
+
+/// [`execute`]'s fleet sibling: run one dispatch across `D > 1` shard
+/// devices. Images go through the banded pipeline one at a time (each
+/// image's band kernels run fleet-parallel); a shard lost mid-image
+/// reshards its bands onto the survivors, and the CPU degradation path is
+/// reached only when *every* shard's breaker is open. Every admitted
+/// request still completes — bit-exactly whenever any shard stayed
+/// healthy.
+fn fleet_execute(shared: &Shared, fleet: &DeviceFleet, d: Dispatch, ex: &mut ExecState) {
+    let width = d.requests.len();
+    if width == 0 {
+        return;
+    }
+    let dispatched_at = Instant::now();
+    let queue_ns: Vec<u64> = d
+        .requests
+        .iter()
+        .map(|r| dispatched_at.duration_since(r.enqueued).as_nanos() as u64)
+        .collect();
+    let enqueued_at: Vec<Instant> = d.requests.iter().map(|r| r.enqueued).collect();
+    let ids: Vec<u64> = d.requests.iter().map(|r| r.id).collect();
+    let mut images = Vec::with_capacity(width);
+    let mut replies = Vec::with_capacity(width);
+    for r in d.requests {
+        images.push(r.image);
+        replies.push(r.reply);
+    }
+    ex.batch_no += 1;
+    let batch_no = ex.batch_no;
+    shared
+        .cfg
+        .observer
+        .flight_event(FlightKind::BatchFormed, ids[0], batch_no, width as u64);
+    let dumps: Mutex<Vec<Trigger>> = Mutex::new(Vec::new());
+
+    let w = fleet.device(0).width();
+    let (rows, cols) = (images[0].rows(), images[0].cols());
+    let per_single = {
+        let m_r = rows.max(1).div_ceil(w);
+        let m_c = cols.max(1).div_ceil(w);
+        m_r + m_c - 1
+    } as u64;
+
+    let rcfg = &shared.cfg.resilience;
+    let launches_before = fleet.launches();
+    for dev in fleet {
+        dev.set_launch_context(Some(LaunchContext {
+            batch: batch_no,
+            requests: ids.clone(),
+        }));
+    }
+
+    let mut results: Vec<Option<Matrix<f64>>> = (0..width).map(|_| None).collect();
+    let mut degraded: Vec<bool> = vec![false; width];
+    for idx in 0..width {
+        let request = ids[idx];
+        let mut attempts = 0u32;
+        loop {
+            if attempts >= rcfg.max_attempts {
+                let mut pending = vec![idx];
+                degrade_pending(shared, &images, &mut pending, &mut results, &mut degraded);
+                break;
+            }
+            if attempts > 0 {
+                shared.metrics.on_retry();
+                ex.salt = ex.salt.wrapping_add(1);
+                std::thread::sleep(backoff_delay(rcfg, attempts, ex.salt));
+            }
+            attempts += 1;
+            // Dispatch boundary: probe cooled-down shards back in, and only
+            // fall back to the CPU when the whole fleet is open.
+            if poll_fleet_breakers(shared, fleet, &mut ex.breakers, request) == 0 {
+                let mut pending = vec![idx];
+                degrade_pending(shared, &images, &mut pending, &mut results, &mut degraded);
+                break;
+            }
+            let out = if d.algorithm == SatAlgorithm::OneR1W {
+                banded_fleet_sat(
+                    shared,
+                    fleet,
+                    &mut ex.breakers,
+                    request,
+                    ex.salt,
+                    &dumps,
+                    &images[idx],
+                    ex.verify_on,
+                )
+            } else {
+                whole_image_fleet_sat(
+                    shared,
+                    fleet,
+                    &mut ex.breakers,
+                    request,
+                    ex.salt,
+                    &dumps,
+                    d.algorithm,
+                    &images[idx],
+                )
+            };
+            let Some(sat) = out else {
+                // A phase ran out of shards; the next attempt re-polls the
+                // breakers (and degrades if the whole fleet stays open).
+                continue;
+            };
+            let ok = !ex.verify_on || verify_sat(&images[idx], &sat);
+            if ex.verify_on {
+                shared.metrics.on_verify(ok);
+            }
+            if ok {
+                results[idx] = Some(sat);
+                break;
+            }
+            shared.cfg.observer.flight_event(
+                FlightKind::VerifyFailure,
+                request,
+                attempts as u64,
+                0,
+            );
+            shared.cfg.observer.instant(
+                Track::wall(0),
+                "verify_failed",
+                vec![("count", ArgValue::from(1usize))],
+            );
+            dumps.lock().push(Trigger {
+                reason: "verify_failure".to_string(),
+                request,
+                detail: "1 result(s) failed SAT verification".to_string(),
+            });
+        }
+    }
+    for dev in fleet {
+        dev.set_launch_context(None);
+    }
+
+    let launches_after = fleet.launches();
+    let mut issued = 0u64;
+    for (shard, (after, before)) in launches_after.iter().zip(&launches_before).enumerate() {
+        let delta = after.wrapping_sub(*before);
+        shared.metrics.on_shard_launches(shard, delta);
+        issued += delta;
+    }
+    let exec_ns = dispatched_at.elapsed().as_nanos() as u64;
+
+    // Per-request single-device execution of the same traffic would have
+    // paid the full `m_r + m_c − 1` wavefront per image; the fleet pays the
+    // banded pipeline's launches, spread over `D` devices — the loadgen
+    // fleet gate asserts `max(shard launches) × D < equiv`.
+    let launches_equiv = if d.algorithm == SatAlgorithm::OneR1W {
+        per_single * width as u64
+    } else {
+        issued
+    };
+    let runs = width as u64;
+    let barriers = issued.saturating_sub(runs);
+    let barriers_equiv = launches_equiv.saturating_sub(width as u64);
+
+    shared.metrics.on_batch(&crate::metrics::BatchRecord {
+        width,
+        launches: issued,
+        launches_equiv,
+        barriers,
+        barriers_equiv,
+        queue_ns: &queue_ns,
+        exec_ns,
+        request_ids: &ids,
+    });
+
+    if let Some(threshold) = shared.cfg.postmortem.burn_threshold {
+        let burn = shared.metrics.slo_burn();
+        if burn >= threshold {
+            shared.cfg.observer.flight_event(
+                FlightKind::SloBurn,
+                ids[0],
+                (burn * 1000.0) as u64,
+                (threshold * 1000.0) as u64,
+            );
+            dumps.lock().push(Trigger {
+                reason: "slo_burn".to_string(),
+                request: ids[0],
+                detail: format!("error-budget burn {burn:.3} reached threshold {threshold:.3}"),
+            });
+        }
+    }
+
+    // Same retro-emitted lifecycle records as the single-device path, so
+    // fleet traces and flight bundles read identically downstream.
+    let obs = &shared.cfg.observer;
+    if obs.is_enabled() {
+        let done = Instant::now();
+        let batch = obs.wall_span_at(
+            Track::wall(0),
+            "batch",
+            dispatched_at,
+            done,
+            None,
+            vec![
+                ("batch", ArgValue::from(batch_no)),
+                ("width", ArgValue::from(width)),
+                ("algo", ArgValue::from(d.algorithm.name())),
+                ("launches", ArgValue::from(issued)),
+                ("shards", ArgValue::from(fleet.len())),
+            ],
+        );
+        for (i, &enq) in enqueued_at.iter().enumerate() {
+            obs.wall_span_at(
+                Track::wall(1 + (i as u32 % 16)),
+                "queue",
+                enq,
+                dispatched_at,
+                batch,
+                vec![("request", ArgValue::from(ids[i]))],
+            );
+            obs.flow_wall(
+                Track::wall(0),
+                "request",
+                FlowPhase::Step,
+                ids[i],
+                dispatched_at,
+            );
+            let status = if degraded[i] { "degraded" } else { "ok" };
+            close_request_span(obs, ids[i], enq, done, status);
+        }
+        obs.instant(
+            Track::wall(0),
+            "complete",
+            vec![("width", ArgValue::from(width))],
+        );
+    }
+    for trigger in dumps.into_inner().iter() {
         maybe_dump(shared, trigger);
     }
     for (reply, sat) in replies.into_iter().zip(results) {

@@ -224,6 +224,79 @@ fn telemetry_listener_serves_metrics_health_and_flight() {
 }
 
 #[test]
+fn shutdown_with_open_breaker_fails_queued_requests_fast_and_closes_telemetry() {
+    // A dead device opens the breaker; the cooldown is far away, so a
+    // canary probe is pending but cannot run. Shutdown must not wait for
+    // it: requests still queued drain immediately with `Shutdown`, and
+    // the telemetry port closes with the service.
+    let plan = FaultPlan::new(4).loss(LossWindow::Launches {
+        start: 0,
+        count: u64::MAX,
+    });
+    let cfg = ServiceConfig {
+        machine: MachineConfig::with_width(4),
+        device_workers: Some(2),
+        max_batch: 4,
+        // Partial batches never linger out: requests that don't fill a
+        // batch stay queued until shutdown drains them.
+        max_linger: Duration::from_secs(3600),
+        fault_plan: Some(plan),
+        resilience: ResilienceConfig {
+            breaker_cooldown: Duration::from_secs(600),
+            ..ResilienceConfig::default()
+        },
+        telemetry: TelemetryConfig {
+            listen: Some("127.0.0.1:0".to_string()),
+        },
+        ..ServiceConfig::default()
+    };
+    let service = Service::start(cfg);
+    let addr = service.telemetry_addr().expect("listener configured");
+
+    // A full batch dispatches at once, trips the breaker on the dead
+    // device, and completes on the CPU path.
+    let mut full_batch = Vec::new();
+    for t in 0..4usize {
+        let client = service.client();
+        full_batch.push(std::thread::spawn(move || {
+            client.submit(image(t), SatAlgorithm::OneR1W, None)
+        }));
+    }
+    for h in full_batch {
+        h.join().unwrap().expect("degraded requests still complete");
+    }
+    assert!(service.stats().breaker_opened >= 1, "breaker must be open");
+
+    // Two more requests can't fill a batch: they sit in the queue while
+    // the breaker is open and the canary probe is pending.
+    let mut queued = Vec::new();
+    for t in 4..6usize {
+        let client = service.client();
+        queued.push(std::thread::spawn(move || {
+            client.submit(image(t), SatAlgorithm::OneR1W, None)
+        }));
+    }
+    while service.stats().submitted < 6 {
+        std::thread::yield_now();
+    }
+
+    let stats = service.shutdown();
+    for h in queued {
+        assert_eq!(h.join().unwrap().err(), Some(ServiceError::Shutdown));
+    }
+    assert_eq!(stats.rejected_shutdown_drain, 2);
+    assert_eq!(stats.completed, 4);
+    assert_eq!(
+        stats.canary_probes, 0,
+        "the pending probe never ran: {stats:?}"
+    );
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "telemetry port closed with the service"
+    );
+}
+
+#[test]
 fn breaker_open_dumps_exactly_one_validating_postmortem_bundle() {
     let dir = std::env::temp_dir().join(format!("sat-postmortem-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);

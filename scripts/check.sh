@@ -28,6 +28,13 @@ grep -q '# {request_id="' target/loadgen_smoke_metrics.prom || {
     exit 1
 }
 
+echo "== loadgen fleet gate (4-shard banded SAT at n = 512, w = 4: the fleet's"
+echo "   modeled critical path must beat single-device 1R1W by >= 3x)"
+cargo run --release -q -p sat-bench --bin loadgen -- \
+    --threads 4 --requests 8 --n 512 --width 4 \
+    --shards 4 --min-model-speedup 3 \
+    --json target/BENCH_service_fleet_smoke.json
+
 echo "== chaosgen smoke (fault injection + self-healing, abort+corruption)"
 cargo run --release -q -p sat-bench --bin chaosgen -- \
     --threads 4 --requests 8 --n 16 --width 4 --seed 7 \
@@ -42,6 +49,18 @@ cargo run --release -q -p sat-bench --bin chaosgen -- \
     --postmortem-dir target/chaos_postmortem_smoke
 [ "$(ls target/chaos_postmortem_smoke/postmortem-loss-*.json | wc -l)" -eq 1 ] || {
     echo "error: expected exactly one post-mortem bundle" >&2
+    exit 1
+}
+
+echo "== chaosgen fleet gate (one of four shards dead mid-run: 100% bit-exact,"
+echo "   zero degraded, >= 1 failover, exactly one shard_failover bundle)"
+rm -rf target/chaos_postmortem_fleet
+cargo run --release -q -p sat-bench --bin chaosgen -- \
+    --threads 4 --requests 12 --n 16 --width 4 --seed 7 \
+    --scenarios shard-loss --json target/BENCH_chaos_fleet_smoke.json \
+    --postmortem-dir target/chaos_postmortem_fleet
+[ "$(ls target/chaos_postmortem_fleet/postmortem-shard-loss-*-shard_failover.json | wc -l)" -eq 1 ] || {
+    echo "error: expected exactly one shard-failover post-mortem bundle" >&2
     exit 1
 }
 
