@@ -23,7 +23,21 @@
 //! * `--write` — rewrite the baseline from this run and append a history
 //!   record instead of comparing;
 //! * `--inject-slowdown ALGO:FACTOR` — scale the measured wall clock of
-//!   one algorithm (test hook for the gate itself);
+//!   one algorithm (test hook for the wall gate itself); under
+//!   `--conformance` it additionally runs that algorithm's cell through a
+//!   real per-launch straggler so the drift detector sees the slowdown;
+//! * `--conformance` — after the measurement table, replay every cell with
+//!   a live [`obs::Conformance`] tracker attached and print its report:
+//!   the online (w, Λ) fit must converge to the configured machine within
+//!   the tracker's tolerance (the fit regresses counter-derived model
+//!   units, so this is deterministic), and a fault-free pass must raise
+//!   **zero** drift alerts. With `--inject-slowdown ALGO:FACTOR` the pass
+//!   must instead trip **exactly one** `cusum` drift alert on the injected
+//!   algorithm's cell, emit the matching flight-recorder event, and dump
+//!   one post-mortem bundle (into `--conformance-dir`) that passes
+//!   [`obs::flight::validate`] — exiting nonzero on any other outcome;
+//! * `--conformance-dir DIR` — where the injected-drift bundle goes
+//!   (default `.`);
 //! * `--validate-history PATH` — parse a history file and check its
 //!   invariants (schema tag, strictly increasing `seq`, non-decreasing
 //!   `unix_ms`), then exit.
@@ -44,10 +58,11 @@
 //! closed-form banded model and its `modeled(u)` column is the fleet
 //! *critical-path* cost).
 
+use std::path::Path;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use gpu_exec::{Device, DeviceFleet, DeviceOptions, FleetOptions};
+use gpu_exec::{Device, DeviceFleet, DeviceOptions, FaultPlan, FleetOptions};
 use hmm_model::cost::{CostCounters, GlobalCost, SatAlgorithm};
 use hmm_model::MachineConfig;
 use obs::json::JsonValue;
@@ -162,6 +177,8 @@ fn main() -> ExitCode {
         flag_value(&args, "--history").unwrap_or_else(|| "BENCH_history.jsonl".into());
     let tolerance: f64 = parsed_flag(&args, "--tolerance", 0.6);
     let write = args.iter().any(|a| a == "--write");
+    let conformance = args.iter().any(|a| a == "--conformance");
+    let conformance_dir = flag_value(&args, "--conformance-dir").unwrap_or_else(|| ".".into());
     let inject = match flag_value(&args, "--inject-slowdown").map(|s| parse_injection(&s)) {
         Some(Err(e)) => {
             eprintln!("error: --inject-slowdown: {e}");
@@ -266,6 +283,11 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    if conformance && !conformance_pass(cfg, &sizes, inject.as_ref(), Path::new(&conformance_dir)) {
+        eprintln!("benchdiff: FAIL (model conformance)");
+        return ExitCode::FAILURE;
+    }
+
     let perf = PerfFile {
         schema: PERF_SCHEMA.to_string(),
         width,
@@ -302,6 +324,254 @@ fn parse_injection(s: &str) -> Result<(String, f64), String> {
         return Err(format!("unknown algorithm {name:?}"));
     }
     Ok((name.to_string(), factor))
+}
+
+/// The canonical cell name `--inject-slowdown`'s (case-insensitive)
+/// algorithm refers to, so the injected run lands in the same conformance
+/// cell phase A baselined.
+fn canonical_name(name: &str) -> Option<String> {
+    if name.eq_ignore_ascii_case(PERSIST_NAME) {
+        return Some(PERSIST_NAME.to_string());
+    }
+    SatAlgorithm::ALL
+        .iter()
+        .find(|a| a.name().eq_ignore_ascii_case(name))
+        .map(|a| a.name().to_string())
+}
+
+/// The `--conformance` pass. Phase A replays every (algorithm, n) cell —
+/// plus the persistent mode — on tracker-attached devices until each cell
+/// has a frozen τ baseline and a healthy post-baseline EWMA, which also
+/// feeds the online (w, Λ) fit. Phase B (only with `--inject-slowdown`)
+/// reruns the injected algorithm's cell behind a real per-launch straggler
+/// sized from the measured healthy launch wall — floored at 50 µs/launch so
+/// the detector's signal sits far above scheduler noise — and must trip
+/// exactly one `cusum` drift alert, whose flight event then rides the
+/// dumped post-mortem bundle.
+fn conformance_pass(
+    cfg: MachineConfig,
+    sizes: &[usize],
+    inject: Option<&(String, f64)>,
+    dir: &Path,
+) -> bool {
+    let injected_cell_name = match inject {
+        Some((name, _)) => match canonical_name(name) {
+            Some(c) => Some(c),
+            None => {
+                eprintln!(
+                    "conformance: --inject-slowdown {name:?} is not a conformance cell \
+                     (fleet cells are not covered)"
+                );
+                return false;
+            }
+        },
+        None => None,
+    };
+
+    let obs = Obs::new();
+    let registry = obs.registry().expect("enabled observer has a registry");
+    let mut ccfg = obs::ConformanceConfig::for_machine(cfg.width as u64, cfg.window_overhead());
+    // Short baselines freeze every cell quickly; the widened slack keeps
+    // the onset channel quiet under scheduler noise (a loaded host can
+    // stretch a healthy launch a few-fold) while the injected straggler
+    // below sits at ≥20× and still trips within a handful of launches.
+    ccfg.baseline_samples = 8;
+    ccfg.drift_slack = 4.0;
+    let tracker = obs::Conformance::with_registry(ccfg, &registry, "sat_service_");
+    let gc = GlobalCost::new(cfg);
+
+    type Runner<'a> = Box<dyn Fn(&Device) + 'a>;
+    let cells_for = |n: usize| -> Vec<(String, Runner)> {
+        let mut cells: Vec<(String, Runner)> = Vec::new();
+        for alg in SatAlgorithm::ALL {
+            if alg == SatAlgorithm::FourR1W && n > 1024 {
+                continue;
+            }
+            let r = if alg == SatAlgorithm::HybridR1W {
+                gc.optimal_r(n)
+            } else {
+                0.0
+            };
+            cells.push((
+                alg.name().to_string(),
+                Box::new(move |d: &Device| {
+                    run_real(d, alg, r, n);
+                }),
+            ));
+        }
+        cells.push((
+            PERSIST_NAME.to_string(),
+            Box::new(move |d: &Device| {
+                run_persistent(d, n);
+            }),
+        ));
+        cells
+    };
+
+    // Phase A: healthy replays until every cell's baseline froze and a
+    // post-baseline EWMA exists. Also measures the injected cell's healthy
+    // per-launch wall, to size the phase-B straggler.
+    let mut injected_launch_secs = f64::INFINITY;
+    for &n in sizes {
+        for (name, run) in cells_for(n) {
+            let label = obs::conformance::cell_label(&name, n, n);
+            let dev = Device::new(
+                DeviceOptions::new(cfg)
+                    .workers(0)
+                    .observer(obs.clone())
+                    .conformance(tracker.clone()),
+            );
+            dev.set_conformance_cell(Some(label.clone()));
+            for _ in 0..20 {
+                let launches_before = dev.launches();
+                let tick = Instant::now();
+                run(&dev);
+                let secs = tick.elapsed().as_secs_f64();
+                let launches = dev.launches() - launches_before;
+                if injected_cell_name.as_deref() == Some(name.as_str()) && launches > 0 {
+                    injected_launch_secs = injected_launch_secs.min(secs / launches as f64);
+                }
+                let samples = tracker
+                    .cells()
+                    .iter()
+                    .find(|c| c.cell == label)
+                    .map_or(0, |c| c.samples);
+                if samples >= 16 {
+                    break;
+                }
+            }
+        }
+    }
+
+    // Phase B: the injected slowdown, as a real straggler on every launch.
+    if let Some((_, factor)) = inject {
+        let name = injected_cell_name.as_deref().expect("resolved above");
+        let n = sizes[0];
+        let label = obs::conformance::cell_label(name, n, n);
+        let extra = (injected_launch_secs * (factor - 1.0)).max(50e-6);
+        let plan = FaultPlan::new(7).straggler(1.0, Duration::from_secs_f64(extra));
+        let dev = Device::new(
+            DeviceOptions::new(cfg)
+                .workers(0)
+                .observer(obs.clone())
+                .conformance(tracker.clone())
+                .fault_plan(plan),
+        );
+        dev.set_conformance_cell(Some(label.clone()));
+        let (_, run) = cells_for(n)
+            .into_iter()
+            .find(|(c, _)| c == name)
+            .expect("the injected cell is always replayed");
+        for _ in 0..10 {
+            run(&dev);
+            if tracker.alert_count() > 0 {
+                break;
+            }
+        }
+        println!(
+            "conformance: injected {:.1}x slowdown on {label} \
+             ({:.1} µs straggler per launch)",
+            factor,
+            extra * 1e6
+        );
+    }
+
+    // The report, fit cross-check, and the drift-alert contract.
+    let fit = tracker.fit();
+    let tol = tracker.config().fit_tolerance;
+    println!(
+        "conformance: fitted w {:.3} / Λ {:.2} vs configured {} / {} \
+         (rms {:.4}, {} samples, converged {})",
+        fit.width,
+        fit.window_overhead,
+        cfg.width,
+        cfg.window_overhead(),
+        fit.residual_rms,
+        fit.samples,
+        fit.converged
+    );
+    let alerts = tracker.alerts();
+    for a in &alerts {
+        println!(
+            "conformance: drift alert — {} via {} (τ ratio {:.2} over {} samples)",
+            a.cell, a.channel, a.ratio, a.samples
+        );
+    }
+    let mut ok = true;
+    // The fit regresses counter-derived model units, so wall-time
+    // injection leaves it untouched: it must recover the machine in both
+    // modes.
+    if !fit.matches(cfg.width as u64, cfg.window_overhead(), tol) {
+        eprintln!(
+            "conformance: online fit does not recover the configured machine \
+             (w {:.3} vs {}, Λ {:.2} vs {}, tol {tol})",
+            fit.width,
+            cfg.width,
+            fit.window_overhead,
+            cfg.window_overhead()
+        );
+        ok = false;
+    }
+    match inject {
+        None => {
+            if !alerts.is_empty() {
+                eprintln!(
+                    "conformance: a fault-free pass raised {} drift alert(s)",
+                    alerts.len()
+                );
+                ok = false;
+            }
+        }
+        Some(_) => {
+            let name = injected_cell_name.as_deref().expect("resolved above");
+            let expected = obs::conformance::cell_label(name, sizes[0], sizes[0]);
+            if alerts.len() != 1 || alerts[0].channel != "cusum" || alerts[0].cell != expected {
+                eprintln!(
+                    "conformance: injected slowdown must trip exactly one cusum alert \
+                     on {expected} (got {alerts:?})"
+                );
+                return false;
+            }
+            // The alert's flight event rides a dumped bundle, which must
+            // round-trip the validator.
+            let trigger = obs::flight::Trigger {
+                reason: "drift".to_string(),
+                request: 0,
+                detail: format!(
+                    "injected drift: {} via {} (τ ratio {:.2})",
+                    alerts[0].cell, alerts[0].channel, alerts[0].ratio
+                ),
+            };
+            match obs::flight::dump(&obs, dir, "conformance-drift", &trigger) {
+                Ok(path) => {
+                    let checked = std::fs::read_to_string(&path)
+                        .map_err(|e| e.to_string())
+                        .and_then(|text| {
+                            if !text.contains("\"kind\":\"drift_alert\"") {
+                                return Err("bundle lacks the drift_alert flight event".into());
+                            }
+                            obs::flight::validate(&text)
+                        });
+                    match checked {
+                        Ok(stats) => println!(
+                            "conformance: drift bundle {} validates ({} events)",
+                            path.display(),
+                            stats.events
+                        ),
+                        Err(e) => {
+                            eprintln!("conformance: drift bundle {} invalid: {e}", path.display());
+                            ok = false;
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("conformance: cannot dump drift bundle into {dir:?}: {e}");
+                    ok = false;
+                }
+            }
+        }
+    }
+    ok
 }
 
 /// Median seconds of a fixed, allocation-free integer loop. Dividing the

@@ -40,7 +40,9 @@
 //! `postmortem-<scenario>-…`); a breaker-opening scenario must then emit
 //! exactly one bundle that passes [`obs::flight::validate`]. With
 //! `--metrics-snapshot PATH` the final scenario's Prometheus exposition is
-//! written to PATH.
+//! written to PATH and strict-parsed against the shared metric-family
+//! allow-list ([`sat_bench::known_metric_families`]); an unknown family in
+//! the snapshot fails the run.
 //!
 //! Exits nonzero on any rejected request or result mismatch, and — for
 //! scenarios with a device-loss window — when the breaker never opened or
@@ -517,7 +519,18 @@ fn main() -> ExitCode {
             eprintln!("chaosgen: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
-        println!("wrote {path} (metrics snapshot, final scenario)");
+        // Strict-parse the snapshot we just wrote: every metric family must
+        // be on the shared allow-list, so a renamed or novel family fails
+        // the chaos gate instead of silently dropping off dashboards.
+        let unknown = sat_bench::unknown_families(&last_metrics);
+        if !unknown.is_empty() {
+            eprintln!(
+                "chaosgen: FAILED — snapshot {path} has unknown metric families: {}",
+                unknown.join(", ")
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path} (metrics snapshot, final scenario, strict parse ok)");
     }
 
     if failed {

@@ -22,7 +22,14 @@
 //! PATH, validated with [`obs::chrome::validate`], and required to contain
 //! at least one complete request flow chain (admit → batch → launch →
 //! complete linked by flow arrows). With `--metrics-snapshot PATH` the
-//! final Prometheus exposition (exemplars included) is written to PATH.
+//! final Prometheus exposition (exemplars included) is written to PATH and
+//! parsed *strictly*: any metric family missing from
+//! [`sat_bench::known_metric_families`] fails the run.
+//!
+//! With `--check-conformance` the run additionally gates on the model
+//! observatory: the online (w, Λ) fit must converge to the configured
+//! machine within its tolerance and the run must raise zero drift alerts
+//! — the fault-free conformance gate in `scripts/check.sh`.
 //!
 //! With `--shards D` (D > 1) the service serves over a [`DeviceFleet`]:
 //! each 1R1W request is decomposed into row bands work-stolen by D
@@ -48,7 +55,7 @@ use std::time::{Duration, Instant};
 use gpu_exec::{Device, DeviceOptions};
 use hmm_model::cost::{GlobalCost, SatAlgorithm};
 use hmm_model::MachineConfig;
-use sat_bench::{flag_value, parsed_flag};
+use sat_bench::{flag_value, parsed_flag, unknown_families};
 use sat_core::{compute_sat, Matrix};
 use sat_service::{LatencySummary, Service, ServiceConfig, ServiceStats};
 use serde::{Deserialize, Serialize};
@@ -92,6 +99,13 @@ struct ServingRecord {
     model_fleet_launches: u64,
     /// Closed-form critical-path cost ratio (single / fleet) at `--n`.
     model_speedup: f64,
+    /// Online model-conformance fit at the end of the run.
+    model_fit_converged: bool,
+    model_fitted_width: f64,
+    model_fitted_window_overhead: f64,
+    model_residual_rms: f64,
+    /// Drift alerts the observatory raised during the run.
+    model_drift_alerts: u64,
 }
 
 fn main() -> ExitCode {
@@ -105,6 +119,7 @@ fn main() -> ExitCode {
     let linger_us: u64 = parsed_flag(&args, "--linger-us", 500);
     let mixed = args.iter().any(|a| a == "--mixed");
     let shards: usize = parsed_flag(&args, "--shards", 1);
+    let check_conformance = args.iter().any(|a| a == "--check-conformance");
     let min_model_speedup: f64 = parsed_flag(&args, "--min-model-speedup", 0.0);
     let json_path = flag_value(&args, "--json").unwrap_or_else(|| "BENCH_service.json".into());
     let trace_path = flag_value(&args, "--trace");
@@ -193,6 +208,8 @@ fn main() -> ExitCode {
     });
     let wall = started.elapsed().as_secs_f64();
     let metrics_snapshot = snapshot_path.as_ref().map(|_| service.metrics_text());
+    let fit = service.conformance().fit();
+    let drift_alerts = service.conformance().alerts();
     let stats: ServiceStats = service.shutdown();
 
     // Closed-form fleet model at the nominal image size: the D-band
@@ -244,6 +261,11 @@ fn main() -> ExitCode {
         model_single_launches,
         model_fleet_launches,
         model_speedup,
+        model_fit_converged: fit.converged,
+        model_fitted_width: fit.width,
+        model_fitted_window_overhead: fit.window_overhead,
+        model_residual_rms: fit.residual_rms,
+        model_drift_alerts: drift_alerts.len() as u64,
     };
 
     println!();
@@ -260,7 +282,14 @@ fn main() -> ExitCode {
             eprintln!("loadgen: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
-        println!("wrote {path} (metrics snapshot)");
+        // Strict parse: a family the allow-list does not know about means
+        // a metric was registered without updating the scrape schema.
+        let unknown = unknown_families(text);
+        if !unknown.is_empty() {
+            eprintln!("loadgen: FAILED — snapshot has unknown metric families: {unknown:?}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path} (metrics snapshot, strict parse ok)");
     }
     if let Some(path) = &trace_path {
         let json = observer.trace_json();
@@ -288,6 +317,34 @@ fn main() -> ExitCode {
             record.mismatches, record.rejected
         );
         return ExitCode::FAILURE;
+    }
+    if check_conformance {
+        let tol =
+            obs::ConformanceConfig::for_machine(machine.width as u64, machine.window_overhead())
+                .fit_tolerance;
+        println!(
+            "conformance: fitted w {:.3} / Λ {:.2} vs configured {} / {} \
+             (rms {:.4}, {} samples, converged {}), {} drift alert(s)",
+            fit.width,
+            fit.window_overhead,
+            machine.width,
+            machine.window_overhead(),
+            fit.residual_rms,
+            fit.samples,
+            fit.converged,
+            drift_alerts.len()
+        );
+        if !fit.converged || !fit.matches(machine.width as u64, machine.window_overhead(), tol) {
+            eprintln!(
+                "loadgen: FAILED — online fit does not recover the configured machine \
+                 within tolerance {tol}"
+            );
+            return ExitCode::FAILURE;
+        }
+        if !drift_alerts.is_empty() {
+            eprintln!("loadgen: FAILED — fault-free run raised drift alerts: {drift_alerts:?}");
+            return ExitCode::FAILURE;
+        }
     }
     if shards > 1 {
         // Launch-count scaling: the fleet's critical path must be strictly

@@ -30,7 +30,16 @@
 //!   closed forms (exact equality for 1R1W on block-aligned sizes, the
 //!   Table I leading terms within 25% otherwise) **and** that the
 //!   trace-reconstructed attribution totals agree with the device's own
-//!   counters, exiting nonzero on any mismatch.
+//!   counters, exiting nonzero on any mismatch;
+//! * `--conformance` — attach a live [`obs::Conformance`] tracker to every
+//!   profiled device and print its report afterwards: the online (w, Λ)
+//!   estimate recovered from the profiled launches cross-checked against
+//!   the configured machine and the offline closed forms, per-cell
+//!   residual statistics, and any drift alerts. Combined with `--check`
+//!   the online fit must converge and match the configured machine within
+//!   the tracker's tolerance (the fit regresses counter-derived model
+//!   units, so this gate is deterministic; wall-clock drift alerts are
+//!   reported but not gated).
 //!
 //! Recording overhead: the observer's disabled path is a no-op (no clock
 //! reads, no allocation — asserted by `obs`'s `disabled_path_is_cheap`
@@ -72,6 +81,7 @@ fn main() -> ExitCode {
     let check = args.iter().any(|a| a == "--check");
     let sim = args.iter().any(|a| a == "--sim");
     let phases = args.iter().any(|a| a == "--phases");
+    let conformance = args.iter().any(|a| a == "--conformance");
 
     // `1r1w-persist` is the persistent-block execution mode of 1R1W — a
     // named cell, not a `SatAlgorithm` variant. `--algo all` includes it.
@@ -108,6 +118,16 @@ fn main() -> ExitCode {
     let gc = GlobalCost::new(cfg);
     let obs = Obs::new();
     let registry = obs.registry().expect("enabled observer has a registry");
+    // One shared tracker across every profiled device, so the online fit
+    // regresses over all algorithms' launches at once (varied (C, S, B)
+    // conditions the least-squares system far better than one shape).
+    let tracker = conformance.then(|| {
+        obs::Conformance::with_registry(
+            obs::ConformanceConfig::for_machine(cfg.width as u64, cfg.window_overhead()),
+            &registry,
+            "sat_service_",
+        )
+    });
     let mut failed = false;
 
     if burst > 0 {
@@ -129,11 +149,35 @@ fn main() -> ExitCode {
                 println!("{:<11} | skipped (2n-1 launches prohibitive)", alg.name());
                 continue;
             }
-            failed |= !profile_algorithm(&obs, &registry, &gc, cfg, alg, n, check, sim, phases);
+            failed |= !profile_algorithm(
+                &obs,
+                &registry,
+                &gc,
+                cfg,
+                alg,
+                n,
+                check,
+                sim,
+                phases,
+                tracker.as_ref(),
+            );
         }
         if with_persistent {
-            failed |= !profile_persistent(&obs, &registry, &gc, cfg, n, check, phases);
+            failed |= !profile_persistent(
+                &obs,
+                &registry,
+                &gc,
+                cfg,
+                n,
+                check,
+                phases,
+                tracker.as_ref(),
+            );
         }
+    }
+
+    if let Some(t) = &tracker {
+        failed |= !report_conformance(t, cfg, check);
     }
 
     let json = obs.trace_json();
@@ -173,6 +217,7 @@ fn profile_algorithm(
     check: bool,
     sim: bool,
     phases: bool,
+    tracker: Option<&obs::Conformance>,
 ) -> bool {
     let r = if alg == SatAlgorithm::HybridR1W {
         gc.optimal_r(n)
@@ -183,7 +228,14 @@ fn profile_algorithm(
         width: cfg.width as u64,
         window_overhead: cfg.window_overhead(),
     };
-    let dev = Device::new(DeviceOptions::new(cfg).workers(0).observer(obs.clone()));
+    let mut opts = DeviceOptions::new(cfg).workers(0).observer(obs.clone());
+    if let Some(t) = tracker {
+        opts = opts.conformance(t.clone());
+    }
+    let dev = Device::new(opts);
+    if tracker.is_some() {
+        dev.set_conformance_cell(Some(obs::conformance::cell_label(alg.name(), n, n)));
+    }
     let (coal_before, stride_before) = device_counter_totals(registry);
     // The trace is shared across algorithms; remember how many launch rows
     // it already holds so this algorithm's attribution covers only its own.
@@ -295,6 +347,7 @@ fn profile_algorithm(
 /// against [`GlobalCost::persistent_1r1w_exact_counts`] — 1R1W's exact data
 /// movement plus one coalesced word per flag operation, and zero barrier
 /// steps — and the run must really have been one launch.
+#[allow(clippy::too_many_arguments)]
 fn profile_persistent(
     obs: &Obs,
     registry: &Registry,
@@ -303,13 +356,21 @@ fn profile_persistent(
     n: usize,
     check: bool,
     phases: bool,
+    tracker: Option<&obs::Conformance>,
 ) -> bool {
     const NAME: &str = "1R1W-persist";
     let model = CostModel {
         width: cfg.width as u64,
         window_overhead: cfg.window_overhead(),
     };
-    let dev = Device::new(DeviceOptions::new(cfg).workers(0).observer(obs.clone()));
+    let mut opts = DeviceOptions::new(cfg).workers(0).observer(obs.clone());
+    if let Some(t) = tracker {
+        opts = opts.conformance(t.clone());
+    }
+    let dev = Device::new(opts);
+    if tracker.is_some() {
+        dev.set_conformance_cell(Some(obs::conformance::cell_label(NAME, n, n)));
+    }
     let (coal_before, stride_before) = device_counter_totals(registry);
     let rows_before = attribution_from_trace(obs, model).rows.len();
     let mut guard = obs.span(Track::wall(0), NAME);
@@ -383,6 +444,62 @@ fn profile_persistent(
         },
     );
     !check || (ok && attr_ok)
+}
+
+/// Print the online estimator's view of the profiled launches and
+/// cross-check it against the configured machine. With `check`, the fit
+/// must converge and recover (w, Λ) within the tracker's tolerance — a
+/// deterministic gate, since the estimator regresses counter-derived model
+/// units. Wall-clock drift alerts are printed but never gated here: a
+/// loaded profiling host legitimately wobbles τ.
+fn report_conformance(tracker: &obs::Conformance, cfg: MachineConfig, check: bool) -> bool {
+    let fit = tracker.fit();
+    let tol = tracker.config().fit_tolerance;
+    println!(
+        "\nmodel conformance — online fit over {} profiled launches:",
+        fit.samples
+    );
+    println!(
+        "  fitted w {:.3} / Λ {:.2} vs configured {} / {} (rms {:.4}, converged {})",
+        fit.width,
+        fit.window_overhead,
+        cfg.width,
+        cfg.window_overhead(),
+        fit.residual_rms,
+        fit.converged
+    );
+    println!(
+        "  {:<24} | {:>8} | {:>12} | {:>12} | drifted",
+        "cell", "samples", "tau ns/unit", "resid (rel)"
+    );
+    for cell in tracker.cells() {
+        println!(
+            "  {:<24} | {:>8} | {:>12.3} | {:>12.5} | {}",
+            cell.cell,
+            cell.samples,
+            cell.ewma_tau * 1e9,
+            cell.mean_abs_residual,
+            cell.drifted
+        );
+    }
+    for alert in tracker.alerts() {
+        println!(
+            "  drift alert: {} via {} (τ ratio {:.2} over {} samples)",
+            alert.cell, alert.channel, alert.ratio, alert.samples
+        );
+    }
+    let ok = fit.matches(cfg.width as u64, cfg.window_overhead(), tol);
+    if check && !ok {
+        eprintln!(
+            "conformance: online fit does not recover the configured machine \
+             (w {:.3} vs {}, Λ {:.2} vs {}, tol {tol})",
+            fit.width,
+            cfg.width,
+            fit.window_overhead,
+            cfg.window_overhead()
+        );
+    }
+    !check || ok
 }
 
 #[allow(clippy::too_many_arguments)]

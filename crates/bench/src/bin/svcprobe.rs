@@ -19,6 +19,10 @@
 //!   `postmortem_bundles` fields are present and sane;
 //! * `GET /debug/flight` answers 200 with the flight recorder's schema id
 //!   and an event array that includes the admissions just made;
+//! * `GET /debug/conformance` answers 200 with a JSON report carrying the
+//!   conformance schema id, numeric fit fields (`samples`, `width`,
+//!   `window_overhead`, `residual_rms`) and a non-empty `cells` array with
+//!   per-cell residual statistics;
 //! * an unknown path answers 404, and after a clean shutdown the port no
 //!   longer accepts connections.
 //!
@@ -244,6 +248,55 @@ fn probe(requests: usize, n: usize, width: usize) -> Result<(), String> {
         ));
     }
     println!("svcprobe: /debug/flight ok — {admits} admissions on record");
+
+    // /debug/conformance: the observatory's report — schema id, the fit
+    // block's numeric fields, and per-cell residual statistics for the
+    // traffic just pushed.
+    let (code, ctype, report) = http_get(addr, "/debug/conformance")?;
+    if code != 200 || !ctype.starts_with("application/json") {
+        return Err(format!("/debug/conformance answered {code} ({ctype})"));
+    }
+    let v = obs::json::JsonValue::parse(&report)
+        .map_err(|e| format!("/debug/conformance not JSON: {e}"))?;
+    if v.get("schema").and_then(|s| s.as_str()) != Some(obs::conformance::REPORT_SCHEMA) {
+        return Err(format!("/debug/conformance schema mismatch: {report:.120}"));
+    }
+    let fit = v
+        .get("fit")
+        .ok_or_else(|| format!("/debug/conformance lacks fit: {report:.200}"))?;
+    for k in ["samples", "width", "window_overhead", "residual_rms"] {
+        if fit.get(k).and_then(|x| x.as_f64()).is_none() {
+            return Err(format!(
+                "/debug/conformance fit.{k} not numeric: {report:.200}"
+            ));
+        }
+    }
+    let cells = v
+        .get("cells")
+        .and_then(|c| c.as_array())
+        .ok_or_else(|| format!("/debug/conformance lacks cells: {report:.200}"))?;
+    if cells.is_empty() {
+        return Err("conformance report has no cells after live traffic".to_string());
+    }
+    for cell in cells {
+        for k in ["samples", "last_tau_ns", "ewma_tau_ns", "mean_abs_residual"] {
+            if cell.get(k).and_then(|x| x.as_f64()).is_none() {
+                return Err(format!(
+                    "/debug/conformance cell.{k} not numeric: {report:.200}"
+                ));
+            }
+        }
+        if cell.get("cell").and_then(|c| c.as_str()).is_none() {
+            return Err(format!(
+                "/debug/conformance cell lacks its label: {report:.200}"
+            ));
+        }
+    }
+    let samples = fit.get("samples").and_then(|x| x.as_f64()).unwrap_or(0.0);
+    println!(
+        "svcprobe: /debug/conformance ok — {} cell(s), {samples} fit samples",
+        cells.len()
+    );
 
     let (code, _, _) = http_get(addr, "/no-such-endpoint")?;
     if code != 404 {

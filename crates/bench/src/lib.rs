@@ -335,6 +335,91 @@ pub fn size_label(n: usize) -> String {
     }
 }
 
+/// Every metric family the stack is allowed to expose, with label sets
+/// and histogram-series suffixes (`_bucket`/`_sum`/`_count`) stripped.
+///
+/// This is the scrape *schema*: `loadgen --metrics-snapshot` and
+/// `chaosgen --metrics-snapshot` run [`unknown_families`] over the
+/// snapshot they write and exit nonzero on any name missing here, so CI
+/// fails when a new metric is registered without being added to this
+/// list (instead of dashboards silently missing it).
+pub fn known_metric_families() -> &'static [&'static str] {
+    &[
+        // Device execution layer (gpu-exec).
+        "gpu_coalesced_ops",
+        "gpu_stride_ops",
+        "gpu_global_stages",
+        "gpu_launches",
+        "gpu_barrier_steps",
+        "gpu_handoff_publishes",
+        "gpu_handoff_acquires",
+        "gpu_launch_duration_seconds",
+        // Fault injection (gpu-exec chaos devices; labelled by kind).
+        "gpu_fault_injections",
+        // Serving layer (sat-service).
+        "sat_service_submitted_total",
+        "sat_service_completed_total",
+        "sat_service_rejected_total",
+        "sat_service_batches_total",
+        "sat_service_launches_total",
+        "sat_service_barrier_steps_total",
+        "sat_service_attempts_total",
+        "sat_service_retries_total",
+        "sat_service_degraded_total",
+        "sat_service_verifications_total",
+        "sat_service_breaker_transitions_total",
+        "sat_service_canary_probes_total",
+        "sat_service_shard_tasks_total",
+        "sat_service_shard_failovers_total",
+        "sat_service_shards_lost_total",
+        "sat_service_shard_launches_total",
+        "sat_service_request_latency_seconds",
+        "sat_service_stage_latency_seconds",
+        "sat_service_queue_latency_ms",
+        "sat_service_exec_latency_ms",
+        "sat_service_total_latency_ms",
+        "sat_service_slo_target_seconds",
+        "sat_service_slo_attainment_ratio",
+        "sat_service_slo_error_budget_burn",
+        // Model-conformance observatory (obs::conformance).
+        "sat_service_model_samples_total",
+        "sat_service_model_drift_alerts_total",
+        "sat_service_model_fitted_width",
+        "sat_service_model_fitted_window_overhead",
+        "sat_service_model_fit_converged",
+        "sat_service_model_tau_ns",
+        "sat_service_model_residual_relative",
+        "sat_service_model_residual_tau_ratio",
+    ]
+}
+
+/// Metric families appearing in a Prometheus-style text exposition that
+/// are **not** in [`known_metric_families`], in first-seen order. Empty
+/// means the snapshot parses strictly.
+pub fn unknown_families(text: &str) -> Vec<String> {
+    let known = known_metric_families();
+    let mut out: Vec<String> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some(name) = line.split(['{', ' ']).next().filter(|n| !n.is_empty()) else {
+            continue;
+        };
+        // Histogram series expose as `<family>_bucket/_sum/_count`.
+        let base = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .unwrap_or(name);
+        if !known.contains(&name) && !known.contains(&base) && !out.iter().any(|o| o == name) {
+            out.push(name.to_string());
+        }
+    }
+    out
+}
+
 /// Write records as JSON lines if `--json PATH` was given.
 pub fn maybe_write_json<T: Serialize>(args: &[String], records: &[T]) {
     if let Some(path) = flag_value(args, "--json") {
@@ -393,6 +478,38 @@ mod tests {
         assert_eq!(flag_value(&args, "--json").as_deref(), Some("out.json"));
         assert_eq!(flag_value(&args, "--sizes").as_deref(), Some("1,2"));
         assert_eq!(flag_value(&args, "--nope"), None);
+    }
+
+    #[test]
+    fn a_live_scrape_parses_strictly_and_unknown_keys_are_caught() {
+        // A real observed service's scrape must contain only allow-listed
+        // families — this is the test that fails when someone registers a
+        // new metric without extending `known_metric_families`.
+        let service = sat_service::Service::start(sat_service::ServiceConfig {
+            machine: MachineConfig::with_width(4),
+            device_workers: Some(0),
+            observer: obs::Obs::new(),
+            ..sat_service::ServiceConfig::default()
+        });
+        let client = service.client();
+        for k in 0..3usize {
+            client
+                .submit(workload(8 + 4 * k), SatAlgorithm::OneR1W, None)
+                .expect("accepted");
+        }
+        let text = service.metrics_text();
+        assert!(text.contains("sat_service_model_samples_total"));
+        assert_eq!(
+            unknown_families(&text),
+            Vec::<String>::new(),
+            "scrape contains families missing from known_metric_families()"
+        );
+        service.shutdown();
+        // And the strict parser actually rejects a novel key.
+        let doctored = "# TYPE sat_service_novel_gauge gauge\n\
+                        sat_service_novel_gauge 1\n\
+                        sat_service_submitted_total 3\n";
+        assert_eq!(unknown_families(doctored), vec!["sat_service_novel_gauge"]);
     }
 
     #[test]

@@ -5,7 +5,8 @@ use std::time::Instant;
 
 use hmm_model::cost::CostCounters;
 use hmm_model::MachineConfig;
-use obs::{ArgValue, Counter, FlightKind, FlowPhase, Histogram, Obs, Track};
+use obs::conformance::LaunchSample;
+use obs::{ArgValue, Conformance, Counter, FlightKind, FlowPhase, Histogram, Obs, Track};
 use parking_lot::Mutex;
 
 use crate::buffer::{GlobalBuffer, GlobalView};
@@ -79,6 +80,16 @@ pub struct DeviceOptions {
     /// Deterministic fault schedule (see [`FaultPlan`]); `None` (the
     /// default) injects nothing and adds no per-launch work.
     pub fault_plan: Option<FaultPlan>,
+    /// Model-conformance tracker: when attached, every launch's exact
+    /// counter deltas and wall time are fed as one
+    /// [`LaunchSample`] (implies statistics). Trackers are
+    /// `Arc`-shared, so one tracker can ingest from a whole fleet.
+    pub conformance: Option<Conformance>,
+    /// Fleet shard index: when set, conformance cell labels gain an
+    /// `@s<shard>` suffix so shard-relative drift localizes a sick device.
+    /// Set by [`DeviceFleet`](crate::DeviceFleet); `None` for standalone
+    /// devices.
+    pub shard: Option<u64>,
 }
 
 impl DeviceOptions {
@@ -95,6 +106,8 @@ impl DeviceOptions {
             observer: Obs::disabled(),
             observe_blocks: false,
             fault_plan: None,
+            conformance: None,
+            shard: None,
         }
     }
 
@@ -155,6 +168,21 @@ impl DeviceOptions {
     /// fault path stays entirely off the no-injection fast path.
     pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = (!plan.is_empty()).then_some(plan);
+        self
+    }
+
+    /// Attach a model-conformance tracker (see
+    /// [`DeviceOptions::conformance`]). Implies statistics recording — the
+    /// tracker needs the per-launch counter deltas.
+    pub fn conformance(mut self, tracker: Conformance) -> Self {
+        self.record_stats = true;
+        self.conformance = Some(tracker);
+        self
+    }
+
+    /// Set the fleet shard index (see [`DeviceOptions::shard`]).
+    pub fn shard(mut self, shard: u64) -> Self {
+        self.shard = Some(shard);
         self
     }
 }
@@ -282,6 +310,15 @@ pub struct Device {
     fault: Option<FaultState>,
     /// Request-scoped metadata for the next launches (serving layer hook).
     launch_ctx: Mutex<Option<LaunchContext>>,
+    /// Model-conformance tracker fed once per launch (shared across a
+    /// fleet's devices via its inner `Arc`).
+    conformance: Option<Conformance>,
+    /// The (algorithm × shape-bucket) cell the next launches belong to
+    /// (serving layer hook, like `launch_ctx`). `None` falls back to a
+    /// mode/grid-derived label.
+    conformance_cell: Mutex<Option<String>>,
+    /// Fleet shard index, appended to cell labels as `@s<shard>`.
+    shard: Option<u64>,
 }
 
 impl Device {
@@ -320,7 +357,10 @@ impl Device {
             });
         Device {
             cfg: opts.config,
-            record_stats: opts.record_stats || opts.record_trace || opts.observer.is_enabled(),
+            record_stats: opts.record_stats
+                || opts.record_trace
+                || opts.observer.is_enabled()
+                || opts.conformance.is_some(),
             record_trace: opts.record_trace,
             record_addrs: opts.record_addrs,
             order: opts.order,
@@ -335,6 +375,9 @@ impl Device {
             launches_total: AtomicU64::new(0),
             fault,
             launch_ctx: Mutex::new(None),
+            conformance: opts.conformance,
+            conformance_cell: Mutex::new(None),
+            shard: opts.shard,
         }
     }
 
@@ -347,6 +390,19 @@ impl Device {
     /// observed by a launch is the one its dispatcher set.
     pub fn set_launch_context(&self, ctx: Option<LaunchContext>) {
         *self.launch_ctx.lock() = ctx;
+    }
+
+    /// Attach (or with `None` clear) the conformance cell label for the
+    /// next launches (see [`obs::conformance::cell_label`]). Same
+    /// discipline as [`Device::set_launch_context`]: set before a batch's
+    /// launches, clear after. Ignored without an attached tracker.
+    pub fn set_conformance_cell(&self, cell: Option<String>) {
+        *self.conformance_cell.lock() = cell;
+    }
+
+    /// The attached model-conformance tracker, if any.
+    pub fn conformance(&self) -> Option<&Conformance> {
+        self.conformance.as_ref()
     }
 
     /// A device with default options for `config`.
@@ -477,11 +533,16 @@ impl Device {
             })
         });
         // Observability: everything below the `is_enabled` branches is the
-        // no-op fast path when no observer is attached.
+        // no-op fast path when no observer (and no conformance tracker) is
+        // attached.
         let mut launch_span = None;
         let mut stats_before = None;
         let mut request_ctx: Option<LaunchContext> = None;
-        let launch_started = self.obs.is_enabled().then(Instant::now);
+        let launch_started =
+            (self.obs.is_enabled() || self.conformance.is_some()).then(Instant::now);
+        if self.obs.is_enabled() || self.conformance.is_some() {
+            stats_before = Some(*self.stats.lock());
+        }
         if self.obs.is_enabled() {
             request_ctx = self.launch_ctx.lock().clone();
             if let Some(reg) = self.obs.registry() {
@@ -509,7 +570,6 @@ impl Device {
                 fault_no,
                 grid as u64,
             );
-            stats_before = Some(*self.stats.lock());
             launch_span = Some(span);
         }
         let span_id = launch_span.as_ref().and_then(|s| s.id());
@@ -639,21 +699,25 @@ impl Device {
                 }
             }
         }
-        if let (Some(before), Some(c)) = (stats_before, &self.counters) {
+        let mut launch_deltas = None;
+        if let Some(before) = stats_before {
             let after = *self.stats.lock();
             let coalesced = after.coalesced_ops() - before.coalesced_ops();
             let stride = after.stride_ops() - before.stride_ops();
             let stages = after.global_stages - before.global_stages;
-            c.coalesced_ops.add(coalesced);
-            c.stride_ops.add(stride);
-            c.global_stages.add(stages);
-            c.handoff_publishes
-                .add(after.handoff_publishes - before.handoff_publishes);
-            c.handoff_acquires
-                .add(after.handoff_acquires - before.handoff_acquires);
-            c.launches.inc();
-            if fault_no > 0 {
-                c.barrier_steps.inc();
+            launch_deltas = Some((coalesced, stride, stages));
+            if let Some(c) = &self.counters {
+                c.coalesced_ops.add(coalesced);
+                c.stride_ops.add(stride);
+                c.global_stages.add(stages);
+                c.handoff_publishes
+                    .add(after.handoff_publishes - before.handoff_publishes);
+                c.handoff_acquires
+                    .add(after.handoff_acquires - before.handoff_acquires);
+                c.launches.inc();
+                if fault_no > 0 {
+                    c.barrier_steps.inc();
+                }
             }
             if let Some(span) = &mut launch_span {
                 span.arg("coalesced_ops", ArgValue::from(coalesced));
@@ -661,8 +725,45 @@ impl Device {
                 span.arg("global_stages", ArgValue::from(stages));
             }
         }
-        if let (Some(started), Some(c)) = (launch_started, &self.counters) {
-            c.launch_duration.observe_duration(started.elapsed());
+        let launch_elapsed = launch_started.map(|s| s.elapsed());
+        if let (Some(elapsed), Some(c)) = (launch_elapsed, &self.counters) {
+            c.launch_duration.observe_duration(elapsed);
+        }
+        if let (Some(conf), Some(elapsed), Some((coalesced, stride, stages))) =
+            (&self.conformance, launch_elapsed, launch_deltas)
+        {
+            let mut cell = self.conformance_cell.lock().clone().unwrap_or_else(|| {
+                // Unlabeled launches still get a stable mode/grid bucket.
+                format!(
+                    "{}/g{}",
+                    if persistent { "persistent" } else { "launch" },
+                    grid.max(1).next_power_of_two()
+                )
+            });
+            if let Some(s) = self.shard {
+                cell.push_str(&format!("@s{s}"));
+            }
+            conf.ingest(LaunchSample {
+                cell,
+                coalesced_ops: coalesced,
+                stride_ops: stride,
+                global_stages: stages,
+                wall_seconds: elapsed.as_secs_f64(),
+            });
+            if self.obs.is_enabled() {
+                for alert in conf.take_new_alerts() {
+                    // The cell label lives in the conformance report; the
+                    // flight breadcrumb carries the ratio (ppm) and sample
+                    // count.
+                    let ratio_ppm = if alert.ratio.is_finite() && alert.ratio > 0.0 {
+                        (alert.ratio * 1e6) as u64
+                    } else {
+                        0
+                    };
+                    self.obs
+                        .flight_event(FlightKind::DriftAlert, 0, ratio_ppm, alert.samples);
+                }
+            }
         }
         if self.obs.is_enabled() {
             // Flow points for every request the batch carries, emitted while
@@ -1038,6 +1139,136 @@ mod tests {
         assert_eq!(obs.event_count(), 3);
         let stats = obs::chrome::validate(&obs.trace_json()).unwrap();
         assert_eq!(stats.complete, 3);
+    }
+
+    #[test]
+    fn conformance_tracker_ingests_launches_and_respects_cell_labels() {
+        use obs::conformance::{cell_label, ConformanceConfig};
+        let cfg = MachineConfig::with_width(4);
+        let tracker = Conformance::new(ConformanceConfig::for_machine(
+            cfg.width as u64,
+            cfg.window_overhead(),
+        ));
+        // No observer: conformance alone must imply stats and feed samples.
+        let dev = Device::new(
+            DeviceOptions::new(cfg)
+                .workers(0)
+                .record_stats(false)
+                .conformance(tracker.clone()),
+        );
+        let buf = GlobalBuffer::filled(1.0f64, 64);
+        dev.set_conformance_cell(Some(cell_label("1r1w", 8, 8)));
+        for i in 0..4usize {
+            // Vary the grid so C varies launch to launch.
+            dev.launch(2 + i * 2, |ctx| {
+                let g = ctx.view(&buf);
+                let base = (ctx.block_id() * 4) % 60;
+                let mut v = [0.0; 4];
+                g.read_contig(base, &mut v, ctx.rec());
+                g.write_contig(base, &v, ctx.rec());
+            });
+        }
+        dev.set_conformance_cell(None);
+        dev.launch(2, |ctx| {
+            let g = ctx.view(&buf);
+            let mut v = [0.0; 4];
+            g.read_contig(ctx.block_id() * 4, &mut v, ctx.rec());
+        });
+        assert_eq!(tracker.sample_count(), 5);
+        let cells = tracker.cells();
+        assert_eq!(cells.len(), 2, "{cells:?}");
+        assert_eq!(cells[0].cell, "1r1w/8x8");
+        assert_eq!(cells[0].samples, 4);
+        assert_eq!(cells[1].cell, "launch/g2", "unlabeled fallback bucket");
+        assert!(tracker.tau_seconds_per_unit() > 0.0);
+        // The counters the tracker saw are the real per-launch deltas.
+        let stats = dev.stats();
+        assert!(stats.coalesced_ops() > 0);
+    }
+
+    #[test]
+    fn fleet_devices_tag_conformance_cells_with_their_shard() {
+        use crate::fleet::{DeviceFleet, FleetOptions};
+        use obs::conformance::ConformanceConfig;
+        let cfg = MachineConfig::with_width(4);
+        let tracker = Conformance::new(ConformanceConfig::for_machine(
+            cfg.width as u64,
+            cfg.window_overhead(),
+        ));
+        let base = DeviceOptions::new(cfg)
+            .workers(0)
+            .conformance(tracker.clone());
+        let fleet = DeviceFleet::new(FleetOptions::new(base, 2));
+        let buf = GlobalBuffer::filled(1.0f64, 32);
+        for d in 0..2 {
+            fleet.device(d).launch(4, |ctx| {
+                let g = ctx.view(&buf);
+                let mut v = [0.0; 4];
+                g.read_contig(ctx.block_id() * 4, &mut v, ctx.rec());
+            });
+        }
+        let cells = tracker.cells();
+        let names: Vec<&str> = cells.iter().map(|c| c.cell.as_str()).collect();
+        assert_eq!(names, vec!["launch/g4@s0", "launch/g4@s1"], "{cells:?}");
+    }
+
+    #[test]
+    fn sustained_drift_emits_one_flight_event() {
+        use obs::conformance::ConformanceConfig;
+        let obs = Obs::new();
+        let cfg = MachineConfig::with_width(4);
+        let mut ccfg = ConformanceConfig::for_machine(cfg.width as u64, cfg.window_overhead());
+        ccfg.baseline_samples = 4;
+        let tracker = Conformance::new(ccfg.clone());
+        let dev = Device::new(
+            DeviceOptions::new(cfg)
+                .workers(0)
+                .observer(obs.clone())
+                .conformance(tracker.clone()),
+        );
+        let buf = GlobalBuffer::filled(1.0f64, 64);
+        let cell = "drifting/64x64";
+        dev.set_conformance_cell(Some(cell.to_string()));
+        let run = |dev: &Device| {
+            dev.launch(2, |ctx| {
+                let g = ctx.view(&buf);
+                let mut v = [0.0; 4];
+                g.read_contig((ctx.block_id() * 4) % 60, &mut v, ctx.rec());
+            })
+        };
+        for _ in 0..6 {
+            run(&dev); // completes the cell's baseline
+        }
+        // Sustained 5× slowdown on the same cell (units large enough for
+        // full CUSUM weight): three samples latch the alert…
+        let base_tau = tracker.cells()[0].baseline_tau.max(1e-9);
+        for _ in 0..3 {
+            tracker.ingest(obs::LaunchSample {
+                cell: cell.to_string(),
+                coalesced_ops: 40_000,
+                stride_ops: 0,
+                global_stages: 10_000,
+                wall_seconds: base_tau * 5.0 * (10_000 + ccfg.window_overhead) as f64,
+            });
+        }
+        assert_eq!(tracker.alert_count(), 1, "{:?}", tracker.alerts());
+        // …and the device's next launch drains it into the flight ring.
+        run(&dev);
+        let drifts: Vec<_> = obs
+            .flight_recent()
+            .into_iter()
+            .filter(|e| e.kind == FlightKind::DriftAlert)
+            .collect();
+        assert_eq!(drifts.len(), 1, "{drifts:?}");
+        assert!(drifts[0].a > 1_000_000, "ratio ppm: {:?}", drifts[0]);
+        // Latched: further launches emit nothing new.
+        run(&dev);
+        let again = obs
+            .flight_recent()
+            .into_iter()
+            .filter(|e| e.kind == FlightKind::DriftAlert)
+            .count();
+        assert_eq!(again, 1);
     }
 
     #[test]

@@ -80,6 +80,13 @@ impl DeviceFleet {
                 if !opts.fault_plans.is_empty() {
                     o.fault_plan = opts.fault_plans[i].clone();
                 }
+                // In a real fleet every shard tags its conformance cells
+                // `@s<i>`, so one shared tracker can localize which device
+                // drifted; a single-device "fleet" has no siblings to
+                // compare against and keeps plain labels.
+                if opts.devices > 1 {
+                    o.shard = Some(i as u64);
+                }
                 Device::new(o)
             })
             .collect();

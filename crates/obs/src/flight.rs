@@ -38,8 +38,9 @@ use crate::json::JsonValue;
 use crate::span::{ArgValue, Event, EventKind, Obs};
 
 /// Schema identifier stamped into (and required from) every bundle.
-/// v2 added the fleet kinds `device_lost` and `shard_failover`.
-pub const SCHEMA: &str = "sat-hmm/flight/v2";
+/// v2 added the fleet kinds `device_lost` and `shard_failover`; v3 added
+/// `drift_alert` (model-conformance drift, see [`crate::conformance`]).
+pub const SCHEMA: &str = "sat-hmm/flight/v3";
 
 /// Default ring capacity: enough for the last few hundred requests' worth
 /// of lifecycle events while keeping the recorder under 64 KiB.
@@ -81,6 +82,11 @@ pub enum FlightKind {
     /// (`request` = first affected request id, `a` = failed shard index,
     /// `b` = number of bands moved).
     ShardFailover = 12,
+    /// The model-conformance observatory latched a drift alert
+    /// (`a` = measured/baseline τ ratio in parts-per-million, `b` = cell
+    /// samples at alert time; the offending cell's label is in
+    /// `/debug/conformance`).
+    DriftAlert = 13,
 }
 
 impl FlightKind {
@@ -99,6 +105,7 @@ impl FlightKind {
             FlightKind::SloBurn => "slo_burn",
             FlightKind::DeviceLost => "device_lost",
             FlightKind::ShardFailover => "shard_failover",
+            FlightKind::DriftAlert => "drift_alert",
         }
     }
 
@@ -116,6 +123,7 @@ impl FlightKind {
             10 => FlightKind::SloBurn,
             11 => FlightKind::DeviceLost,
             12 => FlightKind::ShardFailover,
+            13 => FlightKind::DriftAlert,
             _ => return None,
         })
     }
@@ -134,6 +142,7 @@ impl FlightKind {
             "slo_burn",
             "device_lost",
             "shard_failover",
+            "drift_alert",
         ]
     }
 }
@@ -689,15 +698,15 @@ mod tests {
 
     #[test]
     fn fleet_kinds_round_trip_through_bundle() {
-        // The v2 kinds must survive record → bundle → validate with their
-        // payload words intact, and every enum code must invert through
-        // from_code/name.
-        for code in 1..=12u64 {
-            let kind = FlightKind::from_code(code).expect("codes 1..=12 are assigned");
+        // The v2/v3 kinds must survive record → bundle → validate with
+        // their payload words intact, and every enum code must invert
+        // through from_code/name.
+        for code in 1..=13u64 {
+            let kind = FlightKind::from_code(code).expect("codes 1..=13 are assigned");
             assert_eq!(kind as u64, code);
             assert!(FlightKind::known_names().contains(&kind.name()));
         }
-        assert_eq!(FlightKind::from_code(13), None);
+        assert_eq!(FlightKind::from_code(14), None);
 
         let obs = Obs::new();
         obs.instant(Track::wall(0), "admit", vec![("request", ArgValue::U64(9))]);
@@ -711,9 +720,52 @@ mod tests {
         let text = bundle(&obs, &trigger);
         assert!(text.contains("\"device_lost\""), "{text}");
         assert!(text.contains("\"shard_failover\""), "{text}");
-        assert!(text.contains("sat-hmm/flight/v2"), "{text}");
+        assert!(text.contains("sat-hmm/flight/v3"), "{text}");
         let stats = validate(&text).unwrap_or_else(|e| panic!("invalid bundle: {e}\n{text}"));
         assert_eq!(stats.events, 2);
+    }
+
+    #[test]
+    fn ring_wrap_preserves_v3_drift_alert_events() {
+        // A DriftAlert recorded before a flood of lifecycle events must
+        // survive as long as it is within the last ring-capacity tickets,
+        // and its payload words (τ ratio ppm, cell samples) must round-trip
+        // through the bundle.
+        let r = FlightRecorder::new(8);
+        for i in 0..3u64 {
+            r.record(i as f64, FlightKind::Admit, i + 1, 0, 0); // overwritten
+        }
+        for i in 0..6u64 {
+            r.record((i + 3) as f64, FlightKind::LaunchEnd, i + 4, i, 0);
+        }
+        r.record(9.0, FlightKind::DriftAlert, 0, 4_200_000, 37);
+        r.record(10.0, FlightKind::SloBurn, 9, 1_500_000, 0);
+        let events = r.recent();
+        assert_eq!(events.len(), 8, "exactly one ring of survivors");
+        assert!(
+            events.iter().all(|e| e.kind != FlightKind::Admit),
+            "oldest events must be overwritten: {events:?}"
+        );
+        let drift = events
+            .iter()
+            .find(|e| e.kind == FlightKind::DriftAlert)
+            .expect("drift alert survives the wrap");
+        assert_eq!(drift.a, 4_200_000);
+        assert_eq!(drift.b, 37);
+
+        let obs = Obs::new();
+        obs.flight_event(FlightKind::DriftAlert, 0, 4_200_000, 37);
+        let text = bundle(
+            &obs,
+            &Trigger {
+                reason: "drift".to_string(),
+                request: 0,
+                detail: "sustained model drift".to_string(),
+            },
+        );
+        assert!(text.contains("\"drift_alert\""), "{text}");
+        let stats = validate(&text).unwrap_or_else(|e| panic!("invalid bundle: {e}\n{text}"));
+        assert_eq!(stats.events, 1);
     }
 
     #[test]

@@ -318,10 +318,13 @@ impl HistogramSample {
 
     /// Fraction of observations `<= threshold`, rounded **up** to the next
     /// bucket boundary (conservative: may overcount, never undercounts).
-    /// Used for SLO attainment estimates.
+    /// Used for SLO attainment estimates. A zero-count sample has no
+    /// observations at or below any threshold, so it returns 0 (not NaN);
+    /// callers wanting vacuous-attainment semantics must special-case
+    /// emptiness themselves (see the service layer's burn stats).
     pub fn fraction_le(&self, threshold: f64) -> f64 {
         if self.count == 0 {
-            return 1.0;
+            return 0.0;
         }
         let idx = self.bounds.partition_point(|&b| b < threshold);
         let le: u64 = self.counts.iter().take(idx + 1).sum();
@@ -472,6 +475,60 @@ mod tests {
         assert_eq!(s.fraction_le(1.6), 0.5);
         // Threshold above all finite bounds counts everything.
         assert_eq!(s.fraction_le(100.0), 1.0);
+    }
+
+    #[test]
+    fn fraction_le_on_zero_count_is_zero_not_nan() {
+        let (h, name) = hist(BucketLayout::log(1.0, 2.0, 3));
+        let s = h.cell.sample(&name);
+        for threshold in [0.0, 1.0, f64::INFINITY] {
+            let f = s.fraction_le(threshold);
+            assert_eq!(f, 0.0, "empty fraction_le({threshold}) = {f}");
+            assert!(!f.is_nan());
+        }
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_is_identity() {
+        let (h, name) = hist(BucketLayout::log(1.0, 2.0, 3));
+        h.observe_with_exemplar(1.5, 11);
+        h.observe(3.0);
+        let before = h.cell.sample(&name);
+        let (empty, _) = hist(BucketLayout::log(1.0, 2.0, 3));
+        let mut merged = before.clone();
+        merged.merge(&empty.cell.sample(&name));
+        assert_eq!(merged.counts, before.counts);
+        assert_eq!(merged.count, before.count);
+        assert_eq!(merged.sum, before.sum);
+        assert_eq!(merged.max, before.max);
+        assert_eq!(merged.exemplars, before.exemplars);
+        assert_eq!(merged.quantile(0.5), before.quantile(0.5));
+        // And merging *into* an empty one reproduces the populated side.
+        let mut other_way = empty.cell.sample(&name);
+        other_way.merge(&before);
+        assert_eq!(other_way.counts, before.counts);
+        assert_eq!(other_way.count, before.count);
+        assert_eq!(other_way.sum, before.sum);
+        assert_eq!(other_way.exemplars, before.exemplars);
+    }
+
+    #[test]
+    fn single_bucket_layout_keeps_its_invariants() {
+        // The smallest legal layout: one finite bound plus the overflow
+        // bucket.
+        let (h, name) = hist(BucketLayout::log(2.0, 2.0, 1));
+        let empty = h.cell.sample(&name);
+        assert_eq!(empty.bounds, vec![2.0]);
+        assert_eq!(empty.fraction_le(2.0), 0.0, "empty single-bucket");
+        assert_eq!(empty.quantile(0.5), 0.0);
+        h.observe(1.0); // in-bucket
+        h.observe(100.0); // overflow
+        let s = h.cell.sample(&name);
+        assert_eq!(s.counts, vec![1, 1]);
+        assert_eq!(s.fraction_le(2.0), 0.5);
+        assert_eq!(s.fraction_le(1000.0), 1.0);
+        assert_eq!(s.quantile(1.0), 100.0, "overflow quantile is the max");
+        assert_eq!(s.cumulative().last().unwrap(), &(f64::INFINITY, 2));
     }
 
     #[test]

@@ -28,7 +28,13 @@
 //!   schema-versioned post-mortem bundle (recent events, registry snapshot,
 //!   last launch's trace slice, the triggering request's flow), checked by
 //!   [`flight::validate`] the way traces are checked by
-//!   [`chrome::validate`].
+//!   [`chrome::validate`];
+//! * a **model-conformance observatory** ([`conformance`]) — an online
+//!   least-squares estimator recovering the effective machine parameters
+//!   (w, Λ, per-word bandwidth) from the live launch stream, per-cell
+//!   rolling residuals, and an EWMA/CUSUM drift detector that raises
+//!   structured [`DriftAlert`]s when modeled-vs-measured divergence
+//!   exceeds a configured band.
 //!
 //! ## Disabled means free
 //!
@@ -57,6 +63,7 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod conformance;
 pub mod flight;
 mod histogram;
 pub mod json;
@@ -64,6 +71,7 @@ pub mod profile;
 mod registry;
 mod span;
 
+pub use conformance::{Conformance, ConformanceConfig, DriftAlert, FitReport, LaunchSample};
 pub use flight::{FlightEvent, FlightKind};
 pub use histogram::{BucketLayout, Histogram, HistogramSample, MAX_BUCKETS};
 pub use registry::{Counter, CounterSample, Gauge, GaugeSample, Registry, Snapshot};

@@ -11,7 +11,11 @@
 //!   the shard count, submission-queue depth/capacity, whether a drain is
 //!   in progress, and how many post-mortem bundles have been dumped;
 //! * `GET /debug/flight` — the flight recorder's surviving recent events
-//!   ([`obs::flight::events_json`]), oldest first.
+//!   ([`obs::flight::events_json`]), oldest first;
+//! * `GET /debug/conformance` — the model-conformance observatory's JSON
+//!   report ([`obs::Conformance::report_json`]): the online (w, Λ) fit
+//!   vs the configured machine, per-cell residual statistics, and any
+//!   drift alerts.
 //!
 //! The implementation is deliberately minimal — enough HTTP/1.1 for
 //! `curl`, Prometheus scrapes and the `svcprobe` gate: it reads headers up
@@ -143,6 +147,10 @@ fn answer(mut stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
                 "{{\"schema\":\"{}\",\"events\":{events}}}",
                 obs::flight::SCHEMA
             );
+            respond(&mut stream, 200, "application/json", &body)
+        }
+        "/debug/conformance" => {
+            let body = shared.conformance.report_json();
             respond(&mut stream, 200, "application/json", &body)
         }
         _ => respond(&mut stream, 404, "text/plain", "not found\n"),

@@ -209,6 +209,17 @@ pub struct ServiceConfig {
     /// Latency objective the service reports against (target gauge,
     /// attainment ratio and error-budget burn on the metrics endpoint).
     pub slo: SloConfig,
+    /// Model-conformance observatory (see [`obs::conformance`]). `None` —
+    /// the default — derives [`obs::ConformanceConfig::for_machine`] from
+    /// [`machine`](Self::machine), so the observatory is always on: every
+    /// launch feeds the online (w, Λ, τ) estimator and drift detector,
+    /// `sat_service_model_*` gauges and residual histograms are exposed on
+    /// `/metrics`, and `/debug/conformance` serves the full JSON report.
+    /// Set to override the estimator/drift tuning; the `width` and
+    /// `window_overhead` fields are always overwritten from
+    /// [`machine`](Self::machine) (one source of truth for the reference
+    /// model).
+    pub conformance: Option<obs::ConformanceConfig>,
     /// Optional plain-HTTP telemetry listener (`/metrics`, `/healthz`,
     /// `/debug/flight`).
     pub telemetry: TelemetryConfig,
@@ -232,6 +243,7 @@ impl Default for ServiceConfig {
             shard_fault_plans: Vec::new(),
             resilience: ResilienceConfig::default(),
             slo: SloConfig::default(),
+            conformance: None,
             telemetry: TelemetryConfig::default(),
             postmortem: PostmortemConfig::default(),
         }

@@ -350,15 +350,33 @@ impl Metrics {
         *self.breaker.lock()
     }
 
-    /// Current SLO error-budget burn rate, derived from the request
-    /// histogram exactly as the scrape-time gauge is (1.0 = spending the
-    /// budget exactly; 0.0 when the budget is unlimited).
+    /// SLO attainment and error-budget burn derived from one request
+    /// histogram sample. The *single* shared computation behind both the
+    /// flight-recorder's SLO-burn trigger ([`slo_burn`](Self::slo_burn))
+    /// and the scrape-time gauges ([`expose_text`](Self::expose_text)), so
+    /// the two can never disagree. No samples means the SLO is vacuously
+    /// met (attainment 1, burn 0), not vacuously blown —
+    /// [`HistogramSample::fraction_le`] on an empty histogram reads 0.
+    fn burn_stats(&self, request: &HistogramSample) -> (f64, f64) {
+        let attainment = if request.count == 0 {
+            1.0
+        } else {
+            request.fraction_le(self.slo.target.as_secs_f64())
+        };
+        let burn = if self.slo.error_budget > 0.0 {
+            (1.0 - attainment) / self.slo.error_budget
+        } else {
+            // An unlimited budget cannot burn.
+            0.0
+        };
+        (attainment, burn)
+    }
+
+    /// Current SLO error-budget burn rate (1.0 = spending the budget
+    /// exactly); see [`burn_stats`](Self::burn_stats).
     pub(crate) fn slo_burn(&self) -> f64 {
         let (_, _, request, _) = self.latency_samples();
-        if self.slo.error_budget <= 0.0 || request.count == 0 {
-            return 0.0;
-        }
-        (1.0 - request.fraction_le(self.slo.target.as_secs_f64())) / self.slo.error_budget
+        self.burn_stats(&request).1
     }
 
     /// A half-open canary launch probed the device.
@@ -498,16 +516,12 @@ impl Metrics {
         // fraction is rounded up to a bucket boundary (conservative in the
         // service's favour is the wrong direction for an SLO, so the burn
         // rate derived from it is a *lower bound* — the bucket containing
-        // the target bounds the error either way within one bucket).
-        let attainment = request.fraction_le(self.slo.target.as_secs_f64());
+        // the target bounds the error either way within one bucket). The
+        // same `burn_stats` feeds the post-mortem trigger's `slo_burn`.
+        let (attainment, burn) = self.burn_stats(&request);
         self.registry
             .gauge("sat_service_slo_attainment_ratio")
             .set(attainment);
-        let burn = if self.slo.error_budget > 0.0 {
-            (1.0 - attainment) / self.slo.error_budget
-        } else {
-            0.0
-        };
         self.registry
             .gauge("sat_service_slo_error_budget_burn")
             .set(burn);
@@ -879,6 +893,14 @@ mod tests {
                 error_budget: 0.1,
             },
         );
+        // Before any traffic the SLO is vacuously met: the shared burn
+        // computation special-cases the empty histogram (whose raw
+        // `fraction_le` reads 0) so a pre-traffic scrape cannot report a
+        // fully-burnt budget, and the trigger agrees with the gauge.
+        let text = m.expose_text();
+        assert!(text.contains("sat_service_slo_attainment_ratio 1"));
+        assert!(text.contains("sat_service_slo_error_budget_burn 0"));
+        assert_eq!(m.slo_burn(), 0.0);
         // 3 fast requests (1 ms) and 1 slow (1 s): attainment 0.75, and a
         // burn rate of (1 - 0.75) / 0.1 = 2.5.
         m.on_batch(&BatchRecord {

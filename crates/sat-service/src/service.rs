@@ -12,8 +12,9 @@ use gpu_exec::{
     BufferPool, Device, DeviceFleet, DeviceOptions, FleetOptions, GlobalBuffer, LaunchContext,
 };
 use hmm_model::cost::{CostCounters, ExactCounts, GlobalCost, SatAlgorithm};
+use obs::conformance::cell_label;
 use obs::flight::Trigger;
-use obs::{ArgValue, FlightKind, FlowPhase, Obs, Track};
+use obs::{ArgValue, Conformance, FlightKind, FlowPhase, Obs, Track};
 use parking_lot::{Condvar, Mutex};
 use sat_core::par::{band_colsum, band_wavefront, margin_exchange, BandPlan};
 use sat_core::{compute_sat, compute_sat_batch_with, Matrix, SumTable};
@@ -63,6 +64,13 @@ pub(crate) struct Shared {
     /// Post-mortem bundles dumped so far (capped by
     /// [`crate::PostmortemConfig::max_bundles`]).
     pub(crate) postmortems: AtomicU64,
+    /// The live model-conformance observatory: every device launch feeds
+    /// it a (counters, wall-time) sample; it fits (w, Λ) online and
+    /// raises drift alerts. Shared with the fleet's devices.
+    pub(crate) conformance: Conformance,
+    /// Drift alerts already turned into post-mortem triggers — a cursor
+    /// over [`Conformance::alert_count`], advanced at dispatch boundaries.
+    drift_alerts_seen: AtomicU64,
 }
 
 /// A running SAT service. Created by [`Service::start`]; hand out
@@ -87,7 +95,25 @@ impl Service {
         assert!(cfg.queue_capacity > 0, "queue capacity must be positive");
         assert!(cfg.max_batch > 0, "max batch must be positive");
         assert!(cfg.shards > 0, "shard count must be positive");
-        let mut opts = DeviceOptions::new(cfg.machine).observer(cfg.observer.clone());
+        // Share one registry between serving-layer, device and conformance
+        // metrics so a single scrape covers all three; fall back to a
+        // private registry when observability is off (ServiceStats and the
+        // conformance report keep working either way).
+        let registry = cfg.observer.registry().unwrap_or_default();
+        // The observatory is always on: launches are being timed anyway,
+        // and a fit that never converges is itself a health signal. The
+        // machine's configured parameters always win over a caller-supplied
+        // config — they are what the fit is checked against.
+        let mut ccfg = cfg
+            .conformance
+            .clone()
+            .unwrap_or_else(|| obs::ConformanceConfig::for_machine(0, 0));
+        ccfg.width = cfg.machine.width as u64;
+        ccfg.window_overhead = cfg.machine.window_overhead();
+        let conformance = Conformance::with_registry(ccfg, &registry, "sat_service_");
+        let mut opts = DeviceOptions::new(cfg.machine)
+            .observer(cfg.observer.clone())
+            .conformance(conformance.clone());
         if let Some(w) = cfg.device_workers {
             opts = opts.workers(w);
         }
@@ -105,10 +131,7 @@ impl Service {
             fleet_opts = fleet_opts.fault_plans(cfg.shard_fault_plans.clone());
         }
         let fleet = DeviceFleet::new(fleet_opts);
-        // Share one registry between serving-layer and device counters so a
-        // single scrape covers both; fall back to a private registry when
-        // observability is off (ServiceStats keeps working either way).
-        let mut metrics = Metrics::new(cfg.observer.registry().unwrap_or_default(), cfg.slo);
+        let mut metrics = Metrics::new(registry, cfg.slo);
         metrics.configure_shards(cfg.shards);
         let shared = Arc::new(Shared {
             cfg,
@@ -118,6 +141,8 @@ impl Service {
             metrics,
             next_request: AtomicU64::new(0),
             postmortems: AtomicU64::new(0),
+            conformance,
+            drift_alerts_seen: AtomicU64::new(0),
         });
         if shared.cfg.postmortem.panic_hook {
             if let (Some(dir), true) = (
@@ -165,6 +190,19 @@ impl Service {
     /// endpoint of the telemetry listener serves exactly these bytes.
     pub fn metrics_text(&self) -> String {
         self.shared.metrics.expose_text()
+    }
+
+    /// The live model-conformance observatory: online (w, Λ) fit,
+    /// per-cell residual statistics and drift alerts, fed by every device
+    /// launch the service issues.
+    pub fn conformance(&self) -> &Conformance {
+        &self.shared.conformance
+    }
+
+    /// The JSON conformance report — the same document the telemetry
+    /// listener serves at `/debug/conformance`.
+    pub fn conformance_report(&self) -> String {
+        self.shared.conformance.report_json()
     }
 
     /// The telemetry listener's bound address, when one was configured
@@ -649,6 +687,26 @@ fn maybe_dump(shared: &Shared, trigger: &Trigger) {
     }
 }
 
+/// Queue a post-mortem trigger when the observatory raised drift alerts
+/// since the last dispatch boundary the batcher looked at. The
+/// `DriftAlert` *flight events* are emitted by the device at ingest time;
+/// this only decides when a bundle is worth dumping. Drift is
+/// machine-scoped, not request-scoped, so the trigger carries request 0.
+fn check_drift(shared: &Shared, dumps: &mut Vec<Trigger>) {
+    let total = shared.conformance.alert_count() as u64;
+    let seen = shared.drift_alerts_seen.swap(total, Ordering::Relaxed);
+    if total > seen {
+        dumps.push(Trigger {
+            reason: "drift".to_string(),
+            request: 0,
+            detail: format!(
+                "{} new model-conformance drift alert(s); see /debug/conformance",
+                total - seen
+            ),
+        });
+    }
+}
+
 /// Table-I closed-form check: on block-aligned squares the batched 1R1W
 /// kernel must cost exactly `B×` the single-run exact counts
 /// ([`GlobalCost::exact_counts`]) in coalesced and stride transactions —
@@ -719,6 +777,10 @@ fn execute(shared: &Shared, dev: &Device, d: Dispatch, ex: &mut ExecState) {
         let m_c = cols.max(1).div_ceil(w);
         m_r + m_c - 1
     } as u64;
+
+    // Conformance cells bucket launches by (algorithm, shape); every
+    // launch of this dispatch reports its sample under this label.
+    dev.set_conformance_cell(Some(cell_label(d.algorithm.name(), rows, cols)));
 
     let rcfg = &shared.cfg.resilience;
     let before = dev.launches();
@@ -853,6 +915,7 @@ fn execute(shared: &Shared, dev: &Device, d: Dispatch, ex: &mut ExecState) {
         }
         pending = still;
     }
+    dev.set_conformance_cell(None);
 
     let issued = dev.launches() - before;
     let exec_ns = dispatched_at.elapsed().as_nanos() as u64;
@@ -897,6 +960,7 @@ fn execute(shared: &Shared, dev: &Device, d: Dispatch, ex: &mut ExecState) {
             });
         }
     }
+    check_drift(shared, &mut dumps);
 
     // Retro-emit the lifecycle spans now that the batch's end is known: a
     // `batch` span covering device execution on lane 0 (the device's own
@@ -1384,6 +1448,10 @@ fn fleet_execute(shared: &Shared, fleet: &DeviceFleet, d: Dispatch, ex: &mut Exe
             batch: batch_no,
             requests: ids.clone(),
         }));
+        // One label per dispatch; each shard device appends its own
+        // `@s<i>` suffix, which is what lets the shard-relative drift
+        // channel localize a sick device.
+        dev.set_conformance_cell(Some(cell_label(d.algorithm.name(), rows, cols)));
     }
 
     let mut results: Vec<Option<Matrix<f64>>> = (0..width).map(|_| None).collect();
@@ -1466,6 +1534,7 @@ fn fleet_execute(shared: &Shared, fleet: &DeviceFleet, d: Dispatch, ex: &mut Exe
     }
     for dev in fleet {
         dev.set_launch_context(None);
+        dev.set_conformance_cell(None);
     }
 
     let launches_after = fleet.launches();
@@ -1517,6 +1586,7 @@ fn fleet_execute(shared: &Shared, fleet: &DeviceFleet, d: Dispatch, ex: &mut Exe
             });
         }
     }
+    check_drift(shared, &mut dumps.lock());
 
     // Same retro-emitted lifecycle records as the single-device path, so
     // fleet traces and flight bundles read identically downstream.

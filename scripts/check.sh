@@ -28,6 +28,19 @@ grep -q '# {request_id="' target/loadgen_smoke_metrics.prom || {
     exit 1
 }
 
+echo "== loadgen conformance gate (fault-free traffic: the online (w, Λ) fit"
+echo "   must converge to the configured machine with zero drift alerts, and"
+echo "   the metrics snapshot must strict-parse against the family allow-list)"
+cargo run --release -q -p sat-bench --bin loadgen -- \
+    --threads 4 --requests 24 --n 32 --width 4 \
+    --check-conformance \
+    --json target/BENCH_service_conformance_smoke.json \
+    --metrics-snapshot target/loadgen_conformance_metrics.prom
+grep -q '^sat_service_model_fit_converged 1$' target/loadgen_conformance_metrics.prom || {
+    echo "error: conformance snapshot does not report a converged fit" >&2
+    exit 1
+}
+
 echo "== loadgen fleet gate (4-shard banded SAT at n = 512, w = 4: the fleet's"
 echo "   modeled critical path must beat single-device 1R1W by >= 3x)"
 cargo run --release -q -p sat-bench --bin loadgen -- \
@@ -90,9 +103,10 @@ fi
 echo "== unsafe-code audit (every unsafe block carries a SAFETY comment)"
 ./scripts/unsafe_audit.sh
 
-echo "== satprof smoke (Perfetto trace schema + exact 1R1W counter check)"
+echo "== satprof smoke (Perfetto trace schema + exact 1R1W counter check,"
+echo "   plus the online conformance fit recovering the configured machine)"
 cargo run --release -q -p sat-bench --bin satprof -- \
-    --algo 1r1w --n 256 --check --trace target/satprof_smoke.json
+    --algo all --n 256 --check --conformance --trace target/satprof_smoke.json
 
 echo "== satprof persistent smoke (one launch, exact counts incl. flag words, B = 0)"
 cargo run --release -q -p sat-bench --bin satprof -- \
@@ -103,9 +117,32 @@ cargo run --release -q -p sat-bench --bin satprof -- \
     --burst 16 --n 64 --trace target/satprof_burst_smoke.json
 
 echo "== benchdiff smoke (small n, loose tolerance, vs committed baseline;"
-echo "   the persistent cell's barrier term must be strictly below staged 1R1W's)"
+echo "   the persistent cell's barrier term must be strictly below staged 1R1W's,"
+echo "   and the fault-free conformance pass must fit (w, Λ) with zero drift)"
 cargo run --release -q -p sat-bench --bin benchdiff -- \
-    --sizes 128 --runs 3 --tolerance 0.9
+    --sizes 128 --runs 3 --tolerance 0.9 --conformance \
+    --conformance-dir target/benchdiff_conformance
+
+echo "== benchdiff drift gate (an injected 8x slowdown on 1R1W must trip"
+echo "   exactly one cusum drift alert and dump one schema-valid bundle)"
+rm -rf target/benchdiff_drift
+if cargo run --release -q -p sat-bench --bin benchdiff -- \
+    --sizes 128 --runs 1 --tolerance 0.9 --conformance \
+    --conformance-dir target/benchdiff_drift \
+    --inject-slowdown 1R1W:8 >target/benchdiff_drift_out.txt 2>&1; then
+    cat target/benchdiff_drift_out.txt
+    echo "error: benchdiff must fail the wall gate under an 8x injected slowdown" >&2
+    exit 1
+fi
+grep -q 'drift bundle .* validates' target/benchdiff_drift_out.txt || {
+    cat target/benchdiff_drift_out.txt
+    echo "error: injected slowdown did not produce a validated drift bundle" >&2
+    exit 1
+}
+[ "$(ls target/benchdiff_drift/postmortem-conformance-drift-*.json | wc -l)" -eq 1 ] || {
+    echo "error: expected exactly one conformance drift bundle" >&2
+    exit 1
+}
 
 echo "== benchdiff history invariants (schema, monotone seq / timestamps)"
 cargo run --release -q -p sat-bench --bin benchdiff -- \
